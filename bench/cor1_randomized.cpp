@@ -1,0 +1,144 @@
+// COR1: the randomized O(log 1/eps) single-machine algorithm.
+//
+// Compares, on a single machine over an eps sweep:
+//   * the optimal deterministic guarantee 2 + 1/eps (Goldwasser/Kerbikov =
+//     Threshold at m = 1), measured against the exact offline optimum on
+//     adversarially tight instances, and
+//   * the classify-and-select randomized algorithm's expected ratio over a
+//     seed ensemble, with the O(log 1/eps) reference curves.
+// The shape to observe: the deterministic ratio grows like 1/eps while the
+// randomized expectation grows only logarithmically.
+#include <iostream>
+
+#include "adversary/lower_bound_game.hpp"
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "core/classify_select.hpp"
+#include "core/threshold.hpp"
+#include "offline/exact.hpp"
+#include "sched/engine.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace slacksched;
+  const CliArgs args(argc, argv);
+  const std::size_t instances =
+      static_cast<std::size_t>(args.get_int("instances", 40));
+  const std::size_t seeds_per_instance =
+      static_cast<std::size_t>(args.get_int("seeds", 24));
+
+  std::cout << "=== Corollary 1: randomized single-machine scheduling "
+               "(ensemble of " << instances << " instances x "
+            << seeds_per_instance << " coin flips) ===\n\n";
+
+  ThreadPool pool;
+  Table table({"eps", "det bound 2+1/eps", "det measured", "rand E[ratio]",
+               "virtual m", "2+ln(1/eps)", "det/rand"});
+
+  for (double eps : {0.5, 0.2, 0.1, 0.05, 0.02, 0.01}) {
+    const int virtual_m = classify_select_default_machines(eps);
+
+    struct Cell {
+      double det_ratio = 0.0;
+      double rand_ratio = 0.0;
+    };
+    const auto cells = parallel_map<Cell>(
+        pool, instances, [&](std::size_t index) {
+          WorkloadConfig config;
+          config.n = 12;
+          config.eps = eps;
+          config.arrival_rate = 1.5;
+          config.size_min = 1.0;
+          config.size_max = 8.0;
+          config.slack = SlackModel::kTight;
+          config.seed = 0xc0de + index * 104729;
+          const Instance inst = generate_workload(config);
+          const ExactResult opt = exact_optimal_load(inst, 1);
+
+          Cell cell;
+          ThresholdScheduler det(eps, 1);
+          const double det_volume =
+              run_online(det, inst).metrics.accepted_volume;
+          cell.det_ratio = det_volume > 0.0 ? opt.value / det_volume : 0.0;
+
+          // Expected accepted volume over the random machine selection.
+          double total = 0.0;
+          for (std::size_t s = 0; s < seeds_per_instance; ++s) {
+            ClassifySelectConfig cs;
+            cs.eps = eps;
+            cs.seed = index * 1000 + s;
+            ClassifySelectScheduler alg(cs);
+            total += run_online(alg, inst).metrics.accepted_volume;
+          }
+          const double expected_volume =
+              total / static_cast<double>(seeds_per_instance);
+          cell.rand_ratio =
+              expected_volume > 0.0 ? opt.value / expected_volume : 0.0;
+          return cell;
+        });
+
+    OnlineStats det_stats;
+    OnlineStats rand_stats;
+    for (const Cell& cell : cells) {
+      if (cell.det_ratio > 0.0) det_stats.add(cell.det_ratio);
+      if (cell.rand_ratio > 0.0) rand_stats.add(cell.rand_ratio);
+    }
+
+    table.add_row({Table::format(eps, 3),
+                   Table::format(2.0 + 1.0 / eps, 3),
+                   Table::format(det_stats.mean(), 3),
+                   Table::format(rand_stats.mean(), 3),
+                   std::to_string(virtual_m),
+                   Table::format(RatioFunction::limit_large_m(eps), 3),
+                   Table::format(rand_stats.mean() > 0.0
+                                     ? det_stats.mean() / rand_stats.mean()
+                                     : 0.0,
+                                 3)});
+  }
+  table.print(std::cout);
+
+  // --- the adversarial separation: replay the Theorem-1 hard instance
+  // (built against the deterministic single-machine algorithm) on the
+  // randomized algorithm. The oblivious adversary that ruins the
+  // deterministic algorithm barely dents the randomized expectation.
+  std::cout << "\n--- on the Theorem-1 hard instance family (oblivious "
+               "replay) ---\n";
+  Table hard({"eps", "det ratio (= 2+1/eps)", "rand E[ratio]",
+              "2+ln(1/eps)"});
+  for (double eps : {0.5, 0.2, 0.1, 0.05, 0.02, 0.01}) {
+    AdversaryConfig aconfig;
+    aconfig.eps = eps;
+    aconfig.m = 1;
+    aconfig.beta = 1e-4;
+    const LowerBoundGame game(aconfig);
+    ThresholdScheduler det(eps, 1);
+    const GameResult forced = game.play(det);
+
+    OnlineStats rand_volume;
+    for (std::size_t s = 0; s < 256; ++s) {
+      ClassifySelectConfig cs;
+      cs.eps = eps;
+      cs.seed = 0xfeed + s;
+      ClassifySelectScheduler alg(cs);
+      rand_volume.add(
+          run_online(alg, forced.instance).metrics.accepted_volume);
+    }
+    const double rand_ratio = rand_volume.mean() > 0.0
+                                  ? forced.opt_volume / rand_volume.mean()
+                                  : 0.0;
+    hard.add_row({Table::format(eps, 3), Table::format(forced.ratio, 3),
+                  Table::format(rand_ratio, 3),
+                  Table::format(RatioFunction::limit_large_m(eps), 3)});
+  }
+  hard.print(std::cout);
+
+  std::cout << "\nreading: the deterministic guarantee explodes like 1/eps "
+               "while the randomized\nexpectation tracks the logarithmic "
+               "reference; the last column shows the widening gap.\n"
+            << "(E[ratio] here is OPT / E[volume]; Jensen makes it a lower "
+               "bound on E[OPT/volume],\nwhich is the quantity Corollary 1 "
+               "bounds by O(log 1/eps).)\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// EXT-D: the full slack range through one front end.
+//
+// Sweeps eps across both regimes — the paper's (0, 1] (Threshold,
+// Theorem 2 guarantee) and the wide-slack eps > 1 of footnote 2
+// (non-delay greedy, guarantee 3) — using make_adaptive_scheduler and the
+// shared competitive-ratio harness. The measured worst case must respect
+// the per-regime guarantee, and the guarantee column shows the seam at
+// eps = 1.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "core/adaptive.hpp"
+#include "core/competitive.hpp"
+
+int main(int argc, char** argv) {
+  using namespace slacksched;
+  const CliArgs args(argc, argv);
+  const std::size_t instances =
+      static_cast<std::size_t>(args.get_int("instances", 120));
+  const int machines = static_cast<int>(args.get_int("machines", 2));
+
+  std::cout << "=== EXT-D: adaptive scheduler across the full slack range "
+               "(m = " << machines << ", " << instances
+            << " exact instances/cell) ===\n\n";
+
+  ThreadPool pool;
+  Table table({"eps", "regime", "guarantee", "worst measured",
+               "mean measured", "ok"});
+
+  bool all_ok = true;
+  for (double eps : {0.05, 0.2, 0.5, 0.9, 1.0, 1.2, 2.0, 5.0}) {
+    WorkloadConfig config;
+    config.n = 11;
+    config.eps = eps;
+    config.arrival_rate = 1.5 * machines;
+    config.size_min = 1.0;
+    config.size_max = 8.0;
+    config.slack = SlackModel::kTight;
+
+    const auto factory = [eps, machines] {
+      return make_adaptive_scheduler(eps, machines);
+    };
+    const CompetitiveEnsemble ensemble =
+        competitive_ensemble(factory, config, instances, 0xada0, pool);
+
+    const double guarantee = adaptive_guarantee(eps, machines);
+    const bool ok = ensemble.ratios.max <= guarantee + 1e-6;
+    all_ok = all_ok && ok;
+    table.add_row({Table::format(eps, 2),
+                   eps <= 1.0 ? "Threshold (Thm. 2)" : "wide-slack (fn. 2)",
+                   Table::format(guarantee, 3),
+                   Table::format(ensemble.ratios.max, 3),
+                   Table::format(ensemble.ratios.mean, 3),
+                   ok ? "yes" : "VIOLATION"});
+  }
+  table.print(std::cout);
+  if (!all_ok) {
+    std::cerr << "GUARANTEE VIOLATION\n";
+    return 1;
+  }
+  std::cout << "\nreading: one constructor covers every slack; the "
+               "guarantee column is continuous in spirit\n(the wide-slack "
+               "constant 3 is weaker than c(1, m) — the threshold machinery "
+               "is what buys\nthe sharper bound below eps = 1).\n";
+  return 0;
+}

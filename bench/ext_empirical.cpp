@@ -1,0 +1,122 @@
+// EXT-A: empirical competitive behaviour on realistic synthetic workloads
+// (the paper gives no system evaluation; this bench is the extension that
+// a systems reader would ask for). For each scenario x eps x m cell it
+// reports each policy's accepted volume as a fraction of the preemptive
+// fractional upper bound — higher is better, 1.0 is unreachable for
+// non-preemptive online algorithms under contention.
+#include <iostream>
+
+#include "baselines/delayed_commit.hpp"
+#include "baselines/edf_preemptive.hpp"
+#include "baselines/migration_flow.hpp"
+#include "baselines/random_admission.hpp"
+#include "baselines/greedy.hpp"
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "core/threshold.hpp"
+#include "offline/upper_bound.hpp"
+#include "sched/engine.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace slacksched;
+
+struct CellResult {
+  double ub = 0.0;
+  double threshold = 0.0;
+  double greedy_best = 0.0;
+  double greedy_least = 0.0;
+  double delayed = 0.0;
+  double preemptive = 0.0;
+  double migration = 0.0;
+  double random = 0.0;
+};
+
+CellResult run_cell(const WorkloadConfig& config, int m) {
+  const Instance inst = generate_workload(config);
+  CellResult cell;
+  cell.ub = preemptive_fractional_upper_bound(inst, m);
+
+  ThresholdScheduler threshold(config.eps, m);
+  cell.threshold = run_online(threshold, inst).metrics.accepted_volume;
+  GreedyScheduler best(m, GreedyPolicy::kBestFit);
+  cell.greedy_best = run_online(best, inst).metrics.accepted_volume;
+  GreedyScheduler least(m, GreedyPolicy::kLeastLoaded);
+  cell.greedy_least = run_online(least, inst).metrics.accepted_volume;
+  cell.delayed = run_delayed_commit(inst, m).metrics.accepted_volume;
+  cell.preemptive = run_edf_preemptive(inst, m).metrics.accepted_volume;
+  cell.migration = run_migration_admission(inst, m).metrics.accepted_volume;
+  RandomAdmissionScheduler coin(m, 0.5, config.seed ^ 0x5eed);
+  cell.random = run_online(coin, inst).metrics.accepted_volume;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::size_t seeds = static_cast<std::size_t>(args.get_int("seeds", 8));
+
+  std::cout << "=== EXT-A: accepted volume / fractional upper bound on "
+               "synthetic workloads (" << seeds << " seeds/cell) ===\n"
+            << "columns: Thr = Algorithm 1, G-BF/G-LL = greedy best-fit / "
+               "least-loaded (immediate commitment),\nQueue = commitment on "
+               "admission (EDF queue), P-EDF = preemptive EDF admission "
+               "(no migration),\nMig = preemption+migration flow admission, "
+               "Coin = feasibility-gated 50% coin flip (control)\n\n";
+
+  ThreadPool pool;
+  Table table({"scenario", "m", "eps", "Thr", "G-BF", "G-LL", "Queue",
+               "P-EDF", "Mig", "Coin"});
+
+  struct Scenario {
+    std::string name;
+    WorkloadConfig (*make)(double, std::uint64_t);
+  };
+  const Scenario scenarios[] = {
+      {"cloud-burst", cloud_burst_scenario},
+      {"overload", overload_scenario},
+  };
+
+  for (const Scenario& scenario : scenarios) {
+    for (int m : {2, 4}) {
+      for (double eps : {0.05, 0.25, 1.0}) {
+        const auto cells = parallel_map<CellResult>(
+            pool, seeds, [&](std::size_t s) {
+              WorkloadConfig config = scenario.make(eps, 7000 + s);
+              return run_cell(config, m);
+            });
+        OnlineStats thr, gbf, gll, queue, pedf, mig, coin;
+        for (const CellResult& cell : cells) {
+          if (cell.ub <= 0.0) continue;
+          thr.add(cell.threshold / cell.ub);
+          gbf.add(cell.greedy_best / cell.ub);
+          gll.add(cell.greedy_least / cell.ub);
+          queue.add(cell.delayed / cell.ub);
+          pedf.add(cell.preemptive / cell.ub);
+          mig.add(cell.migration / cell.ub);
+          coin.add(cell.random / cell.ub);
+        }
+        table.add_row({scenario.name, std::to_string(m),
+                       Table::format(eps, 2), Table::format(thr.mean(), 3),
+                       Table::format(gbf.mean(), 3),
+                       Table::format(gll.mean(), 3),
+                       Table::format(queue.mean(), 3),
+                       Table::format(pedf.mean(), 3),
+                       Table::format(mig.mean(), 3),
+                       Table::format(coin.mean(), 3)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nreading: on average-case workloads greedy is competitive with "
+         "Threshold (its worst case\nneeds an adversary — see "
+         "thm1_adversary); preemption and delayed commitment buy extra\n"
+         "volume under heavy contention, quantifying the price of immediate "
+         "commitment.\n";
+  return 0;
+}

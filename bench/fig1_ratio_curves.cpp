@@ -1,0 +1,242 @@
+// FIG1 + EQ1: regenerates Figure 1 of the paper — the tight competitive
+// ratio c(eps, m) over the slack interval (0, 1] for m = 1..4, with the
+// phase-transition corner values eps_{k,m} (the circles of the figure) —
+// and cross-checks every closed form the paper states (Eq. 1 for m = 2,
+// 2 + 1/eps for m = 1, and the last/second-to-last phase forms).
+//
+// Output: the plotted series as CSV-like rows, the corner table, the
+// closed-form check table, and an ASCII rendering of the figure.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "common/ascii_chart.hpp"
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/svg.hpp"
+#include "common/table.hpp"
+#include "core/ratio_function.hpp"
+
+namespace {
+
+using namespace slacksched;
+
+std::vector<double> log_grid(double lo, double hi, int points) {
+  std::vector<double> grid;
+  grid.reserve(static_cast<std::size_t>(points));
+  const double step = (std::log10(hi) - std::log10(lo)) / (points - 1);
+  for (int i = 0; i < points; ++i) {
+    grid.push_back(std::pow(10.0, std::log10(lo) + step * i));
+  }
+  grid.back() = hi;
+  return grid;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int max_m = static_cast<int>(args.get_int("max-m", 4));
+  const int points = static_cast<int>(args.get_int("points", 60));
+  const double eps_lo = args.get_double("eps-lo", 1e-3);
+  const std::string csv_path = args.get_string("csv", "");
+
+  std::cout << "=== Fig. 1: tight competitive ratio c(eps, m), m = 1.."
+            << max_m << " ===\n\n";
+
+  const std::vector<double> grid = log_grid(eps_lo, 1.0, points);
+
+  // --- the series ---
+  std::vector<ChartSeries> series;
+  const char glyphs[] = {'1', '2', '3', '4', '5', '6', '7', '8'};
+  Table curve_table([&] {
+    std::vector<std::string> header{"eps"};
+    for (int m = 1; m <= max_m; ++m) header.push_back("c(eps," + std::to_string(m) + ")");
+    for (int m = 1; m <= max_m; ++m) header.push_back("k(m=" + std::to_string(m) + ")");
+    return header;
+  }());
+
+  std::vector<std::vector<RatioSolution>> solved(
+      static_cast<std::size_t>(max_m));
+  for (int m = 1; m <= max_m; ++m) {
+    ChartSeries s;
+    s.name = "m=" + std::to_string(m);
+    s.glyph = glyphs[(m - 1) % 8];
+    for (double eps : grid) {
+      const RatioSolution sol = RatioFunction::solve(eps, m);
+      s.x.push_back(eps);
+      s.y.push_back(sol.c);
+      solved[static_cast<std::size_t>(m - 1)].push_back(sol);
+    }
+    series.push_back(std::move(s));
+  }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::vector<std::string> row{Table::format(grid[i], 5)};
+    for (int m = 1; m <= max_m; ++m)
+      row.push_back(
+          Table::format(solved[static_cast<std::size_t>(m - 1)][i].c, 4));
+    for (int m = 1; m <= max_m; ++m)
+      row.push_back(
+          std::to_string(solved[static_cast<std::size_t>(m - 1)][i].k));
+    curve_table.add_row(std::move(row));
+  }
+  curve_table.print(std::cout);
+
+  // --- phase transitions (the circles of Fig. 1) ---
+  std::cout << "\n--- phase-transition corner values eps_{k,m} (circles) ---\n";
+  Table corners({"m", "k", "eps_{k,m}", "c at corner"});
+  for (int m = 2; m <= max_m; ++m) {
+    for (int k = 1; k < m; ++k) {
+      const double corner = RatioFunction::corner(k, m);
+      if (corner >= 1.0) continue;
+      corners.add_row({std::to_string(m), std::to_string(k),
+                       Table::format(corner, 6),
+                       Table::format(RatioFunction::solve(corner, m).c, 4)});
+    }
+  }
+  corners.print(std::cout);
+
+  // --- closed-form verification (Eq. 1 and Section 1.1/2 forms) ---
+  std::cout << "\n--- closed-form cross-checks ---\n";
+  Table checks({"eps", "quantity", "numeric", "closed form", "|diff|"});
+  for (double eps : {0.001, 0.01, 0.1, 2.0 / 7.0, 0.5, 1.0}) {
+    const double c1 = RatioFunction::solve(eps, 1).c;
+    const double cf1 = RatioFunction::closed_form_m1(eps);
+    checks.add_row({Table::format(eps, 4), "c(eps,1) = 2 + 1/eps",
+                    Table::format(c1, 6), Table::format(cf1, 6),
+                    Table::format(std::fabs(c1 - cf1), 10)});
+    const double c2 = RatioFunction::solve(eps, 2).c;
+    const double cf2 = RatioFunction::closed_form_m2(eps);
+    checks.add_row({Table::format(eps, 4), "c(eps,2) Eq.(1)",
+                    Table::format(c2, 6), Table::format(cf2, 6),
+                    Table::format(std::fabs(c2 - cf2), 10)});
+  }
+  for (int m : {3, 4}) {
+    const double eps = 1.0;
+    const double c = RatioFunction::solve(eps, m).c;
+    const double cf = RatioFunction::closed_form_last_phase(eps, m);
+    checks.add_row({Table::format(eps, 4),
+                    "c(1," + std::to_string(m) + ") last phase",
+                    Table::format(c, 6), Table::format(cf, 6),
+                    Table::format(std::fabs(c - cf), 10)});
+  }
+  // The analytic phases the paper singles out (k in {m-2, m-1, m}).
+  for (int m : {3, 4}) {
+    const double second = 0.5 * (RatioFunction::corner(m - 2, m) +
+                                 RatioFunction::corner(m - 1, m));
+    const double c2 = RatioFunction::solve(second, m).c;
+    checks.add_row(
+        {Table::format(second, 4),
+         "c(eps," + std::to_string(m) + ") k=m-1 quadratic",
+         Table::format(c2, 6),
+         Table::format(RatioFunction::closed_form_second_last_phase(second, m),
+                       6),
+         Table::format(std::fabs(c2 - RatioFunction::
+                                          closed_form_second_last_phase(
+                                              second, m)),
+                       10)});
+    const double third = 0.5 * (RatioFunction::corner(m - 3, m) +
+                                RatioFunction::corner(m - 2, m));
+    const double c3 = RatioFunction::solve(third, m).c;
+    checks.add_row(
+        {Table::format(third, 4),
+         "c(eps," + std::to_string(m) + ") k=m-2 cubic",
+         Table::format(c3, 6),
+         Table::format(RatioFunction::closed_form_third_last_phase(third, m),
+                       6),
+         Table::format(std::fabs(c3 - RatioFunction::
+                                          closed_form_third_last_phase(third,
+                                                                       m)),
+                       10)});
+  }
+  checks.print(std::cout);
+
+  // --- the figure ---
+  std::cout << "\n";
+  ChartOptions options;
+  options.title = "Fig. 1 (regenerated): c(eps, m) over eps in (0, 1]";
+  options.x_label = "eps";
+  options.y_label = "competitive ratio";
+  options.log_x = true;
+  options.log_y = true;
+  options.height = 22;
+  render_chart(std::cout, series, options);
+
+  // --- SVG artifact (fig1.svg): the curves with corner circles, log-log.
+  const std::string svg_path = args.get_string("svg", "fig1.svg");
+  if (!svg_path.empty()) {
+    constexpr double kLeft = 70.0;
+    constexpr double kTop = 40.0;
+    constexpr double kPlotW = 680.0;
+    constexpr double kPlotH = 420.0;
+    SvgDocument svg(kLeft + kPlotW + 30.0, kTop + kPlotH + 60.0);
+    svg.text(kLeft, 24.0,
+             "Fig. 1 (regenerated): tight competitive ratio c(eps, m)",
+             15.0);
+
+    double y_hi = 0.0;
+    for (const auto& sols : solved) {
+      for (const RatioSolution& sol : sols) y_hi = std::max(y_hi, sol.c);
+    }
+    const AxisScale x(eps_lo, 1.0, kLeft, kLeft + kPlotW, /*log=*/true);
+    const AxisScale y(2.0, y_hi, kTop + kPlotH, kTop, /*log=*/true);
+
+    // Axes and decade gridlines.
+    svg.line(kLeft, kTop + kPlotH, kLeft + kPlotW, kTop + kPlotH);
+    svg.line(kLeft, kTop, kLeft, kTop + kPlotH);
+    for (double decade = eps_lo; decade <= 1.0 + 1e-12; decade *= 10.0) {
+      const double px = x(decade);
+      svg.line(px, kTop, px, kTop + kPlotH, "#dddddd", 1.0, true);
+      svg.text(px, kTop + kPlotH + 18.0, Table::format(decade, 3), 11.0,
+               "#111111", "middle");
+    }
+    for (double tick : {2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1000.0}) {
+      if (tick > y_hi) break;
+      const double py = y(tick);
+      svg.line(kLeft, py, kLeft + kPlotW, py, "#dddddd", 1.0, true);
+      svg.text(kLeft - 8.0, py + 4.0, Table::format(tick, 0), 11.0,
+               "#111111", "end");
+    }
+    svg.text(kLeft + kPlotW / 2.0, kTop + kPlotH + 40.0,
+             "slack eps (log scale)", 12.0, "#111111", "middle");
+
+    const auto& palette = default_palette();
+    for (int m = 1; m <= max_m; ++m) {
+      const auto& sols = solved[static_cast<std::size_t>(m - 1)];
+      std::vector<std::pair<double, double>> curve_points;
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        curve_points.emplace_back(x(grid[i]), y(sols[i].c));
+      }
+      const std::string& color = palette[static_cast<std::size_t>(m - 1) %
+                                         palette.size()];
+      svg.polyline(curve_points, color, 2.0);
+      svg.text(kLeft + kPlotW - 60.0, kTop + 18.0 * m,
+               "m = " + std::to_string(m), 12.0, color);
+      // Corner circles (the phase transitions of the figure).
+      for (int corner_k = 1; corner_k < m; ++corner_k) {
+        const double corner = RatioFunction::corner(corner_k, m);
+        if (corner >= 1.0 || corner <= eps_lo) continue;
+        svg.circle(x(corner), y(RatioFunction::solve(corner, m).c), 4.0,
+                   "none", color);
+      }
+    }
+    svg.save(svg_path);
+    std::cout << "\nwrote " << svg_path << "\n";
+  }
+
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    std::vector<std::string> header{"eps"};
+    for (int m = 1; m <= max_m; ++m) header.push_back("c_m" + std::to_string(m));
+    CsvWriter writer(out, header);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      std::vector<double> row{grid[i]};
+      for (int m = 1; m <= max_m; ++m)
+        row.push_back(solved[static_cast<std::size_t>(m - 1)][i].c);
+      writer.row_numeric(row);
+    }
+    std::cout << "\nwrote " << csv_path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,179 @@
+// EXT-C: google-benchmark microbenchmarks — decision throughput of the
+// online algorithms (the per-job cost an admission controller pays), the
+// ratio-function solve cost, and the offline substrate costs. These bound
+// the library's viability at cloud-gateway request rates.
+#include <benchmark/benchmark.h>
+
+#include "adversary/lower_bound_game.hpp"
+#include "baselines/greedy.hpp"
+#include "core/classify_select.hpp"
+#include "core/ratio_function.hpp"
+#include "core/threshold.hpp"
+#include "offline/exact.hpp"
+#include "offline/feasibility.hpp"
+#include "offline/upper_bound.hpp"
+#include "sched/engine.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace slacksched;
+
+Instance bench_instance(std::size_t n, double eps, std::uint64_t seed) {
+  WorkloadConfig config;
+  config.n = n;
+  config.eps = eps;
+  config.arrival_rate = 4.0;
+  config.seed = seed;
+  return generate_workload(config);
+}
+
+void BM_ThresholdDecisions(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const double eps = 0.1;
+  const Instance inst = bench_instance(10000, eps, 42);
+  ThresholdScheduler alg(eps, m);
+  for (auto _ : state) {
+    alg.reset();
+    double volume = 0.0;
+    for (const Job& job : inst.jobs()) {
+      const Decision d = alg.on_arrival(job);
+      if (d.accepted) volume += job.proc;
+    }
+    benchmark::DoNotOptimize(volume);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.size()));
+}
+BENCHMARK(BM_ThresholdDecisions)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_GreedyDecisions(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const Instance inst = bench_instance(10000, 0.1, 42);
+  GreedyScheduler alg(m);
+  for (auto _ : state) {
+    alg.reset();
+    double volume = 0.0;
+    for (const Job& job : inst.jobs()) {
+      const Decision d = alg.on_arrival(job);
+      if (d.accepted) volume += job.proc;
+    }
+    benchmark::DoNotOptimize(volume);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.size()));
+}
+BENCHMARK(BM_GreedyDecisions)->Arg(1)->Arg(16);
+
+void BM_ClassifySelectDecisions(benchmark::State& state) {
+  const Instance inst = bench_instance(10000, 0.01, 42);
+  ClassifySelectConfig config;
+  config.eps = 0.01;
+  config.seed = 7;
+  ClassifySelectScheduler alg(config);
+  for (auto _ : state) {
+    alg.reset();
+    for (const Job& job : inst.jobs()) {
+      benchmark::DoNotOptimize(alg.on_arrival(job));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.size()));
+}
+BENCHMARK(BM_ClassifySelectDecisions);
+
+void BM_RatioFunctionSolve(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  double eps = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RatioFunction::solve(eps, m));
+    eps = eps < 0.9 ? eps * 1.7 : 0.001;  // vary the input
+  }
+}
+BENCHMARK(BM_RatioFunctionSolve)->Arg(2)->Arg(16)->Arg(256);
+
+void BM_FractionalUpperBound(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = bench_instance(n, 0.1, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(preemptive_fractional_upper_bound(inst, 4));
+  }
+}
+BENCHMARK(BM_FractionalUpperBound)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_AdversaryGame(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  AdversaryConfig config;
+  config.eps = 0.1;
+  config.m = m;
+  config.beta = 1e-3;
+  const LowerBoundGame game(config);
+  ThresholdScheduler alg(0.1, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(game.play(alg));
+  }
+}
+BENCHMARK(BM_AdversaryGame)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ExactOptimum(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  WorkloadConfig config;
+  config.n = n;
+  config.eps = 0.1;
+  config.arrival_rate = 2.0;
+  config.size_min = 1.0;
+  config.size_max = 8.0;
+  config.slack = SlackModel::kTight;
+  config.seed = 77;
+  const Instance inst = generate_workload(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_optimal_load(inst, 2));
+  }
+}
+BENCHMARK(BM_ExactOptimum)->Arg(8)->Arg(12)->Arg(14);
+
+void BM_MigrationFeasibility(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = bench_instance(n, 0.1, 3);
+  const std::vector<Job> jobs(inst.jobs().begin(), inst.jobs().end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(preemptive_migration_feasible_jobs(jobs, 4));
+  }
+}
+BENCHMARK(BM_MigrationFeasibility)->Arg(50)->Arg(200);
+
+void BM_ScheduleIntervalFree(benchmark::State& state) {
+  // Binary-search overlap checks on a long committed machine timeline.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Schedule schedule(1);
+  Job job;
+  job.proc = 1.0;
+  job.deadline = 1e18;
+  for (std::size_t i = 0; i < n; ++i) {
+    job.id = static_cast<JobId>(i + 1);
+    job.release = 0.0;
+    schedule.commit(job, 0, 2.0 * static_cast<double>(i));
+  }
+  double probe = 0.0;
+  for (auto _ : state) {
+    probe += 1.37;
+    if (probe > 2.0 * static_cast<double>(n)) probe = 0.0;
+    benchmark::DoNotOptimize(schedule.interval_free(0, probe, 0.5));
+  }
+}
+BENCHMARK(BM_ScheduleIntervalFree)->Arg(100)->Arg(10000);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench_instance(n, 0.1, ++seed));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// PROP1: regenerates Proposition 1 — the large-m behaviour of c(eps, m).
+//
+// The paper states lim_{m -> inf} c(eps, m) = ln(1/eps) as the leading
+// term for small eps; solving the proposition's differential equation with
+// the f_k = 2 phase boundary gives the exact fixed-eps limit
+// 2 + ln(1/eps). Both are printed: c(eps, m) converges (from above,
+// monotonically) to 2 + ln(1/eps), whose relative gap to ln(1/eps)
+// vanishes as eps -> 0.
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/ratio_function.hpp"
+
+int main(int argc, char** argv) {
+  using namespace slacksched;
+  const CliArgs args(argc, argv);
+  const int max_m = static_cast<int>(args.get_int("max-m", 4096));
+
+  std::cout << "=== Proposition 1: c(eps, m) for large m ===\n\n";
+
+  Table table({"eps", "m", "k", "c(eps,m)", "2+ln(1/eps)", "gap",
+               "ln(1/eps)", "rel gap to ln"});
+  for (double eps : {0.05, 0.01, 0.001, 1e-4, 1e-6}) {
+    const double exact_limit = RatioFunction::limit_large_m(eps);
+    const double leading = RatioFunction::proposition1_leading_term(eps);
+    for (int m = 16; m <= max_m; m *= 8) {
+      const RatioSolution sol = RatioFunction::solve(eps, m);
+      table.add_row(
+          {Table::format(eps, 6), std::to_string(m), std::to_string(sol.k),
+           Table::format(sol.c, 4), Table::format(exact_limit, 4),
+           Table::format(sol.c - exact_limit, 5), Table::format(leading, 4),
+           Table::format((sol.c - leading) / leading, 4)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading: the gap to 2 + ln(1/eps) -> 0 as m grows at every "
+               "eps;\nthe relative gap to the paper's ln(1/eps) statement "
+               "-> 0 as eps -> 0.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// The lower-bound game, played move by move (Figs. 2 and 3 of the paper).
+//
+// Prints the adversary's decision tree for the chosen parameters, then
+// replays the game live against Algorithm 1, narrating every submission
+// and decision, and finally renders the online and optimal schedules side
+// by side with the achieved competitive ratio.
+//
+// Usage: adversary_game [--m=3] [--eps=0.28] [--algo=threshold|greedy]
+#include <iostream>
+
+#include "adversary/lower_bound_game.hpp"
+#include "baselines/greedy.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/threshold.hpp"
+#include "sched/gantt.hpp"
+#include "sched/validator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace slacksched;
+  const CliArgs args(argc, argv);
+  const int m = static_cast<int>(args.get_int("m", 3));
+  // Default eps: the middle of the m = 3 middle phase, the regime of the
+  // paper's Fig. 2/3 illustration.
+  const double default_eps =
+      0.5 * (RatioFunction::corner(1, 3) + RatioFunction::corner(2, 3));
+  const double eps = args.get_double("eps", default_eps);
+  const std::string algo = args.get_string("algo", "threshold");
+
+  std::cout << "=== the Theorem-1 adversary, move by move ===\n\n";
+  std::cout << decision_tree_description(eps, m) << "\n";
+
+  AdversaryConfig config;
+  config.eps = eps;
+  config.m = m;
+  config.beta = 1e-4;
+  const LowerBoundGame game(config);
+
+  ThresholdScheduler threshold(eps, m);
+  GreedyScheduler greedy(m);
+  OnlineScheduler& algorithm =
+      algo == "greedy" ? static_cast<OnlineScheduler&>(greedy)
+                       : static_cast<OnlineScheduler&>(threshold);
+  std::cout << "=== playing against " << algorithm.name() << " ===\n\n";
+
+  const GameResult result = game.play(algorithm);
+
+  int last_phase = 0;
+  int last_subphase = -1;
+  for (const GameEvent& event : result.trace) {
+    if (event.phase != last_phase || event.subphase != last_subphase) {
+      std::cout << "-- phase " << event.phase;
+      if (event.phase > 1) std::cout << ", subphase " << event.subphase;
+      std::cout << " --\n";
+      last_phase = event.phase;
+      last_subphase = event.subphase;
+    }
+    std::cout << "  adversary submits " << event.job.to_string()
+              << "  ->  " << event.decision.to_string() << "\n";
+  }
+
+  std::cout << "\ngame over: " << to_string(result.stop) << " at subphase "
+            << result.stop_subphase << "\n"
+            << "algorithm volume " << Table::format(result.alg_volume, 4)
+            << ", adversary's certificate volume "
+            << Table::format(result.opt_volume, 4) << "\n"
+            << "achieved ratio " << Table::format(result.ratio, 4)
+            << "  (predicted c(eps, m) = "
+            << Table::format(result.prediction.c, 4) << ")\n\n";
+
+  const auto online_ok =
+      validate_schedule(result.instance, result.online_schedule);
+  const auto optimal_ok =
+      validate_schedule(result.instance, result.optimal_schedule);
+  std::cout << "online schedule validation: " << online_ok.to_string() << "\n"
+            << "optimal certificate validation: " << optimal_ok.to_string()
+            << "\n\n";
+
+  GanttOptions gantt;
+  gantt.t_end = result.optimal_schedule.makespan();
+  gantt.title = "online schedule (what " + algorithm.name() + " committed):";
+  render_gantt(std::cout, result.online_schedule, gantt);
+  gantt.title = "optimal schedule (the adversary's certificate):";
+  render_gantt(std::cout, result.optimal_schedule, gantt);
+  return online_ok.ok && optimal_ok.ok ? 0 : 1;
+}

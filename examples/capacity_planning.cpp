@@ -1,0 +1,104 @@
+// Capacity planning with the ratio function.
+//
+// A provider who guarantees its customers a worst-case accepted-load
+// fraction (an admission SLO) can invert c(eps, m): given a target ratio,
+// how much slack must the deadline policy enforce, or how many machines
+// must the pool have? This example sweeps both directions using only the
+// public RatioFunction API — no simulation needed, the guarantee is a
+// theorem.
+//
+// Usage: capacity_planning [--target=4.0]
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/ratio_function.hpp"
+
+namespace {
+
+using namespace slacksched;
+
+/// Smallest slack eps (on a grid) with c(eps, m) <= target.
+double required_slack(double target, int m) {
+  double lo = RatioFunction::kMinEps;
+  double hi = 1.0;
+  if (RatioFunction::solve(hi, m).c > target) return -1.0;  // unattainable
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (RatioFunction::solve(mid, m).c <= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+/// Smallest machine count with c(eps, m) <= target (or -1 if none <= 4096).
+int required_machines(double target, double eps) {
+  for (int m = 1; m <= 4096; m *= 2) {
+    if (RatioFunction::solve(eps, m).c <= target) {
+      // Refine downward linearly from the power of two.
+      int best = m;
+      for (int candidate = m / 2 + 1; candidate < m; ++candidate) {
+        if (RatioFunction::solve(eps, candidate).c <= target) {
+          best = candidate;
+          break;
+        }
+      }
+      return best;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const double target = args.get_double("target", 4.0);
+
+  std::cout << "=== capacity planning from the c(eps, m) guarantee ===\n\n";
+
+  std::cout << "--- direction 1: slack needed for a target ratio ---\n";
+  Table slack_table({"machines m", "required eps for c <= " +
+                                       Table::format(target, 2),
+                     "achieved c", "guaranteed load fraction"});
+  for (int m : {1, 2, 4, 8, 16, 64}) {
+    const double eps = required_slack(target, m);
+    if (eps < 0.0) {
+      slack_table.add_row({std::to_string(m), "unattainable (eps <= 1)", "-",
+                           "-"});
+      continue;
+    }
+    const double c = RatioFunction::solve(eps, m).c;
+    slack_table.add_row({std::to_string(m), Table::format(eps, 5),
+                         Table::format(c, 4), Table::format(1.0 / c, 4)});
+  }
+  slack_table.print(std::cout);
+
+  std::cout << "\n--- direction 2: machines needed at a given slack ---\n";
+  Table machine_table({"eps", "required m for c <= " +
+                                  Table::format(target, 2),
+                       "large-m floor 2+ln(1/eps)"});
+  for (double eps : {0.5, 0.2, 0.1, 0.05, 0.02}) {
+    const int m = required_machines(target, eps);
+    const double floor = RatioFunction::limit_large_m(eps);
+    machine_table.add_row(
+        {Table::format(eps, 3),
+         m < 0 ? ("never: floor " + Table::format(floor, 3) + " > target")
+               : std::to_string(m),
+         Table::format(floor, 3)});
+  }
+  machine_table.print(std::cout);
+
+  std::cout << "\nhow to read this:\n"
+            << "  * adding machines only helps down to the large-m floor "
+               "2 + ln(1/eps): past that,\n"
+            << "    the provider MUST buy slack (looser deadlines), not "
+               "hardware.\n"
+            << "  * the 'guaranteed load fraction' column is a worst-case "
+               "contract, valid against any\n"
+            << "    adversarial arrival pattern (Theorem 2).\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Live admission dashboard — what a provider's monitoring sees.
+//
+// Runs the bursty cloud scenario through the event simulator with the
+// stock observers attached and renders the windowed acceptance-rate
+// series, utilization and SLA-backlog statistics, and (optionally) the
+// raw event log. Demonstrates the sim/ observer API.
+//
+// Usage: live_dashboard [--eps=0.1] [--machines=4] [--jobs=1500]
+//                       [--window=25] [--log-events]
+#include <iostream>
+
+#include "common/ascii_chart.hpp"
+#include "common/cli.hpp"
+#include "common/histogram.hpp"
+#include "common/table.hpp"
+#include "core/threshold.hpp"
+#include "baselines/greedy.hpp"
+#include "sim/observers.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace slacksched;
+  const CliArgs args(argc, argv);
+  const double eps = args.get_double("eps", 0.1);
+  const int machines = static_cast<int>(args.get_int("machines", 4));
+  const std::size_t jobs = static_cast<std::size_t>(args.get_int("jobs", 1500));
+  const double window = args.get_double("window", 25.0);
+
+  WorkloadConfig config = cloud_burst_scenario(eps, 11);
+  config.n = jobs;
+  const Instance instance = generate_workload(config);
+
+  std::cout << "=== live admission dashboard ===\n"
+            << config.to_string() << "\n\n";
+
+  // The job-size mix of the trace (heavy-tailed by construction).
+  Histogram sizes = Histogram::logarithmic(config.size_min,
+                                           config.size_max, 8);
+  for (const Job& job : instance.jobs()) sizes.add(job.proc);
+  std::cout << "job-size distribution:\n";
+  sizes.print(std::cout);
+  std::cout << "\n";
+
+  struct PolicyRow {
+    std::string name;
+    double utilization;
+    int peak_running;
+    double peak_backlog;
+    double avg_backlog;
+    double volume;
+    std::vector<double> rates;
+  };
+  std::vector<PolicyRow> rows;
+
+  auto run_policy = [&](OnlineScheduler& scheduler) {
+    Simulator simulator(scheduler);
+    UtilizationObserver util(machines);
+    BacklogObserver backlog;
+    AcceptanceRateObserver acceptance(window);
+    EventLogObserver log(args.get_bool("log-events", false) ? &std::cout
+                                                            : nullptr);
+    simulator.add_observer(&util);
+    simulator.add_observer(&backlog);
+    simulator.add_observer(&acceptance);
+    simulator.add_observer(&log);
+    const RunResult result = simulator.run(instance);
+    rows.push_back({scheduler.name(), util.average_utilization(),
+                    util.peak_running(), backlog.peak_backlog(),
+                    backlog.average_backlog(),
+                    result.metrics.accepted_volume, acceptance.rates()});
+  };
+
+  ThresholdScheduler threshold(eps, machines);
+  GreedyScheduler greedy(machines);
+  run_policy(threshold);
+  run_policy(greedy);
+
+  Table table({"policy", "volume", "utilization", "peak running",
+               "peak backlog", "avg backlog"});
+  for (const PolicyRow& row : rows) {
+    table.add_row({row.name, Table::format(row.volume, 1),
+                   Table::format(row.utilization, 3),
+                   std::to_string(row.peak_running),
+                   Table::format(row.peak_backlog, 1),
+                   Table::format(row.avg_backlog, 1)});
+  }
+  table.print(std::cout);
+
+  // Acceptance-rate series, one chart for both policies.
+  std::vector<ChartSeries> series;
+  const char glyphs[] = {'T', 'G'};
+  for (std::size_t p = 0; p < rows.size(); ++p) {
+    ChartSeries s;
+    s.name = rows[p].name;
+    s.glyph = glyphs[p % 2];
+    for (std::size_t i = 0; i < rows[p].rates.size(); ++i) {
+      s.x.push_back(static_cast<double>(i + 1) * window);
+      s.y.push_back(rows[p].rates[i]);
+    }
+    series.push_back(std::move(s));
+  }
+  ChartOptions options;
+  options.title = "\nwindowed volume acceptance rate over time:";
+  options.x_label = "time";
+  options.height = 14;
+  render_chart(std::cout, series, options);
+
+  std::cout << "\nreading: during bursts the Threshold policy sheds load "
+               "early (lower rate dips) to\nprotect its worst-case "
+               "guarantee, while greedy fills machines and risks the "
+               "adversarial\npattern of thm1_adversary. Peak backlog shows "
+               "the SLA exposure each policy accumulates.\n";
+  return 0;
+}

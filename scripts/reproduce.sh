@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Full reproduction run: configure, build, test, regenerate every paper
+# artifact, and collect outputs under results/.
+#
+# Usage: scripts/reproduce.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+results_dir="$repo_root/results"
+
+cmake -S "$repo_root" -B "$build_dir" -G Ninja
+cmake --build "$build_dir"
+
+mkdir -p "$results_dir"
+
+echo "== running the test suite =="
+ctest --test-dir "$build_dir" --output-on-failure \
+  | tee "$results_dir/test_output.txt"
+
+echo "== regenerating every experiment (see DESIGN.md / EXPERIMENTS.md) =="
+cd "$results_dir"   # SVG/CSV artifacts land here
+for bench in "$build_dir"/bench/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "-- $name"
+  "$bench" | tee "$results_dir/$name.txt"
+done
+
+echo "== running the examples =="
+for example in "$build_dir"/examples/*; do
+  [ -f "$example" ] && [ -x "$example" ] || continue
+  name="$(basename "$example")"
+  echo "-- $name"
+  "$example" | tee "$results_dir/example_$name.txt"
+done
+
+echo
+echo "done: outputs in $results_dir"

@@ -1,0 +1,104 @@
+// The adaptive lower-bound adversary of Theorem 1.
+//
+// Playing against ANY deterministic immediate-commitment algorithm, the
+// adversary submits jobs in three phases:
+//
+//   Phase 1: one unit job J_1(0, 1, d_1) with a huge deadline. Rejection
+//            makes the competitive ratio unbounded; otherwise let t be the
+//            start time the algorithm committed to.
+//   Phase 2: up to m subphases of up to 2m identical jobs
+//            J_{2,h}(t, p_{2,h}, t + 2 p_{2,h}) with p_{2,h} chosen by the
+//            overlap-interval halving of Lemma 1, so each accepted job must
+//            occupy a fresh machine. A subphase ends on the first
+//            acceptance; a fully rejected subphase u ends the phase
+//            (stopping the game if u < k).
+//   Phase 3: subphases h = u..m of m identical jobs
+//            J_{3,h}(t, (f_h - 1) p_{2,u}, t + f_h p_{2,u}) using the
+//            ratio-function parameters f_h; again one acceptance ends a
+//            subphase, and a fully rejected subphase ends the game.
+//
+// The adversary constructs a certificate optimal schedule for the final
+// stop point (Lemmas 2 and 4), so the achieved ratio OPT/ALG is exact and,
+// by Theorem 1, at least c(eps, m) - O(beta) whatever the algorithm does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ratio_function.hpp"
+#include "job/instance.hpp"
+#include "sched/online.hpp"
+#include "sched/schedule.hpp"
+
+namespace slacksched {
+
+/// Parameters of the adversary.
+struct AdversaryConfig {
+  double eps = 0.1;
+  int m = 2;
+  /// The paper's "arbitrarily small" interval width; the achieved ratio
+  /// deviates from c(eps, m) by O(beta).
+  double beta = 1e-6;
+  /// Deadline of the phase-1 job. Must exceed the algorithm's committed
+  /// start of J_1 plus the full phase-2/3 horizon; checked at runtime.
+  TimePoint d1 = 1e9;
+};
+
+/// Where the game stopped.
+enum class GameStop {
+  kRejectedFirstJob,  ///< unbounded ratio
+  kPhase2Early,       ///< fully rejected subphase u < k (Lemma 2)
+  kPhase3,            ///< fully rejected phase-3 subphase (Lemma 4)
+};
+
+[[nodiscard]] std::string to_string(GameStop stop);
+
+/// One submission and the algorithm's reply.
+struct GameEvent {
+  Job job;
+  Decision decision;
+  int phase = 1;     ///< 1, 2 or 3
+  int subphase = 0;  ///< h within the phase (1-based; 0 in phase 1)
+};
+
+/// Complete record of one game.
+struct GameResult {
+  std::vector<GameEvent> trace;
+  Instance instance;          ///< every submitted job, in submission order
+  Schedule online_schedule;   ///< what the algorithm committed to
+  Schedule optimal_schedule;  ///< the adversary's certificate
+  double alg_volume = 0.0;
+  double opt_volume = 0.0;
+  double ratio = 0.0;  ///< opt/alg; +inf when unbounded
+  GameStop stop = GameStop::kPhase3;
+  int stop_subphase = 0;
+  RatioSolution prediction;  ///< c(eps, m) and the f_q in play
+
+  [[nodiscard]] bool unbounded() const {
+    return stop == GameStop::kRejectedFirstJob;
+  }
+};
+
+/// Plays the adversary against `algorithm` (which must schedule on
+/// config.m machines). Illegal commitments by the algorithm throw
+/// PostconditionError — a broken algorithm cannot win by cheating.
+class LowerBoundGame {
+ public:
+  explicit LowerBoundGame(const AdversaryConfig& config);
+
+  [[nodiscard]] GameResult play(OnlineScheduler& algorithm) const;
+
+  [[nodiscard]] const AdversaryConfig& config() const { return config_; }
+  [[nodiscard]] const RatioSolution& prediction() const { return solution_; }
+
+ private:
+  AdversaryConfig config_;
+  RatioSolution solution_;
+};
+
+/// Renders the adversary's decision tree (the structure of Fig. 2) for the
+/// given parameters as indented text: every reachable stop point with the
+/// job parameters and the resulting competitive ratio.
+[[nodiscard]] std::string decision_tree_description(double eps, int m);
+
+}  // namespace slacksched

@@ -1,0 +1,42 @@
+// Commitment-on-admission baseline (the weaker commitment model of the
+// early admission-control literature, e.g. Goldwasser '99 and Lee '03):
+// the scheduler only commits to a job when it actually starts it, so a
+// submitted job may wait in a queue and be silently dropped if its latest
+// start time passes. This cannot be expressed through the immediate-
+// commitment OnlineScheduler interface, so it ships with its own
+// event-driven simulator and reports the same RunMetrics.
+//
+// Substitution note (see DESIGN.md): Lee's exact multi-machine algorithm is
+// not specified in this paper; this queue-based greedy realizes the same
+// commitment model and serves as the commitment-model comparison point.
+#pragma once
+
+#include <string>
+
+#include "job/instance.hpp"
+#include "sched/metrics.hpp"
+#include "sched/schedule.hpp"
+
+namespace slacksched {
+
+/// Queue ordering used when a machine frees up.
+enum class QueuePolicy {
+  kEdf,               ///< earliest deadline first among startable jobs
+  kLargestFirst,      ///< largest processing time first (load-greedy)
+  kLeastSlackFirst,   ///< smallest latest-start margin first
+};
+
+[[nodiscard]] std::string to_string(QueuePolicy policy);
+
+/// Result of a delayed-commitment run.
+struct DelayedCommitResult {
+  Schedule schedule;
+  RunMetrics metrics;
+};
+
+/// Simulates the commitment-on-admission queue scheduler on m machines.
+[[nodiscard]] DelayedCommitResult run_delayed_commit(
+    const Instance& instance, int machines,
+    QueuePolicy policy = QueuePolicy::kEdf);
+
+}  // namespace slacksched

@@ -1,0 +1,41 @@
+// Greedy admission baselines with immediate commitment: accept a job iff
+// some machine can still complete it on time, then allocate by a pluggable
+// policy. With best-fit allocation this is the classic greedy/list-
+// scheduling approach whose competitive ratio on parallel machines equals
+// the single-machine bound 2 + 1/eps (Kim & Chwa, cited in Fig. 1's
+// caption) — the natural comparison point for the Threshold algorithm.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/online.hpp"
+
+namespace slacksched {
+
+/// How a greedy scheduler picks among candidate machines.
+enum class GreedyPolicy {
+  kBestFit,      ///< most loaded machine that can finish the job on time
+  kFirstFit,     ///< lowest-index candidate machine
+  kLeastLoaded,  ///< least loaded candidate (earliest completion)
+};
+
+[[nodiscard]] std::string to_string(GreedyPolicy policy);
+
+/// Accept-if-feasible greedy with the given allocation policy.
+class GreedyScheduler final : public OnlineScheduler {
+ public:
+  GreedyScheduler(int machines, GreedyPolicy policy = GreedyPolicy::kBestFit);
+
+  Decision on_arrival(const Job& job) override;
+  [[nodiscard]] int machines() const override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  int machines_;
+  GreedyPolicy policy_;
+  std::vector<TimePoint> frontier_;
+};
+
+}  // namespace slacksched

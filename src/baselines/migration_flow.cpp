@@ -1,0 +1,136 @@
+#include "baselines/migration_flow.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/expects.hpp"
+#include "offline/feasibility.hpp"
+#include "offline/maxflow.hpp"
+
+namespace slacksched {
+
+bool MigrationResult::all_on_time() const {
+  return std::all_of(completions.begin(), completions.end(),
+                     [](const MigrationCompletion& c) {
+                       return approx_le(c.completion, c.deadline);
+                     });
+}
+
+namespace {
+
+/// Executes the fluid schedule from `now` to `until`: solves the flow
+/// witness over the fragments' deadline grid and drains each fragment by
+/// its flow into the intervals before `until`. Completions (remaining
+/// hitting zero) are recorded at the end of the draining interval.
+void fluid_execute(std::vector<RemainingJob>& fragments, int machines,
+                   TimePoint now, TimePoint until,
+                   std::vector<MigrationCompletion>& completions,
+                   TimePoint& makespan) {
+  if (fragments.empty() || until <= now + kTimeEps) return;
+
+  // Event grid: now, until, and every fragment deadline in (now, until];
+  // intervals past `until` are also modelled so the witness proves the
+  // remainder feasible.
+  std::vector<TimePoint> events{now, until};
+  for (const RemainingJob& f : fragments) {
+    if (f.deadline > now + kTimeEps) events.push_back(f.deadline);
+  }
+  std::sort(events.begin(), events.end());
+  events.erase(
+      std::unique(events.begin(), events.end(),
+                  [](TimePoint a, TimePoint b) { return approx_eq(a, b); }),
+      events.end());
+
+  const std::size_t n = fragments.size();
+  const std::size_t intervals = events.size() - 1;
+  const std::size_t source = 0;
+  const std::size_t sink = 1 + n + intervals;
+  MaxFlow flow(sink + 1);
+
+  // Edge handles for job -> interval edges, to read the witness back.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> handles(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    flow.add_edge(source, 1 + i, fragments[i].remaining);
+  }
+  for (std::size_t v = 0; v < intervals; ++v) {
+    const Duration length = events[v + 1] - events[v];
+    flow.add_edge(1 + n + v, sink, machines * length);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (approx_le(events[v + 1], fragments[i].deadline)) {
+        handles[i].emplace_back(v, flow.add_edge(1 + i, 1 + n + v, length));
+      }
+    }
+  }
+  const double routed = flow.max_flow(source, sink);
+  double demand = 0.0;
+  for (const RemainingJob& f : fragments) demand += f.remaining;
+  // The admitted set is feasible by the admission invariant.
+  SLACKSCHED_ENSURES(routed >= demand - 1e-6 * (1.0 + demand));
+
+  // Drain each fragment by its execution before `until`.
+  for (std::size_t i = 0; i < n; ++i) {
+    double executed = 0.0;
+    TimePoint last_active = now;
+    for (const auto& [interval, handle] : handles[i]) {
+      if (events[interval + 1] > until + kTimeEps) continue;
+      const double amount = flow.flow_on(handle);
+      if (amount > kFlowEps) {
+        executed += amount;
+        last_active = std::max(last_active, events[interval + 1]);
+      }
+    }
+    fragments[i].remaining = std::max(0.0, fragments[i].remaining - executed);
+    if (fragments[i].remaining <= 1e-7) {
+      completions.push_back(
+          {fragments[i].id, last_active, fragments[i].deadline});
+      makespan = std::max(makespan, last_active);
+      fragments[i].remaining = -1.0;  // mark for removal
+    }
+  }
+  std::erase_if(fragments,
+                [](const RemainingJob& f) { return f.remaining < 0.0; });
+}
+
+}  // namespace
+
+MigrationResult run_migration_admission(const Instance& instance,
+                                        int machines) {
+  SLACKSCHED_EXPECTS(machines >= 1);
+  MigrationResult result;
+  result.metrics.submitted = instance.size();
+
+  std::vector<RemainingJob> fragments;
+  TimePoint now = 0.0;
+  TimePoint makespan = 0.0;
+
+  for (const Job& job : instance.jobs()) {
+    fluid_execute(fragments, machines, now, job.release, result.completions,
+                  makespan);
+    now = std::max(now, job.release);
+
+    std::vector<RemainingJob> trial = fragments;
+    trial.push_back({job.id, job.proc, job.deadline});
+    if (preemptive_migration_feasible(trial, machines, now)) {
+      fragments = std::move(trial);
+      ++result.metrics.accepted;
+      result.metrics.accepted_volume += job.proc;
+    } else {
+      ++result.metrics.rejected;
+      result.metrics.rejected_volume += job.proc;
+    }
+  }
+
+  // Drain everything that remains.
+  TimePoint horizon = now;
+  for (const RemainingJob& f : fragments) {
+    horizon = std::max(horizon, f.deadline);
+  }
+  fluid_execute(fragments, machines, now, horizon + 1.0, result.completions,
+                makespan);
+  SLACKSCHED_ENSURES(fragments.empty());
+
+  result.metrics.makespan = makespan;
+  return result;
+}
+
+}  // namespace slacksched

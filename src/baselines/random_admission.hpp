@@ -1,0 +1,37 @@
+// Control baseline: feasibility-gated coin-flip admission. Accepts each
+// feasible job independently with probability p (allocated least-loaded).
+// Not competitive — it exists to calibrate the empirical benches: any
+// policy worth shipping must clearly beat the coin flip.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/online.hpp"
+
+namespace slacksched {
+
+/// Random admission with acceptance probability `p` among feasible jobs.
+class RandomAdmissionScheduler final : public OnlineScheduler {
+ public:
+  RandomAdmissionScheduler(int machines, double p, std::uint64_t seed);
+
+  Decision on_arrival(const Job& job) override;
+  [[nodiscard]] int machines() const override;
+
+  /// Restores the initial RNG state, so runs replay identically.
+  void reset() override;
+
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  int machines_;
+  double p_;
+  std::uint64_t seed_;
+  Rng rng_;
+  std::vector<TimePoint> frontier_;
+};
+
+}  // namespace slacksched

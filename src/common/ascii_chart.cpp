@@ -1,0 +1,112 @@
+#include "common/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+namespace {
+
+double transform(double v, bool log_scale) {
+  return log_scale ? std::log10(v) : v;
+}
+
+bool usable(double v, bool log_scale) {
+  if (!std::isfinite(v)) return false;
+  return !log_scale || v > 0.0;
+}
+
+std::string format_tick(double v) {
+  std::ostringstream os;
+  os.precision(3);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void render_chart(std::ostream& out, const std::vector<ChartSeries>& series,
+                  const ChartOptions& options) {
+  SLACKSCHED_EXPECTS(options.width >= 16 && options.height >= 4);
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = xmin;
+  double ymax = -xmin;
+  for (const auto& s : series) {
+    SLACKSCHED_EXPECTS(s.x.size() == s.y.size());
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!usable(s.x[i], options.log_x) || !usable(s.y[i], options.log_y))
+        continue;
+      const double tx = transform(s.x[i], options.log_x);
+      const double ty = transform(s.y[i], options.log_y);
+      xmin = std::min(xmin, tx);
+      xmax = std::max(xmax, tx);
+      ymin = std::min(ymin, ty);
+      ymax = std::max(ymax, ty);
+    }
+  }
+  if (!(xmin < xmax)) xmax = xmin + 1.0;
+  if (!(ymin < ymax)) ymax = ymin + 1.0;
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!usable(s.x[i], options.log_x) || !usable(s.y[i], options.log_y))
+        continue;
+      const double tx = transform(s.x[i], options.log_x);
+      const double ty = transform(s.y[i], options.log_y);
+      const int col = static_cast<int>(
+          std::lround((tx - xmin) / (xmax - xmin) * (w - 1)));
+      const int row = static_cast<int>(
+          std::lround((ty - ymin) / (ymax - ymin) * (h - 1)));
+      const std::size_t r = static_cast<std::size_t>(h - 1 - row);
+      const std::size_t c = static_cast<std::size_t>(col);
+      grid[r][c] = s.glyph;
+    }
+  }
+
+  if (!options.title.empty()) out << options.title << '\n';
+
+  auto y_at = [&](int row_from_top) {
+    const double frac =
+        static_cast<double>(h - 1 - row_from_top) / (h - 1);
+    const double t = ymin + frac * (ymax - ymin);
+    return options.log_y ? std::pow(10.0, t) : t;
+  };
+
+  for (int r = 0; r < h; ++r) {
+    std::string label;
+    if (r == 0 || r == h - 1 || r == h / 2)
+      label = format_tick(y_at(r));
+    out << (label.empty() ? std::string(9, ' ')
+                          : (label.size() < 9
+                                 ? std::string(9 - label.size(), ' ') + label
+                                 : label.substr(0, 9)))
+        << " |" << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(9, ' ') << " +" << std::string(static_cast<std::size_t>(w), '-')
+      << '\n';
+  const double x_lo = options.log_x ? std::pow(10.0, xmin) : xmin;
+  const double x_hi = options.log_x ? std::pow(10.0, xmax) : xmax;
+  out << std::string(11, ' ') << format_tick(x_lo) << "  ...  "
+      << options.x_label << (options.log_x ? " (log scale)" : "") << "  ...  "
+      << format_tick(x_hi) << '\n';
+  out << "  legend: ";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << '\'' << series[i].glyph << "' = " << series[i].name;
+  }
+  out << '\n';
+}
+
+}  // namespace slacksched

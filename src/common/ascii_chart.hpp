@@ -1,0 +1,37 @@
+// ASCII line-chart rendering. Used by the figure benches to draw the
+// regenerated curves (e.g. Fig. 1's c(eps, m) family) directly into the
+// terminal, alongside the machine-readable CSV series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace slacksched {
+
+/// One named series of (x, y) points.
+struct ChartSeries {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  char glyph = '*';
+};
+
+/// Options controlling the rendered chart.
+struct ChartOptions {
+  int width = 96;    ///< plot area width in character cells
+  int height = 24;   ///< plot area height in character cells
+  bool log_x = false;
+  bool log_y = false;
+  std::string title;
+  std::string x_label = "x";
+  std::string y_label = "y";
+};
+
+/// Renders all series into one chart. Points outside the data bounding box
+/// never occur (the box is computed from the data); NaN/inf points are
+/// skipped. Each series draws with its own glyph; a legend follows the axes.
+void render_chart(std::ostream& out, const std::vector<ChartSeries>& series,
+                  const ChartOptions& options);
+
+}  // namespace slacksched

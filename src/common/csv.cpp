@@ -1,0 +1,72 @@
+#include "common/csv.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+namespace {
+
+void write_row(std::ostream& out, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out << ',';
+    out << cells[i];
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), columns_(header.size()) {
+  SLACKSCHED_EXPECTS(!header.empty());
+  write_row(out_, header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  SLACKSCHED_EXPECTS(cells.size() == columns_);
+  write_row(out_, cells);
+  ++rows_;
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(format(v));
+  row(formatted);
+}
+
+std::string CsvWriter::format(double v) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  SLACKSCHED_ENSURES(ec == std::errc());
+  return std::string(buf, ptr);
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::istream& in) {
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> cells;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t comma = line.find(',', start);
+      if (comma == std::string::npos) {
+        cells.push_back(line.substr(start));
+        break;
+      }
+      cells.push_back(line.substr(start, comma - start));
+      start = comma + 1;
+    }
+    rows.push_back(std::move(cells));
+  }
+  return rows;
+}
+
+}  // namespace slacksched

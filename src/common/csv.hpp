@@ -1,0 +1,40 @@
+// Minimal CSV writing/reading used for experiment artifacts and traces.
+// Values are written with full round-trip precision so replays are exact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace slacksched {
+
+/// Streams rows of a CSV document with a fixed header.
+class CsvWriter {
+ public:
+  /// Writes the header row immediately.
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Writes one data row; the cell count must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with round-trip precision.
+  void row_numeric(const std::vector<double>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+  [[nodiscard]] std::size_t columns() const { return columns_; }
+
+  /// Formats a double with enough digits to round-trip.
+  static std::string format(double v);
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Parses a CSV document (no quoting/escaping; our writers never emit any).
+/// Returns rows including the header.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(
+    std::istream& in);
+
+}  // namespace slacksched

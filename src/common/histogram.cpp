@@ -1,0 +1,89 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+Histogram::Histogram(std::vector<double> edges, bool log_scale)
+    : edges_(std::move(edges)),
+      counts_(edges_.size() - 1, 0),
+      log_scale_(log_scale) {}
+
+Histogram Histogram::linear(double lo, double hi, std::size_t bins) {
+  SLACKSCHED_EXPECTS(lo < hi);
+  SLACKSCHED_EXPECTS(bins >= 1);
+  std::vector<double> edges;
+  edges.reserve(bins + 1);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    edges.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                             static_cast<double>(bins));
+  }
+  return Histogram(std::move(edges), false);
+}
+
+Histogram Histogram::logarithmic(double lo, double hi, std::size_t bins) {
+  SLACKSCHED_EXPECTS(0.0 < lo && lo < hi);
+  SLACKSCHED_EXPECTS(bins >= 1);
+  std::vector<double> edges;
+  edges.reserve(bins + 1);
+  const double log_lo = std::log10(lo);
+  const double log_hi = std::log10(hi);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    edges.push_back(std::pow(
+        10.0, log_lo + (log_hi - log_lo) * static_cast<double>(i) /
+                           static_cast<double>(bins)));
+  }
+  return Histogram(std::move(edges), true);
+}
+
+void Histogram::add(double value) {
+  // Clamp into the covered range, then binary-search the bin.
+  const double clamped =
+      std::clamp(value, edges_.front(),
+                 std::nextafter(edges_.back(), edges_.front()));
+  const auto it =
+      std::upper_bound(edges_.begin(), edges_.end(), clamped);
+  const std::size_t bin = static_cast<std::size_t>(
+      std::distance(edges_.begin(), it)) - 1;
+  ++counts_[std::min(bin, counts_.size() - 1)];
+  ++total_;
+}
+
+std::size_t Histogram::count_in_bin(std::size_t bin) const {
+  SLACKSCHED_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+std::pair<double, double> Histogram::bin_range(std::size_t bin) const {
+  SLACKSCHED_EXPECTS(bin < counts_.size());
+  return {edges_[bin], edges_[bin + 1]};
+}
+
+void Histogram::print(std::ostream& out, int width) const {
+  SLACKSCHED_EXPECTS(width >= 1);
+  const std::size_t peak =
+      *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    std::ostringstream label;
+    label.precision(3);
+    label << '[' << edges_[bin] << ", " << edges_[bin + 1] << ')';
+    std::string text = label.str();
+    if (text.size() < 24) text += std::string(24 - text.size(), ' ');
+    const int bar =
+        peak == 0 ? 0
+                  : static_cast<int>(std::lround(
+                        static_cast<double>(width) *
+                        static_cast<double>(counts_[bin]) /
+                        static_cast<double>(peak)));
+    out << "  " << text << ' ' << std::string(static_cast<std::size_t>(bar), '#')
+        << ' ' << counts_[bin] << '\n';
+  }
+  out << "  total: " << total_ << (log_scale_ ? " (log bins)" : "") << '\n';
+}
+
+}  // namespace slacksched

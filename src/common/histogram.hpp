@@ -1,0 +1,40 @@
+// Fixed-bin text histograms for console reports (job-size mixes, ratio
+// distributions). Linear or log-spaced bins, rendered as horizontal bars.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace slacksched {
+
+/// A histogram with fixed bin edges chosen at construction.
+class Histogram {
+ public:
+  /// Linear bins over [lo, hi]; values outside clamp into the end bins.
+  static Histogram linear(double lo, double hi, std::size_t bins);
+
+  /// Log-spaced bins over [lo, hi] (lo > 0).
+  static Histogram logarithmic(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  [[nodiscard]] std::size_t total_count() const { return total_; }
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count_in_bin(std::size_t bin) const;
+  /// [lower, upper) edges of a bin.
+  [[nodiscard]] std::pair<double, double> bin_range(std::size_t bin) const;
+
+  /// Renders horizontal bars, one row per bin, scaled to `width` cells.
+  void print(std::ostream& out, int width = 50) const;
+
+ private:
+  Histogram(std::vector<double> edges, bool log_scale);
+
+  std::vector<double> edges_;  ///< bin i covers [edges_[i], edges_[i+1])
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  bool log_scale_;
+};
+
+}  // namespace slacksched

@@ -1,0 +1,103 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace slacksched {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // 53 random mantissa bits -> uniform on [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  SLACKSCHED_EXPECTS(lo < hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  SLACKSCHED_EXPECTS(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::exponential(double rate) {
+  SLACKSCHED_EXPECTS(rate > 0.0);
+  // 1 - uniform01() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform01()) / rate;
+}
+
+double Rng::pareto(double alpha, double x_min) {
+  SLACKSCHED_EXPECTS(alpha > 0.0);
+  SLACKSCHED_EXPECTS(x_min > 0.0);
+  return x_min / std::pow(1.0 - uniform01(), 1.0 / alpha);
+}
+
+double Rng::bounded_pareto(double alpha, double lo, double hi) {
+  SLACKSCHED_EXPECTS(alpha > 0.0);
+  SLACKSCHED_EXPECTS(0.0 < lo && lo < hi);
+  // Inverse-CDF of the truncated Pareto.
+  const double u = uniform01();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+bool Rng::bernoulli(double p) {
+  SLACKSCHED_EXPECTS(p >= 0.0 && p <= 1.0);
+  return uniform01() < p;
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  SLACKSCHED_EXPECTS(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    SLACKSCHED_EXPECTS(w >= 0.0);
+    total += w;
+  }
+  SLACKSCHED_EXPECTS(total > 0.0);
+  double x = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: last positive bucket
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Derive a child seed by mixing the parent seed with the stream id via an
+  // extra SplitMix64 round; children with different ids are independent.
+  SplitMix64 sm(seed_ ^ (0x5851f42d4c957f2dULL * (stream_id + 1)));
+  return Rng(sm.next());
+}
+
+}  // namespace slacksched

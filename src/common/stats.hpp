@@ -1,0 +1,57 @@
+// Small statistics toolkit used by benches and tests: streaming moments
+// (Welford), order statistics, and a convenience summary struct.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace slacksched {
+
+/// Numerically stable streaming mean/variance/min/max accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the q-quantile (q in [0,1]) using linear interpolation between
+/// order statistics. The input is copied and sorted.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+/// Five-number + mean summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] Summary summarize(const std::vector<double>& values);
+
+}  // namespace slacksched

@@ -1,0 +1,148 @@
+#include "common/svg.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << v;
+  return os.str();
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SvgDocument::SvgDocument(double width, double height)
+    : width_(width), height_(height) {
+  SLACKSCHED_EXPECTS(width > 0.0 && height > 0.0);
+}
+
+void SvgDocument::line(double x1, double y1, double x2, double y2,
+                       const std::string& color, double stroke_width,
+                       bool dashed) {
+  std::ostringstream os;
+  os << "<line x1=\"" << fmt(x1) << "\" y1=\"" << fmt(y1) << "\" x2=\""
+     << fmt(x2) << "\" y2=\"" << fmt(y2) << "\" stroke=\"" << color
+     << "\" stroke-width=\"" << fmt(stroke_width) << "\"";
+  if (dashed) os << " stroke-dasharray=\"4,3\"";
+  os << "/>";
+  elements_.push_back(os.str());
+}
+
+void SvgDocument::polyline(
+    const std::vector<std::pair<double, double>>& points,
+    const std::string& color, double stroke_width) {
+  if (points.size() < 2) return;
+  std::ostringstream os;
+  os << "<polyline fill=\"none\" stroke=\"" << color << "\" stroke-width=\""
+     << fmt(stroke_width) << "\" points=\"";
+  for (const auto& [x, y] : points) {
+    os << fmt(x) << ',' << fmt(y) << ' ';
+  }
+  os << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgDocument::rect(double x, double y, double w, double h,
+                       const std::string& fill, const std::string& stroke) {
+  std::ostringstream os;
+  os << "<rect x=\"" << fmt(x) << "\" y=\"" << fmt(y) << "\" width=\""
+     << fmt(w) << "\" height=\"" << fmt(h) << "\" fill=\"" << fill
+     << "\" stroke=\"" << stroke << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgDocument::circle(double cx, double cy, double r,
+                         const std::string& fill, const std::string& stroke) {
+  std::ostringstream os;
+  os << "<circle cx=\"" << fmt(cx) << "\" cy=\"" << fmt(cy) << "\" r=\""
+     << fmt(r) << "\" fill=\"" << fill << "\" stroke=\"" << stroke << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgDocument::text(double x, double y, const std::string& content,
+                       double font_size, const std::string& color,
+                       const std::string& anchor) {
+  std::ostringstream os;
+  os << "<text x=\"" << fmt(x) << "\" y=\"" << fmt(y) << "\" font-size=\""
+     << fmt(font_size) << "\" fill=\"" << color
+     << "\" font-family=\"sans-serif\" text-anchor=\"" << anchor << "\">"
+     << escape(content) << "</text>";
+  elements_.push_back(os.str());
+}
+
+std::string SvgDocument::str() const {
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << fmt(width_)
+     << "\" height=\"" << fmt(height_) << "\" viewBox=\"0 0 " << fmt(width_)
+     << ' ' << fmt(height_) << "\">\n";
+  os << "<rect x=\"0\" y=\"0\" width=\"" << fmt(width_) << "\" height=\""
+     << fmt(height_) << "\" fill=\"#ffffff\"/>\n";
+  for (const std::string& e : elements_) os << e << '\n';
+  os << "</svg>\n";
+  return os.str();
+}
+
+void SvgDocument::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw PreconditionError("cannot open svg output file " + path);
+  out << str();
+}
+
+AxisScale::AxisScale(double data_lo, double data_hi, double pixel_lo,
+                     double pixel_hi, bool log_scale)
+    : lo_(data_lo),
+      hi_(data_hi),
+      pixel_lo_(pixel_lo),
+      pixel_hi_(pixel_hi),
+      log_(log_scale) {
+  SLACKSCHED_EXPECTS(data_lo < data_hi);
+  if (log_scale) {
+    SLACKSCHED_EXPECTS(data_lo > 0.0);
+    lo_ = std::log10(data_lo);
+    hi_ = std::log10(data_hi);
+  }
+}
+
+double AxisScale::operator()(double value) const {
+  const double v = log_ ? std::log10(value) : value;
+  const double frac = (v - lo_) / (hi_ - lo_);
+  return pixel_lo_ + frac * (pixel_hi_ - pixel_lo_);
+}
+
+const std::vector<std::string>& default_palette() {
+  static const std::vector<std::string> palette{
+      "#4363d8", "#3cb44b", "#e6194b", "#911eb4",
+      "#f58231", "#4699b3", "#808000", "#000075"};
+  return palette;
+}
+
+}  // namespace slacksched

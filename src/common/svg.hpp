@@ -1,0 +1,66 @@
+// Minimal SVG writer: enough shapes to render the paper's figures (line
+// charts with log axes for Fig. 1, Gantt charts for Fig. 3) as standalone
+// .svg files the benches can emit next to their console output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace slacksched {
+
+/// A growing SVG document with a fixed pixel canvas.
+class SvgDocument {
+ public:
+  SvgDocument(double width, double height);
+
+  void line(double x1, double y1, double x2, double y2,
+            const std::string& color = "#444444", double stroke_width = 1.0,
+            bool dashed = false);
+  void polyline(const std::vector<std::pair<double, double>>& points,
+                const std::string& color, double stroke_width = 1.5);
+  void rect(double x, double y, double w, double h,
+            const std::string& fill, const std::string& stroke = "none");
+  void circle(double cx, double cy, double r, const std::string& fill,
+              const std::string& stroke = "none");
+  void text(double x, double y, const std::string& content,
+            double font_size = 12.0, const std::string& color = "#111111",
+            const std::string& anchor = "start");
+
+  /// Full document markup.
+  [[nodiscard]] std::string str() const;
+
+  /// Writes the document to a file; throws PreconditionError on failure.
+  void save(const std::string& path) const;
+
+  [[nodiscard]] double width() const { return width_; }
+  [[nodiscard]] double height() const { return height_; }
+
+ private:
+  double width_;
+  double height_;
+  std::vector<std::string> elements_;
+};
+
+/// Maps a data value into pixel space, optionally through log10.
+class AxisScale {
+ public:
+  AxisScale(double data_lo, double data_hi, double pixel_lo, double pixel_hi,
+            bool log_scale = false);
+
+  [[nodiscard]] double operator()(double value) const;
+  [[nodiscard]] bool log_scale() const { return log_; }
+  [[nodiscard]] double data_lo() const { return lo_; }
+  [[nodiscard]] double data_hi() const { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double pixel_lo_;
+  double pixel_hi_;
+  bool log_;
+};
+
+/// The default qualitative palette used by the figure benches.
+[[nodiscard]] const std::vector<std::string>& default_palette();
+
+}  // namespace slacksched

@@ -1,0 +1,62 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  SLACKSCHED_EXPECTS(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SLACKSCHED_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_numeric(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(format(v, precision));
+  add_row(std::move(formatted));
+}
+
+std::string Table::format(double v, int precision) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  if (std::isnan(v)) return "nan";
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << "  ";
+      out << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c != 0 ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace slacksched

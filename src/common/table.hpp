@@ -1,0 +1,35 @@
+// Console table rendering for benchmark output: every bench prints the
+// rows/series of the paper artifact it regenerates through this printer,
+// so outputs stay uniform and diff-able.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace slacksched {
+
+/// Column-aligned plain-text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::vector<double>& cells, int precision = 4);
+
+  /// Renders with a header underline and two-space column gaps.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Fixed-precision double formatting helper shared by benches.
+  static std::string format(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace slacksched

@@ -1,0 +1,71 @@
+// Fixed-size thread pool plus a deterministic parallel_for.
+//
+// Benches and property sweeps fan out embarrassingly parallel work
+// (independent simulations) over this pool. Determinism contract: the
+// callable receives the item index, derives any randomness from that index
+// (e.g. rng.fork(index)), and writes only to its own slot, so results are
+// identical to a sequential run regardless of thread interleaving.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+/// A simple fixed-size worker pool with a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution. Exceptions escaping a task terminate
+  /// (tasks used here report failures through their result slots instead).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for every i in [0, count) across the pool and blocks until all
+/// complete. fn must be safe to call concurrently for distinct indices.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Convenience: computes fn(i) into a vector, in parallel, preserving index
+/// order of the results.
+template <typename T>
+std::vector<T> parallel_map(ThreadPool& pool, std::size_t count,
+                            const std::function<T(std::size_t)>& fn) {
+  std::vector<T> results(count);
+  parallel_for(pool, count, [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace slacksched

@@ -1,0 +1,60 @@
+#include "core/classify_select.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+int classify_select_default_machines(double eps) {
+  SLACKSCHED_EXPECTS(eps > 0.0 && eps <= 1.0);
+  return std::max(1, static_cast<int>(std::lround(std::log(1.0 / eps))));
+}
+
+namespace {
+
+int resolve_virtual_machines(const ClassifySelectConfig& config) {
+  return config.virtual_machines > 0
+             ? config.virtual_machines
+             : classify_select_default_machines(config.eps);
+}
+
+}  // namespace
+
+ClassifySelectScheduler::ClassifySelectScheduler(
+    const ClassifySelectConfig& config)
+    : config_(config),
+      virtual_sim_(config.eps, resolve_virtual_machines(config)),
+      rng_(config.seed) {
+  selected_ = static_cast<int>(
+      rng_.uniform_int(0, virtual_sim_.machines() - 1));
+}
+
+void ClassifySelectScheduler::reset() {
+  virtual_sim_.reset();
+  // Draw the next selection from the continuing stream so that repeated
+  // runs of one scheduler object explore different selections while the
+  // overall sequence stays a deterministic function of the seed.
+  selected_ =
+      static_cast<int>(rng_.uniform_int(0, virtual_sim_.machines() - 1));
+}
+
+std::string ClassifySelectScheduler::name() const {
+  return "ClassifySelect(eps=" + std::to_string(config_.eps) +
+         ", virtual_m=" + std::to_string(virtual_sim_.machines()) + ")";
+}
+
+Decision ClassifySelectScheduler::on_arrival(const Job& job) {
+  // Keep the virtual parallel simulation's state moving for every job —
+  // including the ones we end up rejecting on the real machine.
+  const Decision virtual_decision = virtual_sim_.on_arrival(job);
+  if (!virtual_decision.accepted || virtual_decision.machine != selected_) {
+    return Decision::reject();
+  }
+  // The virtual machine's committed timeline is feasible on the single real
+  // machine as-is: starts are spaced by the virtual machine's own load.
+  return Decision::accept(0, virtual_decision.start);
+}
+
+}  // namespace slacksched

@@ -1,0 +1,71 @@
+#include "core/competitive.hpp"
+
+#include <vector>
+
+#include "common/expects.hpp"
+#include "offline/exact.hpp"
+#include "offline/upper_bound.hpp"
+#include "sched/engine.hpp"
+
+namespace slacksched {
+
+CompetitiveEstimate estimate_competitive_ratio(OnlineScheduler& scheduler,
+                                               const Instance& instance,
+                                               std::size_t exact_threshold) {
+  SLACKSCHED_EXPECTS(!instance.empty());
+  const RunResult run = run_online(scheduler, instance);
+  if (!run.clean()) {
+    throw PostconditionError("competitive estimate: " +
+                             run.commitment_violation);
+  }
+
+  CompetitiveEstimate estimate;
+  estimate.alg_volume = run.metrics.accepted_volume;
+  if (instance.size() <= exact_threshold &&
+      instance.size() <= kExactSolverMaxJobs) {
+    estimate.opt_estimate =
+        exact_optimal_load(instance, scheduler.machines()).value;
+    estimate.exact = true;
+  } else {
+    estimate.opt_estimate =
+        preemptive_fractional_upper_bound(instance, scheduler.machines());
+    estimate.exact = false;
+  }
+  estimate.ratio = estimate.alg_volume > 0.0
+                       ? estimate.opt_estimate / estimate.alg_volume
+                       : std::numeric_limits<double>::infinity();
+  return estimate;
+}
+
+CompetitiveEnsemble competitive_ensemble(
+    const std::function<std::unique_ptr<OnlineScheduler>()>& factory,
+    WorkloadConfig config, std::size_t instances, std::uint64_t seed_base,
+    ThreadPool& pool, std::size_t exact_threshold) {
+  SLACKSCHED_EXPECTS(instances > 0);
+  struct Cell {
+    double ratio = 0.0;
+    bool exact = false;
+  };
+  const auto cells = parallel_map<Cell>(pool, instances, [&](std::size_t i) {
+    WorkloadConfig local = config;
+    local.seed = seed_base + i;
+    const Instance instance = generate_workload(local);
+    const auto scheduler = factory();
+    const CompetitiveEstimate estimate =
+        estimate_competitive_ratio(*scheduler, instance, exact_threshold);
+    return Cell{estimate.ratio, estimate.exact};
+  });
+
+  CompetitiveEnsemble ensemble;
+  ensemble.instances = instances;
+  std::vector<double> ratios;
+  ratios.reserve(instances);
+  for (const Cell& cell : cells) {
+    ratios.push_back(cell.ratio);
+    if (cell.exact) ++ensemble.exact_instances;
+  }
+  ensemble.ratios = summarize(ratios);
+  return ensemble;
+}
+
+}  // namespace slacksched

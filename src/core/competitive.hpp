@@ -1,0 +1,54 @@
+// Empirical competitive-ratio estimation — the measurement harness the
+// benches and downstream experiments share.
+//
+// For one instance: OPT is the exact branch-and-bound optimum when the
+// instance is small enough, else the preemptive fractional upper bound
+// (making the reported ratio an upper bound on the true one; the `exact`
+// flag says which). For an ensemble: deterministic parallel sweep over
+// seeds with summary statistics.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "job/instance.hpp"
+#include "sched/online.hpp"
+#include "workload/generators.hpp"
+
+namespace slacksched {
+
+/// Ratio of (an upper bound on) OPT to the algorithm's accepted volume.
+struct CompetitiveEstimate {
+  double ratio = 0.0;
+  double opt_estimate = 0.0;
+  double alg_volume = 0.0;
+  bool exact = false;  ///< true iff opt_estimate is the exact optimum
+};
+
+/// Default instance size up to which the exact offline solver is used.
+inline constexpr std::size_t kDefaultExactThreshold = 14;
+
+/// Measures one scheduler on one instance. The scheduler is reset.
+/// Throws PostconditionError if the scheduler makes an illegal commitment.
+[[nodiscard]] CompetitiveEstimate estimate_competitive_ratio(
+    OnlineScheduler& scheduler, const Instance& instance,
+    std::size_t exact_threshold = kDefaultExactThreshold);
+
+/// Ensemble report over seeds.
+struct CompetitiveEnsemble {
+  Summary ratios;
+  std::size_t exact_instances = 0;
+  std::size_t instances = 0;
+};
+
+/// Runs `instances` generated workloads (config.seed is replaced by
+/// seed_base + index) against fresh schedulers from the factory, in
+/// parallel, and summarizes the ratios. Deterministic in its inputs.
+[[nodiscard]] CompetitiveEnsemble competitive_ensemble(
+    const std::function<std::unique_ptr<OnlineScheduler>()>& factory,
+    WorkloadConfig config, std::size_t instances, std::uint64_t seed_base,
+    ThreadPool& pool, std::size_t exact_threshold = kDefaultExactThreshold);
+
+}  // namespace slacksched

@@ -1,0 +1,74 @@
+#include "job/instance.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+Instance::Instance(std::vector<Job> jobs) : jobs_(std::move(jobs)) {
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const Job& a, const Job& b) {
+                     if (a.release != b.release) return a.release < b.release;
+                     return a.id < b.id;
+                   });
+  // Assign sequential ids to jobs the caller left at the default 0, but keep
+  // explicit ids (useful for traces) as long as they are unique.
+  JobId next_id = 0;
+  for (const Job& j : jobs_) next_id = std::max(next_id, j.id + 1);
+  for (Job& j : jobs_) {
+    if (j.id == 0) j.id = next_id++;
+  }
+}
+
+double Instance::total_volume() const {
+  double total = 0.0;
+  for (const Job& j : jobs_) total += j.proc;
+  return total;
+}
+
+double Instance::min_slack() const {
+  SLACKSCHED_EXPECTS(!jobs_.empty());
+  double s = std::numeric_limits<double>::infinity();
+  for (const Job& j : jobs_) s = std::min(s, j.slack());
+  return s;
+}
+
+TimePoint Instance::horizon() const {
+  TimePoint h = 0.0;
+  for (const Job& j : jobs_) h = std::max(h, j.deadline);
+  return h;
+}
+
+InstanceValidation Instance::validate(std::optional<double> eps) const {
+  InstanceValidation v;
+  for (const Job& j : jobs_) {
+    if (!j.structurally_valid()) {
+      v.fail("job " + j.to_string() + " is structurally invalid");
+      continue;
+    }
+    if (eps && !j.satisfies_slack(*eps)) {
+      v.fail("job " + j.to_string() + " violates slack condition for eps=" +
+             std::to_string(*eps));
+    }
+  }
+  for (std::size_t i = 1; i < jobs_.size(); ++i) {
+    if (jobs_[i].release < jobs_[i - 1].release) {
+      v.fail("jobs out of release order at position " + std::to_string(i));
+    }
+  }
+  return v;
+}
+
+void Instance::append_in_order(Job job) {
+  if (!jobs_.empty()) {
+    SLACKSCHED_EXPECTS(job.release >= jobs_.back().release);
+  }
+  if (job.id == 0 && !jobs_.empty()) {
+    job.id = jobs_.back().id + 1;
+  }
+  jobs_.push_back(job);
+}
+
+}  // namespace slacksched

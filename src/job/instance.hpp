@@ -1,0 +1,64 @@
+// A problem instance: an online sequence of jobs presented in release order.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "job/job.hpp"
+
+namespace slacksched {
+
+/// Outcome of validating an instance against the model's requirements.
+struct InstanceValidation {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string message) {
+    ok = false;
+    errors.push_back(std::move(message));
+  }
+};
+
+/// An immutable-by-convention ordered job sequence. Jobs are kept sorted by
+/// (release, id): the engine presents them to online algorithms in exactly
+/// this order, which matches the adversarial "submission order" of the paper
+/// (ties broken by submission index).
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Takes ownership of the jobs, re-assigns missing ids sequentially and
+  /// sorts into submission order.
+  explicit Instance(std::vector<Job> jobs);
+
+  [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+  [[nodiscard]] const Job& operator[](std::size_t i) const { return jobs_[i]; }
+
+  /// Sum of all processing times (the offline revenue ceiling when every job
+  /// can be accepted).
+  [[nodiscard]] double total_volume() const;
+
+  /// The minimum per-job slack; the instance-wide eps. Requires non-empty.
+  [[nodiscard]] double min_slack() const;
+
+  /// Largest deadline in the instance (0 when empty).
+  [[nodiscard]] TimePoint horizon() const;
+
+  /// Checks structural validity of all jobs and, when eps is given, the
+  /// slack condition (3) for that eps.
+  [[nodiscard]] InstanceValidation validate(
+      std::optional<double> eps = std::nullopt) const;
+
+  /// Appends a job (used by incremental builders); re-sorts lazily on access
+  /// is avoided: the job must not release earlier than the current last job.
+  void append_in_order(Job job);
+
+ private:
+  std::vector<Job> jobs_;
+};
+
+}  // namespace slacksched

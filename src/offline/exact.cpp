@@ -1,0 +1,212 @@
+#include "offline/exact.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+namespace {
+
+/// Dispatch-order feasibility search with a visited-state memo.
+class FeasibilitySearch {
+ public:
+  FeasibilitySearch(std::vector<Job> jobs, int machines)
+      : jobs_(std::move(jobs)), machines_(machines) {
+    // Earliest-deadline-first job order finds feasible dispatches quickly.
+    std::sort(jobs_.begin(), jobs_.end(), [](const Job& a, const Job& b) {
+      if (a.deadline != b.deadline) return a.deadline < b.deadline;
+      return a.id < b.id;
+    });
+  }
+
+  bool run() {
+    if (jobs_.empty()) return true;
+    std::vector<TimePoint> frontiers(static_cast<std::size_t>(machines_),
+                                     0.0);
+    return dfs(0, frontiers);
+  }
+
+  [[nodiscard]] std::size_t states_visited() const { return states_; }
+
+ private:
+  static std::uint64_t hash_state(std::uint32_t mask,
+                                  const std::vector<TimePoint>& frontiers) {
+    std::uint64_t h = 0xcbf29ce484222325ULL ^ mask;
+    for (TimePoint f : frontiers) {
+      // Quantize so states equal up to tolerance hash identically.
+      const auto q = static_cast<std::int64_t>(std::llround(f / kTimeEps));
+      h ^= static_cast<std::uint64_t>(q) + 0x9e3779b97f4a7c15ULL +
+           (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
+  bool dfs(std::uint32_t mask, std::vector<TimePoint>& frontiers) {
+    if (mask == (std::uint32_t{1} << jobs_.size()) - 1) return true;
+    ++states_;
+
+    std::vector<TimePoint> canonical = frontiers;
+    std::sort(canonical.begin(), canonical.end());
+    const std::uint64_t key = hash_state(mask, canonical);
+    if (failed_.count(key) != 0) return false;
+
+    // Dead-job prune: every remaining job must still fit after the least
+    // loaded machine, otherwise no dispatch order can save it.
+    const TimePoint min_frontier = canonical.front();
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      if (mask & (std::uint32_t{1} << j)) continue;
+      const TimePoint earliest = std::max(min_frontier, jobs_[j].release);
+      if (definitely_greater(earliest + jobs_[j].proc, jobs_[j].deadline)) {
+        failed_.insert(key);
+        return false;
+      }
+    }
+
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      if (mask & (std::uint32_t{1} << j)) continue;
+      // Try each distinct frontier value once (machines are identical).
+      for (int i = 0; i < machines_; ++i) {
+        bool duplicate = false;
+        for (int prev = 0; prev < i; ++prev) {
+          if (approx_eq(frontiers[static_cast<std::size_t>(prev)],
+                        frontiers[static_cast<std::size_t>(i)])) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+
+        const TimePoint start =
+            std::max(frontiers[static_cast<std::size_t>(i)],
+                     jobs_[j].release);
+        if (definitely_greater(start + jobs_[j].proc, jobs_[j].deadline)) {
+          continue;
+        }
+        const TimePoint saved = frontiers[static_cast<std::size_t>(i)];
+        frontiers[static_cast<std::size_t>(i)] = start + jobs_[j].proc;
+        if (dfs(mask | (std::uint32_t{1} << j), frontiers)) return true;
+        frontiers[static_cast<std::size_t>(i)] = saved;
+      }
+    }
+    failed_.insert(key);
+    return false;
+  }
+
+  std::vector<Job> jobs_;
+  int machines_;
+  std::unordered_set<std::uint64_t> failed_;
+  std::size_t states_ = 0;
+};
+
+}  // namespace
+
+bool exact_feasible(const std::vector<Job>& jobs, int machines) {
+  SLACKSCHED_EXPECTS(machines >= 1);
+  SLACKSCHED_EXPECTS(jobs.size() <= kExactSolverMaxJobs);
+  return FeasibilitySearch(jobs, machines).run();
+}
+
+namespace {
+
+/// Branch-and-bound over inclusion/exclusion of volume-sorted jobs.
+class SubsetSearch {
+ public:
+  SubsetSearch(std::vector<Job> jobs, int machines)
+      : jobs_(std::move(jobs)), machines_(machines) {
+    std::sort(jobs_.begin(), jobs_.end(), [](const Job& a, const Job& b) {
+      if (a.proc != b.proc) return a.proc > b.proc;
+      return a.id < b.id;
+    });
+    suffix_volume_.assign(jobs_.size() + 1, 0.0);
+    for (std::size_t i = jobs_.size(); i-- > 0;) {
+      suffix_volume_[i] = suffix_volume_[i + 1] + jobs_[i].proc;
+    }
+  }
+
+  ExactResult run(double seed_value, std::vector<JobId> seed_set) {
+    best_value_ = seed_value;
+    best_set_ = std::move(seed_set);
+    std::vector<Job> chosen;
+    branch(0, 0.0, chosen);
+    ExactResult result;
+    result.value = best_value_;
+    result.accepted = best_set_;
+    result.feasibility_checks = checks_;
+    return result;
+  }
+
+ private:
+  void branch(std::size_t index, double volume, std::vector<Job>& chosen) {
+    if (volume + suffix_volume_[index] <= best_value_ + kTimeEps) return;
+    if (index == jobs_.size()) {
+      if (volume > best_value_ + kTimeEps) {
+        best_value_ = volume;
+        best_set_.clear();
+        for (const Job& j : chosen) best_set_.push_back(j.id);
+      }
+      return;
+    }
+
+    // Include branch first: with volume-sorted jobs this reaches large
+    // solutions early and tightens the bound.
+    chosen.push_back(jobs_[index]);
+    ++checks_;
+    if (exact_feasible(chosen, machines_)) {
+      branch(index + 1, volume + jobs_[index].proc, chosen);
+    }
+    chosen.pop_back();
+
+    branch(index + 1, volume, chosen);
+  }
+
+  std::vector<Job> jobs_;
+  int machines_;
+  std::vector<double> suffix_volume_;
+  double best_value_ = 0.0;
+  std::vector<JobId> best_set_;
+  std::size_t checks_ = 0;
+};
+
+/// Greedy accept-if-feasible seed to start the bound high.
+std::pair<double, std::vector<JobId>> greedy_seed(const Instance& instance,
+                                                  int machines) {
+  std::vector<TimePoint> frontier(static_cast<std::size_t>(machines), 0.0);
+  double volume = 0.0;
+  std::vector<JobId> accepted;
+  for (const Job& job : instance.jobs()) {
+    int best = -1;
+    Duration best_load = -1.0;
+    for (int i = 0; i < machines; ++i) {
+      const Duration load =
+          std::max(0.0, frontier[static_cast<std::size_t>(i)] - job.release);
+      if (!approx_le(job.release + load + job.proc, job.deadline)) continue;
+      if (load > best_load) {
+        best_load = load;
+        best = i;
+      }
+    }
+    if (best >= 0) {
+      frontier[static_cast<std::size_t>(best)] =
+          job.release + best_load + job.proc;
+      volume += job.proc;
+      accepted.push_back(job.id);
+    }
+  }
+  return {volume, std::move(accepted)};
+}
+
+}  // namespace
+
+ExactResult exact_optimal_load(const Instance& instance, int machines) {
+  SLACKSCHED_EXPECTS(machines >= 1);
+  SLACKSCHED_EXPECTS(instance.size() <= kExactSolverMaxJobs);
+  auto [seed_value, seed_set] = greedy_seed(instance, machines);
+  return SubsetSearch(instance.jobs(), machines)
+      .run(seed_value, std::move(seed_set));
+}
+
+}  // namespace slacksched

@@ -1,0 +1,43 @@
+// Exact offline optimum for small instances.
+//
+// The offline problem (choose a subset of jobs and a legal non-preemptive
+// m-machine schedule maximizing accepted volume) is NP-hard, but small
+// instances solve quickly with branch-and-bound:
+//   * subsets are explored by inclusion/exclusion over jobs sorted by
+//     decreasing processing time, pruned by the remaining-volume bound and
+//     by monotonicity (supersets of an infeasible set are infeasible);
+//   * feasibility of a fixed subset is decided by dispatch-order DFS with
+//     left-shifted starts (any feasible schedule can be left-shifted, so
+//     searching dispatch orders with earliest starts is complete), with a
+//     visited-state memo on (job mask, sorted machine frontiers).
+// Used by tests and benches as ground truth against online algorithms.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "job/instance.hpp"
+#include "sched/schedule.hpp"
+
+namespace slacksched {
+
+/// Hard cap on instance size for the exact solver.
+inline constexpr std::size_t kExactSolverMaxJobs = 24;
+
+/// Result of the exact search.
+struct ExactResult {
+  double value = 0.0;               ///< optimal accepted volume
+  std::vector<JobId> accepted;      ///< one optimal accepted set
+  std::size_t feasibility_checks = 0;
+};
+
+/// Computes the exact offline optimum. Requires
+/// instance.size() <= kExactSolverMaxJobs.
+[[nodiscard]] ExactResult exact_optimal_load(const Instance& instance,
+                                             int machines);
+
+/// Decides whether all `jobs` can be scheduled non-preemptively on
+/// `machines` identical machines meeting every deadline.
+[[nodiscard]] bool exact_feasible(const std::vector<Job>& jobs, int machines);
+
+}  // namespace slacksched

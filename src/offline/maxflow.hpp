@@ -1,0 +1,49 @@
+// Dinic's max-flow on real-valued capacities. Substrate for the offline
+// upper bound: the maximum preemptive-with-migration load of an instance is
+// exactly a max flow from jobs to time intervals, and it dominates the
+// non-preemptive integral optimum our online algorithms compete against.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace slacksched {
+
+/// Capacity/flow tolerance: residuals below this count as saturated.
+inline constexpr double kFlowEps = 1e-9;
+
+/// Max-flow solver over a fixed node set; edges accumulate via add_edge.
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t nodes);
+
+  /// Adds a directed edge u -> v with the given capacity (>= 0).
+  /// Returns an edge handle usable with flow_on().
+  std::size_t add_edge(std::size_t u, std::size_t v, double capacity);
+
+  /// Computes the maximum s-t flow. May be called once per instance.
+  double max_flow(std::size_t s, std::size_t t);
+
+  /// Flow routed over the edge returned by add_edge (after max_flow).
+  [[nodiscard]] double flow_on(std::size_t edge_handle) const;
+
+  [[nodiscard]] std::size_t node_count() const { return graph_.size(); }
+
+ private:
+  struct Edge {
+    std::size_t to;
+    double capacity;  ///< residual capacity
+    std::size_t reverse;
+  };
+
+  bool bfs(std::size_t s, std::size_t t);
+  double dfs(std::size_t v, std::size_t t, double pushed);
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  std::vector<std::pair<std::size_t, std::size_t>> handles_;  // (node, index)
+  std::vector<double> original_capacity_;
+};
+
+}  // namespace slacksched

@@ -1,0 +1,20 @@
+// Offline upper bound on the optimal accepted load.
+//
+// Relaxation: allow preemption, migration and fractional acceptance. The
+// maximum volume schedulable then equals a max flow: each job can route up
+// to p_j units, an interval [t_a, t_b) between consecutive release/deadline
+// event points absorbs at most (t_b - t_a) units per job (a job cannot run
+// on two machines at once) and m * (t_b - t_a) in total. Every quantity the
+// relaxation drops only helps the adversary, so
+//     OPT_nonpreemptive_integral <= preemptive_fractional_upper_bound.
+#pragma once
+
+#include "job/instance.hpp"
+
+namespace slacksched {
+
+/// The max-flow value of the preemptive fractional relaxation.
+[[nodiscard]] double preemptive_fractional_upper_bound(
+    const Instance& instance, int machines);
+
+}  // namespace slacksched

@@ -1,0 +1,37 @@
+// The immediate-commitment decision type. Upon a job's submission the
+// scheduler either rejects it or irrevocably fixes machine and start time
+// (the temporal and spatial commitment of the non-preemptive model).
+#pragma once
+
+#include <string>
+
+#include "common/time.hpp"
+
+namespace slacksched {
+
+/// An irrevocable admission decision.
+struct Decision {
+  bool accepted = false;
+  int machine = -1;        ///< 0-based machine index when accepted
+  TimePoint start = 0.0;   ///< committed start time when accepted
+
+  [[nodiscard]] static Decision reject() { return Decision{}; }
+
+  [[nodiscard]] static Decision accept(int machine, TimePoint start) {
+    Decision d;
+    d.accepted = true;
+    d.machine = machine;
+    d.start = start;
+    return d;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    if (!accepted) return "reject";
+    return "accept(machine=" + std::to_string(machine) +
+           ", start=" + std::to_string(start) + ")";
+  }
+
+  friend bool operator==(const Decision&, const Decision&) = default;
+};
+
+}  // namespace slacksched

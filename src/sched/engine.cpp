@@ -1,0 +1,69 @@
+#include "sched/engine.hpp"
+
+#include <algorithm>
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+namespace {
+
+/// Returns an error message if the decision is an illegal commitment for
+/// this job given the already-committed schedule; empty string when legal.
+std::string check_commitment(const Schedule& schedule, const Job& job,
+                             const Decision& decision) {
+  if (!decision.accepted) return {};
+  if (decision.machine < 0 || decision.machine >= schedule.machines()) {
+    return job.to_string() + ": machine index " +
+           std::to_string(decision.machine) + " out of range";
+  }
+  if (definitely_less(decision.start, job.release)) {
+    return job.to_string() + ": committed start " +
+           std::to_string(decision.start) + " precedes release";
+  }
+  if (definitely_greater(decision.start + job.proc, job.deadline)) {
+    return job.to_string() + ": committed completion " +
+           std::to_string(decision.start + job.proc) + " misses deadline";
+  }
+  if (!schedule.interval_free(decision.machine, decision.start, job.proc)) {
+    return job.to_string() + ": committed interval overlaps earlier " +
+           "commitment on machine " + std::to_string(decision.machine);
+  }
+  return {};
+}
+
+}  // namespace
+
+RunResult run_online(OnlineScheduler& scheduler, const Instance& instance,
+                     bool halt_on_violation) {
+  scheduler.reset();
+  RunResult result{Schedule(scheduler.machines()), RunMetrics{}, {}, {}};
+  result.decisions.reserve(instance.size());
+
+  for (const Job& job : instance.jobs()) {
+    const Decision decision = scheduler.on_arrival(job);
+    result.decisions.push_back({job, decision});
+    ++result.metrics.submitted;
+
+    const std::string violation =
+        check_commitment(result.schedule, job, decision);
+    if (!violation.empty()) {
+      result.commitment_violation = violation;
+      if (halt_on_violation) break;
+      continue;  // skip the illegal commitment but keep simulating
+    }
+
+    if (decision.accepted) {
+      result.schedule.commit(job, decision.machine, decision.start);
+      ++result.metrics.accepted;
+      result.metrics.accepted_volume += job.proc;
+    } else {
+      ++result.metrics.rejected;
+      result.metrics.rejected_volume += job.proc;
+    }
+  }
+  result.metrics.makespan = result.schedule.makespan();
+  return result;
+}
+
+}  // namespace slacksched

@@ -1,0 +1,47 @@
+// The commitment-enforcing simulation engine.
+//
+// Replays an instance against an OnlineScheduler in submission order and
+// records every decision into a Schedule. Acceptance is binding: the engine
+// immediately checks that each committed allocation is physically possible
+// (machine in range, start after release, no overlap with earlier
+// commitments, completion by the deadline) and refuses to continue past a
+// violation — an algorithm cannot gain objective value through an illegal
+// promise. This realizes the "immediate commitment" model of the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "job/instance.hpp"
+#include "sched/metrics.hpp"
+#include "sched/online.hpp"
+#include "sched/schedule.hpp"
+
+namespace slacksched {
+
+/// Per-job record of what the algorithm decided.
+struct DecisionRecord {
+  Job job;
+  Decision decision;
+};
+
+/// Everything a run produced.
+struct RunResult {
+  Schedule schedule;
+  RunMetrics metrics;
+  std::vector<DecisionRecord> decisions;
+  /// Description of the first commitment violation, empty when clean. Tests
+  /// assert on this being empty; benches treat a violation as a fatal bug.
+  std::string commitment_violation;
+
+  [[nodiscard]] bool clean() const { return commitment_violation.empty(); }
+};
+
+/// Runs the scheduler over the instance. The scheduler is reset() first.
+/// If `halt_on_violation` is true (default), processing stops at the first
+/// illegal commitment and the violation is reported in the result.
+[[nodiscard]] RunResult run_online(OnlineScheduler& scheduler,
+                                   const Instance& instance,
+                                   bool halt_on_violation = true);
+
+}  // namespace slacksched

@@ -1,0 +1,31 @@
+// ASCII Gantt rendering of committed schedules — used to regenerate the
+// paper's Fig. 3 (online vs. optimal schedule of the adversary's red path)
+// in the terminal.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/svg.hpp"
+#include "sched/schedule.hpp"
+
+namespace slacksched {
+
+/// Options for Gantt rendering.
+struct GanttOptions {
+  int width = 100;          ///< characters across the time axis
+  TimePoint t_end = -1.0;   ///< horizon; <0 means use the schedule makespan
+  std::string title;
+};
+
+/// Renders one row per machine; each placement is drawn as a run of the
+/// job-id's last digit bracketed by '[' and ')'. Idle time is '.'.
+void render_gantt(std::ostream& out, const Schedule& schedule,
+                  const GanttOptions& options = {});
+
+/// SVG variant: one lane per machine, jobs as colored blocks labelled with
+/// their ids. Used by the figure benches to emit Fig.-3-style artifacts.
+[[nodiscard]] SvgDocument render_gantt_svg(const Schedule& schedule,
+                                           const GanttOptions& options = {});
+
+}  // namespace slacksched

@@ -1,0 +1,40 @@
+// Aggregate run metrics shared by the engine and the preemptive/queue-based
+// baselines (which run their own simulations but report the same numbers).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace slacksched {
+
+/// Outcome counters and objective values of one simulated run.
+struct RunMetrics {
+  std::size_t submitted = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  double accepted_volume = 0.0;  ///< the objective: sum of accepted p_j
+  double rejected_volume = 0.0;
+  TimePoint makespan = 0.0;
+
+  [[nodiscard]] double acceptance_rate() const {
+    return submitted == 0
+               ? 0.0
+               : static_cast<double>(accepted) / static_cast<double>(submitted);
+  }
+
+  [[nodiscard]] double volume_acceptance_rate() const {
+    const double total = accepted_volume + rejected_volume;
+    return total == 0.0 ? 0.0 : accepted_volume / total;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return "submitted=" + std::to_string(submitted) +
+           " accepted=" + std::to_string(accepted) +
+           " volume=" + std::to_string(accepted_volume) +
+           " makespan=" + std::to_string(makespan);
+  }
+};
+
+}  // namespace slacksched

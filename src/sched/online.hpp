@@ -1,0 +1,39 @@
+// The single public interface implemented by every online algorithm with
+// immediate commitment. The engine (sched/engine.hpp) feeds jobs in
+// submission order; the adversary (adversary/lower_bound_game.hpp) drives
+// the same interface interactively.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "job/job.hpp"
+#include "sched/decision.hpp"
+
+namespace slacksched {
+
+/// Interface of a deterministic (or internally randomized) online admission
+/// algorithm. Implementations own all machine state. Jobs arrive with
+/// non-decreasing release dates; on_arrival is called exactly once per job
+/// at time job.release and the returned decision is binding.
+class OnlineScheduler {
+ public:
+  virtual ~OnlineScheduler() = default;
+
+  /// Decides the job that was just submitted (now == job.release). An
+  /// accepting decision must name a machine in [0, machines()) and a start
+  /// time >= job.release that respects previously committed work; the
+  /// engine and validator verify this.
+  virtual Decision on_arrival(const Job& job) = 0;
+
+  /// Number of physical machines the algorithm schedules on.
+  [[nodiscard]] virtual int machines() const = 0;
+
+  /// Resets all internal state to an empty system.
+  virtual void reset() = 0;
+
+  /// Human-readable algorithm name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace slacksched

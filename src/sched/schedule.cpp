@@ -1,0 +1,92 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+Schedule::Schedule(int machines) {
+  SLACKSCHED_EXPECTS(machines >= 1);
+  per_machine_.resize(static_cast<std::size_t>(machines));
+}
+
+void Schedule::commit(const Job& job, int machine, TimePoint start) {
+  SLACKSCHED_EXPECTS(machine >= 0 && machine < machines());
+  SLACKSCHED_EXPECTS(job.proc > 0.0);
+  SLACKSCHED_EXPECTS(interval_free(machine, start, job.proc));
+  auto& list = per_machine_[static_cast<std::size_t>(machine)];
+  Placement p{job, machine, start};
+  // Insert keeping the list sorted by start time. Almost always appends.
+  const auto it = std::upper_bound(
+      list.begin(), list.end(), start,
+      [](TimePoint s, const Placement& q) { return s < q.start; });
+  list.insert(it, std::move(p));
+}
+
+bool Schedule::interval_free(int machine, TimePoint start,
+                             Duration proc) const {
+  SLACKSCHED_EXPECTS(machine >= 0 && machine < machines());
+  const auto& list = per_machine_[static_cast<std::size_t>(machine)];
+  const TimePoint end = start + proc;
+  // Placements are sorted by start and non-overlapping, so completions are
+  // sorted too: the only possible conflict is the last placement starting
+  // before `end`. Overlap iff the intervals intersect by more than the
+  // tolerance.
+  const auto it = std::partition_point(
+      list.begin(), list.end(),
+      [&](const Placement& p) { return definitely_less(p.start, end); });
+  if (it == list.begin()) return true;
+  return !definitely_less(start, std::prev(it)->completion());
+}
+
+TimePoint Schedule::frontier(int machine) const {
+  SLACKSCHED_EXPECTS(machine >= 0 && machine < machines());
+  const auto& list = per_machine_[static_cast<std::size_t>(machine)];
+  return list.empty() ? 0.0 : list.back().completion();
+}
+
+Duration Schedule::outstanding_load(int machine, TimePoint now) const {
+  return std::max(0.0, frontier(machine) - now);
+}
+
+const std::vector<Placement>& Schedule::on_machine(int machine) const {
+  SLACKSCHED_EXPECTS(machine >= 0 && machine < machines());
+  return per_machine_[static_cast<std::size_t>(machine)];
+}
+
+std::vector<Placement> Schedule::all_placements() const {
+  std::vector<Placement> out;
+  for (const auto& list : per_machine_)
+    out.insert(out.end(), list.begin(), list.end());
+  return out;
+}
+
+double Schedule::total_volume() const {
+  double total = 0.0;
+  for (const auto& list : per_machine_)
+    for (const Placement& p : list) total += p.job.proc;
+  return total;
+}
+
+std::size_t Schedule::job_count() const {
+  std::size_t n = 0;
+  for (const auto& list : per_machine_) n += list.size();
+  return n;
+}
+
+TimePoint Schedule::makespan() const {
+  TimePoint latest = 0.0;
+  for (const auto& list : per_machine_)
+    if (!list.empty()) latest = std::max(latest, list.back().completion());
+  return latest;
+}
+
+std::optional<Placement> Schedule::find(JobId id) const {
+  for (const auto& list : per_machine_)
+    for (const Placement& p : list)
+      if (p.job.id == id) return p;
+  return std::nullopt;
+}
+
+}  // namespace slacksched

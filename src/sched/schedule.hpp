@@ -1,0 +1,73 @@
+// Committed non-preemptive schedules: the record of (job, machine, start)
+// placements an algorithm has irrevocably promised. Supports the load
+// queries the Threshold algorithm needs and the overlap/feasibility queries
+// the validator and engine need.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "job/job.hpp"
+#include "sched/decision.hpp"
+
+namespace slacksched {
+
+/// One committed placement.
+struct Placement {
+  Job job;
+  int machine = 0;
+  TimePoint start = 0.0;
+
+  [[nodiscard]] TimePoint completion() const { return start + job.proc; }
+};
+
+/// A growing, per-machine-ordered non-preemptive schedule.
+class Schedule {
+ public:
+  explicit Schedule(int machines);
+
+  [[nodiscard]] int machines() const {
+    return static_cast<int>(per_machine_.size());
+  }
+
+  /// Commits a placement. Requires the machine index to be valid and the
+  /// execution interval not to overlap previously committed work on that
+  /// machine (checked; throws PreconditionError otherwise).
+  void commit(const Job& job, int machine, TimePoint start);
+
+  /// Whether [start, start + proc) is free on the machine.
+  [[nodiscard]] bool interval_free(int machine, TimePoint start,
+                                   Duration proc) const;
+
+  /// Completion time of the last committed job on the machine (0 if none).
+  [[nodiscard]] TimePoint frontier(int machine) const;
+
+  /// Outstanding load at time `now`: the remaining committed work on the
+  /// machine from `now` on, equivalently max(0, frontier - now) when the
+  /// machine runs its committed jobs back-to-back (which every algorithm in
+  /// this library does). This is the l(m_h) of Algorithm 1.
+  [[nodiscard]] Duration outstanding_load(int machine, TimePoint now) const;
+
+  /// Placements on one machine, ordered by start time.
+  [[nodiscard]] const std::vector<Placement>& on_machine(int machine) const;
+
+  /// All placements, ordered by (machine, start).
+  [[nodiscard]] std::vector<Placement> all_placements() const;
+
+  /// Total committed processing volume (the objective value).
+  [[nodiscard]] double total_volume() const;
+
+  /// Number of committed jobs.
+  [[nodiscard]] std::size_t job_count() const;
+
+  /// Latest completion over all machines (0 when empty).
+  [[nodiscard]] TimePoint makespan() const;
+
+  /// Looks up the placement of a job by id, if committed.
+  [[nodiscard]] std::optional<Placement> find(JobId id) const;
+
+ private:
+  std::vector<std::vector<Placement>> per_machine_;
+};
+
+}  // namespace slacksched

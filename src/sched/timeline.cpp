@@ -1,0 +1,208 @@
+#include "sched/timeline.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/expects.hpp"
+#include "common/table.hpp"
+
+namespace slacksched {
+
+std::vector<BusySegment> busy_timeline(const Schedule& schedule) {
+  // Sweep over start/completion events.
+  std::vector<std::pair<TimePoint, int>> events;
+  for (const Placement& p : schedule.all_placements()) {
+    events.emplace_back(p.start, +1);
+    events.emplace_back(p.completion(), -1);
+  }
+  if (events.empty()) return {};
+  std::sort(events.begin(), events.end());
+
+  std::vector<BusySegment> segments;
+  int busy = 0;
+  TimePoint prev = events.front().first;
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const TimePoint t = events[i].first;
+    if (t > prev) {
+      if (segments.empty() || segments.back().busy_machines != busy ||
+          !approx_eq(segments.back().end, prev)) {
+        segments.push_back({prev, t, busy});
+      } else {
+        segments.back().end = t;
+      }
+      prev = t;
+    }
+    while (i < events.size() && approx_eq(events[i].first, t)) {
+      busy += events[i].second;
+      ++i;
+    }
+  }
+  // Merge adjacent segments with equal counts (can arise from ties).
+  std::vector<BusySegment> merged;
+  for (const BusySegment& s : segments) {
+    if (s.length() <= kTimeEps) continue;
+    if (!merged.empty() && merged.back().busy_machines == s.busy_machines &&
+        approx_eq(merged.back().end, s.begin)) {
+      merged.back().end = s.end;
+    } else {
+      merged.push_back(s);
+    }
+  }
+  return merged;
+}
+
+double utilization(const Schedule& schedule, TimePoint horizon) {
+  const TimePoint h = horizon > 0.0 ? horizon : schedule.makespan();
+  if (h <= 0.0) return 0.0;
+  double busy_machine_time = 0.0;
+  for (const Placement& p : schedule.all_placements()) {
+    const TimePoint begin = std::min(p.start, h);
+    const TimePoint end = std::min(p.completion(), h);
+    busy_machine_time += std::max(0.0, end - begin);
+  }
+  return busy_machine_time / (h * schedule.machines());
+}
+
+std::vector<CoveredInterval> covered_intervals(const RunResult& result) {
+  // Collect rejected windows and merge overlapping ones.
+  std::vector<std::pair<TimePoint, TimePoint>> windows;
+  for (const DecisionRecord& record : result.decisions) {
+    if (!record.decision.accepted) {
+      windows.emplace_back(record.job.release, record.job.deadline);
+    }
+  }
+  if (windows.empty()) return {};
+  std::sort(windows.begin(), windows.end());
+
+  std::vector<CoveredInterval> intervals;
+  for (const auto& [begin, end] : windows) {
+    if (!intervals.empty() && begin <= intervals.back().end + kTimeEps) {
+      intervals.back().end = std::max(intervals.back().end, end);
+    } else {
+      CoveredInterval interval;
+      interval.begin = begin;
+      interval.end = end;
+      intervals.push_back(interval);
+    }
+  }
+
+  // Attribute rejected windows and committed execution to the intervals.
+  for (const DecisionRecord& record : result.decisions) {
+    if (record.decision.accepted) continue;
+    for (CoveredInterval& interval : intervals) {
+      if (record.job.release >= interval.begin - kTimeEps &&
+          record.job.deadline <= interval.end + kTimeEps) {
+        ++interval.rejected_jobs;
+        interval.rejected_volume += record.job.proc;
+        break;
+      }
+    }
+  }
+  for (const Placement& p : result.schedule.all_placements()) {
+    for (CoveredInterval& interval : intervals) {
+      const TimePoint begin = std::max(p.start, interval.begin);
+      const TimePoint end = std::min(p.completion(), interval.end);
+      if (end > begin) interval.online_volume += end - begin;
+    }
+  }
+  return intervals;
+}
+
+Duration uncovered_time(const RunResult& result, TimePoint horizon) {
+  SLACKSCHED_EXPECTS(horizon > 0.0);
+  Duration covered = 0.0;
+  for (const CoveredInterval& interval : covered_intervals(result)) {
+    const TimePoint begin = std::max(0.0, interval.begin);
+    const TimePoint end = std::min(horizon, interval.end);
+    if (end > begin) covered += end - begin;
+  }
+  return horizon - covered;
+}
+
+CertifiedBound certified_optimum_bound(const RunResult& result,
+                                       int machines) {
+  SLACKSCHED_EXPECTS(machines >= 1);
+  CertifiedBound bound;
+  bound.alg_volume = result.metrics.accepted_volume;
+
+  // Any schedule — optimal included — must place each rejected job inside
+  // its own [r, d) window, and all such windows lie inside the covered
+  // intervals; their total machine-time caps how much extra load an
+  // optimum can have found.
+  double covered_capacity = 0.0;
+  double rejected_volume = 0.0;
+  for (const CoveredInterval& interval : covered_intervals(result)) {
+    covered_capacity += static_cast<double>(machines) * interval.length();
+    rejected_volume += interval.rejected_volume;
+  }
+  bound.opt_bound =
+      bound.alg_volume + std::min(rejected_volume, covered_capacity);
+  bound.ratio_bound = bound.alg_volume > 0.0
+                          ? bound.opt_bound / bound.alg_volume
+                          : std::numeric_limits<double>::infinity();
+  return bound;
+}
+
+SvgDocument render_timeline_svg(const RunResult& result,
+                                const std::string& title) {
+  const int machines = result.schedule.machines();
+  TimePoint horizon = std::max(1.0, result.schedule.makespan());
+  const auto intervals = covered_intervals(result);
+  for (const CoveredInterval& interval : intervals) {
+    horizon = std::max(horizon, interval.end);
+  }
+
+  constexpr double kLeft = 60.0;
+  constexpr double kTop = 40.0;
+  constexpr double kPlotW = 760.0;
+  constexpr double kPlotH = 220.0;
+  constexpr double kBandH = 26.0;
+  SvgDocument svg(kLeft + kPlotW + 20.0, kTop + kPlotH + kBandH + 60.0);
+  if (!title.empty()) svg.text(kLeft, 24.0, title, 14.0);
+
+  const AxisScale x(0.0, horizon, kLeft, kLeft + kPlotW);
+  const AxisScale y(0.0, static_cast<double>(machines), kTop + kPlotH, kTop);
+
+  // Frame and machine-count gridlines.
+  svg.line(kLeft, kTop + kPlotH, kLeft + kPlotW, kTop + kPlotH);
+  svg.line(kLeft, kTop, kLeft, kTop + kPlotH);
+  for (int level = 0; level <= machines; ++level) {
+    const double py = y(level);
+    svg.line(kLeft, py, kLeft + kPlotW, py, "#eeeeee", 1.0, true);
+    svg.text(kLeft - 8.0, py + 4.0, std::to_string(level), 10.0, "#111111",
+             "end");
+  }
+
+  // Busy-machine step function.
+  std::vector<std::pair<double, double>> steps;
+  steps.emplace_back(x(0.0), y(0.0));
+  for (const BusySegment& segment : busy_timeline(result.schedule)) {
+    steps.emplace_back(x(segment.begin), steps.back().second);
+    steps.emplace_back(x(segment.begin), y(segment.busy_machines));
+    steps.emplace_back(x(segment.end), y(segment.busy_machines));
+  }
+  steps.emplace_back(x(horizon), steps.back().second);
+  svg.polyline(steps, default_palette().front(), 2.0);
+
+  // Covered intervals band along the bottom.
+  const double band_y = kTop + kPlotH + 12.0;
+  svg.text(kLeft - 8.0, band_y + kBandH * 0.7, "covered", 10.0, "#111111",
+           "end");
+  for (const CoveredInterval& interval : intervals) {
+    svg.rect(x(interval.begin), band_y,
+             std::max(1.0, x(interval.end) - x(interval.begin)), kBandH,
+             "#e6194b", "#990000");
+  }
+
+  // Time axis ticks.
+  const double axis_y = band_y + kBandH + 16.0;
+  for (int tick = 0; tick <= 4; ++tick) {
+    const double value = horizon * tick / 4.0;
+    svg.text(x(value), axis_y, Table::format(value, 1), 10.0, "#111111",
+             "middle");
+  }
+  return svg;
+}
+
+}  // namespace slacksched

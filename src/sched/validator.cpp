@@ -1,0 +1,63 @@
+#include "sched/validator.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace slacksched {
+
+std::string ValidationReport::to_string() const {
+  if (ok) return "valid";
+  std::ostringstream os;
+  os << violations.size() << " violation(s):";
+  for (const auto& v : violations) os << "\n  - " << v;
+  return os.str();
+}
+
+ValidationReport validate_schedule(const Instance& instance,
+                                   const Schedule& schedule) {
+  ValidationReport report;
+
+  std::unordered_map<JobId, const Job*> by_id;
+  by_id.reserve(instance.size());
+  for (const Job& j : instance.jobs()) by_id.emplace(j.id, &j);
+
+  std::set<JobId> placed;
+  for (int machine = 0; machine < schedule.machines(); ++machine) {
+    const auto& list = schedule.on_machine(machine);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const Placement& p = list[i];
+      const auto it = by_id.find(p.job.id);
+      if (it == by_id.end()) {
+        report.fail("placed job id " + std::to_string(p.job.id) +
+                    " does not exist in the instance");
+        continue;
+      }
+      if (!(p.job == *it->second)) {
+        report.fail("placed job " + p.job.to_string() +
+                    " differs from instance job " + it->second->to_string());
+      }
+      if (!placed.insert(p.job.id).second) {
+        report.fail("job id " + std::to_string(p.job.id) +
+                    " is placed more than once");
+      }
+      if (definitely_less(p.start, p.job.release)) {
+        report.fail(p.job.to_string() + " starts at " +
+                    std::to_string(p.start) + " before its release");
+      }
+      if (definitely_greater(p.completion(), p.job.deadline)) {
+        report.fail(p.job.to_string() + " completes at " +
+                    std::to_string(p.completion()) + " after its deadline");
+      }
+      if (i > 0 && definitely_less(p.start, list[i - 1].completion())) {
+        report.fail(p.job.to_string() + " overlaps " +
+                    list[i - 1].job.to_string() + " on machine " +
+                    std::to_string(machine));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace slacksched

@@ -1,0 +1,38 @@
+// Independent schedule validation. Every experiment re-checks its schedules
+// here, so a bug in an algorithm cannot silently inflate its reported load:
+// Claim 1 of the paper ("Algorithm 1 completes any accepted job on time")
+// is asserted empirically on every run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "job/instance.hpp"
+#include "sched/schedule.hpp"
+
+namespace slacksched {
+
+/// Result of validating a schedule against its instance.
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string message) {
+    ok = false;
+    violations.push_back(std::move(message));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Checks that `schedule` is a legal non-preemptive schedule of a subset of
+/// `instance`:
+///  - every placed job exists in the instance with identical parameters,
+///  - no job is placed twice,
+///  - starts respect release dates (start >= r_j),
+///  - completions respect deadlines (start + p_j <= d_j),
+///  - no two placements overlap on a machine.
+[[nodiscard]] ValidationReport validate_schedule(const Instance& instance,
+                                                 const Schedule& schedule);
+
+}  // namespace slacksched

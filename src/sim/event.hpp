@@ -1,0 +1,36 @@
+// Simulation events. The arrival-driven engine (sched/engine.hpp) is the
+// minimal harness for competitive experiments; the sim layer replays the
+// same run as a totally ordered stream of events (submission, decision,
+// start, completion) so observers can compute time-resolved statistics —
+// what a provider's monitoring would see.
+#pragma once
+
+#include <string>
+
+#include "job/job.hpp"
+
+namespace slacksched {
+
+/// What happened at an instant of simulated time.
+enum class SimEventType {
+  kSubmitted,  ///< the job arrived (before the decision)
+  kAccepted,   ///< the scheduler committed (machine/start carry the promise)
+  kRejected,   ///< the scheduler turned the job away
+  kStarted,    ///< execution began on `machine`
+  kCompleted,  ///< execution finished on `machine`
+};
+
+[[nodiscard]] std::string to_string(SimEventType type);
+
+/// One event of the stream.
+struct SimEvent {
+  SimEventType type = SimEventType::kSubmitted;
+  TimePoint time = 0.0;
+  Job job;
+  int machine = -1;        ///< valid for accepted/started/completed
+  TimePoint start = 0.0;   ///< committed start (accepted/started/completed)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace slacksched

@@ -1,0 +1,26 @@
+// Observer interface for the event simulator. Observers receive every
+// event in non-decreasing time order plus a final callback; they must not
+// mutate the simulation.
+#pragma once
+
+#include "sched/metrics.hpp"
+#include "sim/event.hpp"
+
+namespace slacksched {
+
+/// Receives the totally ordered event stream of one simulation run.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  /// Called once per event, in non-decreasing event time.
+  virtual void on_event(const SimEvent& event) = 0;
+
+  /// Called once after the last event with the final metrics.
+  virtual void on_finish(const RunMetrics& metrics) { (void)metrics; }
+
+  /// Called before the first event of a run (reset point for reuse).
+  virtual void on_start() {}
+};
+
+}  // namespace slacksched

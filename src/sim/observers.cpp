@@ -1,0 +1,136 @@
+#include "sim/observers.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+// ---------- EventLogObserver ----------
+
+EventLogObserver::EventLogObserver(std::ostream* mirror) : mirror_(mirror) {}
+
+void EventLogObserver::on_start() { events_.clear(); }
+
+void EventLogObserver::on_event(const SimEvent& event) {
+  events_.push_back(event);
+  if (mirror_ != nullptr) *mirror_ << event.to_string() << '\n';
+}
+
+// ---------- UtilizationObserver ----------
+
+UtilizationObserver::UtilizationObserver(int machines) : machines_(machines) {
+  SLACKSCHED_EXPECTS(machines >= 1);
+}
+
+void UtilizationObserver::on_start() {
+  running_ = 0;
+  peak_ = 0;
+  last_time_ = 0.0;
+  busy_time_ = 0.0;
+  horizon_ = 0.0;
+}
+
+void UtilizationObserver::on_event(const SimEvent& event) {
+  busy_time_ += running_ * std::max(0.0, event.time - last_time_);
+  last_time_ = std::max(last_time_, event.time);
+  horizon_ = std::max(horizon_, event.time);
+  if (event.type == SimEventType::kStarted) {
+    ++running_;
+    peak_ = std::max(peak_, running_);
+  } else if (event.type == SimEventType::kCompleted) {
+    --running_;
+    SLACKSCHED_ENSURES(running_ >= 0);
+  }
+}
+
+void UtilizationObserver::on_finish(const RunMetrics& metrics) {
+  horizon_ = std::max(horizon_, metrics.makespan);
+}
+
+double UtilizationObserver::average_utilization() const {
+  if (horizon_ <= 0.0) return 0.0;
+  return busy_time_ / (horizon_ * machines_);
+}
+
+// ---------- BacklogObserver ----------
+
+void BacklogObserver::on_start() {
+  backlog_ = 0.0;
+  peak_ = 0.0;
+  last_time_ = 0.0;
+  weighted_sum_ = 0.0;
+  horizon_ = 0.0;
+}
+
+void BacklogObserver::advance(TimePoint time) {
+  // The backlog is the step function "accepted volume minus completed
+  // volume", updated at events; the continuous drain between events is
+  // not interpolated, so average_backlog() is a slight overestimate while
+  // peak_backlog() is exact (peaks occur at acceptance instants).
+  const Duration elapsed = std::max(0.0, time - last_time_);
+  weighted_sum_ += backlog_ * elapsed;
+  last_time_ = std::max(last_time_, time);
+  horizon_ = std::max(horizon_, time);
+}
+
+void BacklogObserver::on_event(const SimEvent& event) {
+  advance(event.time);
+  if (event.type == SimEventType::kAccepted) {
+    backlog_ += event.job.proc;
+    peak_ = std::max(peak_, backlog_);
+  } else if (event.type == SimEventType::kCompleted) {
+    backlog_ -= event.job.proc;
+    backlog_ = std::max(0.0, backlog_);
+  }
+}
+
+void BacklogObserver::on_finish(const RunMetrics& metrics) {
+  advance(metrics.makespan);
+}
+
+double BacklogObserver::average_backlog() const {
+  if (horizon_ <= 0.0) return 0.0;
+  return weighted_sum_ / horizon_;
+}
+
+// ---------- AcceptanceRateObserver ----------
+
+AcceptanceRateObserver::AcceptanceRateObserver(Duration window)
+    : window_(window) {
+  SLACKSCHED_EXPECTS(window > 0.0);
+}
+
+void AcceptanceRateObserver::on_start() {
+  window_end_ = window_;
+  window_submitted_ = 0.0;
+  window_accepted_ = 0.0;
+  rates_.clear();
+}
+
+void AcceptanceRateObserver::roll_to(TimePoint time) {
+  while (time > window_end_ + kTimeEps) {
+    rates_.push_back(window_submitted_ > 0.0
+                         ? window_accepted_ / window_submitted_
+                         : 1.0);
+    window_submitted_ = 0.0;
+    window_accepted_ = 0.0;
+    window_end_ += window_;
+  }
+}
+
+void AcceptanceRateObserver::on_event(const SimEvent& event) {
+  roll_to(event.time);
+  if (event.type == SimEventType::kSubmitted) {
+    window_submitted_ += event.job.proc;
+  } else if (event.type == SimEventType::kAccepted) {
+    window_accepted_ += event.job.proc;
+  }
+}
+
+void AcceptanceRateObserver::on_finish(const RunMetrics& metrics) {
+  roll_to(metrics.makespan + window_);  // flush the final window
+}
+
+}  // namespace slacksched

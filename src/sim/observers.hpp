@@ -1,0 +1,99 @@
+// Stock observers for the event simulator: event logging, time-weighted
+// utilization/backlog tracking, and rolling acceptance statistics — the
+// counters a provider's dashboard would chart during admission control.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "sim/observer.hpp"
+
+namespace slacksched {
+
+/// Records every event (optionally mirroring to a stream).
+class EventLogObserver final : public SimObserver {
+ public:
+  explicit EventLogObserver(std::ostream* mirror = nullptr);
+
+  void on_start() override;
+  void on_event(const SimEvent& event) override;
+
+  [[nodiscard]] const std::vector<SimEvent>& events() const {
+    return events_;
+  }
+
+ private:
+  std::ostream* mirror_;
+  std::vector<SimEvent> events_;
+};
+
+/// Tracks the number of running jobs over time: time-weighted mean
+/// (machine utilization when divided by m), peak concurrency, and total
+/// busy machine-time.
+class UtilizationObserver final : public SimObserver {
+ public:
+  explicit UtilizationObserver(int machines);
+
+  void on_start() override;
+  void on_event(const SimEvent& event) override;
+  void on_finish(const RunMetrics& metrics) override;
+
+  /// Time-weighted average utilization over [0, makespan].
+  [[nodiscard]] double average_utilization() const;
+  [[nodiscard]] int peak_running() const { return peak_; }
+  [[nodiscard]] double busy_machine_time() const { return busy_time_; }
+
+ private:
+  int machines_;
+  int running_ = 0;
+  int peak_ = 0;
+  TimePoint last_time_ = 0.0;
+  double busy_time_ = 0.0;
+  TimePoint horizon_ = 0.0;
+};
+
+/// Tracks committed-but-unfinished work (the backlog an accepted SLA
+/// represents): current, peak, and the time-weighted average.
+class BacklogObserver final : public SimObserver {
+ public:
+  void on_start() override;
+  void on_event(const SimEvent& event) override;
+  void on_finish(const RunMetrics& metrics) override;
+
+  [[nodiscard]] double peak_backlog() const { return peak_; }
+  [[nodiscard]] double average_backlog() const;
+
+ private:
+  void advance(TimePoint time);
+
+  double backlog_ = 0.0;
+  double peak_ = 0.0;
+  TimePoint last_time_ = 0.0;
+  double weighted_sum_ = 0.0;
+  TimePoint horizon_ = 0.0;
+};
+
+/// Windowed acceptance-rate series: one sample of (accepted volume /
+/// submitted volume) per fixed-width time window.
+class AcceptanceRateObserver final : public SimObserver {
+ public:
+  explicit AcceptanceRateObserver(Duration window);
+
+  void on_start() override;
+  void on_event(const SimEvent& event) override;
+  void on_finish(const RunMetrics& metrics) override;
+
+  /// One entry per completed window, in order.
+  [[nodiscard]] const std::vector<double>& rates() const { return rates_; }
+
+ private:
+  void roll_to(TimePoint time);
+
+  Duration window_;
+  TimePoint window_end_ = 0.0;
+  double window_submitted_ = 0.0;
+  double window_accepted_ = 0.0;
+  std::vector<double> rates_;
+};
+
+}  // namespace slacksched

@@ -1,0 +1,32 @@
+// The event simulator: drives an OnlineScheduler over an instance exactly
+// like sched/engine.hpp (identical decisions and metrics — asserted by
+// tests), but additionally materializes starts/completions as events and
+// delivers the merged, time-ordered stream to registered observers.
+#pragma once
+
+#include <vector>
+
+#include "job/instance.hpp"
+#include "sched/engine.hpp"
+#include "sim/observer.hpp"
+
+namespace slacksched {
+
+/// Orchestrates one observable run.
+class Simulator {
+ public:
+  explicit Simulator(OnlineScheduler& scheduler);
+
+  /// Registers an observer (not owned; must outlive run()).
+  void add_observer(SimObserver* observer);
+
+  /// Runs the scheduler over the instance, streaming events to the
+  /// observers. Returns the same RunResult the engine would.
+  RunResult run(const Instance& instance);
+
+ private:
+  OnlineScheduler& scheduler_;
+  std::vector<SimObserver*> observers_;
+};
+
+}  // namespace slacksched

@@ -1,0 +1,61 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+void write_trace(std::ostream& out, const Instance& instance) {
+  CsvWriter writer(out, {"id", "release", "proc", "deadline"});
+  for (const Job& j : instance.jobs()) {
+    writer.row({std::to_string(j.id), CsvWriter::format(j.release),
+                CsvWriter::format(j.proc), CsvWriter::format(j.deadline)});
+  }
+}
+
+Instance read_trace(std::istream& in) {
+  const auto rows = parse_csv(in);
+  if (rows.empty() || rows.front() !=
+                          std::vector<std::string>{"id", "release", "proc",
+                                                   "deadline"}) {
+    throw PreconditionError("trace: missing or malformed header");
+  }
+  std::vector<Job> jobs;
+  jobs.reserve(rows.size() - 1);
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& cells = rows[r];
+    if (cells.size() != 4) {
+      throw PreconditionError("trace: row " + std::to_string(r) +
+                              " has wrong arity");
+    }
+    try {
+      Job j;
+      j.id = std::stoll(cells[0]);
+      j.release = std::stod(cells[1]);
+      j.proc = std::stod(cells[2]);
+      j.deadline = std::stod(cells[3]);
+      jobs.push_back(j);
+    } catch (const std::exception&) {
+      throw PreconditionError("trace: row " + std::to_string(r) +
+                              " has non-numeric cells");
+    }
+  }
+  return Instance(std::move(jobs));
+}
+
+void write_trace_file(const std::string& path, const Instance& instance) {
+  std::ofstream out(path);
+  if (!out) throw PreconditionError("cannot open trace file " + path);
+  write_trace(out, instance);
+}
+
+Instance read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw PreconditionError("cannot open trace file " + path);
+  return read_trace(in);
+}
+
+}  // namespace slacksched

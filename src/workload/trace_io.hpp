@@ -1,0 +1,23 @@
+// Instance (trace) serialization: plain CSV with one job per row, so
+// workloads can be archived, diffed and replayed across versions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "job/instance.hpp"
+
+namespace slacksched {
+
+/// Writes `id,release,proc,deadline` rows with round-trip precision.
+void write_trace(std::ostream& out, const Instance& instance);
+
+/// Reads a trace written by write_trace. Throws PreconditionError on
+/// malformed input (wrong header, wrong arity, non-numeric cells).
+[[nodiscard]] Instance read_trace(std::istream& in);
+
+/// Convenience file variants.
+void write_trace_file(const std::string& path, const Instance& instance);
+[[nodiscard]] Instance read_trace_file(const std::string& path);
+
+}  // namespace slacksched

@@ -1,0 +1,176 @@
+// Tests of the slack-adaptive front end (including the paper's footnote-2
+// wide-slack regime) and the competitive-ratio estimation harness.
+#include <gtest/gtest.h>
+
+#include "core/adaptive.hpp"
+#include "core/competitive.hpp"
+#include "core/threshold.hpp"
+#include "common/expects.hpp"
+#include "offline/exact.hpp"
+#include "sched/engine.hpp"
+#include "sched/validator.hpp"
+#include "workload/generators.hpp"
+
+namespace slacksched {
+namespace {
+
+Job make_job(JobId id, TimePoint r, Duration p, TimePoint d) {
+  Job j;
+  j.id = id;
+  j.release = r;
+  j.proc = p;
+  j.deadline = d;
+  return j;
+}
+
+// ---------- adaptive dispatch ----------
+
+TEST(Adaptive, DispatchesThresholdForSmallEps) {
+  const auto alg = make_adaptive_scheduler(0.5, 3);
+  EXPECT_NE(alg->name().find("Threshold"), std::string::npos);
+  EXPECT_EQ(alg->machines(), 3);
+}
+
+TEST(Adaptive, DispatchesWideSlackForLargeEps) {
+  const auto alg = make_adaptive_scheduler(2.5, 3);
+  EXPECT_NE(alg->name().find("WideSlack"), std::string::npos);
+  EXPECT_EQ(alg->machines(), 3);
+}
+
+TEST(Adaptive, GuaranteeMatchesRegime) {
+  EXPECT_NEAR(adaptive_guarantee(0.5, 1), 4.0, 1e-9);  // 2 + 1/eps
+  EXPECT_DOUBLE_EQ(adaptive_guarantee(1.5, 4), 3.0);
+  EXPECT_DOUBLE_EQ(adaptive_guarantee(100.0, 1), 3.0);
+}
+
+TEST(Adaptive, RejectsBadParameters) {
+  EXPECT_THROW((void)make_adaptive_scheduler(0.0, 2), PreconditionError);
+  EXPECT_THROW((void)make_adaptive_scheduler(0.5, 0), PreconditionError);
+  EXPECT_THROW(WideSlackScheduler(1.0, 2), PreconditionError);
+}
+
+// ---------- wide-slack greedy ----------
+
+TEST(WideSlack, NonDelayPicksEarliestStart) {
+  WideSlackScheduler alg(2.0, 2);
+  ASSERT_TRUE(alg.on_arrival(make_job(1, 0.0, 4.0, 100.0)).accepted);
+  const Decision d = alg.on_arrival(make_job(2, 0.0, 1.0, 100.0));
+  ASSERT_TRUE(d.accepted);
+  EXPECT_EQ(d.machine, 1);  // idle machine = earliest start
+  EXPECT_DOUBLE_EQ(d.start, 0.0);
+}
+
+TEST(WideSlack, RejectsOnlyInfeasible) {
+  WideSlackScheduler alg(2.0, 1);
+  ASSERT_TRUE(alg.on_arrival(make_job(1, 0.0, 2.0, 6.5)).accepted);
+  EXPECT_FALSE(alg.on_arrival(make_job(2, 0.0, 4.0, 5.0)).accepted);
+  EXPECT_TRUE(alg.on_arrival(make_job(3, 0.0, 1.0, 3.1)).accepted);
+}
+
+TEST(WideSlack, SchedulesValidateOnWideSlackWorkloads) {
+  WorkloadConfig config;
+  config.n = 500;
+  config.eps = 3.0;  // wide slack
+  config.arrival_rate = 4.0;
+  config.slack = SlackModel::kTight;  // every job exactly eps = 3
+  config.seed = 8;
+  const Instance inst = generate_workload(config);
+  ASSERT_GE(inst.min_slack(), 3.0 - 1e-9);
+
+  WideSlackScheduler alg(3.0, 2);
+  const RunResult result = run_online(alg, inst);
+  EXPECT_TRUE(result.clean());
+  EXPECT_TRUE(validate_schedule(inst, result.schedule).ok);
+}
+
+TEST(WideSlack, EmpiricalRatioBelowThreeOnSmallInstances) {
+  // Footnote 2: ratio < 3 for eps > 1. Checked against the exact optimum
+  // over a seed ensemble of tight wide-slack instances.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    WorkloadConfig config;
+    config.n = 10;
+    config.eps = 1.2;
+    config.arrival_rate = 2.0;
+    config.size_min = 1.0;
+    config.size_max = 6.0;
+    config.slack = SlackModel::kTight;
+    config.seed = seed;
+    const Instance inst = generate_workload(config);
+
+    WideSlackScheduler alg(1.2, 2);
+    const RunResult run = run_online(alg, inst);
+    ASSERT_GT(run.metrics.accepted_volume, 0.0);
+    const double opt = exact_optimal_load(inst, 2).value;
+    EXPECT_LT(opt / run.metrics.accepted_volume, 3.0) << "seed " << seed;
+  }
+}
+
+// ---------- competitive harness ----------
+
+TEST(Competitive, ExactPathOnSmallInstance) {
+  const Instance inst({make_job(1, 0.0, 2.0, 2.0), make_job(2, 0.0, 1.9, 1.9)});
+  ThresholdScheduler alg(1.0, 1);
+  const CompetitiveEstimate estimate = estimate_competitive_ratio(alg, inst);
+  EXPECT_TRUE(estimate.exact);
+  EXPECT_DOUBLE_EQ(estimate.opt_estimate, 2.0);
+  EXPECT_DOUBLE_EQ(estimate.alg_volume, 2.0);  // accepts the first job
+  EXPECT_DOUBLE_EQ(estimate.ratio, 1.0);
+}
+
+TEST(Competitive, FallsBackToUpperBoundOnLargeInstance) {
+  WorkloadConfig config;
+  config.n = 100;
+  config.eps = 0.2;
+  config.seed = 3;
+  const Instance inst = generate_workload(config);
+  ThresholdScheduler alg(0.2, 2);
+  const CompetitiveEstimate estimate = estimate_competitive_ratio(alg, inst);
+  EXPECT_FALSE(estimate.exact);
+  EXPECT_GE(estimate.opt_estimate, estimate.alg_volume - 1e-9);
+  EXPECT_GE(estimate.ratio, 1.0 - 1e-9);
+}
+
+TEST(Competitive, ExactThresholdIsConfigurable) {
+  WorkloadConfig config;
+  config.n = 10;
+  config.eps = 0.3;
+  config.seed = 4;
+  const Instance inst = generate_workload(config);
+  ThresholdScheduler alg(0.3, 2);
+  EXPECT_TRUE(estimate_competitive_ratio(alg, inst, 10).exact);
+  EXPECT_FALSE(estimate_competitive_ratio(alg, inst, 5).exact);
+}
+
+TEST(Competitive, RejectsEmptyInstance) {
+  ThresholdScheduler alg(0.3, 2);
+  EXPECT_THROW((void)estimate_competitive_ratio(alg, Instance{}),
+               PreconditionError);
+}
+
+TEST(Competitive, EnsembleIsDeterministicAndBounded) {
+  ThreadPool pool(4);
+  WorkloadConfig config;
+  config.n = 10;
+  config.eps = 0.25;
+  config.arrival_rate = 2.0;
+  config.slack = SlackModel::kTight;
+
+  const auto factory = [] {
+    return std::unique_ptr<OnlineScheduler>(
+        std::make_unique<ThresholdScheduler>(0.25, 2));
+  };
+  const CompetitiveEnsemble a =
+      competitive_ensemble(factory, config, 32, 1000, pool);
+  const CompetitiveEnsemble b =
+      competitive_ensemble(factory, config, 32, 1000, pool);
+  EXPECT_EQ(a.ratios.mean, b.ratios.mean);
+  EXPECT_EQ(a.exact_instances, 32u);
+  EXPECT_EQ(a.instances, 32u);
+  // Theorem 2 bound holds for the exact instances.
+  const double bound = RatioFunction::solve(0.25, 2).theorem2_bound();
+  EXPECT_LE(a.ratios.max, bound + 1e-6);
+  EXPECT_GE(a.ratios.min, 1.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace slacksched

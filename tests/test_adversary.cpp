@@ -1,0 +1,237 @@
+// Tests of the Theorem-1 adversary: legality of the generated instance,
+// validity of both certificate schedules, the forced ratio >= c(eps, m) on
+// every algorithm we ship, tightness against the Threshold algorithm, and
+// the decision-tree rendering (Fig. 2's structure).
+#include "adversary/lower_bound_game.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/greedy.hpp"
+#include "common/expects.hpp"
+#include "core/threshold.hpp"
+#include "sched/validator.hpp"
+
+namespace slacksched {
+namespace {
+
+AdversaryConfig make_config(double eps, int m) {
+  AdversaryConfig config;
+  config.eps = eps;
+  config.m = m;
+  config.beta = 1e-4;
+  return config;
+}
+
+/// An algorithm that rejects everything (worst case for phase 1).
+class AlwaysReject final : public OnlineScheduler {
+ public:
+  explicit AlwaysReject(int m) : m_(m) {}
+  Decision on_arrival(const Job&) override { return Decision::reject(); }
+  int machines() const override { return m_; }
+  void reset() override {}
+  std::string name() const override { return "AlwaysReject"; }
+
+ private:
+  int m_;
+};
+
+/// Accepts only the very first job (then refuses all bait).
+class AcceptFirstOnly final : public OnlineScheduler {
+ public:
+  explicit AcceptFirstOnly(int m) : m_(m) {}
+  Decision on_arrival(const Job& job) override {
+    if (taken_) return Decision::reject();
+    taken_ = true;
+    return Decision::accept(0, job.release);
+  }
+  int machines() const override { return m_; }
+  void reset() override { taken_ = false; }
+  std::string name() const override { return "AcceptFirstOnly"; }
+
+ private:
+  int m_;
+  bool taken_ = false;
+};
+
+TEST(Adversary, UnboundedWhenFirstJobRejected) {
+  LowerBoundGame game(make_config(0.2, 2));
+  AlwaysReject alg(2);
+  const GameResult result = game.play(alg);
+  EXPECT_TRUE(result.unbounded());
+  EXPECT_TRUE(std::isinf(result.ratio));
+  EXPECT_DOUBLE_EQ(result.opt_volume, 1.0);
+  EXPECT_TRUE(validate_schedule(result.instance, result.optimal_schedule).ok);
+}
+
+TEST(Adversary, GeneratedInstanceSatisfiesSlackCondition) {
+  for (double eps : {0.05, 0.3, 0.9}) {
+    for (int m : {1, 2, 3}) {
+      LowerBoundGame game(make_config(eps, m));
+      ThresholdScheduler alg(eps, m);
+      const GameResult result = game.play(alg);
+      const auto validation = result.instance.validate(eps);
+      EXPECT_TRUE(validation.ok)
+          << "m=" << m << " eps=" << eps << ": "
+          << (validation.errors.empty() ? "" : validation.errors.front());
+    }
+  }
+}
+
+TEST(Adversary, BothSchedulesValidate) {
+  for (double eps : {0.05, 0.3, 0.9}) {
+    for (int m : {1, 2, 3, 4}) {
+      LowerBoundGame game(make_config(eps, m));
+      ThresholdScheduler alg(eps, m);
+      const GameResult result = game.play(alg);
+      EXPECT_TRUE(validate_schedule(result.instance, result.online_schedule).ok)
+          << "online m=" << m << " eps=" << eps;
+      EXPECT_TRUE(
+          validate_schedule(result.instance, result.optimal_schedule).ok)
+          << "optimal m=" << m << " eps=" << eps;
+    }
+  }
+}
+
+TEST(Adversary, VolumesMatchSchedules) {
+  LowerBoundGame game(make_config(0.1, 3));
+  ThresholdScheduler alg(0.1, 3);
+  const GameResult result = game.play(alg);
+  EXPECT_NEAR(result.alg_volume, result.online_schedule.total_volume(), 1e-9);
+  EXPECT_NEAR(result.opt_volume, result.optimal_schedule.total_volume(),
+              1e-9);
+  EXPECT_NEAR(result.ratio, result.opt_volume / result.alg_volume, 1e-9);
+}
+
+TEST(Adversary, AcceptFirstOnlyPaysThePhase2Price) {
+  // Accepting J_1 then rejecting everything ends phase 2 at subphase 1.
+  const int m = 3;
+  LowerBoundGame game(make_config(0.5, m));  // k = 3 > 1
+  AcceptFirstOnly alg(m);
+  const GameResult result = game.play(alg);
+  EXPECT_EQ(result.stop, GameStop::kPhase2Early);
+  EXPECT_EQ(result.stop_subphase, 1);
+  // Lemma 2: ratio = (2m + 1)/u with u = 1, up to O(beta).
+  EXPECT_NEAR(result.ratio, 2.0 * m + 1.0, 0.01);
+  // Early stopping is never better than c(eps, m).
+  EXPECT_GE(result.ratio, result.prediction.c - 0.01);
+}
+
+TEST(Adversary, TraceStructureIsPhased) {
+  LowerBoundGame game(make_config(0.2, 2));
+  ThresholdScheduler alg(0.2, 2);
+  const GameResult result = game.play(alg);
+  ASSERT_FALSE(result.trace.empty());
+  EXPECT_EQ(result.trace.front().phase, 1);
+  int prev_phase = 1;
+  for (const GameEvent& e : result.trace) {
+    EXPECT_GE(e.phase, prev_phase);
+    prev_phase = e.phase;
+    EXPECT_TRUE(e.job.structurally_valid());
+  }
+}
+
+TEST(Adversary, RejectsMismatchedMachineCount) {
+  LowerBoundGame game(make_config(0.2, 3));
+  ThresholdScheduler alg(0.2, 2);
+  EXPECT_THROW((void)game.play(alg), PreconditionError);
+}
+
+TEST(Adversary, RejectsDegenerateBeta) {
+  AdversaryConfig config = make_config(0.2, 3);
+  config.beta = 1e-12;  // would collapse below the time tolerance
+  EXPECT_THROW(LowerBoundGame{config}, PreconditionError);
+  config.beta = 0.5;  // not "arbitrarily small"
+  EXPECT_THROW(LowerBoundGame{config}, PreconditionError);
+}
+
+/// A scheduler that makes an illegal (overlapping) commitment mid-game.
+class CheatingScheduler final : public OnlineScheduler {
+ public:
+  explicit CheatingScheduler(int m) : m_(m) {}
+  Decision on_arrival(const Job& job) override {
+    // Accept everything at start time release on machine 0: the second
+    // acceptance overlaps the first.
+    return Decision::accept(0, job.release);
+  }
+  int machines() const override { return m_; }
+  void reset() override {}
+  std::string name() const override { return "Cheater"; }
+
+ private:
+  int m_;
+};
+
+TEST(Adversary, CheatersAreCaught) {
+  LowerBoundGame game(make_config(0.2, 2));
+  CheatingScheduler cheater(2);
+  EXPECT_THROW((void)game.play(cheater), PostconditionError);
+}
+
+/// The central quantitative claim, swept over the (m, eps) grid: the
+/// adversary forces ratio >= c(eps, m) - O(beta) on Threshold and greedy,
+/// and Threshold is tight (ratio == c up to O(beta)).
+class AdversaryGrid
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(AdversaryGrid, ForcesAtLeastCAndThresholdIsTight) {
+  const auto [m, eps] = GetParam();
+  LowerBoundGame game(make_config(eps, m));
+  const double c = game.prediction().c;
+  const double tol = 0.02 * c;
+
+  ThresholdScheduler threshold(eps, m);
+  const GameResult rt = game.play(threshold);
+  EXPECT_GE(rt.ratio, c - tol) << "threshold below the lower bound";
+  EXPECT_LE(rt.ratio, c + tol) << "threshold should be tight";
+
+  GreedyScheduler greedy(m);
+  const GameResult rg = game.play(greedy);
+  EXPECT_GE(rg.ratio, c - tol) << "greedy beat the lower bound";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AdversaryGrid,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(0.02, 0.08, 0.2, 0.45, 0.8, 1.0)));
+
+TEST(Adversary, GreedyIsFarFromOptimalForSmallEps) {
+  // The motivating separation: on m >= 2 and small eps, greedy's forced
+  // ratio is much larger than c(eps, m).
+  const double eps = 0.02;
+  const int m = 3;
+  LowerBoundGame game(make_config(eps, m));
+  GreedyScheduler greedy(m);
+  ThresholdScheduler threshold(eps, m);
+  const double greedy_ratio = game.play(greedy).ratio;
+  const double threshold_ratio = game.play(threshold).ratio;
+  EXPECT_GT(greedy_ratio, 2.0 * threshold_ratio);
+}
+
+// ---------- decision tree (Fig. 2) ----------
+
+TEST(DecisionTree, MentionsEveryPhase) {
+  const std::string tree = decision_tree_description(0.2, 3);
+  EXPECT_NE(tree.find("phase 1"), std::string::npos);
+  EXPECT_NE(tree.find("phase 2 subphase 1"), std::string::npos);
+  EXPECT_NE(tree.find("phase 2 subphase 3"), std::string::npos);
+  EXPECT_NE(tree.find("phase 3 subphase"), std::string::npos);
+  EXPECT_NE(tree.find("ratio unbounded"), std::string::npos);
+}
+
+TEST(DecisionTree, ShowsTheCompetitiveRatio) {
+  const RatioSolution sol = RatioFunction::solve(0.2, 3);
+  const std::string tree = decision_tree_description(0.2, 3);
+  EXPECT_NE(tree.find("k=" + std::to_string(sol.k)), std::string::npos);
+}
+
+TEST(DecisionTree, EarlyStopsOnlyBelowK) {
+  // For eps in the last phase (k = m) no (2m+1)/u stop appears... except
+  // for u < k; with k = m there are m - 1 of them.
+  const std::string tree = decision_tree_description(1.0, 2);  // k = 2
+  EXPECT_NE(tree.find("(2m+1)/1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slacksched

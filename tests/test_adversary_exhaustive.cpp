@@ -1,0 +1,156 @@
+// Exhaustive decision-tree verification of Theorem 1.
+//
+// test_adversary.cpp checks the paths real algorithms take; here a
+// scripted player follows EVERY accept/reject pattern through the
+// adversary's tree (the full Fig. 2), and each leaf's achieved ratio must
+// be >= c(eps, m) - O(beta). This verifies the lower bound not just
+// against our algorithms but against every deterministic behaviour an
+// algorithm could exhibit in the game.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "adversary/lower_bound_game.hpp"
+#include "common/expects.hpp"
+#include "sched/validator.hpp"
+
+namespace slacksched {
+namespace {
+
+/// Follows a scripted accept/reject plan: accepts the first job of a
+/// "round" (a maximal run of identical submissions) iff the plan says so
+/// and a legal slot exists (earliest start on the least loaded feasible
+/// machine). The plan is indexed by round; exhausted plans reject.
+class ScriptedPlayer final : public OnlineScheduler {
+ public:
+  ScriptedPlayer(int machines, std::vector<bool> plan)
+      : machines_(machines), plan_(std::move(plan)), mirror_(machines) {}
+
+  Decision on_arrival(const Job& job) override {
+    // Detect round boundaries: a new round starts when the job parameters
+    // change from the previous submission.
+    if (!last_job_ || !(last_job_->proc == job.proc &&
+                        last_job_->deadline == job.deadline &&
+                        last_job_->release == job.release)) {
+      ++round_;
+      accepted_this_round_ = false;
+    }
+    last_job_ = job;
+
+    const std::size_t index = static_cast<std::size_t>(round_);
+    const bool want =
+        index < plan_.size() ? plan_[index] : false;
+    if (!want || accepted_this_round_) return Decision::reject();
+
+    // Earliest-start legal slot.
+    int best = -1;
+    TimePoint best_start = 0.0;
+    for (int machine = 0; machine < machines_; ++machine) {
+      const TimePoint start =
+          std::max(job.release, mirror_.frontier(machine));
+      if (!approx_le(start + job.proc, job.deadline)) continue;
+      if (best < 0 || start < best_start) {
+        best = machine;
+        best_start = start;
+      }
+    }
+    if (best < 0) return Decision::reject();
+    mirror_.commit(job, best, best_start);
+    accepted_this_round_ = true;
+    return Decision::accept(best, best_start);
+  }
+
+  int machines() const override { return machines_; }
+
+  void reset() override {
+    mirror_ = Schedule(machines_);
+    last_job_.reset();
+    round_ = -1;
+    accepted_this_round_ = false;
+  }
+
+  std::string name() const override { return "Scripted"; }
+
+ private:
+  int machines_;
+  std::vector<bool> plan_;
+  Schedule mirror_;
+  std::optional<Job> last_job_;
+  int round_ = -1;
+  bool accepted_this_round_ = false;
+};
+
+/// Plays every accept/reject plan of the given length and checks the
+/// Theorem-1 inequality at each leaf.
+void verify_all_paths(double eps, int m) {
+  AdversaryConfig config;
+  config.eps = eps;
+  config.m = m;
+  config.beta = 1e-4;
+  const LowerBoundGame game(config);
+  const double c = game.prediction().c;
+  const double tolerance = 0.03 * c;
+
+  // Rounds: 1 (phase-1 job) + up to m phase-2 subphases + up to m phase-3
+  // subphases. Plans beyond the actually reached rounds are harmless.
+  const int rounds = 1 + 2 * m;
+  std::size_t leaves = 0;
+  double min_ratio = std::numeric_limits<double>::infinity();
+  for (std::uint32_t mask = 0; mask < (1u << rounds); ++mask) {
+    std::vector<bool> plan(static_cast<std::size_t>(rounds));
+    for (int bit = 0; bit < rounds; ++bit) {
+      plan[static_cast<std::size_t>(bit)] = (mask >> bit) & 1u;
+    }
+    ScriptedPlayer player(m, plan);
+    const GameResult result = game.play(player);
+    ++leaves;
+
+    ASSERT_TRUE(
+        validate_schedule(result.instance, result.online_schedule).ok);
+    ASSERT_TRUE(
+        validate_schedule(result.instance, result.optimal_schedule).ok);
+
+    if (result.unbounded()) continue;  // rejected J1: ratio infinite
+    EXPECT_GE(result.ratio, c - tolerance)
+        << "eps=" << eps << " m=" << m << " plan mask=" << mask
+        << " stop=" << to_string(result.stop) << "/" << result.stop_subphase;
+    min_ratio = std::min(min_ratio, result.ratio);
+  }
+  // Some plan must achieve (close to) the optimum play c itself — the
+  // bound is tight over the tree.
+  EXPECT_LE(min_ratio, c + tolerance)
+      << "eps=" << eps << " m=" << m << " over " << leaves << " plans";
+}
+
+class ExhaustiveTree
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ExhaustiveTree, EveryLeafRespectsTheLowerBound) {
+  const auto [m, eps] = GetParam();
+  verify_all_paths(eps, m);
+}
+
+// m <= 3 keeps the number of plans (2^(2m+1)) and game replays small.
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExhaustiveTree,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0.03, 0.12, 0.3, 0.6, 1.0)));
+
+TEST(ExhaustiveTree, AcceptEverythingPlanWalksTheWholeTree) {
+  // The all-accept plan accepts J1 and one job per subphase until the
+  // machines fill: the game must end in phase 3 with every machine used.
+  const int m = 3;
+  AdversaryConfig config;
+  config.eps = 0.12;
+  config.m = m;
+  config.beta = 1e-4;
+  const LowerBoundGame game(config);
+  ScriptedPlayer player(m, std::vector<bool>(1 + 2 * m, true));
+  const GameResult result = game.play(player);
+  EXPECT_EQ(result.stop, GameStop::kPhase3);
+  EXPECT_EQ(result.online_schedule.job_count(),
+            static_cast<std::size_t>(m));
+}
+
+}  // namespace
+}  // namespace slacksched

@@ -1,0 +1,151 @@
+// Tests of the randomized classify-and-select single-machine algorithm
+// (Corollary 1): structural correctness, commitment legality, and the
+// expected-volume relation to the virtual parallel simulation.
+#include "core/classify_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expects.hpp"
+#include "sched/engine.hpp"
+#include "sched/validator.hpp"
+#include "workload/generators.hpp"
+
+namespace slacksched {
+namespace {
+
+TEST(ClassifySelect, IsSingleMachine) {
+  ClassifySelectConfig config;
+  config.eps = 0.05;
+  ClassifySelectScheduler alg(config);
+  EXPECT_EQ(alg.machines(), 1);
+  EXPECT_GE(alg.virtual_machines(), 1);
+}
+
+TEST(ClassifySelect, DefaultMachineCountGrowsWithTighterSlack) {
+  EXPECT_EQ(classify_select_default_machines(1.0), 1);
+  EXPECT_GE(classify_select_default_machines(0.01),
+            classify_select_default_machines(0.1));
+  EXPECT_EQ(classify_select_default_machines(0.01), 5);  // round(ln 100)
+}
+
+TEST(ClassifySelect, ExplicitMachineCountRespected) {
+  ClassifySelectConfig config;
+  config.eps = 0.5;
+  config.virtual_machines = 7;
+  ClassifySelectScheduler alg(config);
+  EXPECT_EQ(alg.virtual_machines(), 7);
+}
+
+TEST(ClassifySelect, SelectedMachineInRange) {
+  ClassifySelectConfig config;
+  config.eps = 0.02;
+  config.seed = 5;
+  ClassifySelectScheduler alg(config);
+  for (int round = 0; round < 20; ++round) {
+    alg.reset();
+    EXPECT_GE(alg.selected_machine(), 0);
+    EXPECT_LT(alg.selected_machine(), alg.virtual_machines());
+  }
+}
+
+TEST(ClassifySelect, DeterministicInSeed) {
+  WorkloadConfig wconfig;
+  wconfig.n = 200;
+  wconfig.eps = 0.05;
+  wconfig.seed = 10;
+  const Instance inst = generate_workload(wconfig);
+
+  ClassifySelectConfig config;
+  config.eps = 0.05;
+  config.seed = 42;
+  ClassifySelectScheduler a(config);
+  ClassifySelectScheduler b(config);
+  const RunResult ra = run_online(a, inst);
+  const RunResult rb = run_online(b, inst);
+  ASSERT_EQ(ra.decisions.size(), rb.decisions.size());
+  for (std::size_t i = 0; i < ra.decisions.size(); ++i) {
+    EXPECT_EQ(ra.decisions[i].decision, rb.decisions[i].decision);
+  }
+}
+
+TEST(ClassifySelect, ResetAdvancesSelectionDeterministically) {
+  ClassifySelectConfig config;
+  config.eps = 0.01;  // several virtual machines
+  config.seed = 7;
+  ClassifySelectScheduler a(config);
+  ClassifySelectScheduler b(config);
+  std::vector<int> seq_a;
+  std::vector<int> seq_b;
+  for (int i = 0; i < 10; ++i) {
+    a.reset();
+    b.reset();
+    seq_a.push_back(a.selected_machine());
+    seq_b.push_back(b.selected_machine());
+  }
+  EXPECT_EQ(seq_a, seq_b);
+}
+
+TEST(ClassifySelect, NameMentionsParameters) {
+  ClassifySelectConfig config;
+  config.eps = 0.125;
+  ClassifySelectScheduler alg(config);
+  EXPECT_NE(alg.name().find("ClassifySelect"), std::string::npos);
+}
+
+/// Property: commitments are legal single-machine schedules on sweeps.
+class ClassifySelectSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(ClassifySelectSweep, SchedulesValidate) {
+  const auto [eps, seed] = GetParam();
+  WorkloadConfig wconfig;
+  wconfig.n = 300;
+  wconfig.eps = eps;
+  wconfig.arrival_rate = 3.0;
+  wconfig.seed = seed;
+  const Instance inst = generate_workload(wconfig);
+
+  ClassifySelectConfig config;
+  config.eps = eps;
+  config.seed = seed ^ 0xabcdef;
+  ClassifySelectScheduler alg(config);
+  const RunResult result = run_online(alg, inst);
+  EXPECT_TRUE(result.clean()) << result.commitment_violation;
+  EXPECT_TRUE(validate_schedule(inst, result.schedule).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ClassifySelectSweep,
+                         ::testing::Combine(::testing::Values(0.01, 0.1, 0.6),
+                                            ::testing::Values(1, 17, 3000)));
+
+TEST(ClassifySelect, SeedEnsembleMeanTracksVirtualLoadOverM) {
+  // E[accepted volume] == virtual parallel volume / m by uniform selection.
+  WorkloadConfig wconfig;
+  wconfig.n = 400;
+  wconfig.eps = 0.05;
+  wconfig.arrival_rate = 5.0;
+  wconfig.seed = 77;
+  const Instance inst = generate_workload(wconfig);
+
+  // Virtual parallel run for the reference volume.
+  const int m = classify_select_default_machines(0.05);
+  ThresholdScheduler virtual_alg(0.05, m);
+  const double virtual_volume =
+      run_online(virtual_alg, inst).metrics.accepted_volume;
+
+  double total = 0.0;
+  const int trials = 60;
+  for (int trial = 0; trial < trials; ++trial) {
+    ClassifySelectConfig config;
+    config.eps = 0.05;
+    config.seed = static_cast<std::uint64_t>(trial) * 7919 + 3;
+    ClassifySelectScheduler alg(config);
+    total += run_online(alg, inst).metrics.accepted_volume;
+  }
+  const double mean = total / trials;
+  const double expected = virtual_volume / m;
+  EXPECT_NEAR(mean, expected, 0.35 * expected);
+}
+
+}  // namespace
+}  // namespace slacksched

@@ -1,0 +1,176 @@
+// The full compatibility matrix: every immediate-commitment scheduler x
+// every workload scenario x machine counts, each cell asserting the three
+// universal invariants — clean commitments, validated schedules, and
+// accepted volume below the fractional upper bound — plus run-to-run
+// determinism. This is the regression net that keeps new algorithms and
+// new generators compatible with the whole harness.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/greedy.hpp"
+#include "baselines/random_admission.hpp"
+#include "core/adaptive.hpp"
+#include "core/classify_select.hpp"
+#include "core/threshold.hpp"
+#include "offline/upper_bound.hpp"
+#include "sched/engine.hpp"
+#include "sched/validator.hpp"
+#include "workload/generators.hpp"
+
+namespace slacksched {
+namespace {
+
+enum class AlgKind {
+  kThreshold,
+  kThresholdKOverride,
+  kGreedyBestFit,
+  kGreedyFirstFit,
+  kGreedyLeastLoaded,
+  kClassifySelect,  // forces m = 1
+  kRandomAdmission,
+  kAdaptive,
+};
+
+std::string to_string(AlgKind kind) {
+  switch (kind) {
+    case AlgKind::kThreshold:
+      return "threshold";
+    case AlgKind::kThresholdKOverride:
+      return "threshold-k1";
+    case AlgKind::kGreedyBestFit:
+      return "greedy-bf";
+    case AlgKind::kGreedyFirstFit:
+      return "greedy-ff";
+    case AlgKind::kGreedyLeastLoaded:
+      return "greedy-ll";
+    case AlgKind::kClassifySelect:
+      return "classify-select";
+    case AlgKind::kRandomAdmission:
+      return "random";
+    case AlgKind::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+std::unique_ptr<OnlineScheduler> make(AlgKind kind, double eps, int m) {
+  switch (kind) {
+    case AlgKind::kThreshold:
+      return std::make_unique<ThresholdScheduler>(eps, m);
+    case AlgKind::kThresholdKOverride: {
+      ThresholdConfig config;
+      config.eps = eps;
+      config.machines = m;
+      config.k_override = 1;
+      return std::make_unique<ThresholdScheduler>(config);
+    }
+    case AlgKind::kGreedyBestFit:
+      return std::make_unique<GreedyScheduler>(m, GreedyPolicy::kBestFit);
+    case AlgKind::kGreedyFirstFit:
+      return std::make_unique<GreedyScheduler>(m, GreedyPolicy::kFirstFit);
+    case AlgKind::kGreedyLeastLoaded:
+      return std::make_unique<GreedyScheduler>(m,
+                                               GreedyPolicy::kLeastLoaded);
+    case AlgKind::kClassifySelect: {
+      ClassifySelectConfig config;
+      config.eps = eps;
+      config.seed = 99;
+      return std::make_unique<ClassifySelectScheduler>(config);
+    }
+    case AlgKind::kRandomAdmission:
+      return std::make_unique<RandomAdmissionScheduler>(m, 0.6, 7);
+    case AlgKind::kAdaptive:
+      return make_adaptive_scheduler(eps, m);
+  }
+  return nullptr;
+}
+
+enum class ScenarioKind { kCloudBurst, kOverload, kDiurnalMix };
+
+std::string to_string(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kCloudBurst:
+      return "cloud-burst";
+    case ScenarioKind::kOverload:
+      return "overload";
+    case ScenarioKind::kDiurnalMix:
+      return "diurnal-mix";
+  }
+  return "?";
+}
+
+Instance make_instance(ScenarioKind kind, double eps) {
+  switch (kind) {
+    case ScenarioKind::kCloudBurst: {
+      WorkloadConfig config = cloud_burst_scenario(eps, 1234);
+      config.n = 400;
+      return generate_workload(config);
+    }
+    case ScenarioKind::kOverload: {
+      WorkloadConfig config = overload_scenario(eps, 1234);
+      config.n = 400;
+      return generate_workload(config);
+    }
+    case ScenarioKind::kDiurnalMix: {
+      WorkloadConfig config;
+      config.n = 400;
+      config.eps = eps;
+      config.arrival = ArrivalModel::kDiurnal;
+      config.arrival_rate = 3.0;
+      config.diurnal_period = 80.0;
+      config.diurnal_amplitude = 0.7;
+      config.size = SizeModel::kBimodal;
+      config.slack = SlackModel::kMixed;
+      config.seed = 1234;
+      return generate_workload(config);
+    }
+  }
+  return Instance{};
+}
+
+class CrossMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<AlgKind, ScenarioKind, double, int>> {};
+
+TEST_P(CrossMatrix, UniversalInvariantsHold) {
+  const auto [kind, scenario, eps, machines] = GetParam();
+  const int m = kind == AlgKind::kClassifySelect ? 1 : machines;
+  const Instance instance = make_instance(scenario, eps);
+  const auto scheduler = make(kind, eps, m);
+  ASSERT_NE(scheduler, nullptr);
+
+  const RunResult first = run_online(*scheduler, instance);
+  EXPECT_TRUE(first.clean())
+      << to_string(kind) << "/" << to_string(scenario) << ": "
+      << first.commitment_violation;
+  const auto report = validate_schedule(instance, first.schedule);
+  EXPECT_TRUE(report.ok) << to_string(kind) << ": " << report.to_string();
+  EXPECT_LE(first.metrics.accepted_volume,
+            preemptive_fractional_upper_bound(instance, m) + 1e-6);
+
+  // Determinism: a second run through the same object is identical.
+  const RunResult second = run_online(*scheduler, instance);
+  EXPECT_DOUBLE_EQ(second.metrics.accepted_volume,
+                   first.metrics.accepted_volume);
+  ASSERT_EQ(second.decisions.size(), first.decisions.size());
+  for (std::size_t i = 0; i < first.decisions.size(); ++i) {
+    EXPECT_EQ(second.decisions[i].decision, first.decisions[i].decision)
+        << to_string(kind) << " decision " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CrossMatrix,
+    ::testing::Combine(
+        ::testing::Values(AlgKind::kThreshold, AlgKind::kThresholdKOverride,
+                          AlgKind::kGreedyBestFit, AlgKind::kGreedyFirstFit,
+                          AlgKind::kGreedyLeastLoaded,
+                          AlgKind::kClassifySelect,
+                          AlgKind::kRandomAdmission, AlgKind::kAdaptive),
+        ::testing::Values(ScenarioKind::kCloudBurst, ScenarioKind::kOverload,
+                          ScenarioKind::kDiurnalMix),
+        ::testing::Values(0.05, 0.5), ::testing::Values(1, 3)));
+
+}  // namespace
+}  // namespace slacksched

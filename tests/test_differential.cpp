@@ -1,0 +1,184 @@
+// Differential tests: independent implementations of related quantities
+// must agree (or be ordered) on random inputs. These catch bugs that
+// per-module unit tests cannot, because the oracles were built separately:
+//   * non-preemptive feasibility implies preemptive-migration feasibility,
+//   * feasibility is downward closed (subsets of feasible sets),
+//   * the exact optimum is monotone in machines and bounded by UB chains,
+//   * every online algorithm's accepted set is exactly feasible,
+//   * the adversary's certificate volume matches the lemma expressions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "adversary/lower_bound_game.hpp"
+#include "baselines/greedy.hpp"
+#include "common/rng.hpp"
+#include "core/threshold.hpp"
+#include "offline/exact.hpp"
+#include "offline/feasibility.hpp"
+#include "offline/upper_bound.hpp"
+#include "sched/engine.hpp"
+#include "workload/generators.hpp"
+
+namespace slacksched {
+namespace {
+
+Instance small_random_instance(std::uint64_t seed, std::size_t n = 10) {
+  WorkloadConfig config;
+  config.n = n;
+  config.eps = 0.08;
+  config.arrival_rate = 1.5;
+  config.size_min = 1.0;
+  config.size_max = 6.0;
+  config.slack = SlackModel::kMixed;
+  config.slack_hi = 0.6;
+  config.seed = seed;
+  return generate_workload(config);
+}
+
+class DifferentialSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialSweep, NonPreemptiveFeasibleImpliesMigrationFeasible) {
+  const Instance inst = small_random_instance(GetParam());
+  Rng rng(GetParam() ^ 0xd1ff);
+  // Random subsets.
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Job> subset;
+    for (const Job& j : inst.jobs()) {
+      if (rng.bernoulli(0.5)) subset.push_back(j);
+    }
+    for (int m : {1, 2}) {
+      if (exact_feasible(subset, m)) {
+        EXPECT_TRUE(preemptive_migration_feasible_jobs(subset, m))
+            << "seed=" << GetParam() << " trial=" << trial << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST_P(DifferentialSweep, FeasibilityIsDownwardClosed) {
+  const Instance inst = small_random_instance(GetParam());
+  Rng rng(GetParam() ^ 0xc105ed);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Job> subset;
+    for (const Job& j : inst.jobs()) {
+      if (rng.bernoulli(0.6)) subset.push_back(j);
+    }
+    if (subset.empty() || !exact_feasible(subset, 2)) continue;
+    // Remove one job: must remain feasible.
+    std::vector<Job> smaller = subset;
+    smaller.erase(smaller.begin() +
+                  static_cast<std::ptrdiff_t>(rng.uniform_int(
+                      0, static_cast<std::int64_t>(smaller.size()) - 1)));
+    EXPECT_TRUE(exact_feasible(smaller, 2));
+    // Add a machine: must remain feasible.
+    EXPECT_TRUE(exact_feasible(subset, 3));
+  }
+}
+
+TEST_P(DifferentialSweep, OptimumIsMonotoneInMachines) {
+  const Instance inst = small_random_instance(GetParam());
+  double prev = 0.0;
+  for (int m = 1; m <= 3; ++m) {
+    const double opt = exact_optimal_load(inst, m).value;
+    EXPECT_GE(opt, prev - 1e-9) << "m=" << m;
+    prev = opt;
+  }
+  EXPECT_LE(prev, inst.total_volume() + 1e-9);
+}
+
+TEST_P(DifferentialSweep, UpperBoundChain) {
+  const Instance inst = small_random_instance(GetParam());
+  for (int m : {1, 2, 3}) {
+    const double opt = exact_optimal_load(inst, m).value;
+    const double frac_ub = preemptive_fractional_upper_bound(inst, m);
+    EXPECT_LE(opt, frac_ub + 1e-6) << "m=" << m;
+    EXPECT_LE(frac_ub,
+              std::min(inst.total_volume(),
+                       static_cast<double>(m) * inst.horizon()) +
+                  1e-6)
+        << "m=" << m;
+  }
+}
+
+TEST_P(DifferentialSweep, UpperBoundMonotoneInMachines) {
+  const Instance inst = small_random_instance(GetParam(), 40);
+  double prev = 0.0;
+  for (int m = 1; m <= 4; ++m) {
+    const double ub = preemptive_fractional_upper_bound(inst, m);
+    EXPECT_GE(ub, prev - 1e-6);
+    prev = ub;
+  }
+}
+
+TEST_P(DifferentialSweep, OnlineAcceptedSetsAreExactlyFeasible) {
+  const Instance inst = small_random_instance(GetParam());
+  for (int m : {1, 2}) {
+    ThresholdScheduler threshold(0.08, m);
+    GreedyScheduler greedy(m);
+    for (OnlineScheduler* alg :
+         {static_cast<OnlineScheduler*>(&threshold),
+          static_cast<OnlineScheduler*>(&greedy)}) {
+      const RunResult run = run_online(*alg, inst);
+      std::vector<Job> accepted;
+      for (const DecisionRecord& record : run.decisions) {
+        if (record.decision.accepted) accepted.push_back(record.job);
+      }
+      EXPECT_TRUE(exact_feasible(accepted, m))
+          << alg->name() << " m=" << m << " seed=" << GetParam();
+    }
+  }
+}
+
+TEST_P(DifferentialSweep, OnlineVolumeNeverExceedsExactOpt) {
+  const Instance inst = small_random_instance(GetParam());
+  for (int m : {1, 2}) {
+    const double opt = exact_optimal_load(inst, m).value;
+    ThresholdScheduler threshold(0.08, m);
+    GreedyScheduler greedy(m);
+    EXPECT_LE(run_online(threshold, inst).metrics.accepted_volume,
+              opt + 1e-9);
+    EXPECT_LE(run_online(greedy, inst).metrics.accepted_volume, opt + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(AdversaryCertificate, VolumeMatchesLemmaExpressions) {
+  // Against Threshold the game ends in phase 3; Lemma 4's OPT expression
+  // 1 + m*p2 + m*p3 must equal the certificate schedule's volume.
+  for (double eps : {0.05, 0.3}) {
+    for (int m : {2, 3}) {
+      AdversaryConfig config;
+      config.eps = eps;
+      config.m = m;
+      config.beta = 1e-4;
+      const LowerBoundGame game(config);
+      ThresholdScheduler alg(eps, m);
+      const GameResult result = game.play(alg);
+      ASSERT_EQ(result.stop, GameStop::kPhase3);
+
+      // Recover p2 and p3 from the trace.
+      double p2 = 0.0;
+      double p3 = 0.0;
+      for (const GameEvent& event : result.trace) {
+        if (event.phase == 2 && !event.decision.accepted) p2 = event.job.proc;
+        if (event.phase == 3 && event.subphase == result.stop_subphase) {
+          p3 = event.job.proc;
+        }
+      }
+      ASSERT_GT(p2, 0.0);
+      ASSERT_GT(p3, 0.0);
+      EXPECT_NEAR(result.opt_volume, 1.0 + m * (p2 + p3), 1e-9)
+          << "eps=" << eps << " m=" << m;
+      // And p3 = (f_h - 1) p2 with h = the stopping subphase.
+      EXPECT_NEAR(p3,
+                  (result.prediction.f_at(result.stop_subphase) - 1.0) * p2,
+                  1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slacksched

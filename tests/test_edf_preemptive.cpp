@@ -1,0 +1,132 @@
+#include "baselines/edf_preemptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expects.hpp"
+#include "workload/generators.hpp"
+
+namespace slacksched {
+namespace {
+
+Job make_job(JobId id, TimePoint r, Duration p, TimePoint d) {
+  Job j;
+  j.id = id;
+  j.release = r;
+  j.proc = p;
+  j.deadline = d;
+  return j;
+}
+
+TEST(EdfPreemptive, AcceptsSingleJob) {
+  const Instance inst({make_job(1, 0.0, 2.0, 3.0)});
+  const auto result = run_edf_preemptive(inst, 1);
+  EXPECT_EQ(result.metrics.accepted, 1u);
+  ASSERT_EQ(result.completions.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.completions[0].completion, 2.0);
+  EXPECT_TRUE(result.all_on_time());
+}
+
+TEST(EdfPreemptive, PreemptionAdmitsWhatNonPreemptionCannot) {
+  // A long loose job followed by an urgent short one: non-preemptive
+  // immediate commitment must reject the short job once the long one has
+  // started, but preemptive EDF fits both.
+  const Instance inst({make_job(1, 0.0, 10.0, 20.0),
+                       make_job(2, 1.0, 2.0, 4.0)});
+  const auto result = run_edf_preemptive(inst, 1);
+  EXPECT_EQ(result.metrics.accepted, 2u);
+  EXPECT_TRUE(result.all_on_time());
+}
+
+TEST(EdfPreemptive, RejectsInfeasibleAddition) {
+  const Instance inst({make_job(1, 0.0, 4.0, 4.5),
+                       make_job(2, 0.0, 4.0, 4.5)});
+  const auto result = run_edf_preemptive(inst, 1);
+  EXPECT_EQ(result.metrics.accepted, 1u);
+  EXPECT_EQ(result.metrics.rejected, 1u);
+  EXPECT_TRUE(result.all_on_time());
+}
+
+TEST(EdfPreemptive, NoMigrationAcrossMachines) {
+  // Two machines, three jobs each of length 2 with deadline 2.5: only two
+  // can run (one per machine); migration could not help and is not used.
+  const Instance inst({make_job(1, 0.0, 2.0, 2.5), make_job(2, 0.0, 2.0, 2.5),
+                       make_job(3, 0.0, 2.0, 2.5)});
+  const auto result = run_edf_preemptive(inst, 2);
+  EXPECT_EQ(result.metrics.accepted, 2u);
+  EXPECT_TRUE(result.all_on_time());
+}
+
+TEST(EdfPreemptive, PoliciesDiffer) {
+  // most-loaded stacks, least-loaded balances; both must stay feasible.
+  WorkloadConfig config;
+  config.n = 300;
+  config.eps = 0.2;
+  config.arrival_rate = 3.0;
+  config.seed = 555;
+  const Instance inst = generate_workload(config);
+  for (PreemptivePolicy policy :
+       {PreemptivePolicy::kFirstFeasible, PreemptivePolicy::kMostLoaded,
+        PreemptivePolicy::kLeastLoaded}) {
+    const auto result = run_edf_preemptive(inst, 3, policy);
+    EXPECT_TRUE(result.all_on_time()) << to_string(policy);
+    EXPECT_EQ(result.metrics.accepted + result.metrics.rejected,
+              result.metrics.submitted);
+    EXPECT_EQ(result.completions.size(), result.metrics.accepted);
+  }
+}
+
+TEST(EdfPreemptive, CompletionsMatchAcceptedJobs) {
+  WorkloadConfig config;
+  config.n = 200;
+  config.eps = 0.05;
+  config.arrival_rate = 4.0;
+  config.seed = 99;
+  const Instance inst = generate_workload(config);
+  const auto result = run_edf_preemptive(inst, 2);
+  EXPECT_EQ(result.completions.size(), result.metrics.accepted);
+  EXPECT_GT(result.metrics.accepted, 0u);
+  double completed_deadline_margin = 0.0;
+  for (const auto& c : result.completions) {
+    completed_deadline_margin += c.deadline - c.completion;
+    EXPECT_GE(c.machine, 0);
+    EXPECT_LT(c.machine, 2);
+  }
+  EXPECT_GE(completed_deadline_margin, 0.0);
+}
+
+TEST(EdfPreemptive, PolicyNames) {
+  EXPECT_EQ(to_string(PreemptivePolicy::kFirstFeasible), "first-feasible");
+  EXPECT_EQ(to_string(PreemptivePolicy::kMostLoaded), "most-loaded");
+  EXPECT_EQ(to_string(PreemptivePolicy::kLeastLoaded), "least-loaded");
+}
+
+TEST(EdfPreemptive, RejectsBadMachineCount) {
+  EXPECT_THROW((void)run_edf_preemptive(Instance{}, 0), PreconditionError);
+}
+
+/// Property: every admitted job completes by its deadline, across sweeps.
+class EdfSweep
+    : public ::testing::TestWithParam<std::tuple<double, int, std::uint64_t>> {
+};
+
+TEST_P(EdfSweep, AdmittedJobsAlwaysCompleteOnTime) {
+  const auto [eps, m, seed] = GetParam();
+  WorkloadConfig config;
+  config.n = 400;
+  config.eps = eps;
+  config.arrival_rate = 2.0 * m;
+  config.slack = SlackModel::kTight;
+  config.seed = seed;
+  const Instance inst = generate_workload(config);
+  const auto result = run_edf_preemptive(inst, m);
+  EXPECT_TRUE(result.all_on_time());
+  EXPECT_EQ(result.completions.size(), result.metrics.accepted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EdfSweep,
+                         ::testing::Combine(::testing::Values(0.02, 0.3),
+                                            ::testing::Values(1, 3),
+                                            ::testing::Values(7, 1234)));
+
+}  // namespace
+}  // namespace slacksched

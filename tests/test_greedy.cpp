@@ -1,0 +1,124 @@
+#include "baselines/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expects.hpp"
+#include "sched/engine.hpp"
+#include "sched/validator.hpp"
+#include "workload/generators.hpp"
+
+namespace slacksched {
+namespace {
+
+Job make_job(JobId id, TimePoint r, Duration p, TimePoint d) {
+  Job j;
+  j.id = id;
+  j.release = r;
+  j.proc = p;
+  j.deadline = d;
+  return j;
+}
+
+TEST(Greedy, AcceptsEveryFeasibleJob) {
+  GreedyScheduler alg(1);
+  EXPECT_TRUE(alg.on_arrival(make_job(1, 0.0, 2.0, 2.0)).accepted);
+  // Infeasible: outstanding load 2, deadline too tight.
+  EXPECT_FALSE(alg.on_arrival(make_job(2, 0.0, 1.0, 2.5)).accepted);
+  // Feasible after the load: accepted (greedy has no threshold).
+  EXPECT_TRUE(alg.on_arrival(make_job(3, 0.0, 1.0, 3.0)).accepted);
+}
+
+TEST(Greedy, BestFitStacksOnMostLoaded) {
+  GreedyScheduler alg(2, GreedyPolicy::kBestFit);
+  ASSERT_TRUE(alg.on_arrival(make_job(1, 0.0, 4.0, 100.0)).accepted);
+  const Decision d = alg.on_arrival(make_job(2, 0.0, 1.0, 100.0));
+  ASSERT_TRUE(d.accepted);
+  EXPECT_EQ(d.machine, 0);
+  EXPECT_DOUBLE_EQ(d.start, 4.0);
+}
+
+TEST(Greedy, LeastLoadedBalances) {
+  GreedyScheduler alg(2, GreedyPolicy::kLeastLoaded);
+  ASSERT_TRUE(alg.on_arrival(make_job(1, 0.0, 4.0, 100.0)).accepted);
+  const Decision d = alg.on_arrival(make_job(2, 0.0, 1.0, 100.0));
+  ASSERT_TRUE(d.accepted);
+  EXPECT_EQ(d.machine, 1);
+  EXPECT_DOUBLE_EQ(d.start, 0.0);
+}
+
+TEST(Greedy, FirstFitPicksLowestIndex) {
+  GreedyScheduler alg(3, GreedyPolicy::kFirstFit);
+  ASSERT_TRUE(alg.on_arrival(make_job(1, 0.0, 1.0, 100.0)).accepted);
+  const Decision d = alg.on_arrival(make_job(2, 0.0, 1.0, 100.0));
+  ASSERT_TRUE(d.accepted);
+  EXPECT_EQ(d.machine, 0);  // still feasible on machine 0 (after load 1)
+  EXPECT_DOUBLE_EQ(d.start, 1.0);
+}
+
+TEST(Greedy, FirstFitSkipsInfeasibleMachines) {
+  GreedyScheduler alg(2, GreedyPolicy::kFirstFit);
+  ASSERT_TRUE(alg.on_arrival(make_job(1, 0.0, 4.0, 100.0)).accepted);
+  const Decision d = alg.on_arrival(make_job(2, 0.0, 1.0, 2.0));
+  ASSERT_TRUE(d.accepted);
+  EXPECT_EQ(d.machine, 1);
+}
+
+TEST(Greedy, RejectsOnlyWhenNoMachineFits) {
+  GreedyScheduler alg(2);
+  ASSERT_TRUE(alg.on_arrival(make_job(1, 0.0, 4.0, 100.0)).accepted);
+  ASSERT_TRUE(alg.on_arrival(make_job(2, 0.0, 4.0, 4.0)).accepted);
+  EXPECT_FALSE(alg.on_arrival(make_job(3, 0.0, 1.0, 3.0)).accepted);
+}
+
+TEST(Greedy, ResetClearsLoads) {
+  GreedyScheduler alg(1);
+  ASSERT_TRUE(alg.on_arrival(make_job(1, 0.0, 4.0, 4.0)).accepted);
+  EXPECT_FALSE(alg.on_arrival(make_job(2, 0.0, 4.0, 4.0)).accepted);
+  alg.reset();
+  EXPECT_TRUE(alg.on_arrival(make_job(3, 0.0, 4.0, 4.0)).accepted);
+}
+
+TEST(Greedy, NameMentionsPolicy) {
+  EXPECT_NE(GreedyScheduler(2, GreedyPolicy::kBestFit).name().find("best-fit"),
+            std::string::npos);
+  EXPECT_NE(
+      GreedyScheduler(2, GreedyPolicy::kFirstFit).name().find("first-fit"),
+      std::string::npos);
+  EXPECT_NE(GreedyScheduler(2, GreedyPolicy::kLeastLoaded)
+                .name()
+                .find("least-loaded"),
+            std::string::npos);
+}
+
+TEST(Greedy, RejectsInvalidConstruction) {
+  EXPECT_THROW(GreedyScheduler(0), PreconditionError);
+}
+
+/// Property sweep: greedy commitments are always legal under all policies.
+class GreedySweep
+    : public ::testing::TestWithParam<std::tuple<GreedyPolicy, int>> {};
+
+TEST_P(GreedySweep, SchedulesValidateOnRandomWorkloads) {
+  const auto [policy, m] = GetParam();
+  WorkloadConfig config;
+  config.n = 400;
+  config.eps = 0.1;
+  config.arrival_rate = 3.0;
+  config.seed = 314;
+  const Instance inst = generate_workload(config);
+
+  GreedyScheduler alg(m, policy);
+  const RunResult result = run_online(alg, inst);
+  EXPECT_TRUE(result.clean()) << result.commitment_violation;
+  EXPECT_TRUE(validate_schedule(inst, result.schedule).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GreedySweep,
+    ::testing::Combine(::testing::Values(GreedyPolicy::kBestFit,
+                                         GreedyPolicy::kFirstFit,
+                                         GreedyPolicy::kLeastLoaded),
+                       ::testing::Values(1, 2, 4)));
+
+}  // namespace
+}  // namespace slacksched

@@ -1,0 +1,100 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/expects.hpp"
+#include "common/rng.hpp"
+
+namespace slacksched {
+namespace {
+
+TEST(Histogram, LinearBinsCountCorrectly) {
+  Histogram h = Histogram::linear(0.0, 10.0, 5);
+  ASSERT_EQ(h.bin_count(), 5u);
+  h.add(1.0);   // bin 0 [0, 2)
+  h.add(1.9);   // bin 0
+  h.add(2.0);   // bin 1 [2, 4)
+  h.add(9.99);  // bin 4 [8, 10)
+  EXPECT_EQ(h.count_in_bin(0), 2u);
+  EXPECT_EQ(h.count_in_bin(1), 1u);
+  EXPECT_EQ(h.count_in_bin(4), 1u);
+  EXPECT_EQ(h.total_count(), 4u);
+}
+
+TEST(Histogram, BinRangesPartitionTheDomain) {
+  Histogram h = Histogram::linear(-1.0, 1.0, 4);
+  double prev_upper = -1.0;
+  for (std::size_t bin = 0; bin < h.bin_count(); ++bin) {
+    const auto [lo, hi] = h.bin_range(bin);
+    EXPECT_DOUBLE_EQ(lo, prev_upper);
+    EXPECT_LT(lo, hi);
+    prev_upper = hi;
+  }
+  EXPECT_DOUBLE_EQ(prev_upper, 1.0);
+}
+
+TEST(Histogram, OutOfRangeValuesClampIntoEndBins) {
+  Histogram h = Histogram::linear(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  h.add(10.0);  // exactly the upper edge clamps into the last bin
+  EXPECT_EQ(h.count_in_bin(0), 1u);
+  EXPECT_EQ(h.count_in_bin(4), 2u);
+}
+
+TEST(Histogram, LogBinsAreGeometric) {
+  Histogram h = Histogram::logarithmic(1.0, 1000.0, 3);
+  const auto [lo0, hi0] = h.bin_range(0);
+  const auto [lo1, hi1] = h.bin_range(1);
+  EXPECT_NEAR(hi0, 10.0, 1e-9);
+  EXPECT_NEAR(hi1, 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(lo0, 1.0);
+  EXPECT_DOUBLE_EQ(lo1, hi0);
+}
+
+TEST(Histogram, UniformSamplesSpreadEvenly) {
+  Histogram h = Histogram::linear(0.0, 1.0, 10);
+  Rng rng(4);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) h.add(rng.uniform01());
+  for (std::size_t bin = 0; bin < h.bin_count(); ++bin) {
+    EXPECT_NEAR(static_cast<double>(h.count_in_bin(bin)) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Histogram, PrintRendersBarsAndTotal) {
+  Histogram h = Histogram::linear(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  std::ostringstream out;
+  h.print(out, 20);
+  const std::string rendered = out.str();
+  EXPECT_NE(rendered.find('#'), std::string::npos);
+  EXPECT_NE(rendered.find("total: 3"), std::string::npos);
+}
+
+TEST(Histogram, EmptyPrintDoesNotDivideByZero) {
+  Histogram h = Histogram::linear(0.0, 1.0, 3);
+  std::ostringstream out;
+  h.print(out);
+  EXPECT_NE(out.str().find("total: 0"), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram::linear(1.0, 1.0, 3), PreconditionError);
+  EXPECT_THROW(Histogram::linear(0.0, 1.0, 0), PreconditionError);
+  EXPECT_THROW(Histogram::logarithmic(0.0, 1.0, 3), PreconditionError);
+  EXPECT_THROW(Histogram::logarithmic(2.0, 1.0, 3), PreconditionError);
+}
+
+TEST(Histogram, QueriesRejectBadBin) {
+  Histogram h = Histogram::linear(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.count_in_bin(2), PreconditionError);
+  EXPECT_THROW((void)h.bin_range(2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace slacksched

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "common/expects.hpp"
+#include "job/instance.hpp"
+#include "job/job.hpp"
+
+namespace slacksched {
+namespace {
+
+Job make_job(JobId id, TimePoint r, Duration p, TimePoint d) {
+  Job j;
+  j.id = id;
+  j.release = r;
+  j.proc = p;
+  j.deadline = d;
+  return j;
+}
+
+TEST(Job, SlackAndWindow) {
+  const Job j = make_job(1, 2.0, 4.0, 10.0);
+  EXPECT_DOUBLE_EQ(j.window(), 8.0);
+  EXPECT_DOUBLE_EQ(j.slack(), 1.0);  // 8/4 - 1
+  EXPECT_DOUBLE_EQ(j.latest_start(), 6.0);
+}
+
+TEST(Job, SlackConditionBoundary) {
+  // d = (1 + eps) p + r exactly: tight slack satisfies the condition.
+  const Job tight = make_job(1, 1.0, 2.0, 1.0 + 2.0 * 1.25);
+  EXPECT_TRUE(tight.satisfies_slack(0.25));
+  EXPECT_FALSE(tight.satisfies_slack(0.26));
+}
+
+TEST(Job, StructuralValidity) {
+  EXPECT_TRUE(make_job(1, 0.0, 1.0, 2.0).structurally_valid());
+  EXPECT_FALSE(make_job(1, 0.0, 0.0, 2.0).structurally_valid());   // p = 0
+  EXPECT_FALSE(make_job(1, 3.0, 1.0, 2.0).structurally_valid());   // d < r
+  EXPECT_FALSE(make_job(1, -1.0, 1.0, 2.0).structurally_valid());  // r < 0
+}
+
+TEST(Job, ToStringMentionsId) {
+  EXPECT_NE(make_job(7, 0.0, 1.0, 2.0).to_string().find("J7"),
+            std::string::npos);
+}
+
+TEST(Instance, SortsBySubmissionOrder) {
+  Instance inst({make_job(1, 5.0, 1.0, 10.0), make_job(2, 1.0, 1.0, 10.0),
+                 make_job(3, 3.0, 1.0, 10.0)});
+  ASSERT_EQ(inst.size(), 3u);
+  EXPECT_DOUBLE_EQ(inst[0].release, 1.0);
+  EXPECT_DOUBLE_EQ(inst[1].release, 3.0);
+  EXPECT_DOUBLE_EQ(inst[2].release, 5.0);
+}
+
+TEST(Instance, TieBreaksById) {
+  Instance inst({make_job(9, 1.0, 1.0, 10.0), make_job(4, 1.0, 2.0, 10.0)});
+  EXPECT_EQ(inst[0].id, 4);
+  EXPECT_EQ(inst[1].id, 9);
+}
+
+TEST(Instance, AssignsMissingIds) {
+  Instance inst({make_job(0, 0.0, 1.0, 3.0), make_job(0, 1.0, 1.0, 3.0),
+                 make_job(7, 2.0, 1.0, 4.0)});
+  // Ids must end up unique and positive.
+  EXPECT_NE(inst[0].id, inst[1].id);
+  EXPECT_NE(inst[1].id, inst[2].id);
+  EXPECT_NE(inst[0].id, inst[2].id);
+}
+
+TEST(Instance, VolumeAndHorizon) {
+  Instance inst({make_job(1, 0.0, 2.0, 5.0), make_job(2, 1.0, 3.0, 9.0)});
+  EXPECT_DOUBLE_EQ(inst.total_volume(), 5.0);
+  EXPECT_DOUBLE_EQ(inst.horizon(), 9.0);
+}
+
+TEST(Instance, MinSlack) {
+  Instance inst({make_job(1, 0.0, 2.0, 5.0),    // slack 1.5
+                 make_job(2, 0.0, 4.0, 6.0)});  // slack 0.5
+  EXPECT_DOUBLE_EQ(inst.min_slack(), 0.5);
+}
+
+TEST(Instance, MinSlackRequiresJobs) {
+  Instance inst;
+  EXPECT_THROW((void)inst.min_slack(), PreconditionError);
+}
+
+TEST(Instance, ValidateAcceptsGoodInstance) {
+  Instance inst({make_job(1, 0.0, 1.0, 2.0)});
+  EXPECT_TRUE(inst.validate().ok);
+  EXPECT_TRUE(inst.validate(0.5).ok);
+}
+
+TEST(Instance, ValidateFlagsSlackViolation) {
+  Instance inst({make_job(1, 0.0, 1.0, 1.4)});  // slack 0.4
+  EXPECT_TRUE(inst.validate(0.4).ok);
+  const auto v = inst.validate(0.5);
+  EXPECT_FALSE(v.ok);
+  ASSERT_EQ(v.errors.size(), 1u);
+}
+
+TEST(Instance, ValidateFlagsStructuralProblems) {
+  std::vector<Job> jobs{make_job(1, 0.0, 1.0, 2.0)};
+  jobs.push_back(make_job(2, 0.0, -1.0, 2.0));
+  Instance inst(std::move(jobs));
+  EXPECT_FALSE(inst.validate().ok);
+}
+
+TEST(Instance, AppendInOrder) {
+  Instance inst;
+  Job a = make_job(1, 0.0, 1.0, 2.0);
+  inst.append_in_order(a);
+  inst.append_in_order(make_job(2, 1.0, 1.0, 3.0));
+  EXPECT_EQ(inst.size(), 2u);
+  EXPECT_THROW(inst.append_in_order(make_job(3, 0.5, 1.0, 2.0)),
+               PreconditionError);
+}
+
+TEST(Instance, EmptyBasics) {
+  Instance inst;
+  EXPECT_TRUE(inst.empty());
+  EXPECT_DOUBLE_EQ(inst.total_volume(), 0.0);
+  EXPECT_DOUBLE_EQ(inst.horizon(), 0.0);
+  EXPECT_TRUE(inst.validate().ok);
+}
+
+}  // namespace
+}  // namespace slacksched

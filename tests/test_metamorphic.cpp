@@ -1,0 +1,107 @@
+// Metamorphic tests: transformations of the input with predictable
+// effects on the output. The model has no absolute time scale or origin,
+// so for every deterministic scheduler here,
+//   * scaling all times by alpha > 0 scales all committed starts by alpha
+//     and keeps accept/reject decisions and machine choices identical;
+//   * shifting all times by delta > 0 shifts starts by delta likewise.
+// These catch hidden absolute-time or absolute-scale assumptions that no
+// fixed-instance test would.
+#include <gtest/gtest.h>
+
+#include "baselines/greedy.hpp"
+#include "core/threshold.hpp"
+#include "sched/engine.hpp"
+#include "workload/generators.hpp"
+
+namespace slacksched {
+namespace {
+
+Instance transform(const Instance& instance, double alpha, double delta) {
+  std::vector<Job> jobs;
+  jobs.reserve(instance.size());
+  for (Job j : instance.jobs()) {
+    j.release = alpha * j.release + delta;
+    j.proc = alpha * j.proc;
+    j.deadline = alpha * j.deadline + delta;
+    jobs.push_back(j);
+  }
+  return Instance(std::move(jobs));
+}
+
+Instance base_instance(std::uint64_t seed) {
+  WorkloadConfig config;
+  config.n = 300;
+  config.eps = 0.15;
+  config.arrival_rate = 3.0;
+  config.slack = SlackModel::kMixed;
+  config.seed = seed;
+  return generate_workload(config);
+}
+
+void expect_transformed_run(OnlineScheduler& alg, const Instance& original,
+                            const Instance& transformed, double alpha,
+                            double delta) {
+  const RunResult a = run_online(alg, original);
+  const RunResult b = run_online(alg, transformed);
+  ASSERT_TRUE(a.clean());
+  ASSERT_TRUE(b.clean());
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    const Decision& da = a.decisions[i].decision;
+    const Decision& db = b.decisions[i].decision;
+    EXPECT_EQ(da.accepted, db.accepted) << alg.name() << " job " << i;
+    if (da.accepted && db.accepted) {
+      EXPECT_EQ(da.machine, db.machine) << alg.name() << " job " << i;
+      EXPECT_NEAR(db.start, alpha * da.start + delta,
+                  1e-6 * (1.0 + std::abs(db.start)))
+          << alg.name() << " job " << i;
+    }
+  }
+  EXPECT_NEAR(b.metrics.accepted_volume, alpha * a.metrics.accepted_volume,
+              1e-6 * (1.0 + a.metrics.accepted_volume));
+}
+
+class MetamorphicSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, std::uint64_t>> {
+};
+
+TEST_P(MetamorphicSweep, ThresholdIsScaleAndShiftInvariant) {
+  const auto [alpha, delta, seed] = GetParam();
+  const Instance original = base_instance(seed);
+  const Instance transformed = transform(original, alpha, delta);
+  ThresholdScheduler alg(0.15, 3);
+  expect_transformed_run(alg, original, transformed, alpha, delta);
+}
+
+TEST_P(MetamorphicSweep, GreedyIsScaleAndShiftInvariant) {
+  const auto [alpha, delta, seed] = GetParam();
+  const Instance original = base_instance(seed);
+  const Instance transformed = transform(original, alpha, delta);
+  GreedyScheduler alg(3);
+  expect_transformed_run(alg, original, transformed, alpha, delta);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transforms, MetamorphicSweep,
+    ::testing::Combine(::testing::Values(1.0, 2.0, 0.25, 1000.0),
+                       ::testing::Values(0.0, 5.0, 1000.0),
+                       ::testing::Values(1, 42)));
+
+TEST(Metamorphic, ScalingPreservesTheRatioFunctionInputs) {
+  // The slack of a scaled instance is unchanged: the guarantee, and hence
+  // the scheduler's parameters, must not drift under scaling.
+  const Instance original = base_instance(5);
+  const Instance scaled = transform(original, 3.5, 0.0);
+  EXPECT_NEAR(original.min_slack(), scaled.min_slack(), 1e-9);
+}
+
+TEST(Metamorphic, SlackIsNotShiftOfDeadlinesAlone) {
+  // Sanity of the transform helper itself: shifting release and deadline
+  // together keeps slack; shifting deadlines alone would not.
+  const Instance original = base_instance(6);
+  const Instance shifted = transform(original, 1.0, 123.0);
+  EXPECT_NEAR(original.min_slack(), shifted.min_slack(), 1e-9);
+}
+
+}  // namespace
+}  // namespace slacksched

@@ -1,0 +1,198 @@
+// Tests of the preemptive-migration feasibility oracle and the
+// flow-admission migration baseline, plus the random-admission control.
+#include <gtest/gtest.h>
+
+#include "baselines/edf_preemptive.hpp"
+#include "baselines/greedy.hpp"
+#include "baselines/migration_flow.hpp"
+#include "baselines/random_admission.hpp"
+#include "common/expects.hpp"
+#include "offline/feasibility.hpp"
+#include "offline/upper_bound.hpp"
+#include "sched/engine.hpp"
+#include "workload/generators.hpp"
+
+namespace slacksched {
+namespace {
+
+Job make_job(JobId id, TimePoint r, Duration p, TimePoint d) {
+  Job j;
+  j.id = id;
+  j.release = r;
+  j.proc = p;
+  j.deadline = d;
+  return j;
+}
+
+// ---------- feasibility oracle ----------
+
+TEST(MigrationFeasible, EmptyIsFeasible) {
+  EXPECT_TRUE(preemptive_migration_feasible({}, 1, 0.0));
+  EXPECT_TRUE(preemptive_migration_feasible_jobs({}, 2));
+}
+
+TEST(MigrationFeasible, SingleFragment) {
+  EXPECT_TRUE(preemptive_migration_feasible({{1, 2.0, 5.0}}, 1, 0.0));
+  EXPECT_FALSE(preemptive_migration_feasible({{1, 2.0, 1.5}}, 1, 0.0));
+}
+
+TEST(MigrationFeasible, RespectsNow) {
+  EXPECT_TRUE(preemptive_migration_feasible({{1, 2.0, 5.0}}, 1, 3.0));
+  EXPECT_FALSE(preemptive_migration_feasible({{1, 2.0, 4.5}}, 1, 3.0));
+}
+
+TEST(MigrationFeasible, AggregateCapacity) {
+  // Three unit fragments due at 2 on one machine: 3 > 1 * 2 -> infeasible;
+  // two machines: 3 <= 2 * 2 and no fragment exceeds its window.
+  const std::vector<RemainingJob> fragments{{1, 1.0, 2.0}, {2, 1.0, 2.0},
+                                            {3, 1.0, 2.0}};
+  EXPECT_FALSE(preemptive_migration_feasible(fragments, 1, 0.0));
+  EXPECT_TRUE(preemptive_migration_feasible(fragments, 2, 0.0));
+}
+
+TEST(MigrationFeasible, PerJobParallelismMatters) {
+  // One fragment of 4 units due at 2: even 8 machines cannot parallelize a
+  // single job.
+  EXPECT_FALSE(preemptive_migration_feasible({{1, 4.0, 2.0}}, 8, 0.0));
+}
+
+TEST(MigrationFeasible, MigrationBeatsNoMigration) {
+  // Classic: 3 jobs of length 2, all due at 3, on 2 machines. Total work
+  // 6 = 2 * 3 and each job fits its window, so migration succeeds —
+  // while any non-preemptive or no-migration schedule fails.
+  const std::vector<Job> jobs{make_job(1, 0.0, 2.0, 3.0),
+                              make_job(2, 0.0, 2.0, 3.0),
+                              make_job(3, 0.0, 2.0, 3.0)};
+  EXPECT_TRUE(preemptive_migration_feasible_jobs(jobs, 2));
+}
+
+TEST(MigrationFeasible, ReleaseDatesRestrictWindows) {
+  // Job 2 releases at 2, due at 3; job 1 needs [0, 3] fully. One machine
+  // cannot host both (total 4 > 3).
+  const std::vector<Job> jobs{make_job(1, 0.0, 3.0, 3.0),
+                              make_job(2, 2.0, 1.0, 3.0)};
+  EXPECT_FALSE(preemptive_migration_feasible_jobs(jobs, 1));
+  EXPECT_TRUE(preemptive_migration_feasible_jobs(jobs, 2));
+}
+
+// ---------- migration admission baseline ----------
+
+TEST(MigrationAdmission, AcceptsEverythingWhenFeasible) {
+  const Instance inst({make_job(1, 0.0, 2.0, 3.0), make_job(2, 0.0, 2.0, 3.0),
+                       make_job(3, 0.0, 2.0, 3.0)});
+  const MigrationResult result = run_migration_admission(inst, 2);
+  EXPECT_EQ(result.metrics.accepted, 3u);
+  EXPECT_TRUE(result.all_on_time());
+  EXPECT_EQ(result.completions.size(), 3u);
+}
+
+TEST(MigrationAdmission, RejectsOverload) {
+  const Instance inst({make_job(1, 0.0, 2.0, 2.0), make_job(2, 0.0, 2.0, 2.0),
+                       make_job(3, 0.0, 2.0, 2.0)});
+  const MigrationResult result = run_migration_admission(inst, 2);
+  EXPECT_EQ(result.metrics.accepted, 2u);
+  EXPECT_EQ(result.metrics.rejected, 1u);
+  EXPECT_TRUE(result.all_on_time());
+}
+
+TEST(MigrationAdmission, BeatsNonPreemptiveGreedyOnTheClassicInstance) {
+  // 3 jobs length 2 due 3 on 2 machines: migration takes all three,
+  // non-preemptive admission can take only two.
+  const Instance inst({make_job(1, 0.0, 2.0, 3.0), make_job(2, 0.0, 2.0, 3.0),
+                       make_job(3, 0.0, 2.0, 3.0)});
+  GreedyScheduler greedy(2);
+  const double greedy_volume =
+      run_online(greedy, inst).metrics.accepted_volume;
+  const MigrationResult migration = run_migration_admission(inst, 2);
+  EXPECT_DOUBLE_EQ(greedy_volume, 4.0);
+  EXPECT_DOUBLE_EQ(migration.metrics.accepted_volume, 6.0);
+}
+
+TEST(MigrationAdmission, AccountsEveryJob) {
+  WorkloadConfig config;
+  config.n = 200;
+  config.eps = 0.05;
+  config.arrival_rate = 4.0;
+  config.seed = 12;
+  const Instance inst = generate_workload(config);
+  const MigrationResult result = run_migration_admission(inst, 3);
+  EXPECT_EQ(result.metrics.accepted + result.metrics.rejected,
+            result.metrics.submitted);
+  EXPECT_NEAR(
+      result.metrics.accepted_volume + result.metrics.rejected_volume,
+      inst.total_volume(), 1e-6);
+  EXPECT_TRUE(result.all_on_time());
+  EXPECT_EQ(result.completions.size(), result.metrics.accepted);
+}
+
+TEST(MigrationAdmission, StaysBelowFractionalUpperBound) {
+  WorkloadConfig config = overload_scenario(0.1, 9);
+  config.n = 300;
+  const Instance inst = generate_workload(config);
+  const MigrationResult result = run_migration_admission(inst, 2);
+  EXPECT_LE(result.metrics.accepted_volume,
+            preemptive_fractional_upper_bound(inst, 2) + 1e-6);
+}
+
+TEST(MigrationAdmission, DominatesNoMigrationOnAverage) {
+  // Across seeds, migration admission should accept at least roughly as
+  // much as the per-machine preemptive EDF (it has strictly more freedom;
+  // greedy admission order can cause small per-instance inversions).
+  double migration_total = 0.0;
+  double edf_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    WorkloadConfig config = overload_scenario(0.05, seed);
+    config.n = 150;
+    const Instance inst = generate_workload(config);
+    migration_total += run_migration_admission(inst, 2).metrics.accepted_volume;
+    edf_total += run_edf_preemptive(inst, 2).metrics.accepted_volume;
+  }
+  EXPECT_GE(migration_total, 0.95 * edf_total);
+}
+
+// ---------- random admission control ----------
+
+TEST(RandomAdmission, ZeroProbabilityRejectsEverything) {
+  RandomAdmissionScheduler alg(2, 0.0, 1);
+  EXPECT_FALSE(alg.on_arrival(make_job(1, 0.0, 1.0, 5.0)).accepted);
+}
+
+TEST(RandomAdmission, UnitProbabilityActsGreedy) {
+  RandomAdmissionScheduler alg(1, 1.0, 1);
+  EXPECT_TRUE(alg.on_arrival(make_job(1, 0.0, 1.0, 5.0)).accepted);
+  EXPECT_TRUE(alg.on_arrival(make_job(2, 0.0, 1.0, 5.0)).accepted);
+  EXPECT_FALSE(alg.on_arrival(make_job(3, 0.0, 4.0, 5.0)).accepted);
+}
+
+TEST(RandomAdmission, ReplaysIdenticallyAfterReset) {
+  WorkloadConfig config;
+  config.n = 200;
+  config.eps = 0.3;
+  config.seed = 3;
+  const Instance inst = generate_workload(config);
+  RandomAdmissionScheduler alg(2, 0.5, 99);
+  const RunResult a = run_online(alg, inst);
+  const RunResult b = run_online(alg, inst);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].decision, b.decisions[i].decision);
+  }
+}
+
+TEST(RandomAdmission, CommitmentsAreLegal) {
+  WorkloadConfig config = overload_scenario(0.1, 21);
+  config.n = 400;
+  const Instance inst = generate_workload(config);
+  RandomAdmissionScheduler alg(3, 0.7, 5);
+  const RunResult result = run_online(alg, inst);
+  EXPECT_TRUE(result.clean()) << result.commitment_violation;
+}
+
+TEST(RandomAdmission, RejectsBadParameters) {
+  EXPECT_THROW(RandomAdmissionScheduler(0, 0.5, 1), PreconditionError);
+  EXPECT_THROW(RandomAdmissionScheduler(2, 1.5, 1), PreconditionError);
+  EXPECT_THROW(RandomAdmissionScheduler(2, -0.1, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace slacksched

@@ -1,0 +1,277 @@
+// Tests of the offline substrate: Dinic max-flow, the preemptive
+// fractional upper bound, and the exact branch-and-bound optimum —
+// including the cross-checks UB >= OPT >= any online algorithm.
+#include <gtest/gtest.h>
+
+#include "baselines/greedy.hpp"
+#include "common/expects.hpp"
+#include "offline/exact.hpp"
+#include "offline/maxflow.hpp"
+#include "offline/upper_bound.hpp"
+#include "sched/engine.hpp"
+#include "workload/generators.hpp"
+
+namespace slacksched {
+namespace {
+
+Job make_job(JobId id, TimePoint r, Duration p, TimePoint d) {
+  Job j;
+  j.id = id;
+  j.release = r;
+  j.proc = p;
+  j.deadline = d;
+  return j;
+}
+
+// ---------- max flow ----------
+
+TEST(MaxFlow, SingleEdge) {
+  MaxFlow f(2);
+  f.add_edge(0, 1, 3.5);
+  EXPECT_DOUBLE_EQ(f.max_flow(0, 1), 3.5);
+}
+
+TEST(MaxFlow, SeriesTakesMinimum) {
+  MaxFlow f(3);
+  f.add_edge(0, 1, 5.0);
+  f.add_edge(1, 2, 2.0);
+  EXPECT_DOUBLE_EQ(f.max_flow(0, 2), 2.0);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  MaxFlow f(4);
+  f.add_edge(0, 1, 3.0);
+  f.add_edge(1, 3, 3.0);
+  f.add_edge(0, 2, 4.0);
+  f.add_edge(2, 3, 4.0);
+  EXPECT_DOUBLE_EQ(f.max_flow(0, 3), 7.0);
+}
+
+TEST(MaxFlow, ClassicDiamondWithCrossEdge) {
+  // The standard example where augmenting must route through the middle.
+  MaxFlow f(4);
+  f.add_edge(0, 1, 10.0);
+  f.add_edge(0, 2, 10.0);
+  f.add_edge(1, 2, 1.0);
+  f.add_edge(1, 3, 8.0);
+  f.add_edge(2, 3, 10.0);
+  EXPECT_DOUBLE_EQ(f.max_flow(0, 3), 18.0);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlow f(4);
+  f.add_edge(0, 1, 5.0);
+  f.add_edge(2, 3, 5.0);
+  EXPECT_DOUBLE_EQ(f.max_flow(0, 3), 0.0);
+}
+
+TEST(MaxFlow, FlowOnReportsPerEdgeFlow) {
+  MaxFlow f(3);
+  const auto e1 = f.add_edge(0, 1, 5.0);
+  const auto e2 = f.add_edge(1, 2, 2.0);
+  EXPECT_DOUBLE_EQ(f.max_flow(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(f.flow_on(e1), 2.0);
+  EXPECT_DOUBLE_EQ(f.flow_on(e2), 2.0);
+}
+
+TEST(MaxFlow, FractionalCapacities) {
+  MaxFlow f(3);
+  f.add_edge(0, 1, 0.25);
+  f.add_edge(0, 1, 0.5);
+  f.add_edge(1, 2, 10.0);
+  EXPECT_NEAR(f.max_flow(0, 2), 0.75, 1e-9);
+}
+
+TEST(MaxFlow, InputValidation) {
+  EXPECT_THROW(MaxFlow(1), PreconditionError);
+  MaxFlow f(2);
+  EXPECT_THROW(f.add_edge(0, 5, 1.0), PreconditionError);
+  EXPECT_THROW(f.add_edge(0, 1, -1.0), PreconditionError);
+  EXPECT_THROW(f.max_flow(0, 0), PreconditionError);
+}
+
+// ---------- fractional upper bound ----------
+
+TEST(UpperBound, EmptyInstanceIsZero) {
+  EXPECT_DOUBLE_EQ(preemptive_fractional_upper_bound(Instance{}, 2), 0.0);
+}
+
+TEST(UpperBound, SingleJobEqualsItsVolume) {
+  const Instance inst({make_job(1, 0.0, 3.0, 5.0)});
+  EXPECT_NEAR(preemptive_fractional_upper_bound(inst, 1), 3.0, 1e-9);
+}
+
+TEST(UpperBound, CapsAtWindowCapacity) {
+  // Two unit-window jobs in the same window of one machine: capacity 1.
+  const Instance inst({make_job(1, 0.0, 1.0, 1.0), make_job(2, 0.0, 1.0, 1.0)});
+  EXPECT_NEAR(preemptive_fractional_upper_bound(inst, 1), 1.0, 1e-9);
+  // With two machines both fit.
+  EXPECT_NEAR(preemptive_fractional_upper_bound(inst, 2), 2.0, 1e-9);
+}
+
+TEST(UpperBound, PerJobParallelismCap) {
+  // One job of length 4 in window [0, 2]: even on many machines a single
+  // job cannot run on two machines at once, so at most 2 units fit.
+  const Instance inst({make_job(1, 0.0, 4.0, 2.0)});
+  EXPECT_NEAR(preemptive_fractional_upper_bound(inst, 8), 2.0, 1e-9);
+}
+
+TEST(UpperBound, PreemptionSplitAcrossWindows) {
+  // Job A [0,4] len 2; job B [1,3] len 2 with a private middle window; a
+  // preemptive schedule interleaves: total 4 on one machine.
+  const Instance inst({make_job(1, 0.0, 2.0, 4.0), make_job(2, 1.0, 2.0, 3.0)});
+  EXPECT_NEAR(preemptive_fractional_upper_bound(inst, 1), 4.0, 1e-9);
+}
+
+TEST(UpperBound, EqualsTotalVolumeWhenEverythingFits) {
+  WorkloadConfig config;
+  config.n = 40;
+  config.eps = 1.0;
+  config.arrival_rate = 0.05;  // almost no contention
+  config.size_max = 2.0;
+  config.seed = 4;
+  const Instance inst = generate_workload(config);
+  EXPECT_NEAR(preemptive_fractional_upper_bound(inst, 4),
+              inst.total_volume(), 1e-6);
+}
+
+// ---------- exact feasibility ----------
+
+TEST(ExactFeasible, EmptySetIsFeasible) {
+  EXPECT_TRUE(exact_feasible({}, 1));
+}
+
+TEST(ExactFeasible, TwoTightJobsNeedTwoMachines) {
+  const std::vector<Job> jobs{make_job(1, 0.0, 2.0, 2.0),
+                              make_job(2, 0.0, 2.0, 2.0)};
+  EXPECT_FALSE(exact_feasible(jobs, 1));
+  EXPECT_TRUE(exact_feasible(jobs, 2));
+}
+
+TEST(ExactFeasible, RequiresWaitingOrder) {
+  // Feasible only if the tight job goes first.
+  const std::vector<Job> jobs{make_job(1, 0.0, 2.0, 4.0),
+                              make_job(2, 0.0, 2.0, 2.0)};
+  EXPECT_TRUE(exact_feasible(jobs, 1));
+}
+
+TEST(ExactFeasible, ReleaseDatesForceIdleTime) {
+  // Job 2 releases at 3; job 1 [0,2] leaves a gap; both fit with idling.
+  const std::vector<Job> jobs{make_job(1, 0.0, 2.0, 2.0),
+                              make_job(2, 3.0, 2.0, 5.0)};
+  EXPECT_TRUE(exact_feasible(jobs, 1));
+}
+
+TEST(ExactFeasible, InterleavingImpossibleNonPreemptively) {
+  // B's window [1,3] sits strictly inside A's execution need: A len 3 due
+  // 4, B len 2 due 3 released 1. One machine cannot do both without
+  // preemption.
+  const std::vector<Job> jobs{make_job(1, 0.0, 3.0, 4.0),
+                              make_job(2, 1.0, 2.0, 3.0)};
+  EXPECT_FALSE(exact_feasible(jobs, 1));
+  EXPECT_TRUE(exact_feasible(jobs, 2));
+}
+
+TEST(ExactFeasible, RespectsJobCap) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 25; ++i) {
+    jobs.push_back(make_job(i + 1, 0.0, 1.0, 100.0));
+  }
+  EXPECT_THROW((void)exact_feasible(jobs, 2), PreconditionError);
+}
+
+// ---------- exact optimum ----------
+
+TEST(ExactOptimal, TakesAllWhenFeasible) {
+  const Instance inst({make_job(1, 0.0, 1.0, 3.0), make_job(2, 0.0, 1.0, 3.0),
+                       make_job(3, 0.0, 1.0, 3.0)});
+  const ExactResult result = exact_optimal_load(inst, 1);
+  EXPECT_NEAR(result.value, 3.0, 1e-9);
+  EXPECT_EQ(result.accepted.size(), 3u);
+}
+
+TEST(ExactOptimal, PicksLargerConflictingJob) {
+  // Two mutually exclusive jobs: take the big one.
+  const Instance inst({make_job(1, 0.0, 2.0, 2.0), make_job(2, 0.0, 1.9, 1.9)});
+  const ExactResult result = exact_optimal_load(inst, 1);
+  EXPECT_NEAR(result.value, 2.0, 1e-9);
+  ASSERT_EQ(result.accepted.size(), 1u);
+  EXPECT_EQ(result.accepted[0], 1);
+}
+
+TEST(ExactOptimal, BeatsGreedyOnAdversarialPair) {
+  // Greedy accepts the first (small) job and must reject the large one;
+  // the optimum does the opposite.
+  const Instance inst(
+      {make_job(1, 0.0, 1.0, 1.5), make_job(2, 0.0, 10.0, 10.5)});
+  GreedyScheduler greedy(1);
+  const RunResult greedy_run = run_online(greedy, inst);
+  const ExactResult opt = exact_optimal_load(inst, 1);
+  EXPECT_NEAR(greedy_run.metrics.accepted_volume, 1.0, 1e-9);
+  EXPECT_NEAR(opt.value, 10.0, 1e-9);
+}
+
+TEST(ExactOptimal, EmptyInstance) {
+  const ExactResult result = exact_optimal_load(Instance{}, 2);
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+  EXPECT_TRUE(result.accepted.empty());
+}
+
+/// Cross-check property: greedy <= OPT <= fractional UB on random
+/// instances across machine counts and seeds.
+class OfflineOrdering
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(OfflineOrdering, GreedyLeOptLeUpperBound) {
+  const auto [m, seed] = GetParam();
+  WorkloadConfig config;
+  config.n = 12;
+  config.eps = 0.1;
+  config.arrival_rate = 1.5;
+  config.size_min = 1.0;
+  config.size_max = 6.0;
+  config.seed = seed;
+  const Instance inst = generate_workload(config);
+
+  GreedyScheduler greedy(m);
+  const double greedy_volume =
+      run_online(greedy, inst).metrics.accepted_volume;
+  const ExactResult opt = exact_optimal_load(inst, m);
+  const double ub = preemptive_fractional_upper_bound(inst, m);
+
+  EXPECT_LE(greedy_volume, opt.value + 1e-6);
+  EXPECT_LE(opt.value, ub + 1e-6);
+  EXPECT_LE(opt.value, inst.total_volume() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OfflineOrdering,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 2, 3, 4, 5,
+                                                              6, 7, 8)));
+
+/// The accepted set reported by the exact solver is itself feasible.
+TEST(ExactOptimal, ReportedSetIsFeasible) {
+  WorkloadConfig config;
+  config.n = 10;
+  config.eps = 0.05;
+  config.arrival_rate = 2.0;
+  config.seed = 31;
+  const Instance inst = generate_workload(config);
+  const ExactResult result = exact_optimal_load(inst, 2);
+
+  std::vector<Job> accepted;
+  double volume = 0.0;
+  for (const Job& j : inst.jobs()) {
+    for (JobId id : result.accepted) {
+      if (j.id == id) {
+        accepted.push_back(j);
+        volume += j.proc;
+      }
+    }
+  }
+  EXPECT_NEAR(volume, result.value, 1e-9);
+  EXPECT_TRUE(exact_feasible(accepted, 2));
+}
+
+}  // namespace
+}  // namespace slacksched

@@ -1,0 +1,341 @@
+// Tests of the ratio-function solver against every analytic fact the paper
+// states: closed forms (Eq. 1 and Section 1.1), the recursion identity (5),
+// constraint (6), corner values (7), continuity at corners, monotonicity,
+// and Proposition 1's large-m limit.
+#include "core/ratio_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+namespace {
+
+TEST(RatioFunction, M1MatchesGoldwasserKerbikov) {
+  for (double eps : {0.001, 0.01, 0.1, 0.25, 0.5, 0.9, 1.0}) {
+    const RatioSolution sol = RatioFunction::solve(eps, 1);
+    EXPECT_EQ(sol.k, 1);
+    EXPECT_NEAR(sol.c, 2.0 + 1.0 / eps, 1e-9) << "eps=" << eps;
+    EXPECT_NEAR(sol.c, RatioFunction::closed_form_m1(eps), 1e-9);
+  }
+}
+
+TEST(RatioFunction, M2MatchesEquationOne) {
+  for (double eps : {0.001, 0.01, 0.05, 0.1, 0.2, 2.0 / 7.0, 0.3, 0.5, 0.75,
+                     1.0}) {
+    const RatioSolution sol = RatioFunction::solve(eps, 2);
+    EXPECT_NEAR(sol.c, RatioFunction::closed_form_m2(eps), 1e-8)
+        << "eps=" << eps;
+  }
+}
+
+TEST(RatioFunction, M2PhaseIndexSwitchesAtTwoSevenths) {
+  EXPECT_EQ(RatioFunction::solve(2.0 / 7.0 - 1e-6, 2).k, 1);
+  EXPECT_EQ(RatioFunction::solve(2.0 / 7.0 + 1e-6, 2).k, 2);
+}
+
+TEST(RatioFunction, CornerM2IsTwoSevenths) {
+  EXPECT_NEAR(RatioFunction::corner(1, 2), 2.0 / 7.0, 1e-9);
+}
+
+TEST(RatioFunction, AnchorIsAlwaysSatisfied) {
+  for (int m : {1, 2, 3, 4, 8}) {
+    for (double eps : {0.001, 0.01, 0.1, 0.5, 1.0}) {
+      const RatioSolution sol = RatioFunction::solve(eps, m);
+      EXPECT_NEAR(sol.f_at(m), (1.0 + eps) / eps, 1e-6 * (1.0 + 1.0 / eps))
+          << "m=" << m << " eps=" << eps;
+    }
+  }
+}
+
+TEST(RatioFunction, RecursionIdentityHoldsForEveryQ) {
+  // Identity (5): c == (1 + m f_q) / (k + sum_{h=k}^{q-1}(f_h - 1)).
+  for (int m : {2, 3, 4, 6}) {
+    for (double eps : {0.003, 0.02, 0.15, 0.6, 1.0}) {
+      const RatioSolution sol = RatioFunction::solve(eps, m);
+      double denom = static_cast<double>(sol.k);
+      for (int q = sol.k; q <= m; ++q) {
+        const double ratio = (1.0 + m * sol.f_at(q)) / denom;
+        EXPECT_NEAR(ratio, sol.c, 1e-7 * sol.c)
+            << "m=" << m << " eps=" << eps << " q=" << q;
+        denom += sol.f_at(q) - 1.0;
+      }
+    }
+  }
+}
+
+TEST(RatioFunction, ConstraintSixHolds) {
+  // f_q >= 2 for all q in {k..m} of the selected variant.
+  for (int m : {1, 2, 3, 4, 5}) {
+    for (double eps : {0.001, 0.01, 0.1, 0.3, 0.7, 1.0}) {
+      const RatioSolution sol = RatioFunction::solve(eps, m);
+      for (int q = sol.k; q <= m; ++q) {
+        EXPECT_GE(sol.f_at(q), 2.0 - 1e-9)
+            << "m=" << m << " eps=" << eps << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(RatioFunction, ParametersIncreaseWithQ) {
+  // f_q < f_{q+1} (Section 2).
+  for (int m : {2, 3, 4, 6}) {
+    for (double eps : {0.005, 0.05, 0.4}) {
+      const RatioSolution sol = RatioFunction::solve(eps, m);
+      for (int q = sol.k; q < m; ++q) {
+        EXPECT_LT(sol.f_at(q), sol.f_at(q + 1))
+            << "m=" << m << " eps=" << eps << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(RatioFunction, CDecreasesInEps) {
+  for (int m : {1, 2, 3, 4}) {
+    double prev = std::numeric_limits<double>::infinity();
+    for (double eps = 0.01; eps <= 1.0; eps += 0.01) {
+      const double c = RatioFunction::solve(eps, m).c;
+      EXPECT_LT(c, prev) << "m=" << m << " eps=" << eps;
+      prev = c;
+    }
+  }
+}
+
+TEST(RatioFunction, CDecreasesInM) {
+  for (double eps : {0.01, 0.05, 0.2, 0.8}) {
+    double prev = std::numeric_limits<double>::infinity();
+    for (int m = 1; m <= 8; ++m) {
+      const double c = RatioFunction::solve(eps, m).c;
+      EXPECT_LE(c, prev + 1e-9) << "m=" << m << " eps=" << eps;
+      prev = c;
+    }
+  }
+}
+
+TEST(RatioFunction, ContinuousAtCorners) {
+  for (int m : {2, 3, 4, 5}) {
+    for (int k = 1; k < m; ++k) {
+      const double corner = RatioFunction::corner(k, m);
+      if (corner >= 1.0) continue;
+      const double below = RatioFunction::solve(corner - 1e-7, m).c;
+      const double above = RatioFunction::solve(corner + 1e-7, m).c;
+      EXPECT_NEAR(below, above, 1e-3)
+          << "m=" << m << " corner k=" << k << " at " << corner;
+    }
+  }
+}
+
+TEST(RatioFunction, CornersArePhaseBoundaries) {
+  for (int m : {2, 3, 4}) {
+    for (int k = 1; k < m; ++k) {
+      const double corner = RatioFunction::corner(k, m);
+      if (corner >= 1.0) continue;
+      EXPECT_EQ(RatioFunction::solve(corner - 1e-6, m).k, k)
+          << "m=" << m << " k=" << k;
+      EXPECT_EQ(RatioFunction::solve(corner + 1e-6, m).k, k + 1)
+          << "m=" << m << " k=" << k;
+    }
+  }
+}
+
+TEST(RatioFunction, CornersIncreaseInK) {
+  for (int m : {2, 3, 4, 5, 6}) {
+    double prev = 0.0;
+    for (int k = 0; k <= m; ++k) {
+      const double corner = RatioFunction::corner(k, m);
+      EXPECT_GE(corner, prev) << "m=" << m << " k=" << k;
+      prev = corner;
+    }
+    EXPECT_DOUBLE_EQ(RatioFunction::corner(m, m), 1.0);
+    EXPECT_DOUBLE_EQ(RatioFunction::corner(0, m), 0.0);
+  }
+}
+
+TEST(RatioFunction, CornerDefinitionFkEqualsTwo) {
+  // Eq. (7): at eps_{k,m} the k-variant has f_k = 2.
+  for (int m : {2, 3, 4}) {
+    for (int k = 1; k < m; ++k) {
+      const double corner = RatioFunction::corner(k, m);
+      if (corner >= 1.0) continue;
+      const RatioSolution sol = RatioFunction::solve_with_k(corner, m, k);
+      EXPECT_NEAR(sol.f.front(), 2.0, 1e-6) << "m=" << m << " k=" << k;
+    }
+  }
+}
+
+TEST(RatioFunction, LastPhaseClosedForm) {
+  for (int m : {1, 2, 3, 4, 6}) {
+    // k = m exactly in the last slack interval (eps near 1).
+    for (double eps : {0.95, 1.0}) {
+      const RatioSolution sol = RatioFunction::solve(eps, m);
+      if (sol.k != m) continue;
+      EXPECT_NEAR(sol.c, RatioFunction::closed_form_last_phase(eps, m), 1e-9);
+    }
+  }
+}
+
+TEST(RatioFunction, SecondLastPhaseClosedForm) {
+  for (int m : {2, 3, 4, 5}) {
+    // Sample inside (eps_{m-2,m}, eps_{m-1,m}] where k = m-1.
+    const double lo = RatioFunction::corner(m - 2, m);
+    const double hi = RatioFunction::corner(m - 1, m);
+    if (hi >= 1.0 || hi <= lo) continue;
+    const double eps = 0.5 * (lo + hi);
+    const RatioSolution sol = RatioFunction::solve(eps, m);
+    ASSERT_EQ(sol.k, m - 1) << "m=" << m << " eps=" << eps;
+    EXPECT_NEAR(sol.c, RatioFunction::closed_form_second_last_phase(eps, m),
+                1e-7)
+        << "m=" << m << " eps=" << eps;
+  }
+}
+
+TEST(RatioFunction, ThirdLastPhaseClosedForm) {
+  // k = m - 2 inside (eps_{m-3,m}, eps_{m-2,m}]: the cubic's largest real
+  // root equals the numeric solution.
+  for (int m : {3, 4, 5, 6}) {
+    const double lo = RatioFunction::corner(m - 3, m);
+    const double hi = RatioFunction::corner(m - 2, m);
+    if (hi >= 1.0 || hi <= lo) continue;
+    for (double frac : {0.25, 0.5, 0.9}) {
+      const double eps = lo + frac * (hi - lo);
+      const RatioSolution sol = RatioFunction::solve(eps, m);
+      ASSERT_EQ(sol.k, m - 2) << "m=" << m << " eps=" << eps;
+      EXPECT_NEAR(sol.c, RatioFunction::closed_form_third_last_phase(eps, m),
+                  1e-6)
+          << "m=" << m << " eps=" << eps;
+    }
+  }
+}
+
+TEST(RatioFunction, ThirdLastPhaseMatchesFirstPhaseForM3) {
+  // For m = 3, k = m - 2 = 1 is the first phase: the cubic must reproduce
+  // the whole leftmost branch of Fig. 1's green curve.
+  for (double eps : {0.001, 0.01, 0.05, 0.089}) {
+    const RatioSolution sol = RatioFunction::solve(eps, 3);
+    ASSERT_EQ(sol.k, 1);
+    EXPECT_NEAR(sol.c, RatioFunction::closed_form_third_last_phase(eps, 3),
+                1e-6 * sol.c)
+        << "eps=" << eps;
+  }
+}
+
+TEST(RatioFunction, Proposition1LargeMLimit) {
+  // The exact large-m limit at fixed eps is 2 + ln(1/eps) (the solution of
+  // the proposition's differential equation with the f_k = 2 boundary).
+  for (double eps : {0.001, 0.005, 0.02}) {
+    const double target = RatioFunction::limit_large_m(eps);
+    const double deviation_small_m =
+        std::fabs(RatioFunction::solve(eps, 16).c - target);
+    const double deviation_large_m =
+        std::fabs(RatioFunction::solve(eps, 2048).c - target);
+    EXPECT_LT(deviation_large_m, deviation_small_m) << "eps=" << eps;
+    EXPECT_LT(deviation_large_m / target, 0.01) << "eps=" << eps;
+  }
+}
+
+TEST(RatioFunction, Proposition1LeadingTermDominatesForSmallEps) {
+  // The paper's ln(1/eps) statement: the additive constant becomes
+  // negligible as eps -> 0 (with m large).
+  const double rel_at_large_eps =
+      std::fabs(RatioFunction::solve(1e-2, 2048).c -
+                RatioFunction::proposition1_leading_term(1e-2)) /
+      RatioFunction::proposition1_leading_term(1e-2);
+  const double rel_at_small_eps =
+      std::fabs(RatioFunction::solve(1e-9, 2048).c -
+                RatioFunction::proposition1_leading_term(1e-9)) /
+      RatioFunction::proposition1_leading_term(1e-9);
+  EXPECT_LT(rel_at_small_eps, rel_at_large_eps);
+  EXPECT_LT(rel_at_small_eps, 0.15);
+}
+
+TEST(RatioFunction, CDecreasesInMTowardLimit) {
+  for (double eps : {0.001, 0.02}) {
+    const double limit = RatioFunction::limit_large_m(eps);
+    double prev = std::numeric_limits<double>::infinity();
+    for (int m : {16, 64, 256, 1024}) {
+      const double c = RatioFunction::solve(eps, m).c;
+      EXPECT_LT(c, prev);
+      EXPECT_GT(c, limit - 1e-9) << "c must stay above the limit";
+      prev = c;
+    }
+  }
+}
+
+TEST(RatioFunction, Theorem2BoundAddsPenaltyOnlyForLargeK) {
+  const RatioSolution small_k = RatioFunction::solve(0.01, 2);  // k = 1
+  EXPECT_DOUBLE_EQ(small_k.theorem2_bound(), small_k.c);
+
+  // Force a variant with k = 4 via solve_with_k on a large machine count.
+  RatioSolution large_k = RatioFunction::solve_with_k(0.5, 8, 4);
+  EXPECT_NEAR(large_k.theorem2_bound() - large_k.c,
+              (3.0 - std::exp(1.0)) / (std::exp(1.0) - 1.0), 1e-12);
+}
+
+TEST(RatioFunction, SolveWithKMatchesSolveOnSelectedK) {
+  for (int m : {2, 3, 5}) {
+    for (double eps : {0.01, 0.2, 0.9}) {
+      const RatioSolution chosen = RatioFunction::solve(eps, m);
+      const RatioSolution forced =
+          RatioFunction::solve_with_k(eps, m, chosen.k);
+      EXPECT_NEAR(chosen.c, forced.c, 1e-12);
+    }
+  }
+}
+
+TEST(RatioFunction, AblationVariantsAreNeverBetter) {
+  // Forcing the wrong k yields a weaker (or equal) guarantee: c is minimal
+  // at the selected k among variants whose constraint f_k >= 2 holds.
+  for (int m : {3, 4}) {
+    for (double eps : {0.02, 0.1, 0.5}) {
+      const RatioSolution chosen = RatioFunction::solve(eps, m);
+      for (int k = 1; k <= m; ++k) {
+        const RatioSolution forced = RatioFunction::solve_with_k(eps, m, k);
+        if (forced.f.front() < 2.0) continue;  // variant invalid
+        EXPECT_GE(forced.c, chosen.c - 1e-9)
+            << "m=" << m << " eps=" << eps << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(RatioFunction, InputValidation) {
+  EXPECT_THROW(RatioFunction::solve(0.0, 2), PreconditionError);
+  EXPECT_THROW(RatioFunction::solve(1.5, 2), PreconditionError);
+  EXPECT_THROW(RatioFunction::solve(0.5, 0), PreconditionError);
+  EXPECT_THROW(RatioFunction::solve_with_k(0.5, 2, 3), PreconditionError);
+  EXPECT_THROW((void)RatioFunction::corner(3, 2), PreconditionError);
+}
+
+TEST(RatioFunction, FAtRejectsOutOfRangeQ) {
+  const RatioSolution sol = RatioFunction::solve(0.5, 3);
+  EXPECT_THROW((void)sol.f_at(sol.k - 1), PreconditionError);
+  EXPECT_THROW((void)sol.f_at(4), PreconditionError);
+}
+
+/// Parameterized sweep: the solver's invariants across a dense grid.
+class RatioGridSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(RatioGridSweep, SolutionInvariants) {
+  const auto [m, eps] = GetParam();
+  const RatioSolution sol = RatioFunction::solve(eps, m);
+  EXPECT_GE(sol.k, 1);
+  EXPECT_LE(sol.k, m);
+  EXPECT_GT(sol.c, 1.0);
+  EXPECT_EQ(sol.f.size(), static_cast<std::size_t>(m - sol.k + 1));
+  // c = (m f_k + 1)/k (Theorem 1's expression).
+  EXPECT_NEAR(sol.c, (m * sol.f_at(sol.k) + 1.0) / sol.k, 1e-7 * sol.c);
+  // The ratio is bounded below by the trivial lower bounds of both regimes.
+  EXPECT_GT(sol.c, 1.0 + 1.0 / (m * eps) * 0.0);  // sanity: positive
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RatioGridSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 8),
+                       ::testing::Values(0.001, 0.004, 0.02, 0.09, 0.28,
+                                         0.51, 0.77, 1.0)));
+
+}  // namespace
+}  // namespace slacksched

@@ -1,0 +1,224 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace slacksched {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(11);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform01());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, UniformRejectsEmptyRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform(1.0, 1.0), PreconditionError);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), PreconditionError);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(0, 9);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform_int(4, 4), 4);
+  }
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(5, 4), PreconditionError);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.exponential(0.5), 0.0);
+  }
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(13);
+  EXPECT_THROW(rng.exponential(0.0), PreconditionError);
+  EXPECT_THROW(rng.exponential(-1.0), PreconditionError);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(1.5, 2.0), 2.0);
+  }
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.bounded_pareto(1.2, 1.0, 100.0);
+    EXPECT_GE(v, 1.0 - 1e-9);
+    EXPECT_LE(v, 100.0 + 1e-9);
+  }
+}
+
+TEST(Rng, BoundedParetoIsHeavyTailed) {
+  // Most mass should sit near the lower bound for alpha > 1.
+  Rng rng(23);
+  int below_10 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bounded_pareto(1.5, 1.0, 1000.0) < 10.0) ++below_10;
+  }
+  EXPECT_GT(below_10, n * 9 / 10);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(37);
+  std::vector<int> counts(3, 0);
+  const int n = 90000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.categorical({1.0, 2.0, 6.0})];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 1.0 / 9.0, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 2.0 / 9.0, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 6.0 / 9.0, 0.01);
+}
+
+TEST(Rng, CategoricalSkipsZeroWeights) {
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.categorical({0.0, 1.0, 0.0}), 1u);
+  }
+}
+
+TEST(Rng, CategoricalRejectsDegenerateInput) {
+  Rng rng(41);
+  EXPECT_THROW(rng.categorical({}), PreconditionError);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), PreconditionError);
+  EXPECT_THROW(rng.categorical({-1.0, 2.0}), PreconditionError);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng parent(99);
+  Rng a = parent.fork(5);
+  Rng b = Rng(99).fork(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(99);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkDoesNotPerturbParent) {
+  Rng a(7);
+  Rng b(7);
+  (void)a.fork(1);
+  (void)a.fork(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, Uniform01StaysUnbiasedAcrossSeeds) {
+  Rng rng(GetParam());
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.uniform01());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+  // Variance of U(0,1) is 1/12.
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 3, 1234, 987654321,
+                                           0xdeadbeefULL));
+
+}  // namespace
+}  // namespace slacksched

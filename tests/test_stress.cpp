@@ -1,0 +1,198 @@
+// Stress and failure-injection tests: long runs, extreme parameters,
+// pathological tie patterns, and a chaotic-but-legal scheduler that
+// exercises the engine/schedule plumbing with arbitrary legal placements.
+#include <gtest/gtest.h>
+
+#include "adversary/lower_bound_game.hpp"
+#include "baselines/greedy.hpp"
+#include "common/rng.hpp"
+#include "core/threshold.hpp"
+#include "sched/engine.hpp"
+#include "sched/validator.hpp"
+#include "workload/generators.hpp"
+
+namespace slacksched {
+namespace {
+
+Job make_job(JobId id, TimePoint r, Duration p, TimePoint d) {
+  Job j;
+  j.id = id;
+  j.release = r;
+  j.proc = p;
+  j.deadline = d;
+  return j;
+}
+
+/// Accepts jobs at arbitrary legal slots (possibly with idle gaps before
+/// and after committed work) chosen pseudo-randomly. Every commitment is
+/// legal by construction, so the engine must stay clean and the validator
+/// must pass — this fuzzes the interval bookkeeping rather than any
+/// scheduling policy.
+class ChaoticScheduler final : public OnlineScheduler {
+ public:
+  ChaoticScheduler(int machines, std::uint64_t seed)
+      : machines_(machines), seed_(seed), rng_(seed), mirror_(machines) {}
+
+  Decision on_arrival(const Job& job) override {
+    // Try a handful of random (machine, start) slots.
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      const int machine =
+          static_cast<int>(rng_.uniform_int(0, machines_ - 1));
+      const TimePoint latest = job.latest_start();
+      if (latest < job.release) break;
+      const TimePoint start =
+          latest > job.release ? rng_.uniform(job.release, latest)
+                               : job.release;
+      if (mirror_.interval_free(machine, start, job.proc)) {
+        mirror_.commit(job, machine, start);
+        return Decision::accept(machine, start);
+      }
+    }
+    return Decision::reject();
+  }
+
+  int machines() const override { return machines_; }
+
+  void reset() override {
+    rng_ = Rng(seed_);
+    mirror_ = Schedule(machines_);
+  }
+
+  std::string name() const override { return "Chaotic"; }
+
+ private:
+  int machines_;
+  std::uint64_t seed_;
+  Rng rng_;
+  Schedule mirror_;
+};
+
+class ChaoticSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaoticSweep, ArbitraryLegalPlacementsStayClean) {
+  WorkloadConfig config;
+  config.n = 800;
+  config.eps = 0.5;
+  config.arrival_rate = 3.0;
+  config.slack = SlackModel::kUniformFactor;
+  config.slack_hi = 3.0;  // wide windows: lots of gap placements
+  config.seed = GetParam();
+  // slack_hi > 1 exceeds the UniformFactor guard only via eps; keep valid.
+  config.eps = 0.5;
+  const Instance inst = generate_workload(config);
+
+  ChaoticScheduler chaotic(3, GetParam() ^ 0xabc);
+  const RunResult result = run_online(chaotic, inst);
+  EXPECT_TRUE(result.clean()) << result.commitment_violation;
+  EXPECT_TRUE(validate_schedule(inst, result.schedule).ok);
+  EXPECT_GT(result.metrics.accepted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaoticSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Stress, LongRunManyMachines) {
+  WorkloadConfig config;
+  config.n = 20000;
+  config.eps = 0.1;
+  config.arrival_rate = 16.0;
+  config.seed = 7;
+  const Instance inst = generate_workload(config);
+  ThresholdScheduler alg(0.1, 32);
+  const RunResult result = run_online(alg, inst);
+  EXPECT_TRUE(result.clean());
+  EXPECT_TRUE(validate_schedule(inst, result.schedule).ok);
+}
+
+TEST(Stress, TinySlack) {
+  WorkloadConfig config;
+  config.n = 2000;
+  config.eps = 1e-5;
+  config.arrival_rate = 5.0;
+  config.slack = SlackModel::kTight;
+  config.seed = 13;
+  const Instance inst = generate_workload(config);
+  ThresholdScheduler alg(1e-5, 2);
+  const RunResult result = run_online(alg, inst);
+  EXPECT_TRUE(result.clean());
+  EXPECT_TRUE(validate_schedule(inst, result.schedule).ok);
+}
+
+TEST(Stress, MassSimultaneousArrivals) {
+  // All jobs at t = 0 with identical parameters: maximal tie stress.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 500; ++i) {
+    jobs.push_back(make_job(i + 1, 0.0, 1.0, 2.0));
+  }
+  const Instance inst(std::move(jobs));
+  ThresholdScheduler alg(1.0, 4);
+  const RunResult result = run_online(alg, inst);
+  EXPECT_TRUE(result.clean());
+  EXPECT_TRUE(validate_schedule(inst, result.schedule).ok);
+  // With window 2 and unit jobs, each machine fits exactly two.
+  EXPECT_LE(result.metrics.accepted, 8u);
+  EXPECT_GE(result.metrics.accepted, 4u);
+}
+
+TEST(Stress, HugeProcessingTimeSpread) {
+  WorkloadConfig config;
+  config.n = 3000;
+  config.eps = 0.2;
+  config.size = SizeModel::kBoundedPareto;
+  config.size_min = 1e-3;
+  config.size_max = 1e5;
+  config.pareto_alpha = 1.1;
+  config.arrival_rate = 1.0;
+  config.seed = 77;
+  const Instance inst = generate_workload(config);
+  ThresholdScheduler alg(0.2, 4);
+  const RunResult result = run_online(alg, inst);
+  EXPECT_TRUE(result.clean());
+  EXPECT_TRUE(validate_schedule(inst, result.schedule).ok);
+}
+
+TEST(Stress, AdversaryAtScale) {
+  // Larger machine count with an adequate beta.
+  AdversaryConfig config;
+  config.eps = 0.05;
+  config.m = 8;
+  config.beta = 1e-3;
+  const LowerBoundGame game(config);
+  ThresholdScheduler alg(0.05, 8);
+  const GameResult result = game.play(alg);
+  EXPECT_TRUE(validate_schedule(result.instance, result.online_schedule).ok);
+  EXPECT_TRUE(validate_schedule(result.instance, result.optimal_schedule).ok);
+  EXPECT_NEAR(result.ratio, result.prediction.c, 0.05 * result.prediction.c);
+}
+
+TEST(Stress, RepeatedResetsAreIdempotent) {
+  WorkloadConfig config;
+  config.n = 300;
+  config.eps = 0.3;
+  config.seed = 5;
+  const Instance inst = generate_workload(config);
+  ThresholdScheduler alg(0.3, 3);
+  const double first = run_online(alg, inst).metrics.accepted_volume;
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_DOUBLE_EQ(run_online(alg, inst).metrics.accepted_volume, first);
+  }
+}
+
+TEST(Stress, GreedyVsThresholdVolumeOrderBothValid) {
+  // No ordering is asserted (it flips by workload); both must be legal on
+  // a nasty bursty trace.
+  WorkloadConfig config = cloud_burst_scenario(0.02, 99);
+  config.n = 5000;
+  const Instance inst = generate_workload(config);
+  ThresholdScheduler threshold(0.02, 8);
+  GreedyScheduler greedy(8);
+  const RunResult rt = run_online(threshold, inst);
+  const RunResult rg = run_online(greedy, inst);
+  EXPECT_TRUE(rt.clean());
+  EXPECT_TRUE(rg.clean());
+  EXPECT_TRUE(validate_schedule(inst, rt.schedule).ok);
+  EXPECT_TRUE(validate_schedule(inst, rg.schedule).ok);
+}
+
+}  // namespace
+}  // namespace slacksched

@@ -1,0 +1,143 @@
+#include "common/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/expects.hpp"
+#include "sched/gantt.hpp"
+
+namespace slacksched {
+namespace {
+
+TEST(Svg, EmptyDocumentIsValidSvg) {
+  SvgDocument svg(100.0, 50.0);
+  const std::string markup = svg.str();
+  EXPECT_NE(markup.find("<svg"), std::string::npos);
+  EXPECT_NE(markup.find("</svg>"), std::string::npos);
+  EXPECT_NE(markup.find("width=\"100.00\""), std::string::npos);
+}
+
+TEST(Svg, ShapesAppearInOutput) {
+  SvgDocument svg(200.0, 200.0);
+  svg.line(0.0, 0.0, 10.0, 10.0);
+  svg.rect(5.0, 5.0, 20.0, 10.0, "#ff0000");
+  svg.circle(50.0, 50.0, 4.0, "none", "#00ff00");
+  svg.polyline({{0.0, 0.0}, {1.0, 1.0}, {2.0, 0.5}}, "#0000ff");
+  svg.text(10.0, 20.0, "hello", 12.0);
+  const std::string markup = svg.str();
+  EXPECT_NE(markup.find("<line"), std::string::npos);
+  EXPECT_NE(markup.find("<rect x=\"5.00\""), std::string::npos);
+  EXPECT_NE(markup.find("<circle"), std::string::npos);
+  EXPECT_NE(markup.find("<polyline"), std::string::npos);
+  EXPECT_NE(markup.find(">hello</text>"), std::string::npos);
+}
+
+TEST(Svg, EscapesTextContent) {
+  SvgDocument svg(100.0, 100.0);
+  svg.text(0.0, 0.0, "a < b & c > d");
+  const std::string markup = svg.str();
+  EXPECT_NE(markup.find("a &lt; b &amp; c &gt; d"), std::string::npos);
+  EXPECT_EQ(markup.find("a < b"), std::string::npos);
+}
+
+TEST(Svg, DegeneratePolylineIsSkipped) {
+  SvgDocument svg(100.0, 100.0);
+  svg.polyline({{1.0, 1.0}}, "#000000");
+  EXPECT_EQ(svg.str().find("<polyline"), std::string::npos);
+}
+
+TEST(Svg, SaveWritesFile) {
+  SvgDocument svg(100.0, 100.0);
+  svg.circle(10.0, 10.0, 2.0, "#123456");
+  const std::string path = ::testing::TempDir() + "/slacksched_test.svg";
+  svg.save(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, svg.str());
+}
+
+TEST(Svg, SaveRejectsBadPath) {
+  SvgDocument svg(10.0, 10.0);
+  EXPECT_THROW(svg.save("/nonexistent/dir/x.svg"), PreconditionError);
+}
+
+TEST(Svg, RejectsDegenerateCanvas) {
+  EXPECT_THROW(SvgDocument(0.0, 10.0), PreconditionError);
+  EXPECT_THROW(SvgDocument(10.0, -1.0), PreconditionError);
+}
+
+TEST(AxisScale, LinearMapping) {
+  const AxisScale scale(0.0, 10.0, 100.0, 200.0);
+  EXPECT_DOUBLE_EQ(scale(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(scale(10.0), 200.0);
+  EXPECT_DOUBLE_EQ(scale(5.0), 150.0);
+}
+
+TEST(AxisScale, InvertedPixelRange) {
+  // y axes typically run top-down.
+  const AxisScale scale(0.0, 1.0, 300.0, 100.0);
+  EXPECT_DOUBLE_EQ(scale(0.0), 300.0);
+  EXPECT_DOUBLE_EQ(scale(1.0), 100.0);
+}
+
+TEST(AxisScale, LogMapping) {
+  const AxisScale scale(0.01, 1.0, 0.0, 200.0, /*log=*/true);
+  EXPECT_DOUBLE_EQ(scale(0.01), 0.0);
+  EXPECT_DOUBLE_EQ(scale(1.0), 200.0);
+  EXPECT_NEAR(scale(0.1), 100.0, 1e-9);
+}
+
+TEST(AxisScale, RejectsBadDomain) {
+  EXPECT_THROW(AxisScale(1.0, 1.0, 0.0, 10.0), PreconditionError);
+  EXPECT_THROW(AxisScale(-1.0, 1.0, 0.0, 10.0, true), PreconditionError);
+}
+
+TEST(Palette, IsNonEmptyAndStable) {
+  const auto& a = default_palette();
+  const auto& b = default_palette();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(GanttSvg, RendersEveryPlacement) {
+  Schedule schedule(2);
+  Job job;
+  job.id = 3;
+  job.release = 0.0;
+  job.proc = 5.0;
+  job.deadline = 100.0;
+  schedule.commit(job, 0, 0.0);
+  job.id = 4;
+  schedule.commit(job, 1, 2.0);
+
+  GanttOptions options;
+  options.title = "svg-gantt-test";
+  const SvgDocument svg = render_gantt_svg(schedule, options);
+  const std::string markup = svg.str();
+  EXPECT_NE(markup.find("svg-gantt-test"), std::string::npos);
+  EXPECT_NE(markup.find(">m0</text>"), std::string::npos);
+  EXPECT_NE(markup.find(">m1</text>"), std::string::npos);
+  EXPECT_NE(markup.find(">J3</text>"), std::string::npos);
+  EXPECT_NE(markup.find(">J4</text>"), std::string::npos);
+}
+
+TEST(GanttSvg, HonorsExplicitHorizon) {
+  Schedule schedule(1);
+  Job job;
+  job.id = 1;
+  job.release = 0.0;
+  job.proc = 1.0;
+  job.deadline = 100.0;
+  schedule.commit(job, 0, 0.0);
+  GanttOptions options;
+  options.t_end = 50.0;
+  const SvgDocument svg = render_gantt_svg(schedule, options);
+  // The last axis tick should read 50.
+  EXPECT_NE(svg.str().find(">50</text>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slacksched

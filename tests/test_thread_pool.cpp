@@ -1,0 +1,90 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace slacksched {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReportsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(pool, n, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelMap, PreservesIndexOrder) {
+  ThreadPool pool(8);
+  const auto out = parallel_map<std::size_t>(
+      pool, 5000, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 5000u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ParallelMap, DeterministicWithForkedRngStreams) {
+  // The canonical usage pattern: each task forks its own stream by index.
+  ThreadPool pool(8);
+  const Rng root(1234);
+  auto runner = [&root](std::size_t i) {
+    Rng rng = root.fork(i);
+    double sum = 0.0;
+    for (int j = 0; j < 100; ++j) sum += rng.uniform01();
+    return sum;
+  };
+  const auto a = parallel_map<double>(pool, 64, runner);
+  const auto b = parallel_map<double>(pool, 64, runner);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParallelFor, ReusablePool) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 10; ++round) {
+    parallel_for(pool, 100, [&](std::size_t) { ++counter; });
+  }
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+}  // namespace
+}  // namespace slacksched

@@ -1,0 +1,263 @@
+// Tests of Algorithm 1 (ThresholdScheduler): the admission rule (9)/(10),
+// the best-fit allocation, Claim 1 (every accepted job completes on time)
+// as a property over workload sweeps, and determinism.
+#include "core/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expects.hpp"
+#include "sched/engine.hpp"
+#include "sched/validator.hpp"
+#include "workload/generators.hpp"
+
+namespace slacksched {
+namespace {
+
+Job make_job(JobId id, TimePoint r, Duration p, TimePoint d) {
+  Job j;
+  j.id = id;
+  j.release = r;
+  j.proc = p;
+  j.deadline = d;
+  return j;
+}
+
+TEST(Threshold, AcceptsFirstJobOnEmptySystem) {
+  ThresholdScheduler alg(0.5, 2);
+  const Decision d = alg.on_arrival(make_job(1, 0.0, 1.0, 1.6));
+  EXPECT_TRUE(d.accepted);
+  EXPECT_DOUBLE_EQ(d.start, 0.0);
+}
+
+TEST(Threshold, ThresholdIsNowOnEmptySystem) {
+  ThresholdScheduler alg(0.3, 3);
+  EXPECT_DOUBLE_EQ(alg.deadline_threshold(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(alg.deadline_threshold(5.5), 5.5);
+}
+
+TEST(Threshold, SingleMachineThresholdIsLoadTimesF1) {
+  // m = 1, k = 1, f_1 = (1+eps)/eps. After a job of length p the threshold
+  // at its release time is p * f_1.
+  const double eps = 0.5;
+  ThresholdScheduler alg(eps, 1);
+  ASSERT_TRUE(alg.on_arrival(make_job(1, 0.0, 2.0, 100.0)).accepted);
+  const double f1 = (1.0 + eps) / eps;
+  EXPECT_NEAR(alg.deadline_threshold(0.0), 2.0 * f1, 1e-12);
+  // Load drains as time passes.
+  EXPECT_NEAR(alg.deadline_threshold(1.0), 1.0 + 1.0 * f1, 1e-12);
+  EXPECT_NEAR(alg.deadline_threshold(2.0), 2.0, 1e-12);
+}
+
+TEST(Threshold, RejectsBelowThresholdAcceptsAtThreshold) {
+  const double eps = 0.5;
+  ThresholdScheduler alg(eps, 1);
+  ASSERT_TRUE(alg.on_arrival(make_job(1, 0.0, 2.0, 100.0)).accepted);
+  const double d_lim = alg.deadline_threshold(0.0);  // 6.0
+  // A job with deadline just below the threshold is rejected...
+  EXPECT_FALSE(
+      alg.on_arrival(make_job(2, 0.0, 1.0, d_lim - 0.01)).accepted);
+  // ...and one at the threshold is accepted.
+  EXPECT_TRUE(alg.on_arrival(make_job(3, 0.0, 1.0, d_lim)).accepted);
+}
+
+TEST(Threshold, MultiMachineThresholdUsesLeastLoaded) {
+  // m = 2, eps = 0.5 -> k = 2: only the least loaded machine (position 2)
+  // determines the threshold, so with one busy machine the threshold stays
+  // at `now`.
+  ThresholdScheduler alg(0.5, 2);
+  ASSERT_EQ(alg.solution().k, 2);
+  ASSERT_TRUE(alg.on_arrival(make_job(1, 0.0, 4.0, 100.0)).accepted);
+  EXPECT_DOUBLE_EQ(alg.deadline_threshold(0.0), 0.0);
+  // A job too tight for the loaded machine lands on the idle one; with
+  // both machines busy the position-2 load raises the threshold.
+  ASSERT_TRUE(alg.on_arrival(make_job(2, 0.0, 1.0, 4.5)).accepted);
+  EXPECT_NEAR(alg.deadline_threshold(0.0), 1.0 * alg.solution().f_at(2),
+              1e-12);
+}
+
+TEST(Threshold, SmallEpsUsesAllMachines) {
+  // m = 2, eps = 0.05 -> k = 1: the most loaded machine also raises the
+  // threshold.
+  ThresholdScheduler alg(0.05, 2);
+  ASSERT_EQ(alg.solution().k, 1);
+  ASSERT_TRUE(alg.on_arrival(make_job(1, 0.0, 4.0, 1000.0)).accepted);
+  EXPECT_NEAR(alg.deadline_threshold(0.0), 4.0 * alg.solution().f_at(1),
+              1e-9);
+}
+
+TEST(Threshold, BestFitPicksMostLoadedFeasibleMachine) {
+  ThresholdScheduler alg(0.5, 2);
+  ASSERT_TRUE(alg.on_arrival(make_job(1, 0.0, 4.0, 100.0)).accepted);
+  // Best fit stacks loose jobs onto the already loaded machine, keeping
+  // the other machines free for tight jobs (the paper's allocation goal).
+  const Decision d2 = alg.on_arrival(make_job(2, 0.0, 1.0, 100.0));
+  ASSERT_TRUE(d2.accepted);
+  EXPECT_EQ(d2.machine, 0);
+  EXPECT_DOUBLE_EQ(d2.start, 4.0);
+  // A tighter job that cannot wait for load 5 goes to the idle machine 1.
+  const Decision d3 = alg.on_arrival(make_job(3, 0.0, 2.0, 4.5));
+  ASSERT_TRUE(d3.accepted);
+  EXPECT_EQ(d3.machine, 1);
+  EXPECT_DOUBLE_EQ(d3.start, 0.0);
+  // And the next loose job again prefers the most loaded candidate.
+  const Decision d4 = alg.on_arrival(make_job(4, 0.0, 1.0, 100.0));
+  ASSERT_TRUE(d4.accepted);
+  EXPECT_EQ(d4.machine, 0);
+  EXPECT_DOUBLE_EQ(d4.start, 5.0);
+}
+
+TEST(Threshold, StartsAfterOutstandingLoad) {
+  ThresholdScheduler alg(1.0, 1);
+  ASSERT_TRUE(alg.on_arrival(make_job(1, 0.0, 2.0, 100.0)).accepted);
+  const Decision d = alg.on_arrival(make_job(2, 1.0, 1.0, 100.0));
+  ASSERT_TRUE(d.accepted);
+  EXPECT_DOUBLE_EQ(d.start, 2.0);  // after the first job completes
+}
+
+TEST(Threshold, IdleMachineStartsImmediately) {
+  ThresholdScheduler alg(1.0, 1);
+  ASSERT_TRUE(alg.on_arrival(make_job(1, 0.0, 1.0, 100.0)).accepted);
+  // Arrives long after the first job drained.
+  const Decision d = alg.on_arrival(make_job(2, 10.0, 1.0, 100.0));
+  ASSERT_TRUE(d.accepted);
+  EXPECT_DOUBLE_EQ(d.start, 10.0);
+}
+
+TEST(Threshold, ResetClearsState) {
+  ThresholdScheduler alg(0.5, 1);
+  ASSERT_TRUE(alg.on_arrival(make_job(1, 0.0, 2.0, 100.0)).accepted);
+  alg.reset();
+  EXPECT_DOUBLE_EQ(alg.deadline_threshold(0.0), 0.0);
+  EXPECT_TRUE(alg.on_arrival(make_job(2, 0.0, 1.0, 1.5)).accepted);
+}
+
+TEST(Threshold, KOverrideChangesPhase) {
+  ThresholdConfig config;
+  config.eps = 0.5;
+  config.machines = 3;
+  config.k_override = 1;
+  ThresholdScheduler alg(config);
+  EXPECT_EQ(alg.solution().k, 1);
+  EXPECT_NE(alg.name().find("k=1"), std::string::npos);
+}
+
+TEST(Threshold, NameMentionsParameters) {
+  ThresholdScheduler alg(0.25, 4);
+  EXPECT_NE(alg.name().find("Threshold"), std::string::npos);
+  EXPECT_NE(alg.name().find("m=4"), std::string::npos);
+}
+
+TEST(Threshold, RejectsInvalidConstruction) {
+  EXPECT_THROW(ThresholdScheduler(0.0, 2), PreconditionError);
+  EXPECT_THROW(ThresholdScheduler(1.5, 2), PreconditionError);
+  EXPECT_THROW(ThresholdScheduler(0.5, 0), PreconditionError);
+}
+
+TEST(Threshold, SlackContractViolationIsLoudNotSilent) {
+  // Algorithm 1's correctness argument needs every job to satisfy the
+  // slack condition for the configured eps. A tighter job either gets
+  // rejected by the threshold, or — if the threshold would admit it but
+  // no machine can host it — trips the allocation postcondition rather
+  // than producing an illegal commitment.
+  ThresholdScheduler alg(0.5, 1);
+  ASSERT_TRUE(alg.on_arrival(make_job(1, 0.0, 1.0, 100.0)).accepted);
+  // Slack 0.1 < 0.5: deadline 2.2, threshold is 1 * f_1 = 3 -> rejected.
+  EXPECT_FALSE(alg.on_arrival(make_job(2, 0.0, 2.0, 2.2)).accepted);
+
+  // A long zero-ish-slack job above the threshold but infeasible on the
+  // loaded machine: f_1 = 3 with load 2 gives d_lim = 6; deadline 6.05
+  // admits, but load 2 + proc 6 = 8 > 6.05 misses. The contract violation
+  // surfaces as a PostconditionError.
+  ThresholdScheduler tight(0.5, 1);
+  ASSERT_TRUE(tight.on_arrival(make_job(3, 0.0, 2.0, 100.0)).accepted);
+  EXPECT_THROW((void)tight.on_arrival(make_job(4, 0.0, 6.0, 6.05)),
+               PostconditionError);
+}
+
+TEST(Threshold, LooserJobsThanEpsAreFine) {
+  // The converse direction is explicitly supported: jobs may have MORE
+  // slack than the configured eps.
+  ThresholdScheduler alg(0.1, 2);
+  for (int i = 0; i < 20; ++i) {
+    const Decision d =
+        alg.on_arrival(make_job(i + 1, 0.0, 1.0, 1000.0));  // huge slack
+    EXPECT_TRUE(d.accepted);
+  }
+}
+
+TEST(Threshold, GoldwasserKerbikovFactoryIsSingleMachine) {
+  ThresholdScheduler gk = make_goldwasser_kerbikov(0.2);
+  EXPECT_EQ(gk.machines(), 1);
+  EXPECT_NEAR(gk.solution().c, 2.0 + 1.0 / 0.2, 1e-9);
+}
+
+TEST(Threshold, DeterministicAcrossRuns) {
+  const Instance inst = generate_workload([] {
+    WorkloadConfig c;
+    c.n = 300;
+    c.eps = 0.2;
+    c.seed = 99;
+    return c;
+  }());
+  ThresholdScheduler alg(0.2, 3);
+  const RunResult a = run_online(alg, inst);
+  const RunResult b = run_online(alg, inst);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].decision, b.decisions[i].decision);
+  }
+}
+
+/// Claim 1 as a property: over arrival/size/slack sweeps, every accepted
+/// job is committed to a legal slot and the whole schedule validates.
+class ThresholdClaim1Sweep
+    : public ::testing::TestWithParam<
+          std::tuple<double, int, ArrivalModel, SizeModel, SlackModel>> {};
+
+TEST_P(ThresholdClaim1Sweep, AcceptedJobsAlwaysCompleteOnTime) {
+  const auto [eps, m, arrival, size, slack] = GetParam();
+  WorkloadConfig config;
+  config.n = 400;
+  config.eps = eps;
+  config.arrival = arrival;
+  config.size = size;
+  config.slack = slack;
+  config.arrival_rate = 2.0;
+  config.seed = 12345;
+  const Instance inst = generate_workload(config);
+
+  ThresholdScheduler alg(eps, m);
+  const RunResult result = run_online(alg, inst);
+  EXPECT_TRUE(result.clean()) << result.commitment_violation;
+  const auto report = validate_schedule(inst, result.schedule);
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_GT(result.metrics.accepted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ThresholdClaim1Sweep,
+    ::testing::Combine(
+        ::testing::Values(0.05, 0.3, 1.0), ::testing::Values(1, 2, 4),
+        ::testing::Values(ArrivalModel::kPoisson, ArrivalModel::kBursty),
+        ::testing::Values(SizeModel::kBoundedPareto, SizeModel::kBimodal),
+        ::testing::Values(SlackModel::kTight, SlackModel::kMixed)));
+
+/// Seeds sweep: the acceptance threshold never admits an infeasible job
+/// even under adversarially tight slack.
+class ThresholdSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ThresholdSeedSweep, TightSlackStressStaysLegal) {
+  WorkloadConfig config = overload_scenario(0.02, GetParam());
+  config.n = 600;
+  const Instance inst = generate_workload(config);
+  ThresholdScheduler alg(0.02, 2);
+  const RunResult result = run_online(alg, inst);
+  EXPECT_TRUE(result.clean()) << result.commitment_violation;
+  EXPECT_TRUE(validate_schedule(inst, result.schedule).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThresholdSeedSweep,
+                         ::testing::Values(1, 7, 21, 1001, 424242));
+
+}  // namespace
+}  // namespace slacksched

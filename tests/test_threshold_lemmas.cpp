@@ -1,0 +1,153 @@
+// Property tests of the structural lemmas behind Theorem 2, checked on
+// live runs of Algorithm 1 by observing its load vector around every
+// decision:
+//   * the decision rule itself: accepted iff d_j >= d_lim (9)/(10),
+//   * Lemma 5 (third claim): an allocation to a machine of sorted
+//     position i > k implies l(m_k) < p_j,
+//   * allocation is best fit: no feasible machine with a larger load,
+//   * started jobs never idle a machine that has outstanding work.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/threshold.hpp"
+#include "workload/generators.hpp"
+
+namespace slacksched {
+namespace {
+
+struct ObservedDecision {
+  Job job;
+  Decision decision;
+  std::vector<Duration> loads_before;  // per physical machine
+  TimePoint d_lim;
+};
+
+/// Drives the scheduler manually, snapshotting state before each decision.
+std::vector<ObservedDecision> observe(ThresholdScheduler& alg,
+                                      const Instance& instance) {
+  std::vector<ObservedDecision> observed;
+  alg.reset();
+  for (const Job& job : instance.jobs()) {
+    ObservedDecision record;
+    record.job = job;
+    record.loads_before = alg.loads(job.release);
+    record.d_lim = alg.deadline_threshold(job.release);
+    record.decision = alg.on_arrival(job);
+    observed.push_back(std::move(record));
+  }
+  return observed;
+}
+
+class ThresholdLemmaSweep
+    : public ::testing::TestWithParam<std::tuple<double, int, std::uint64_t>> {
+ protected:
+  std::vector<ObservedDecision> run() {
+    const auto [eps, m, seed] = GetParam();
+    WorkloadConfig config;
+    config.n = 500;
+    config.eps = eps;
+    config.arrival_rate = 2.0 * m;
+    config.slack = SlackModel::kMixed;
+    config.seed = seed;
+    instance_ = generate_workload(config);
+    alg_ = std::make_unique<ThresholdScheduler>(eps, m);
+    return observe(*alg_, instance_);
+  }
+
+  Instance instance_;
+  std::unique_ptr<ThresholdScheduler> alg_;
+};
+
+TEST_P(ThresholdLemmaSweep, DecisionMatchesThresholdRule) {
+  for (const ObservedDecision& record : run()) {
+    if (record.decision.accepted) {
+      EXPECT_TRUE(approx_ge(record.job.deadline, record.d_lim))
+          << record.job.to_string() << " accepted below d_lim=" << record.d_lim;
+    } else {
+      EXPECT_TRUE(definitely_less(record.job.deadline, record.d_lim))
+          << record.job.to_string() << " rejected at/above d_lim="
+          << record.d_lim;
+    }
+  }
+}
+
+TEST_P(ThresholdLemmaSweep, Lemma5ThirdClaim) {
+  const auto [eps, m, seed] = GetParam();
+  (void)seed;
+  const int k = RatioFunction::solve(eps, m).k;
+  for (const ObservedDecision& record : run()) {
+    if (!record.decision.accepted) continue;
+    std::vector<Duration> sorted = record.loads_before;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    const Duration chosen_load =
+        record.loads_before[static_cast<std::size_t>(
+            record.decision.machine)];
+    // Sorted position of the chosen machine (1-based, pessimistic for
+    // ties: the highest position with this load value).
+    int position = 1;
+    for (Duration l : sorted) {
+      if (l > chosen_load + kTimeEps) ++position;
+    }
+    if (position > k) {
+      // Lemma 5(3): l(m_k) < p_j.
+      EXPECT_LT(sorted[static_cast<std::size_t>(k - 1)],
+                record.job.proc + kTimeEps)
+          << record.job.to_string() << " at position " << position
+          << " with k=" << k;
+    }
+  }
+}
+
+TEST_P(ThresholdLemmaSweep, AllocationIsBestFit) {
+  for (const ObservedDecision& record : run()) {
+    if (!record.decision.accepted) continue;
+    const Duration chosen_load =
+        record.loads_before[static_cast<std::size_t>(
+            record.decision.machine)];
+    for (Duration other : record.loads_before) {
+      if (other <= chosen_load + kTimeEps) continue;
+      // A strictly more loaded machine must have been infeasible.
+      EXPECT_FALSE(approx_le(record.job.release + other + record.job.proc,
+                             record.job.deadline))
+          << record.job.to_string()
+          << ": a more loaded feasible machine was skipped";
+    }
+  }
+}
+
+TEST_P(ThresholdLemmaSweep, StartIsReleasePlusOutstandingLoad) {
+  for (const ObservedDecision& record : run()) {
+    if (!record.decision.accepted) continue;
+    const Duration chosen_load =
+        record.loads_before[static_cast<std::size_t>(
+            record.decision.machine)];
+    EXPECT_NEAR(record.decision.start, record.job.release + chosen_load,
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ThresholdLemmaSweep,
+    ::testing::Combine(::testing::Values(0.03, 0.2, 0.7),
+                       ::testing::Values(2, 3, 5),
+                       ::testing::Values(11, 99)));
+
+TEST(ThresholdLoads, ReflectCommittedWork) {
+  ThresholdScheduler alg(0.5, 2);
+  Job job;
+  job.id = 1;
+  job.release = 0.0;
+  job.proc = 3.0;
+  job.deadline = 100.0;
+  ASSERT_TRUE(alg.on_arrival(job).accepted);
+  const auto at0 = alg.loads(0.0);
+  EXPECT_DOUBLE_EQ(at0[0] + at0[1], 3.0);
+  const auto at2 = alg.loads(2.0);
+  EXPECT_DOUBLE_EQ(at2[0] + at2[1], 1.0);
+  const auto at5 = alg.loads(5.0);
+  EXPECT_DOUBLE_EQ(at5[0] + at5[1], 0.0);
+}
+
+}  // namespace
+}  // namespace slacksched

@@ -1,0 +1,252 @@
+#include "sched/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/greedy.hpp"
+#include "common/expects.hpp"
+#include "core/threshold.hpp"
+#include "offline/exact.hpp"
+#include "workload/generators.hpp"
+
+namespace slacksched {
+namespace {
+
+Job make_job(JobId id, TimePoint r, Duration p, TimePoint d) {
+  Job j;
+  j.id = id;
+  j.release = r;
+  j.proc = p;
+  j.deadline = d;
+  return j;
+}
+
+TEST(BusyTimeline, EmptyScheduleIsEmpty) {
+  EXPECT_TRUE(busy_timeline(Schedule(2)).empty());
+}
+
+TEST(BusyTimeline, SingleJob) {
+  Schedule s(2);
+  s.commit(make_job(1, 0.0, 2.0, 10.0), 0, 1.0);
+  const auto segments = busy_timeline(s);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(segments[0].begin, 1.0);
+  EXPECT_DOUBLE_EQ(segments[0].end, 3.0);
+  EXPECT_EQ(segments[0].busy_machines, 1);
+}
+
+TEST(BusyTimeline, OverlapCountsBothMachines) {
+  Schedule s(2);
+  s.commit(make_job(1, 0.0, 4.0, 10.0), 0, 0.0);  // [0, 4)
+  s.commit(make_job(2, 0.0, 2.0, 10.0), 1, 1.0);  // [1, 3)
+  const auto segments = busy_timeline(s);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[0].busy_machines, 1);  // [0, 1)
+  EXPECT_EQ(segments[1].busy_machines, 2);  // [1, 3)
+  EXPECT_EQ(segments[2].busy_machines, 1);  // [3, 4)
+  EXPECT_DOUBLE_EQ(segments[1].length(), 2.0);
+}
+
+TEST(BusyTimeline, GapsProduceZeroSegments) {
+  Schedule s(1);
+  s.commit(make_job(1, 0.0, 1.0, 10.0), 0, 0.0);  // [0, 1)
+  s.commit(make_job(2, 0.0, 1.0, 10.0), 0, 3.0);  // [3, 4)
+  const auto segments = busy_timeline(s);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[1].busy_machines, 0);
+  EXPECT_DOUBLE_EQ(segments[1].length(), 2.0);
+}
+
+TEST(BusyTimeline, MergesBackToBackJobs) {
+  Schedule s(1);
+  s.commit(make_job(1, 0.0, 1.0, 10.0), 0, 0.0);
+  s.commit(make_job(2, 0.0, 2.0, 10.0), 0, 1.0);
+  const auto segments = busy_timeline(s);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(segments[0].length(), 3.0);
+}
+
+TEST(Utilization, FullSingleMachine) {
+  Schedule s(1);
+  s.commit(make_job(1, 0.0, 5.0, 10.0), 0, 0.0);
+  EXPECT_DOUBLE_EQ(utilization(s), 1.0);
+}
+
+TEST(Utilization, HalfOnTwoMachines) {
+  Schedule s(2);
+  s.commit(make_job(1, 0.0, 5.0, 10.0), 0, 0.0);
+  EXPECT_DOUBLE_EQ(utilization(s), 0.5);
+}
+
+TEST(Utilization, RespectsExplicitHorizon) {
+  Schedule s(1);
+  s.commit(make_job(1, 0.0, 5.0, 10.0), 0, 0.0);
+  EXPECT_DOUBLE_EQ(utilization(s, 10.0), 0.5);
+}
+
+TEST(Utilization, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(utilization(Schedule(3)), 0.0);
+}
+
+TEST(CoveredIntervals, NoRejectionsMeansNoCoveredTime) {
+  WorkloadConfig config;
+  config.n = 20;
+  config.eps = 1.0;
+  config.arrival_rate = 0.01;  // no contention: everything accepted
+  config.size_max = 2.0;
+  const Instance inst = generate_workload(config);
+  GreedyScheduler alg(4);
+  const RunResult result = run_online(alg, inst);
+  ASSERT_EQ(result.metrics.rejected, 0u);
+  EXPECT_TRUE(covered_intervals(result).empty());
+  EXPECT_DOUBLE_EQ(uncovered_time(result, 100.0), 100.0);
+}
+
+TEST(CoveredIntervals, MergesOverlappingRejectedWindows) {
+  // One machine saturated by an accepted job; two overlapping rejections.
+  const Instance inst({make_job(1, 0.0, 10.0, 15.0),
+                       make_job(2, 1.0, 5.0, 7.0),    // rejected [1, 7)
+                       make_job(3, 5.0, 5.0, 11.0)});  // rejected [5, 11)
+  GreedyScheduler alg(1);
+  const RunResult result = run_online(alg, inst);
+  ASSERT_EQ(result.metrics.rejected, 2u);
+  const auto intervals = covered_intervals(result);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_DOUBLE_EQ(intervals[0].begin, 1.0);
+  EXPECT_DOUBLE_EQ(intervals[0].end, 11.0);
+  EXPECT_EQ(intervals[0].rejected_jobs, 2u);
+  EXPECT_DOUBLE_EQ(intervals[0].rejected_volume, 10.0);
+  // Online work inside [1, 11): the accepted job runs [0, 10) -> 9 units.
+  EXPECT_DOUBLE_EQ(intervals[0].online_volume, 9.0);
+}
+
+TEST(CoveredIntervals, SeparatesDisjointWindows) {
+  const Instance inst({make_job(1, 0.0, 4.0, 6.0),
+                       make_job(2, 1.0, 4.0, 5.0),      // rejected [1, 5)
+                       make_job(3, 20.0, 4.0, 24.0),
+                       make_job(4, 21.0, 4.0, 25.0)});  // rejected [21, 25)
+  GreedyScheduler alg(1);
+  const RunResult result = run_online(alg, inst);
+  const auto intervals = covered_intervals(result);
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_DOUBLE_EQ(intervals[0].begin, 1.0);
+  EXPECT_DOUBLE_EQ(intervals[1].begin, 21.0);
+}
+
+TEST(CoveredIntervals, PerformanceRatioBound) {
+  CoveredInterval interval;
+  interval.begin = 0.0;
+  interval.end = 10.0;
+  interval.online_volume = 5.0;
+  EXPECT_DOUBLE_EQ(interval.performance_ratio_bound(2), 4.0);
+  interval.online_volume = 0.0;
+  EXPECT_TRUE(std::isinf(interval.performance_ratio_bound(2)));
+}
+
+TEST(CoveredIntervals, ThresholdRatioBoundsStayNearTheGuarantee) {
+  // On a saturated workload, per-interval ratio bounds for Algorithm 1
+  // should stay in the vicinity of the proven guarantee (they are crude
+  // upper bounds, so allow generous headroom, but they must not explode).
+  WorkloadConfig config = overload_scenario(0.2, 5);
+  config.n = 500;
+  const Instance inst = generate_workload(config);
+  ThresholdScheduler alg(0.2, 2);
+  const RunResult result = run_online(alg, inst);
+  const auto intervals = covered_intervals(result);
+  ASSERT_FALSE(intervals.empty());
+  for (const CoveredInterval& interval : intervals) {
+    if (interval.length() < 1.0) continue;  // tiny intervals are noisy
+    EXPECT_LT(interval.performance_ratio_bound(2),
+              5.0 * alg.solution().theorem2_bound());
+  }
+}
+
+TEST(CertifiedBound, ZeroRejectionsMeansRatioOne) {
+  const Instance inst({make_job(1, 0.0, 2.0, 10.0)});
+  GreedyScheduler alg(1);
+  const RunResult result = run_online(alg, inst);
+  const CertifiedBound bound = certified_optimum_bound(result, 1);
+  EXPECT_DOUBLE_EQ(bound.opt_bound, bound.alg_volume);
+  EXPECT_DOUBLE_EQ(bound.ratio_bound, 1.0);
+}
+
+TEST(CertifiedBound, CapsByRejectedVolume) {
+  // One tiny rejection inside a huge covered window: the bound adds only
+  // the rejected volume, not the window capacity.
+  const Instance inst({make_job(1, 0.0, 10.0, 15.0),
+                       make_job(2, 1.0, 0.5, 14.0)});  // rejected? No: fits
+  GreedyScheduler alg(1);
+  const RunResult result = run_online(alg, inst);
+  // Both accepted here; craft a rejection instead.
+  const Instance inst2({make_job(1, 0.0, 10.0, 10.0),
+                        make_job(2, 1.0, 0.5, 1.6)});  // rejected, vol 0.5
+  const RunResult result2 = run_online(alg, inst2);
+  ASSERT_EQ(result2.metrics.rejected, 1u);
+  const CertifiedBound bound = certified_optimum_bound(result2, 1);
+  EXPECT_NEAR(bound.opt_bound, result2.metrics.accepted_volume + 0.5, 1e-9);
+  (void)result;
+}
+
+TEST(CertifiedBound, DominatesTheExactOptimum) {
+  // The certificate must upper-bound the true optimum on random instances.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    WorkloadConfig config;
+    config.n = 10;
+    config.eps = 0.1;
+    config.arrival_rate = 2.0;
+    config.size_min = 1.0;
+    config.size_max = 6.0;
+    config.slack = SlackModel::kTight;
+    config.seed = seed;
+    const Instance inst = generate_workload(config);
+    for (int m : {1, 2}) {
+      ThresholdScheduler alg(0.1, m);
+      const RunResult result = run_online(alg, inst);
+      const CertifiedBound bound = certified_optimum_bound(result, m);
+      const double opt = exact_optimal_load(inst, m).value;
+      EXPECT_GE(bound.opt_bound, opt - 1e-9)
+          << "seed=" << seed << " m=" << m;
+      EXPECT_GE(bound.ratio_bound, 1.0 - 1e-12);
+    }
+  }
+}
+
+TEST(CertifiedBound, InfiniteWhenNothingAccepted) {
+  const Instance inst({make_job(1, 0.0, 2.0, 2.0), make_job(2, 0.0, 2.0, 2.0)});
+  GreedyScheduler alg(1);
+  RunResult result = run_online(alg, inst);
+  // Force an empty schedule by dropping the acceptance (simulate a
+  // scheduler that rejected everything).
+  RunResult empty{Schedule(1), RunMetrics{}, result.decisions, {}};
+  for (auto& record : empty.decisions) record.decision = Decision::reject();
+  const CertifiedBound bound = certified_optimum_bound(empty, 1);
+  EXPECT_TRUE(std::isinf(bound.ratio_bound));
+}
+
+TEST(TimelineSvg, RendersStepFunctionAndCoveredBand) {
+  const Instance inst({make_job(1, 0.0, 10.0, 15.0),
+                       make_job(2, 1.0, 5.0, 7.0)});  // job 2 rejected
+  GreedyScheduler alg(1);
+  const RunResult result = run_online(alg, inst);
+  const SvgDocument svg = render_timeline_svg(result, "timeline-test");
+  const std::string markup = svg.str();
+  EXPECT_NE(markup.find("timeline-test"), std::string::npos);
+  EXPECT_NE(markup.find("<polyline"), std::string::npos);
+  EXPECT_NE(markup.find("#e6194b"), std::string::npos);  // covered band
+  EXPECT_NE(markup.find(">covered</text>"), std::string::npos);
+}
+
+TEST(TimelineSvg, EmptyRunStillRenders) {
+  RunResult result{Schedule(2), RunMetrics{}, {}, {}};
+  const SvgDocument svg = render_timeline_svg(result, "");
+  EXPECT_NE(svg.str().find("<svg"), std::string::npos);
+}
+
+TEST(UncoveredTime, RequiresPositiveHorizon) {
+  RunResult result{Schedule(1), RunMetrics{}, {}, {}};
+  EXPECT_THROW((void)uncovered_time(result, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace slacksched

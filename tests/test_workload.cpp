@@ -1,0 +1,285 @@
+// Workload-generator properties: the slack condition by construction,
+// determinism, distribution bounds, arrival ordering, and trace I/O.
+#include "workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <sstream>
+
+#include "common/expects.hpp"
+#include "workload/trace_io.hpp"
+
+namespace slacksched {
+namespace {
+
+TEST(Workload, DeterministicInSeed) {
+  WorkloadConfig config;
+  config.n = 200;
+  config.seed = 77;
+  const Instance a = generate_workload(config);
+  const Instance b = generate_workload(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Workload, SeedChangesInstance) {
+  WorkloadConfig config;
+  config.n = 200;
+  config.seed = 1;
+  const Instance a = generate_workload(config);
+  config.seed = 2;
+  const Instance b = generate_workload(config);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Workload, ReleasesAreNonDecreasing) {
+  for (ArrivalModel arrival :
+       {ArrivalModel::kPoisson, ArrivalModel::kUniform, ArrivalModel::kBursty,
+        ArrivalModel::kAllAtOnce}) {
+    WorkloadConfig config;
+    config.n = 300;
+    config.arrival = arrival;
+    config.seed = 3;
+    const Instance inst = generate_workload(config);
+    for (std::size_t i = 1; i < inst.size(); ++i) {
+      EXPECT_GE(inst[i].release, inst[i - 1].release)
+          << to_string(arrival) << " at " << i;
+    }
+  }
+}
+
+TEST(Workload, AllAtOnceReleasesAtZero) {
+  WorkloadConfig config;
+  config.n = 50;
+  config.arrival = ArrivalModel::kAllAtOnce;
+  const Instance inst = generate_workload(config);
+  for (const Job& j : inst.jobs()) {
+    EXPECT_DOUBLE_EQ(j.release, 0.0);
+  }
+}
+
+TEST(Workload, SizesRespectBounds) {
+  for (SizeModel size : {SizeModel::kUniform, SizeModel::kBoundedPareto,
+                         SizeModel::kBimodal, SizeModel::kConstant}) {
+    WorkloadConfig config;
+    config.n = 500;
+    config.size = size;
+    config.size_min = 2.0;
+    config.size_max = 20.0;
+    config.seed = 5;
+    const Instance inst = generate_workload(config);
+    for (const Job& j : inst.jobs()) {
+      EXPECT_GE(j.proc, 2.0 - 1e-9) << to_string(size);
+      EXPECT_LE(j.proc, 20.0 + 1e-9) << to_string(size);
+    }
+  }
+}
+
+TEST(Workload, ConstantSizesAreConstant) {
+  WorkloadConfig config;
+  config.n = 100;
+  config.size = SizeModel::kConstant;
+  config.size_min = 3.5;
+  const Instance inst = generate_workload(config);
+  for (const Job& j : inst.jobs()) {
+    EXPECT_DOUBLE_EQ(j.proc, 3.5);
+  }
+}
+
+TEST(Workload, TightSlackIsExactlyEps) {
+  WorkloadConfig config;
+  config.n = 100;
+  config.eps = 0.25;
+  config.slack = SlackModel::kTight;
+  const Instance inst = generate_workload(config);
+  for (const Job& j : inst.jobs()) {
+    EXPECT_NEAR(j.slack(), 0.25, 1e-9);
+  }
+}
+
+TEST(Workload, BurstyCreatesSynchronizedReleases) {
+  WorkloadConfig config;
+  config.n = 400;
+  config.arrival = ArrivalModel::kBursty;
+  config.burst_every = 100.0;
+  config.burst_size = 10;
+  config.arrival_rate = 0.5;
+  config.seed = 11;
+  const Instance inst = generate_workload(config);
+  // At least one burst instant must carry burst_size simultaneous releases.
+  std::size_t max_simultaneous = 1;
+  std::size_t run = 1;
+  for (std::size_t i = 1; i < inst.size(); ++i) {
+    run = (inst[i].release == inst[i - 1].release) ? run + 1 : 1;
+    max_simultaneous = std::max(max_simultaneous, run);
+  }
+  EXPECT_GE(max_simultaneous, 10u);
+}
+
+TEST(Workload, DiurnalRateVariesWithinPeriod) {
+  WorkloadConfig config;
+  config.n = 4000;
+  config.arrival = ArrivalModel::kDiurnal;
+  config.arrival_rate = 2.0;
+  config.diurnal_period = 100.0;
+  config.diurnal_amplitude = 0.9;
+  config.seed = 17;
+  const Instance inst = generate_workload(config);
+
+  // Count arrivals in the peak half-period [0, 50) mod 100 (where the
+  // sine is positive) vs. the trough half; the peak half must clearly win.
+  std::size_t peak_half = 0;
+  std::size_t trough_half = 0;
+  for (const Job& j : inst.jobs()) {
+    const double phase = std::fmod(j.release, 100.0);
+    (phase < 50.0 ? peak_half : trough_half) += 1;
+  }
+  EXPECT_GT(peak_half, trough_half * 2);
+}
+
+TEST(Workload, DiurnalReleasesMonotone) {
+  WorkloadConfig config;
+  config.n = 500;
+  config.arrival = ArrivalModel::kDiurnal;
+  config.seed = 3;
+  const Instance inst = generate_workload(config);
+  for (std::size_t i = 1; i < inst.size(); ++i) {
+    EXPECT_GE(inst[i].release, inst[i - 1].release);
+  }
+  EXPECT_TRUE(inst.validate(config.eps).ok);
+}
+
+TEST(Workload, DiurnalRejectsBadParameters) {
+  WorkloadConfig config;
+  config.arrival = ArrivalModel::kDiurnal;
+  config.diurnal_amplitude = 1.0;  // would allow a zero/negative rate
+  EXPECT_THROW(generate_workload(config), PreconditionError);
+  config.diurnal_amplitude = 0.5;
+  config.diurnal_period = 0.0;
+  EXPECT_THROW(generate_workload(config), PreconditionError);
+}
+
+TEST(Workload, RejectsInvalidConfig) {
+  WorkloadConfig config;
+  config.n = 0;
+  EXPECT_THROW(generate_workload(config), PreconditionError);
+  config.n = 10;
+  config.eps = 0.0;
+  EXPECT_THROW(generate_workload(config), PreconditionError);
+  config.eps = 0.1;
+  config.size_min = 5.0;
+  config.size_max = 1.0;
+  EXPECT_THROW(generate_workload(config), PreconditionError);
+}
+
+TEST(Workload, NamedScenariosValidate) {
+  for (double eps : {0.05, 0.5}) {
+    const Instance cloud = generate_workload(cloud_burst_scenario(eps, 1));
+    EXPECT_TRUE(cloud.validate(eps).ok);
+    const Instance overload = generate_workload(overload_scenario(eps, 1));
+    EXPECT_TRUE(overload.validate(eps).ok);
+  }
+}
+
+TEST(Workload, ConfigToStringMentionsModels) {
+  WorkloadConfig config;
+  const std::string s = config.to_string();
+  EXPECT_NE(s.find("poisson"), std::string::npos);
+  EXPECT_NE(s.find("bounded-pareto"), std::string::npos);
+}
+
+/// Property sweep: the generated instance always satisfies the slack
+/// condition (3) for its configured eps, whatever the model mix.
+class WorkloadSlackSweep
+    : public ::testing::TestWithParam<
+          std::tuple<double, ArrivalModel, SizeModel, SlackModel,
+                     std::uint64_t>> {};
+
+TEST_P(WorkloadSlackSweep, SlackConditionHoldsByConstruction) {
+  const auto [eps, arrival, size, slack, seed] = GetParam();
+  WorkloadConfig config;
+  config.n = 250;
+  config.eps = eps;
+  config.arrival = arrival;
+  config.size = size;
+  config.slack = slack;
+  config.seed = seed;
+  const Instance inst = generate_workload(config);
+  EXPECT_TRUE(inst.validate(eps).ok);
+  EXPECT_GE(inst.min_slack(), eps - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WorkloadSlackSweep,
+    ::testing::Combine(
+        ::testing::Values(0.01, 0.3, 1.0),
+        ::testing::Values(ArrivalModel::kPoisson, ArrivalModel::kUniform,
+                          ArrivalModel::kBursty),
+        ::testing::Values(SizeModel::kUniform, SizeModel::kBoundedPareto),
+        ::testing::Values(SlackModel::kTight, SlackModel::kUniformFactor,
+                          SlackModel::kMixed),
+        ::testing::Values(1, 99)));
+
+// ---------- trace I/O ----------
+
+TEST(TraceIo, RoundTripsExactly) {
+  WorkloadConfig config;
+  config.n = 150;
+  config.seed = 8;
+  const Instance original = generate_workload(config);
+
+  std::ostringstream out;
+  write_trace(out, original);
+  std::istringstream in(out.str());
+  const Instance loaded = read_trace(in);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i], original[i]) << "row " << i;
+  }
+}
+
+TEST(TraceIo, RejectsBadHeader) {
+  std::istringstream in("nope,release,proc,deadline\n1,0,1,2\n");
+  EXPECT_THROW(read_trace(in), PreconditionError);
+}
+
+TEST(TraceIo, RejectsWrongArity) {
+  std::istringstream in("id,release,proc,deadline\n1,0,1\n");
+  EXPECT_THROW(read_trace(in), PreconditionError);
+}
+
+TEST(TraceIo, RejectsNonNumericCells) {
+  std::istringstream in("id,release,proc,deadline\n1,zero,1,2\n");
+  EXPECT_THROW(read_trace(in), PreconditionError);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  WorkloadConfig config;
+  config.n = 30;
+  const Instance original = generate_workload(config);
+  const std::string path = ::testing::TempDir() + "/slacksched_trace.csv";
+  write_trace_file(path, original);
+  const Instance loaded = read_trace_file(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded[0], original[0]);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/dir/trace.csv"),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace slacksched
