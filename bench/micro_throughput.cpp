@@ -4,6 +4,10 @@
 // the library's viability at cloud-gateway request rates.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "adversary/lower_bound_game.hpp"
 #include "baselines/greedy.hpp"
 #include "core/classify_select.hpp"
@@ -176,4 +180,26 @@ BENCHMARK(BM_WorkloadGeneration)->Arg(1000)->Arg(100000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but additionally mirrors the results to
+// BENCH_micro.json (google-benchmark's JSON format) unless the caller
+// already passed an explicit --benchmark_out, so the bench trajectory is
+// machine-readable while the console table stays unchanged.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  const bool has_out =
+      std::any_of(args.begin(), args.end(), [](const char* arg) {
+        return std::string(arg).rfind("--benchmark_out=", 0) == 0;
+      });
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,225 @@
+// SERVICE: end-to-end throughput of the sharded admission gateway.
+//
+// Replays a multi-million-job synthetic stream through AdmissionGateway at
+// 1..16 shards (each shard = an independent Threshold engine on its own
+// machine group) and reports sustained submissions/second, backpressure
+// retries, and the final metrics snapshot. Every configuration must finish
+// clean: zero commitment violations, every submitted job decided. Emits
+// BENCH_service.json so the perf trajectory is machine-readable.
+//
+// Expectation on a multi-core host: aggregate throughput scales with the
+// shard count (the acceptance criterion is >3x at 8 shards on 8 cores).
+// On fewer cores the run still validates correctness and records
+// hardware_concurrency so the numbers stay interpretable.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/threshold.hpp"
+#include "service/gateway.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace slacksched;
+
+constexpr double kEps = 0.1;
+constexpr int kMachinesPerShard = 8;
+
+struct RunStats {
+  int shards = 0;
+  std::size_t jobs = 0;
+  double seconds = 0.0;
+  double jobs_per_sec = 0.0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  double accepted_volume = 0.0;
+  std::uint64_t backpressure_retries = 0;
+  std::size_t peak_queue_depth = 0;
+  std::size_t batches = 0;
+  bool clean = false;
+  std::string violation;
+};
+
+/// Pushes every job in [begin, end) through the gateway, retrying the
+/// backpressure-shed tail until the shard accepts it. Hash routing keeps a
+/// retried job on its shard, so retrying cannot starve: the consumer always
+/// drains. Returns the number of retried submissions.
+std::uint64_t submit_range(AdmissionGateway& gateway, const Job* jobs,
+                           std::size_t count, std::size_t chunk) {
+  std::uint64_t retries = 0;
+  std::vector<SubmitStatus> statuses;
+  std::vector<Job> pending;
+  std::vector<Job> still_pending;
+  for (std::size_t offset = 0; offset < count; offset += chunk) {
+    const std::size_t n = std::min(chunk, count - offset);
+    pending.assign(jobs + offset, jobs + offset + n);
+    while (!pending.empty()) {
+      const BatchSubmitResult result = gateway.submit_batch(
+          std::span<const Job>(pending.data(), pending.size()), &statuses);
+      if (result.rejected_queue_full == 0) break;
+      retries += result.rejected_queue_full;
+      still_pending.clear();
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (statuses[i] == SubmitStatus::kRejectedQueueFull) {
+          still_pending.push_back(pending[i]);
+        }
+      }
+      pending.swap(still_pending);
+      std::this_thread::yield();  // give the consumers a slice
+    }
+  }
+  return retries;
+}
+
+RunStats run_config(const Instance& instance, int shards,
+                    unsigned producers) {
+  GatewayConfig config;
+  config.shards = shards;
+  config.queue_capacity = 8192;
+  config.batch_size = 512;
+  config.routing = RoutingPolicy::kHash;
+  config.record_decisions = false;  // multi-million-job run: metrics only
+  AdmissionGateway gateway(config, [](int) {
+    return std::make_unique<ThresholdScheduler>(kEps, kMachinesPerShard);
+  });
+
+  const Job* jobs = instance.jobs().data();
+  const std::size_t n = instance.size();
+  const std::size_t per_producer = (n + producers - 1) / producers;
+  std::vector<std::uint64_t> retries(producers, 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (unsigned p = 0; p < producers; ++p) {
+      const std::size_t begin = p * per_producer;
+      const std::size_t end = std::min(begin + per_producer, n);
+      if (begin >= end) break;
+      threads.emplace_back([&, p, begin, end] {
+        retries[p] = submit_range(gateway, jobs + begin, end - begin, 1024);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const GatewayResult result = gateway.finish();
+  const auto stop = std::chrono::steady_clock::now();
+
+  RunStats stats;
+  stats.shards = shards;
+  stats.jobs = n;
+  stats.seconds = std::chrono::duration<double>(stop - start).count();
+  stats.jobs_per_sec = static_cast<double>(n) / stats.seconds;
+  stats.accepted = result.merged.accepted;
+  stats.rejected = result.merged.rejected;
+  stats.accepted_volume = result.merged.accepted_volume;
+  for (const std::uint64_t r : retries) stats.backpressure_retries += r;
+  stats.peak_queue_depth = result.metrics.total.peak_queue_depth;
+  stats.batches = result.metrics.total.batches;
+  stats.clean = result.clean() && result.merged.submitted == n;
+  stats.violation = result.first_violation();
+  return stats;
+}
+
+void write_json(const std::vector<RunStats>& runs, std::size_t jobs,
+                unsigned cores, unsigned producers, double speedup_8v1) {
+  std::ofstream out("BENCH_service.json");
+  out << "{\n"
+      << "  \"bench\": \"service_throughput\",\n"
+      << "  \"scheduler\": \"Threshold(eps=" << kEps
+      << ", m=" << kMachinesPerShard << " per shard)\",\n"
+      << "  \"routing\": \"hash\",\n"
+      << "  \"jobs\": " << jobs << ",\n"
+      << "  \"producers\": " << producers << ",\n"
+      << "  \"hardware_concurrency\": " << cores << ",\n"
+      << "  \"speedup_8shard_vs_1shard\": " << speedup_8v1 << ",\n"
+      << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunStats& r = runs[i];
+    out << "    {\"shards\": " << r.shards << ", \"seconds\": " << r.seconds
+        << ", \"jobs_per_sec\": " << r.jobs_per_sec
+        << ", \"accepted\": " << r.accepted
+        << ", \"rejected\": " << r.rejected
+        << ", \"accepted_volume\": " << r.accepted_volume
+        << ", \"backpressure_retries\": " << r.backpressure_retries
+        << ", \"peak_queue_depth\": " << r.peak_queue_depth
+        << ", \"batches\": " << r.batches
+        << ", \"clean\": " << (r.clean ? "true" : "false") << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Optional override: service_throughput [jobs], default 1M (the
+  // acceptance bar); smoke-test with a smaller count, e.g. 100000.
+  std::size_t n = 1'000'000;
+  if (argc > 1) {
+    char* end = nullptr;
+    n = static_cast<std::size_t>(std::strtoull(argv[1], &end, 10));
+    if (end == argv[1] || *end != '\0' || n == 0) {
+      std::fprintf(stderr, "usage: %s [jobs>0]  (got '%s')\n", argv[0], argv[1]);
+      return 2;
+    }
+  }
+
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  // Producers stay fixed across shard counts so the consumer side is the
+  // variable under test; two are enough to saturate the batched ingest.
+  const unsigned producers = cores >= 4 ? 2 : 1;
+
+  std::printf("SERVICE: sharded admission-gateway throughput\n");
+  std::printf("  jobs=%zu  scheduler=Threshold(eps=%.2f, m=%d/shard)  "
+              "producers=%u  cores=%u\n\n",
+              n, kEps, kMachinesPerShard, producers, cores);
+
+  WorkloadConfig wconfig;
+  wconfig.n = n;
+  wconfig.eps = kEps;
+  wconfig.arrival_rate = 4.0;
+  wconfig.seed = 7;
+  const Instance instance = generate_workload(wconfig);
+
+  std::printf("  %6s  %10s  %14s  %10s  %12s  %9s  %s\n", "shards", "seconds",
+              "jobs/sec", "accepted", "bp-retries", "peak-q", "status");
+  std::vector<RunStats> runs;
+  bool all_clean = true;
+  for (const int shards : {1, 2, 4, 8, 16}) {
+    const RunStats stats = run_config(instance, shards, producers);
+    std::printf("  %6d  %10.3f  %14.0f  %10zu  %12llu  %9zu  %s\n",
+                stats.shards, stats.seconds, stats.jobs_per_sec,
+                stats.accepted,
+                static_cast<unsigned long long>(stats.backpressure_retries),
+                stats.peak_queue_depth,
+                stats.clean ? "clean" : stats.violation.c_str());
+    all_clean = all_clean && stats.clean;
+    runs.push_back(stats);
+  }
+
+  double speedup = 0.0;
+  for (const RunStats& r : runs) {
+    if (r.shards == 8) speedup = r.jobs_per_sec / runs.front().jobs_per_sec;
+  }
+  std::printf("\n  8-shard vs 1-shard aggregate throughput: %.2fx"
+              " (on %u hardware threads)\n",
+              speedup, cores);
+
+  write_json(runs, n, cores, producers, speedup);
+  std::printf("  wrote BENCH_service.json\n");
+
+  if (!all_clean) {
+    std::printf("  FATAL: a configuration was not clean\n");
+    return 1;
+  }
+  return 0;
+}

@@ -41,7 +41,9 @@ Histogram Histogram::logarithmic(double lo, double hi, std::size_t bins) {
   return Histogram(std::move(edges), true);
 }
 
-void Histogram::add(double value) {
+void Histogram::add(double value) { add(value, 1); }
+
+void Histogram::add(double value, std::size_t count) {
   // Clamp into the covered range, then binary-search the bin.
   const double clamped =
       std::clamp(value, edges_.front(),
@@ -50,8 +52,8 @@ void Histogram::add(double value) {
       std::upper_bound(edges_.begin(), edges_.end(), clamped);
   const std::size_t bin = static_cast<std::size_t>(
       std::distance(edges_.begin(), it)) - 1;
-  ++counts_[std::min(bin, counts_.size() - 1)];
-  ++total_;
+  counts_[std::min(bin, counts_.size() - 1)] += count;
+  total_ += count;
 }
 
 std::size_t Histogram::count_in_bin(std::size_t bin) const {

@@ -19,6 +19,10 @@ class Histogram {
 
   void add(double value);
 
+  /// Adds `count` observations of `value` at once (bulk merge, e.g. when
+  /// rebuilding a histogram from externally accumulated bin counters).
+  void add(double value, std::size_t count);
+
   [[nodiscard]] std::size_t total_count() const { return total_; }
   [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
   [[nodiscard]] std::size_t count_in_bin(std::size_t bin) const;

@@ -4,7 +4,8 @@
 
 namespace slacksched {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, std::size_t max_queued)
+    : max_queued_(max_queued) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -20,6 +21,7 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   cv_task_.notify_all();
+  cv_space_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
@@ -28,9 +30,31 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::unique_lock lock(mutex_);
     SLACKSCHED_EXPECTS(!stop_);
+    if (max_queued_ > 0) {
+      cv_space_.wait(lock,
+                     [this] { return stop_ || queue_.size() < max_queued_; });
+      SLACKSCHED_EXPECTS(!stop_);
+    }
     queue_.push(std::move(task));
   }
   cv_task_.notify_one();
+}
+
+bool ThreadPool::try_submit(std::function<void()> task) {
+  SLACKSCHED_EXPECTS(task != nullptr);
+  {
+    std::unique_lock lock(mutex_);
+    SLACKSCHED_EXPECTS(!stop_);
+    if (max_queued_ > 0 && queue_.size() >= max_queued_) return false;
+    queue_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+  return true;
+}
+
+std::size_t ThreadPool::queued() const {
+  std::unique_lock lock(mutex_);
+  return queue_.size();
 }
 
 void ThreadPool::wait_idle() {
@@ -49,6 +73,7 @@ void ThreadPool::worker_loop() {
       queue_.pop();
       ++in_flight_;
     }
+    if (max_queued_ > 0) cv_space_.notify_one();
     task();
     {
       std::unique_lock lock(mutex_);

@@ -20,11 +20,16 @@
 
 namespace slacksched {
 
-/// A simple fixed-size worker pool with a FIFO task queue.
+/// A simple fixed-size worker pool with a FIFO task queue. The queue is
+/// unbounded by default; passing `max_queued > 0` caps the number of
+/// not-yet-started tasks, turning the pool into a backpressure point:
+/// `submit` then blocks until space frees up, while `try_submit` refuses
+/// immediately so callers can shed load instead of stalling.
 class ThreadPool {
  public:
   /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  /// `max_queued == 0` means an unbounded task queue.
+  explicit ThreadPool(std::size_t threads = 0, std::size_t max_queued = 0);
 
   /// Drains outstanding work, then joins the workers.
   ~ThreadPool();
@@ -32,24 +37,40 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution. Exceptions escaping a task terminate
-  /// (tasks used here report failures through their result slots instead).
+  /// Enqueues a task for execution. On a bounded pool this blocks until the
+  /// queue has space. Exceptions escaping a task terminate (tasks used here
+  /// report failures through their result slots instead).
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Non-blocking enqueue: returns false (and does not take the task) when
+  /// a bounded queue is at capacity. Always succeeds on unbounded pools.
+  [[nodiscard]] bool try_submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. Safe to call
+  /// concurrently with submit()/try_submit() from other threads: it returns
+  /// at some instant where the queue was observed empty with no task
+  /// running.
   void wait_idle();
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Task-queue capacity (0 = unbounded).
+  [[nodiscard]] std::size_t capacity() const { return max_queued_; }
+
+  /// Number of tasks queued but not yet started (racy snapshot).
+  [[nodiscard]] std::size_t queued() const;
 
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
+  std::condition_variable cv_space_;
   std::size_t in_flight_ = 0;
+  std::size_t max_queued_ = 0;
   bool stop_ = false;
 };
 

@@ -3,36 +3,9 @@
 #include <algorithm>
 
 #include "common/expects.hpp"
+#include "sched/validator.hpp"
 
 namespace slacksched {
-
-namespace {
-
-/// Returns an error message if the decision is an illegal commitment for
-/// this job given the already-committed schedule; empty string when legal.
-std::string check_commitment(const Schedule& schedule, const Job& job,
-                             const Decision& decision) {
-  if (!decision.accepted) return {};
-  if (decision.machine < 0 || decision.machine >= schedule.machines()) {
-    return job.to_string() + ": machine index " +
-           std::to_string(decision.machine) + " out of range";
-  }
-  if (definitely_less(decision.start, job.release)) {
-    return job.to_string() + ": committed start " +
-           std::to_string(decision.start) + " precedes release";
-  }
-  if (definitely_greater(decision.start + job.proc, job.deadline)) {
-    return job.to_string() + ": committed completion " +
-           std::to_string(decision.start + job.proc) + " misses deadline";
-  }
-  if (!schedule.interval_free(decision.machine, decision.start, job.proc)) {
-    return job.to_string() + ": committed interval overlaps earlier " +
-           "commitment on machine " + std::to_string(decision.machine);
-  }
-  return {};
-}
-
-}  // namespace
 
 RunResult run_online(OnlineScheduler& scheduler, const Instance& instance,
                      bool halt_on_violation) {
@@ -46,7 +19,7 @@ RunResult run_online(OnlineScheduler& scheduler, const Instance& instance,
     ++result.metrics.submitted;
 
     const std::string violation =
-        check_commitment(result.schedule, job, decision);
+        validate_commitment(result.schedule, job, decision);
     if (!violation.empty()) {
       result.commitment_violation = violation;
       if (halt_on_violation) break;

@@ -15,6 +15,28 @@ std::string ValidationReport::to_string() const {
   return os.str();
 }
 
+std::string validate_commitment(const Schedule& schedule, const Job& job,
+                                const Decision& decision) {
+  if (!decision.accepted) return {};
+  if (decision.machine < 0 || decision.machine >= schedule.machines()) {
+    return job.to_string() + ": machine index " +
+           std::to_string(decision.machine) + " out of range";
+  }
+  if (definitely_less(decision.start, job.release)) {
+    return job.to_string() + ": committed start " +
+           std::to_string(decision.start) + " precedes release";
+  }
+  if (definitely_greater(decision.start + job.proc, job.deadline)) {
+    return job.to_string() + ": committed completion " +
+           std::to_string(decision.start + job.proc) + " misses deadline";
+  }
+  if (!schedule.interval_free(decision.machine, decision.start, job.proc)) {
+    return job.to_string() + ": committed interval overlaps earlier " +
+           "commitment on machine " + std::to_string(decision.machine);
+  }
+  return {};
+}
+
 ValidationReport validate_schedule(const Instance& instance,
                                    const Schedule& schedule) {
   ValidationReport report;

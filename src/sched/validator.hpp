@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "job/instance.hpp"
+#include "sched/decision.hpp"
 #include "sched/schedule.hpp"
 
 namespace slacksched {
@@ -34,5 +35,17 @@ struct ValidationReport {
 ///  - no two placements overlap on a machine.
 [[nodiscard]] ValidationReport validate_schedule(const Instance& instance,
                                                  const Schedule& schedule);
+
+/// Checks a single admission decision against the already-committed
+/// schedule: a rejecting decision is always legal; an accepting decision
+/// must name a machine in range, start no earlier than the job's release,
+/// complete by its deadline, and not overlap earlier commitments on that
+/// machine. Returns a description of the first violation, or an empty
+/// string when the commitment is legal. This is the single legality path
+/// shared by the sequential engine (sched/engine.cpp) and the sharded
+/// gateway (service/shard.cpp).
+[[nodiscard]] std::string validate_commitment(const Schedule& schedule,
+                                              const Job& job,
+                                              const Decision& decision);
 
 }  // namespace slacksched

@@ -1,0 +1,134 @@
+#include "service/gateway.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+std::string to_string(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kEnqueued:
+      return "enqueued";
+    case SubmitStatus::kRejectedQueueFull:
+      return "rejected: shard queue full (backpressure)";
+    case SubmitStatus::kRejectedClosed:
+      return "rejected: gateway closed";
+  }
+  return "unknown";
+}
+
+bool GatewayResult::clean() const {
+  return std::all_of(shards.begin(), shards.end(),
+                     [](const RunResult& r) { return r.clean(); });
+}
+
+std::string GatewayResult::first_violation() const {
+  for (const RunResult& r : shards) {
+    if (!r.clean()) return r.commitment_violation;
+  }
+  return {};
+}
+
+AdmissionGateway::AdmissionGateway(const GatewayConfig& config,
+                                   const ShardSchedulerFactory& factory)
+    : config_(config),
+      metrics_(config.shards),
+      router_(config.routing, config.shards) {
+  SLACKSCHED_EXPECTS(config.shards >= 1);
+  SLACKSCHED_EXPECTS(config.queue_capacity >= 1);
+  SLACKSCHED_EXPECTS(config.batch_size >= 1);
+  SLACKSCHED_EXPECTS(factory != nullptr);
+  ShardConfig shard_config;
+  shard_config.queue_capacity = config.queue_capacity;
+  shard_config.batch_size = config.batch_size;
+  shard_config.halt_on_violation = config.halt_shard_on_violation;
+  shard_config.record_decisions = config.record_decisions;
+  shards_.reserve(static_cast<std::size_t>(config.shards));
+  for (int s = 0; s < config.shards; ++s) {
+    shards_.push_back(
+        std::make_unique<Shard>(s, factory(s), shard_config, metrics_));
+  }
+  for (auto& shard : shards_) shard->start();
+}
+
+AdmissionGateway::~AdmissionGateway() {
+  if (!finished_.load()) {
+    for (auto& shard : shards_) shard->close();
+    // ~Shard joins.
+  }
+}
+
+SubmitStatus AdmissionGateway::submit(const Job& job) {
+  if (finished_.load(std::memory_order_acquire)) {
+    return SubmitStatus::kRejectedClosed;
+  }
+  const int shard = router_.route(job);
+  return shards_[static_cast<std::size_t>(shard)]->try_enqueue(
+             job, Shard::Clock::now())
+             ? SubmitStatus::kEnqueued
+             : SubmitStatus::kRejectedQueueFull;
+}
+
+BatchSubmitResult AdmissionGateway::submit_batch(
+    std::span<const Job> jobs, std::vector<SubmitStatus>* statuses) {
+  BatchSubmitResult result;
+  if (statuses != nullptr) {
+    statuses->assign(jobs.size(), SubmitStatus::kRejectedClosed);
+  }
+  if (finished_.load(std::memory_order_acquire)) {
+    result.rejected_closed = jobs.size();
+    return result;
+  }
+  // Route every job first, preserving submission order within each shard's
+  // group, then hand each group to its shard under one queue lock.
+  std::vector<std::vector<std::uint32_t>> groups(
+      static_cast<std::size_t>(config_.shards));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    groups[static_cast<std::size_t>(router_.route(jobs[i]))].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  const auto now = Shard::Clock::now();
+  for (int s = 0; s < config_.shards; ++s) {
+    const auto& group = groups[static_cast<std::size_t>(s)];
+    if (group.empty()) continue;
+    const std::size_t taken =
+        shards_[static_cast<std::size_t>(s)]->try_enqueue_batch(
+            jobs.data(), group.data(), group.size(), now);
+    result.enqueued += taken;
+    result.rejected_queue_full += group.size() - taken;
+    if (statuses != nullptr) {
+      for (std::size_t g = 0; g < group.size(); ++g) {
+        (*statuses)[group[g]] = g < taken ? SubmitStatus::kEnqueued
+                                          : SubmitStatus::kRejectedQueueFull;
+      }
+    }
+  }
+  return result;
+}
+
+GatewayResult AdmissionGateway::finish() {
+  SLACKSCHED_EXPECTS(!finished_.exchange(true, std::memory_order_acq_rel));
+  for (auto& shard : shards_) shard->close();
+  for (auto& shard : shards_) shard->join();
+
+  GatewayResult result;
+  result.shards.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    result.shards.push_back(shard->take_result());
+  }
+  for (const RunResult& r : result.shards) {
+    result.merged.submitted += r.metrics.submitted;
+    result.merged.accepted += r.metrics.accepted;
+    result.merged.rejected += r.metrics.rejected;
+    result.merged.accepted_volume += r.metrics.accepted_volume;
+    result.merged.rejected_volume += r.metrics.rejected_volume;
+    result.merged.makespan = std::max(result.merged.makespan,
+                                      r.metrics.makespan);
+  }
+  result.metrics = metrics_.snapshot();
+  return result;
+}
+
+}  // namespace slacksched

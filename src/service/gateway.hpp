@@ -1,0 +1,122 @@
+// The sharded admission-gateway front end: S independent shards, each an
+// OnlineScheduler over its own machine group, fed through bounded MPSC
+// queues with explicit backpressure. The paper's model (immediate
+// commitment on m identical machines with slack eps) maps onto each shard
+// unchanged; the gateway adds the serving-side concerns — concurrent
+// ingest, batching, load shedding, and live metrics — without touching
+// the algorithms.
+//
+// Overload semantics: submissions are never silently dropped and never
+// block. When a shard's queue is full the submit call returns
+// SubmitStatus::kRejectedQueueFull (and the shed job is counted in the
+// MetricsRegistry), so callers choose between retrying, rerouting, or
+// propagating the rejection upstream.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sched/engine.hpp"
+#include "sched/online.hpp"
+#include "service/metrics_registry.hpp"
+#include "service/router.hpp"
+#include "service/shard.hpp"
+
+namespace slacksched {
+
+/// Outcome of one submission attempt at the gateway.
+enum class SubmitStatus {
+  kEnqueued,           ///< handed to a shard queue; a decision will follow
+  kRejectedQueueFull,  ///< backpressure: the routed shard's queue is full
+  kRejectedClosed,     ///< the gateway has been finished/shut down
+};
+
+[[nodiscard]] std::string to_string(SubmitStatus status);
+
+/// Builds the scheduler owning shard `shard`'s machine group. Called once
+/// per shard at gateway construction.
+using ShardSchedulerFactory =
+    std::function<std::unique_ptr<OnlineScheduler>(int shard)>;
+
+/// Gateway deployment shape.
+struct GatewayConfig {
+  int shards = 1;
+  std::size_t queue_capacity = 4096;  ///< per-shard submission queue bound
+  std::size_t batch_size = 256;       ///< max jobs per consumer wake-up
+  RoutingPolicy routing = RoutingPolicy::kRoundRobin;
+  bool halt_shard_on_violation = true;
+  bool record_decisions = true;
+};
+
+/// Per-batch ingest outcome (counts; pass `statuses` for per-job detail).
+struct BatchSubmitResult {
+  std::size_t enqueued = 0;
+  std::size_t rejected_queue_full = 0;
+  std::size_t rejected_closed = 0;
+};
+
+/// Everything a finished gateway run produced: one RunResult per shard
+/// (decision logs + committed schedules), the merged RunMetrics, and the
+/// final metrics snapshot.
+struct GatewayResult {
+  std::vector<RunResult> shards;
+  RunMetrics merged;
+  MetricsSnapshot metrics;
+
+  /// True iff no shard attempted an illegal commitment.
+  [[nodiscard]] bool clean() const;
+
+  /// First commitment violation across shards (empty when clean).
+  [[nodiscard]] std::string first_violation() const;
+};
+
+/// The service front end. Thread-safe ingest: any number of producer
+/// threads may call submit()/submit_batch() concurrently; each shard's
+/// decisions are rendered by its own consumer thread.
+class AdmissionGateway {
+ public:
+  AdmissionGateway(const GatewayConfig& config,
+                   const ShardSchedulerFactory& factory);
+
+  /// Shuts down (close + join) if finish() was never called.
+  ~AdmissionGateway();
+
+  AdmissionGateway(const AdmissionGateway&) = delete;
+  AdmissionGateway& operator=(const AdmissionGateway&) = delete;
+
+  /// Routes and enqueues one job. Non-blocking; see SubmitStatus.
+  [[nodiscard]] SubmitStatus submit(const Job& job);
+
+  /// Batched ingest: routes every job, then pushes each shard's group
+  /// under a single queue lock. Jobs keep their relative order within a
+  /// shard. When `statuses` is non-null it is resized to jobs.size() and
+  /// filled with the per-job outcome.
+  BatchSubmitResult submit_batch(std::span<const Job> jobs,
+                                 std::vector<SubmitStatus>* statuses = nullptr);
+
+  /// Lock-free live counters (callable at any time, from any thread).
+  [[nodiscard]] MetricsSnapshot metrics_snapshot() const {
+    return metrics_.snapshot();
+  }
+
+  /// Closes every shard queue, joins the consumers, and collects results.
+  /// After finish() all submissions return kRejectedClosed.
+  GatewayResult finish();
+
+  [[nodiscard]] const GatewayConfig& config() const { return config_; }
+  [[nodiscard]] int shards() const { return config_.shards; }
+
+ private:
+  GatewayConfig config_;
+  MetricsRegistry metrics_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> finished_{false};
+};
+
+}  // namespace slacksched

@@ -1,0 +1,150 @@
+#include "service/metrics_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+namespace {
+
+/// Relaxed single-writer accumulate: only the shard's consumer thread
+/// read-modify-writes these doubles, so load+store (no CAS) is race-free.
+void accumulate(std::atomic<double>& target, double delta) {
+  target.store(target.load(std::memory_order_relaxed) + delta,
+               std::memory_order_relaxed);
+}
+
+/// Raises `peak` to at least `observed` under concurrent writers.
+void raise_peak(std::atomic<std::uint64_t>& peak, std::uint64_t observed) {
+  std::uint64_t current = peak.load(std::memory_order_relaxed);
+  while (observed > current &&
+         !peak.compare_exchange_weak(current, observed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "shards=" << shards.size() << " submitted=" << total.submitted
+     << " accepted=" << total.accepted << " rejected=" << total.rejected
+     << " backpressure=" << total.backpressure_rejected
+     << " volume=" << total.accepted_volume
+     << " queue_depth=" << total.queue_depth;
+  return os.str();
+}
+
+MetricsRegistry::MetricsRegistry(int shards)
+    : slots_(new Slot[static_cast<std::size_t>(shards)]),
+      shard_count_(shards) {
+  SLACKSCHED_EXPECTS(shards >= 1);
+  // Reuse Histogram's bin-edge construction so the atomic counters and the
+  // snapshot histogram agree on boundaries exactly.
+  const Histogram reference =
+      Histogram::logarithmic(kAdmitLatencyLo, kAdmitLatencyHi,
+                             kAdmitLatencyBins);
+  latency_edges_.reserve(kAdmitLatencyBins + 1);
+  for (std::size_t bin = 0; bin < kAdmitLatencyBins; ++bin) {
+    latency_edges_.push_back(reference.bin_range(bin).first);
+  }
+  latency_edges_.push_back(
+      reference.bin_range(kAdmitLatencyBins - 1).second);
+}
+
+void MetricsRegistry::on_enqueued(int shard, std::size_t count) {
+  if (count == 0) return;
+  Slot& slot = slots_[static_cast<std::size_t>(shard)];
+  slot.enqueued.fetch_add(count, std::memory_order_relaxed);
+  const auto depth = slot.queue_depth.fetch_add(
+                         static_cast<std::int64_t>(count),
+                         std::memory_order_relaxed) +
+                     static_cast<std::int64_t>(count);
+  raise_peak(slot.peak_queue_depth, static_cast<std::uint64_t>(depth));
+}
+
+void MetricsRegistry::on_backpressure(int shard, std::size_t count) {
+  if (count == 0) return;
+  slots_[static_cast<std::size_t>(shard)].backpressure_rejected.fetch_add(
+      count, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::on_batch(int shard, std::size_t popped) {
+  Slot& slot = slots_[static_cast<std::size_t>(shard)];
+  slot.batches.fetch_add(1, std::memory_order_relaxed);
+  slot.queue_depth.fetch_sub(static_cast<std::int64_t>(popped),
+                             std::memory_order_relaxed);
+}
+
+void MetricsRegistry::on_decision(int shard, double job_volume, bool accepted,
+                                  double latency_seconds) {
+  Slot& slot = slots_[static_cast<std::size_t>(shard)];
+  slot.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (accepted) {
+    slot.accepted.fetch_add(1, std::memory_order_relaxed);
+    accumulate(slot.accepted_volume, job_volume);
+  } else {
+    slot.rejected.fetch_add(1, std::memory_order_relaxed);
+    accumulate(slot.rejected_volume, job_volume);
+  }
+  slot.latency[latency_bin(latency_seconds)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::size_t MetricsRegistry::latency_bin(double seconds) const {
+  const auto it = std::upper_bound(latency_edges_.begin(),
+                                   latency_edges_.end(), seconds);
+  const auto raw = std::distance(latency_edges_.begin(), it);
+  if (raw <= 0) return 0;
+  return std::min(static_cast<std::size_t>(raw - 1), kAdmitLatencyBins - 1);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.shards.resize(static_cast<std::size_t>(shard_count_));
+  std::array<std::uint64_t, kAdmitLatencyBins> bins{};
+  for (int shard = 0; shard < shard_count_; ++shard) {
+    const Slot& slot = slots_[static_cast<std::size_t>(shard)];
+    ShardMetricsSnapshot& row = snap.shards[static_cast<std::size_t>(shard)];
+    row.enqueued = slot.enqueued.load(std::memory_order_relaxed);
+    row.submitted = slot.submitted.load(std::memory_order_relaxed);
+    row.accepted = slot.accepted.load(std::memory_order_relaxed);
+    row.rejected = slot.rejected.load(std::memory_order_relaxed);
+    row.backpressure_rejected =
+        slot.backpressure_rejected.load(std::memory_order_relaxed);
+    row.accepted_volume = slot.accepted_volume.load(std::memory_order_relaxed);
+    row.rejected_volume = slot.rejected_volume.load(std::memory_order_relaxed);
+    row.queue_depth = static_cast<std::size_t>(std::max<std::int64_t>(
+        0, slot.queue_depth.load(std::memory_order_relaxed)));
+    row.peak_queue_depth =
+        slot.peak_queue_depth.load(std::memory_order_relaxed);
+    row.batches = slot.batches.load(std::memory_order_relaxed);
+
+    snap.total.enqueued += row.enqueued;
+    snap.total.submitted += row.submitted;
+    snap.total.accepted += row.accepted;
+    snap.total.rejected += row.rejected;
+    snap.total.backpressure_rejected += row.backpressure_rejected;
+    snap.total.accepted_volume += row.accepted_volume;
+    snap.total.rejected_volume += row.rejected_volume;
+    snap.total.queue_depth += row.queue_depth;
+    snap.total.peak_queue_depth += row.peak_queue_depth;
+    snap.total.batches += row.batches;
+
+    for (std::size_t bin = 0; bin < kAdmitLatencyBins; ++bin) {
+      bins[bin] += slot.latency[bin].load(std::memory_order_relaxed);
+    }
+  }
+  for (std::size_t bin = 0; bin < kAdmitLatencyBins; ++bin) {
+    if (bins[bin] == 0) continue;
+    // Deposit at the geometric bin center so the count lands inside the bin.
+    const auto [lo, hi] = snap.admit_latency.bin_range(bin);
+    snap.admit_latency.add(std::sqrt(lo * hi), bins[bin]);
+  }
+  return snap;
+}
+
+}  // namespace slacksched

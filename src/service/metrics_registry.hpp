@@ -1,0 +1,112 @@
+// Live serving-side counters for the admission gateway: what a provider's
+// dashboard would watch while the system admits traffic. Writers are the
+// gateway's producer threads (enqueue/backpressure counters) and each
+// shard's consumer thread (decision counters); every field is an atomic,
+// so snapshot() is a lock-free read that never stalls the ingest path.
+//
+// The per-shard decision counters are the live analogue of RunMetrics, and
+// the snapshot carries the same totals the sim/observers dashboard derives
+// offline (acceptance rate, accepted volume) — re-expressed over a running,
+// sharded service instead of a finished single-engine replay.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/time.hpp"
+
+namespace slacksched {
+
+/// Log-spaced admit-latency bins covering 100 ns .. 1 s.
+inline constexpr std::size_t kAdmitLatencyBins = 28;
+inline constexpr double kAdmitLatencyLo = 1e-7;
+inline constexpr double kAdmitLatencyHi = 1.0;
+
+/// One shard's counters at a point in time (plain values, safe to keep).
+struct ShardMetricsSnapshot {
+  std::size_t enqueued = 0;     ///< jobs accepted into the shard queue
+  std::size_t submitted = 0;    ///< decisions rendered by the shard engine
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;     ///< rejected by the admission policy
+  std::size_t backpressure_rejected = 0;  ///< shed at the full queue
+  double accepted_volume = 0.0;
+  double rejected_volume = 0.0;
+  std::size_t queue_depth = 0;  ///< jobs waiting right now
+  /// High-water mark of queue_depth. The depth counter is maintained
+  /// outside the queue's lock, so under concurrency the observed peak can
+  /// transiently exceed the queue capacity by up to one consumer batch.
+  std::size_t peak_queue_depth = 0;
+  std::size_t batches = 0;           ///< consumer wake-ups that found work
+
+  [[nodiscard]] double acceptance_rate() const {
+    return submitted == 0
+               ? 0.0
+               : static_cast<double>(accepted) / static_cast<double>(submitted);
+  }
+};
+
+/// Registry-wide snapshot: per-shard rows, the aggregate row, and the
+/// merged admit-latency histogram (seconds, log-spaced bins).
+struct MetricsSnapshot {
+  std::vector<ShardMetricsSnapshot> shards;
+  ShardMetricsSnapshot total;  ///< field-wise sum over shards
+  Histogram admit_latency = Histogram::logarithmic(
+      kAdmitLatencyLo, kAdmitLatencyHi, kAdmitLatencyBins);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Lock-free-read counter store, one cache-line-aligned slot per shard.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(int shards);
+
+  // --- writer side (producers) ---
+  void on_enqueued(int shard, std::size_t count = 1);
+  void on_backpressure(int shard, std::size_t count = 1);
+
+  // --- writer side (the shard's single consumer thread) ---
+  void on_batch(int shard, std::size_t popped);
+  /// Records one rendered decision. `latency_seconds` is queue-entry to
+  /// decision-rendered wall time.
+  void on_decision(int shard, double job_volume, bool accepted,
+                   double latency_seconds);
+
+  [[nodiscard]] int shards() const { return shard_count_; }
+
+  /// Point-in-time copy of every counter. Reads are relaxed atomics: the
+  /// snapshot is internally consistent per counter, not a cross-counter
+  /// linearization (totals can be mid-update by one job) — exactly the
+  /// guarantee a live dashboard needs.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> enqueued{0};
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> backpressure_rejected{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::int64_t> queue_depth{0};
+    std::atomic<std::uint64_t> peak_queue_depth{0};
+    // Single-writer (the shard consumer): plain load+store suffices.
+    std::atomic<double> accepted_volume{0.0};
+    std::atomic<double> rejected_volume{0.0};
+    std::array<std::atomic<std::uint64_t>, kAdmitLatencyBins> latency{};
+  };
+
+  [[nodiscard]] std::size_t latency_bin(double seconds) const;
+
+  std::vector<double> latency_edges_;  ///< kAdmitLatencyBins + 1 edges
+  std::unique_ptr<Slot[]> slots_;
+  int shard_count_;
+};
+
+}  // namespace slacksched

@@ -1,0 +1,45 @@
+#include "service/router.hpp"
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+std::string to_string(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kRoundRobin:
+      return "round-robin";
+    case RoutingPolicy::kHash:
+      return "hash";
+  }
+  return "unknown";
+}
+
+ShardRouter::ShardRouter(RoutingPolicy policy, int shards)
+    : policy_(policy), shards_(shards) {
+  SLACKSCHED_EXPECTS(shards >= 1);
+}
+
+std::uint64_t ShardRouter::mix_id(JobId id) {
+  // splitmix64 finalizer: full-avalanche mix of the (often sequential) ids.
+  auto z = static_cast<std::uint64_t>(id) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int ShardRouter::route(const Job& job) {
+  if (shards_ == 1) return 0;
+  switch (policy_) {
+    case RoutingPolicy::kRoundRobin:
+      return static_cast<int>(next_.fetch_add(1, std::memory_order_relaxed) %
+                              static_cast<std::uint64_t>(shards_));
+    case RoutingPolicy::kHash:
+      return static_cast<int>(mix_id(job.id) %
+                              static_cast<std::uint64_t>(shards_));
+  }
+  return 0;
+}
+
+void ShardRouter::reset() { next_.store(0, std::memory_order_relaxed); }
+
+}  // namespace slacksched

@@ -1,0 +1,125 @@
+#include "service/shard.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/expects.hpp"
+#include "sched/validator.hpp"
+
+namespace slacksched {
+
+Shard::Shard(int index, std::unique_ptr<OnlineScheduler> scheduler,
+             const ShardConfig& config, MetricsRegistry& metrics)
+    : index_(index),
+      config_(config),
+      scheduler_(std::move(scheduler)),
+      metrics_(metrics),
+      queue_(config.queue_capacity),
+      result_{Schedule(scheduler_->machines()), RunMetrics{}, {}, {}} {
+  SLACKSCHED_EXPECTS(index >= 0);
+  SLACKSCHED_EXPECTS(config.batch_size >= 1);
+  SLACKSCHED_EXPECTS(scheduler_ != nullptr);
+}
+
+Shard::~Shard() {
+  if (worker_.joinable()) {
+    queue_.close();
+    worker_.join();
+  }
+}
+
+void Shard::start() {
+  SLACKSCHED_EXPECTS(!worker_.joinable() && !joined_);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+bool Shard::try_enqueue(const Job& job, Clock::time_point now) {
+  if (queue_.try_push(Task{job, now})) {
+    metrics_.on_enqueued(index_);
+    return true;
+  }
+  metrics_.on_backpressure(index_);
+  return false;
+}
+
+std::size_t Shard::try_enqueue_batch(const Job* jobs,
+                                     const std::uint32_t* indices,
+                                     std::size_t count,
+                                     Clock::time_point now) {
+  std::vector<Task> tasks;
+  tasks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    tasks.push_back(Task{jobs[indices[i]], now});
+  }
+  const std::size_t taken = queue_.try_push_batch(tasks.data(), tasks.size());
+  metrics_.on_enqueued(index_, taken);
+  metrics_.on_backpressure(index_, count - taken);
+  return taken;
+}
+
+void Shard::close() { queue_.close(); }
+
+void Shard::join() {
+  SLACKSCHED_EXPECTS(worker_.joinable());
+  worker_.join();
+  joined_ = true;
+}
+
+const RunResult& Shard::result() const {
+  SLACKSCHED_EXPECTS(joined_);
+  return result_;
+}
+
+RunResult Shard::take_result() {
+  SLACKSCHED_EXPECTS(joined_);
+  return std::move(result_);
+}
+
+void Shard::worker_loop() {
+  // Mirrors run_online: reset first, then one binding decision per job in
+  // FIFO (= submission) order.
+  scheduler_->reset();
+  std::vector<Task> batch;
+  batch.reserve(config_.batch_size);
+  while (true) {
+    batch.clear();
+    const std::size_t popped = queue_.pop_batch(batch, config_.batch_size);
+    if (popped == 0) break;  // closed and drained
+    metrics_.on_batch(index_, popped);
+    for (const Task& task : batch) process(task);
+  }
+  result_.metrics.makespan = result_.schedule.makespan();
+}
+
+void Shard::process(const Task& task) {
+  if (halted_) return;  // poisoned shard: drain without deciding
+  const Decision decision = scheduler_->on_arrival(task.job);
+  if (config_.record_decisions) {
+    result_.decisions.push_back({task.job, decision});
+  }
+  ++result_.metrics.submitted;
+
+  const std::string violation =
+      validate_commitment(result_.schedule, task.job, decision);
+  if (!violation.empty()) {
+    if (result_.commitment_violation.empty()) {
+      result_.commitment_violation = violation;
+    }
+    if (config_.halt_on_violation) halted_ = true;
+    return;  // skip the illegal commitment
+  }
+
+  if (decision.accepted) {
+    result_.schedule.commit(task.job, decision.machine, decision.start);
+    ++result_.metrics.accepted;
+    result_.metrics.accepted_volume += task.job.proc;
+  } else {
+    ++result_.metrics.rejected;
+    result_.metrics.rejected_volume += task.job.proc;
+  }
+  const double latency =
+      std::chrono::duration<double>(Clock::now() - task.enqueued_at).count();
+  metrics_.on_decision(index_, task.job.proc, decision.accepted, latency);
+}
+
+}  // namespace slacksched

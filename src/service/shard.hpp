@@ -1,0 +1,102 @@
+// One shard of the admission gateway: an independent machine group owned
+// by its own OnlineScheduler instance and consumer thread. The shard
+// replays its queue in FIFO order through exactly the engine semantics of
+// run_online — same decision recording, same commitment-legality check
+// (sched/validator's validate_commitment), same halt-on-violation rule —
+// so a single-shard gateway is byte-identical to the sequential engine.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sched/engine.hpp"
+#include "sched/online.hpp"
+#include "service/bounded_queue.hpp"
+#include "service/metrics_registry.hpp"
+
+namespace slacksched {
+
+/// Per-shard knobs (the gateway fills these from its own config).
+struct ShardConfig {
+  std::size_t queue_capacity = 4096;
+  std::size_t batch_size = 256;
+  /// Stop rendering decisions after the first illegal commitment (matches
+  /// run_online's default); the queue keeps draining so producers are
+  /// never blocked by a poisoned shard.
+  bool halt_on_violation = true;
+  /// Record per-job DecisionRecords (disable for multi-million-job benches
+  /// where only metrics and the committed schedule matter).
+  bool record_decisions = true;
+};
+
+/// An independent scheduler + queue + consumer thread.
+class Shard {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Shard(int index, std::unique_ptr<OnlineScheduler> scheduler,
+        const ShardConfig& config, MetricsRegistry& metrics);
+
+  /// Closes and joins if the owner forgot to.
+  ~Shard();
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// Spawns the consumer thread. Must be called exactly once.
+  void start();
+
+  /// Non-blocking enqueue of one job; false means the bounded queue is
+  /// full (backpressure) or the shard is closed. Metrics are updated
+  /// either way.
+  [[nodiscard]] bool try_enqueue(const Job& job, Clock::time_point now);
+
+  /// Enqueues jobs[indices[0..count)] in order under one queue lock.
+  /// Returns how many fit; the tail [taken, count) was shed and is counted
+  /// as backpressure in the metrics.
+  [[nodiscard]] std::size_t try_enqueue_batch(const Job* jobs,
+                                              const std::uint32_t* indices,
+                                              std::size_t count,
+                                              Clock::time_point now);
+
+  /// Closes the queue: producers start failing, the consumer drains the
+  /// backlog and exits.
+  void close();
+
+  /// Joins the consumer thread (close() first, or this blocks forever).
+  void join();
+
+  /// The shard's run outcome; only valid after join().
+  [[nodiscard]] const RunResult& result() const;
+  [[nodiscard]] RunResult take_result();
+
+  [[nodiscard]] int index() const { return index_; }
+  [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
+  [[nodiscard]] const OnlineScheduler& scheduler() const {
+    return *scheduler_;
+  }
+
+ private:
+  struct Task {
+    Job job;
+    Clock::time_point enqueued_at;
+  };
+
+  void worker_loop();
+  void process(const Task& task);
+
+  int index_;
+  ShardConfig config_;
+  std::unique_ptr<OnlineScheduler> scheduler_;
+  MetricsRegistry& metrics_;
+  BoundedMpscQueue<Task> queue_;
+  RunResult result_;
+  bool halted_ = false;
+  bool joined_ = false;
+  std::thread worker_;
+};
+
+}  // namespace slacksched

@@ -1,0 +1,173 @@
+// Sharded-vs-single equivalence: a 1-shard gateway with round-robin
+// routing must be byte-identical — decisions, metrics, committed schedule
+// — to run_online on the same instance, for every immediate-commitment
+// algorithm. This pins the gateway to the engine semantics the paper's
+// guarantees are proved against: sharding may partition the stream, but it
+// must never change what a shard decides.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/greedy.hpp"
+#include "baselines/random_admission.hpp"
+#include "core/threshold.hpp"
+#include "sched/engine.hpp"
+#include "service/gateway.hpp"
+#include "workload/generators.hpp"
+
+namespace slacksched {
+namespace {
+
+Instance test_instance(std::size_t n, std::uint64_t seed) {
+  WorkloadConfig config;
+  config.n = n;
+  config.eps = 0.1;
+  config.arrival_rate = 2.0;
+  config.seed = seed;
+  return generate_workload(config);
+}
+
+/// Replays `instance` through a 1-shard round-robin gateway.
+GatewayResult run_single_shard(const ShardSchedulerFactory& factory,
+                               const Instance& instance) {
+  GatewayConfig config;
+  config.shards = 1;
+  config.routing = RoutingPolicy::kRoundRobin;
+  // Capacity >= n: this test is about decisions, not shedding.
+  config.queue_capacity = instance.size();
+  AdmissionGateway gateway(config, factory);
+  EXPECT_EQ(gateway.submit_batch(instance.jobs()).enqueued, instance.size());
+  return gateway.finish();
+}
+
+void expect_identical(const RunResult& engine, const GatewayResult& gateway) {
+  ASSERT_EQ(gateway.shards.size(), 1u);
+  const RunResult& shard = gateway.shards[0];
+
+  // Decisions: same jobs, same verdicts, same machines, same start times.
+  ASSERT_EQ(shard.decisions.size(), engine.decisions.size());
+  for (std::size_t i = 0; i < engine.decisions.size(); ++i) {
+    EXPECT_EQ(shard.decisions[i].job, engine.decisions[i].job);
+    EXPECT_EQ(shard.decisions[i].decision, engine.decisions[i].decision);
+  }
+
+  // Metrics: byte-identical counters and objective (exact double equality
+  // on purpose — both paths must execute the same arithmetic in the same
+  // order).
+  EXPECT_EQ(shard.metrics.submitted, engine.metrics.submitted);
+  EXPECT_EQ(shard.metrics.accepted, engine.metrics.accepted);
+  EXPECT_EQ(shard.metrics.rejected, engine.metrics.rejected);
+  EXPECT_EQ(shard.metrics.accepted_volume, engine.metrics.accepted_volume);
+  EXPECT_EQ(shard.metrics.rejected_volume, engine.metrics.rejected_volume);
+  EXPECT_EQ(shard.metrics.makespan, engine.metrics.makespan);
+  EXPECT_EQ(gateway.merged.accepted_volume, engine.metrics.accepted_volume);
+
+  // Committed schedules agree placement for placement.
+  EXPECT_EQ(shard.schedule.total_volume(), engine.schedule.total_volume());
+  EXPECT_EQ(shard.schedule.job_count(), engine.schedule.job_count());
+  EXPECT_EQ(shard.schedule.makespan(), engine.schedule.makespan());
+
+  // Cleanliness matches.
+  EXPECT_EQ(shard.commitment_violation, engine.commitment_violation);
+
+  // The live registry saw exactly the engine's totals.
+  EXPECT_EQ(gateway.metrics.total.submitted, engine.metrics.submitted);
+  EXPECT_EQ(gateway.metrics.total.accepted, engine.metrics.accepted);
+  EXPECT_EQ(gateway.metrics.total.accepted_volume,
+            engine.metrics.accepted_volume);
+  EXPECT_EQ(gateway.metrics.total.backpressure_rejected, 0u);
+}
+
+TEST(ServiceEquivalence, ThresholdMatchesEngine) {
+  const Instance instance = test_instance(2000, 21);
+  ThresholdScheduler reference(0.1, 4);
+  const RunResult engine = run_online(reference, instance);
+  ASSERT_TRUE(engine.clean());
+  const GatewayResult gateway = run_single_shard(
+      [](int) { return std::make_unique<ThresholdScheduler>(0.1, 4); },
+      instance);
+  expect_identical(engine, gateway);
+}
+
+TEST(ServiceEquivalence, GreedyMatchesEngine) {
+  const Instance instance = test_instance(2000, 22);
+  GreedyScheduler reference(3);
+  const RunResult engine = run_online(reference, instance);
+  ASSERT_TRUE(engine.clean());
+  const GatewayResult gateway = run_single_shard(
+      [](int) { return std::make_unique<GreedyScheduler>(3); }, instance);
+  expect_identical(engine, gateway);
+}
+
+TEST(ServiceEquivalence, RandomAdmissionMatchesEngine) {
+  // reset() restores the seeded RNG, so the shard replays the exact coin
+  // flips of the sequential run.
+  const Instance instance = test_instance(2000, 23);
+  RandomAdmissionScheduler reference(2, 0.5, 99);
+  const RunResult engine = run_online(reference, instance);
+  ASSERT_TRUE(engine.clean());
+  const GatewayResult gateway = run_single_shard(
+      [](int) {
+        return std::make_unique<RandomAdmissionScheduler>(2, 0.5, 99);
+      },
+      instance);
+  expect_identical(engine, gateway);
+}
+
+TEST(ServiceEquivalence, ShardedRunIsReproducible) {
+  // Same instance, same config, single producer: two sharded runs render
+  // identical per-shard decision sequences (the deterministic-router
+  // contract).
+  const Instance instance = test_instance(3000, 24);
+  const auto run_once = [&instance] {
+    GatewayConfig config;
+    config.shards = 4;
+    config.routing = RoutingPolicy::kHash;
+    config.queue_capacity = instance.size();
+    AdmissionGateway gateway(
+        config, [](int) { return std::make_unique<GreedyScheduler>(2); });
+    EXPECT_EQ(gateway.submit_batch(instance.jobs()).enqueued,
+              instance.size());
+    return gateway.finish();
+  };
+  const GatewayResult a = run_once();
+  const GatewayResult b = run_once();
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (std::size_t s = 0; s < a.shards.size(); ++s) {
+    ASSERT_EQ(a.shards[s].decisions.size(), b.shards[s].decisions.size());
+    for (std::size_t i = 0; i < a.shards[s].decisions.size(); ++i) {
+      EXPECT_EQ(a.shards[s].decisions[i].job, b.shards[s].decisions[i].job);
+      EXPECT_EQ(a.shards[s].decisions[i].decision,
+                b.shards[s].decisions[i].decision);
+    }
+    EXPECT_EQ(a.shards[s].metrics.accepted_volume,
+              b.shards[s].metrics.accepted_volume);
+  }
+  EXPECT_EQ(a.merged.accepted_volume, b.merged.accepted_volume);
+}
+
+TEST(ServiceEquivalence, RoundRobinPartitionCoversTheStream) {
+  // With S shards and round-robin routing from a single batched producer,
+  // shard s receives exactly the jobs at positions s, s+S, s+2S, ... —
+  // the partition is a deterministic function of submission order.
+  const Instance instance = test_instance(1000, 25);
+  GatewayConfig config;
+  config.shards = 3;
+  config.routing = RoutingPolicy::kRoundRobin;
+  config.queue_capacity = instance.size();
+  AdmissionGateway gateway(
+      config, [](int) { return std::make_unique<GreedyScheduler>(2); });
+  EXPECT_EQ(gateway.submit_batch(instance.jobs()).enqueued, instance.size());
+  const GatewayResult result = gateway.finish();
+  for (std::size_t s = 0; s < 3; ++s) {
+    const auto& decisions = result.shards[s].decisions;
+    ASSERT_FALSE(decisions.empty());
+    for (std::size_t i = 0; i < decisions.size(); ++i) {
+      EXPECT_EQ(decisions[i].job, instance[s + 3 * i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slacksched

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -84,6 +86,111 @@ TEST(ParallelFor, ReusablePool) {
     parallel_for(pool, 100, [&](std::size_t) { ++counter; });
   }
   EXPECT_EQ(counter.load(), 1000);
+}
+
+// ---------- bounded capacity / try_submit ----------
+
+TEST(ThreadPoolBounded, TrySubmitAlwaysSucceedsWhenUnbounded) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.capacity(), 0u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(pool.try_submit([&counter] { ++counter; }));
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolBounded, TrySubmitRefusesAtCapacity) {
+  ThreadPool pool(1, /*max_queued=*/2);
+  EXPECT_EQ(pool.capacity(), 2u);
+
+  // Gate the single worker so queued tasks cannot drain.
+  std::atomic<bool> release{false};
+  std::atomic<bool> started{false};
+  pool.submit([&] {
+    started = true;
+    while (!release) std::this_thread::yield();
+  });
+  while (!started) std::this_thread::yield();  // worker holds the gate task
+
+  std::atomic<int> counter{0};
+  EXPECT_TRUE(pool.try_submit([&counter] { ++counter; }));
+  EXPECT_TRUE(pool.try_submit([&counter] { ++counter; }));
+  // Queue now holds 2 tasks (the gate task is in flight, not queued).
+  EXPECT_FALSE(pool.try_submit([&counter] { ++counter; }));
+
+  release = true;
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+  // Space freed: refusals were about capacity, not a poisoned pool.
+  EXPECT_TRUE(pool.try_submit([&counter] { ++counter; }));
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolBounded, BlockingSubmitWaitsForSpaceThenRuns) {
+  ThreadPool pool(1, /*max_queued=*/1);
+  std::atomic<bool> release{false};
+  std::atomic<bool> started{false};
+  pool.submit([&] {
+    started = true;
+    while (!release) std::this_thread::yield();
+  });
+  while (!started) std::this_thread::yield();
+  pool.submit([] {});  // fills the single queue slot
+
+  std::atomic<int> counter{0};
+  std::thread producer([&] {
+    // Blocks until the gate task finishes and the slot frees up.
+    pool.submit([&counter] { ++counter; });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  release = true;
+  producer.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolBounded, MultiProducerStressWithRacingWaitIdle) {
+  // Regression guard for the gateway's usage: many producers push through
+  // a bounded queue while another thread repeatedly calls wait_idle().
+  ThreadPool pool(4, /*max_queued=*/32);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2500;
+  std::atomic<int> counter{0};
+  std::atomic<bool> done{false};
+
+  std::thread waiter([&] {
+    while (!done) pool.wait_idle();  // races submit() from producers
+  });
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (!pool.try_submit([&counter] { ++counter; })) {
+          pool.submit([&counter] { ++counter; });  // block for space instead
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.wait_idle();
+  done = true;
+  waiter.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kProducers * kPerProducer);
+}
+
+TEST(ThreadPoolBounded, QueuedSnapshotDrainsToZero) {
+  ThreadPool pool(2, /*max_queued=*/16);
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([] {});
+  }
+  pool.wait_idle();
+  EXPECT_EQ(pool.queued(), 0u);
 }
 
 }  // namespace

@@ -83,6 +83,74 @@ TEST(Validator, EmptyScheduleIsValid) {
   EXPECT_TRUE(validate_schedule(small_instance(), Schedule(3)).ok);
 }
 
+// ---------- validate_commitment (the shared legality path) ----------
+
+TEST(ValidateCommitment, RejectionIsAlwaysLegal) {
+  const Instance inst = small_instance();
+  Schedule s(1);
+  EXPECT_EQ(validate_commitment(s, inst[0], Decision::reject()), "");
+}
+
+TEST(ValidateCommitment, LegalAcceptIsClean) {
+  const Instance inst = small_instance();
+  Schedule s(2);
+  EXPECT_EQ(validate_commitment(s, inst[0], Decision::accept(1, 0.0)), "");
+}
+
+TEST(ValidateCommitment, FlagsMachineOutOfRange) {
+  const Instance inst = small_instance();
+  Schedule s(2);
+  EXPECT_NE(validate_commitment(s, inst[0], Decision::accept(2, 0.0))
+                .find("out of range"),
+            std::string::npos);
+  EXPECT_NE(validate_commitment(s, inst[0], Decision::accept(-1, 0.0))
+                .find("out of range"),
+            std::string::npos);
+}
+
+TEST(ValidateCommitment, FlagsStartBeforeRelease) {
+  const Instance inst = small_instance();
+  Schedule s(1);
+  // inst[1] releases at 1.0.
+  EXPECT_NE(validate_commitment(s, inst[1], Decision::accept(0, 0.5))
+                .find("precedes release"),
+            std::string::npos);
+}
+
+TEST(ValidateCommitment, FlagsDeadlineMiss) {
+  const Instance inst = small_instance();
+  Schedule s(1);
+  // inst[2]: release 2.0, proc 1.0, deadline 4.0 — starting at 3.5 misses.
+  EXPECT_NE(validate_commitment(s, inst[2], Decision::accept(0, 3.5))
+                .find("misses deadline"),
+            std::string::npos);
+}
+
+TEST(ValidateCommitment, FlagsOverlapWithCommittedWork) {
+  const Instance inst = small_instance();
+  Schedule s(1);
+  s.commit(inst[0], 0, 0.0);  // occupies [0, 2) on machine 0
+  EXPECT_NE(validate_commitment(s, inst[1], Decision::accept(0, 1.0))
+                .find("overlaps"),
+            std::string::npos);
+}
+
+TEST(ValidateCommitment, AgreesWithEngineOnEveryDecision) {
+  // The engine commits exactly the decisions the shared validator clears:
+  // replay a run and re-check every recorded decision incrementally.
+  const Instance inst = small_instance();
+  GreedyScheduler greedy(2);
+  const RunResult result = run_online(greedy, inst);
+  Schedule replay(2);
+  for (const DecisionRecord& record : result.decisions) {
+    EXPECT_EQ(validate_commitment(replay, record.job, record.decision), "");
+    if (record.decision.accepted) {
+      replay.commit(record.job, record.decision.machine,
+                    record.decision.start);
+    }
+  }
+}
+
 // ---------- engine ----------
 
 TEST(Engine, RunsGreedyCleanly) {
