@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the committed/freshly-generated bench JSONs.
+
+Validates the two machine-readable bench artifacts:
+
+  BENCH_threshold.json  (bench/micro_throughput --threshold_jobs=N)
+      - every row's decision stream matched the seed implementation
+      - the new hot path performed zero steady-state heap allocations
+      - speedup at every m >= --large-m reaches --min-speedup
+  BENCH_service.json    (bench/service_throughput [jobs])
+      - every shard configuration finished clean
+
+Only the Python standard library is used. Exit status 0 iff every check
+passes; each failure is printed on its own line.
+
+Usage:
+  scripts/perf_check.py [--threshold-json PATH] [--service-json PATH]
+                        [--min-speedup X] [--large-m M]
+
+A missing file is an error unless its path is passed as the empty string
+(e.g. --service-json= to gate only the threshold bench).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def fail(errors: list[str], message: str) -> None:
+    errors.append(message)
+    print(f"FAIL: {message}")
+
+
+def check_threshold(path: Path, min_speedup: float, large_m: int,
+                    errors: list[str]) -> None:
+    data = json.loads(path.read_text())
+    if data.get("bench") != "threshold_scaling":
+        fail(errors, f"{path}: unexpected bench id {data.get('bench')!r}")
+        return
+    runs = data.get("runs", [])
+    if not runs:
+        fail(errors, f"{path}: no runs recorded")
+        return
+    machines = sorted(run.get("machines", 0) for run in runs)
+    if machines[-1] < large_m:
+        fail(errors, f"{path}: largest m is {machines[-1]}, "
+                     f"need a run at m >= {large_m}")
+    for run in runs:
+        m = run.get("machines")
+        prefix = f"{path}: m={m}"
+        for key in ("old_jobs_per_sec", "new_jobs_per_sec", "speedup",
+                    "decisions_identical", "new_heap_allocs_steady_state",
+                    "new_allocs_per_arrival"):
+            if key not in run:
+                fail(errors, f"{prefix}: missing field {key!r}")
+        if not run.get("decisions_identical", False):
+            fail(errors, f"{prefix}: optimized path diverged from the seed "
+                         "decision stream")
+        if run.get("new_heap_allocs_steady_state", 1) != 0:
+            fail(errors, f"{prefix}: "
+                         f"{run.get('new_heap_allocs_steady_state')} heap "
+                         "allocations on the steady-state arrival path "
+                         "(must be 0)")
+        if run.get("new_allocs_per_arrival", 1.0) != 0:
+            fail(errors, f"{prefix}: new_allocs_per_arrival is "
+                         f"{run.get('new_allocs_per_arrival')} (must be 0)")
+        if m is not None and m >= large_m:
+            speedup = run.get("speedup", 0.0)
+            if speedup < min_speedup:
+                fail(errors, f"{prefix}: speedup {speedup:.2f}x below the "
+                             f"{min_speedup:.2f}x floor")
+    ok_rows = sum(1 for run in runs if run.get("decisions_identical"))
+    print(f"ok: {path}: {len(runs)} configurations, {ok_rows} with identical "
+          "decision streams")
+
+
+def check_service(path: Path, errors: list[str]) -> None:
+    data = json.loads(path.read_text())
+    if data.get("bench") != "service_throughput":
+        fail(errors, f"{path}: unexpected bench id {data.get('bench')!r}")
+        return
+    runs = data.get("runs", [])
+    if not runs:
+        fail(errors, f"{path}: no runs recorded")
+        return
+    for run in runs:
+        shards = run.get("shards")
+        if not run.get("clean", False):
+            fail(errors, f"{path}: shards={shards} did not finish clean")
+        if run.get("jobs_per_sec", 0.0) <= 0.0:
+            fail(errors, f"{path}: shards={shards} reports non-positive "
+                         "throughput")
+    print(f"ok: {path}: {len(runs)} shard configurations, all clean")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threshold-json", default="BENCH_threshold.json")
+    parser.add_argument("--service-json", default="BENCH_service.json")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="jobs/sec floor for new/old at large m "
+                             "(default 3.0; use 1.0 on noisy smoke runners)")
+    parser.add_argument("--large-m", type=int, default=256,
+                        help="machine count from which the speedup floor "
+                             "applies (default 256)")
+    args = parser.parse_args()
+
+    errors: list[str] = []
+    for raw, checker in ((args.threshold_json,
+                          lambda p: check_threshold(p, args.min_speedup,
+                                                    args.large_m, errors)),
+                         (args.service_json,
+                          lambda p: check_service(p, errors))):
+        if not raw:
+            continue
+        path = Path(raw)
+        if not path.is_file():
+            fail(errors, f"{path}: not found")
+            continue
+        try:
+            checker(path)
+        except (json.JSONDecodeError, OSError) as exc:
+            fail(errors, f"{path}: {exc}")
+
+    if errors:
+        print(f"perf_check: {len(errors)} failure(s)")
+        return 1
+    print("perf_check: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,17 +19,13 @@ std::string to_string(GreedyPolicy policy) {
 }
 
 GreedyScheduler::GreedyScheduler(int machines, GreedyPolicy policy)
-    : machines_(machines),
-      policy_(policy),
-      frontier_(static_cast<std::size_t>(machines), 0.0) {
+    : machines_(machines), policy_(policy), frontier_(machines) {
   SLACKSCHED_EXPECTS(machines >= 1);
 }
 
 int GreedyScheduler::machines() const { return machines_; }
 
-void GreedyScheduler::reset() {
-  std::fill(frontier_.begin(), frontier_.end(), 0.0);
-}
+void GreedyScheduler::reset() { frontier_.reset(); }
 
 std::string GreedyScheduler::name() const {
   return "Greedy[" + to_string(policy_) + "](m=" + std::to_string(machines_) +
@@ -41,36 +37,29 @@ Decision GreedyScheduler::on_arrival(const Job& job) {
   const TimePoint t = job.release;
 
   int chosen = -1;
-  Duration chosen_load = 0.0;
-  for (int i = 0; i < machines_; ++i) {
-    const Duration load =
-        std::max(0.0, frontier_[static_cast<std::size_t>(i)] - t);
-    if (!approx_le(t + load + job.proc, job.deadline)) continue;
-    bool better = false;
-    if (chosen < 0) {
-      better = true;
-    } else {
-      switch (policy_) {
-        case GreedyPolicy::kBestFit:
-          better = load > chosen_load;
+  switch (policy_) {
+    case GreedyPolicy::kBestFit:
+      chosen = frontier_.best_fit(t, job.proc, job.deadline);
+      break;
+    case GreedyPolicy::kLeastLoaded:
+      chosen = frontier_.least_loaded_fit(t, job.proc, job.deadline);
+      break;
+    case GreedyPolicy::kFirstFit:
+      // First fit is inherently an index-order question; the early-exit
+      // scan stops at the first feasible machine (usually machine 0).
+      for (int i = 0; i < machines_; ++i) {
+        const Duration load = frontier_.load(i, t);
+        if (approx_le(t + load + job.proc, job.deadline)) {
+          chosen = i;
           break;
-        case GreedyPolicy::kFirstFit:
-          better = false;  // first candidate wins
-          break;
-        case GreedyPolicy::kLeastLoaded:
-          better = load < chosen_load;
-          break;
+        }
       }
-    }
-    if (better) {
-      chosen = i;
-      chosen_load = load;
-    }
+      break;
   }
   if (chosen < 0) return Decision::reject();
 
-  const TimePoint start = t + chosen_load;
-  frontier_[static_cast<std::size_t>(chosen)] = start + job.proc;
+  const TimePoint start = t + frontier_.load(chosen, t);
+  frontier_.update(chosen, start + job.proc);
   return Decision::accept(chosen, start);
 }
 

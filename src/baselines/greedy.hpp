@@ -4,11 +4,18 @@
 // scheduling approach whose competitive ratio on parallel machines equals
 // the single-machine bound 2 + 1/eps (Kim & Chwa, cited in Fig. 1's
 // caption) — the natural comparison point for the Threshold algorithm.
+//
+// Machine selection runs on the same incrementally sorted FrontierSet as
+// the Threshold hot path: best fit is a binary search for the most loaded
+// feasible machine, least-loaded is an O(1) feasibility check at the tail
+// of the maintained order, and first fit is an early-exit index scan. The
+// decision streams are pinned byte-identical to the seed linear-scan
+// implementation (baselines/greedy_reference.hpp).
 #pragma once
 
 #include <string>
-#include <vector>
 
+#include "core/frontier_set.hpp"
 #include "sched/online.hpp"
 
 namespace slacksched {
@@ -35,7 +42,7 @@ class GreedyScheduler final : public OnlineScheduler {
  private:
   int machines_;
   GreedyPolicy policy_;
-  std::vector<TimePoint> frontier_;
+  FrontierSet frontier_;
 };
 
 }  // namespace slacksched

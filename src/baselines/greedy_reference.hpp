@@ -1,0 +1,33 @@
+// The seed implementation of the greedy admission baselines, retained
+// verbatim as the differential oracle for the FrontierSet-based
+// GreedyScheduler. Linear O(m) scan per arrival; only tests and benches
+// should instantiate it. Do not change its decision logic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/greedy.hpp"
+#include "sched/online.hpp"
+
+namespace slacksched {
+
+/// Linear-scan reference implementation of GreedyScheduler; semantically
+/// identical decision stream for every policy.
+class ReferenceGreedyScheduler final : public OnlineScheduler {
+ public:
+  explicit ReferenceGreedyScheduler(int machines,
+                                    GreedyPolicy policy = GreedyPolicy::kBestFit);
+
+  Decision on_arrival(const Job& job) override;
+  [[nodiscard]] int machines() const override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  int machines_;
+  GreedyPolicy policy_;
+  std::vector<TimePoint> frontier_;
+};
+
+}  // namespace slacksched

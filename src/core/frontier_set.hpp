@@ -1,0 +1,127 @@
+// Incrementally maintained sorted machine frontiers — the data structure
+// behind the O(log m) admission hot path.
+//
+// Every immediate-commitment algorithm in this library tracks one number
+// per machine: the absolute completion time of its last committed job (the
+// "frontier"). The outstanding load at time `now` is max(0, frontier - now),
+// a non-decreasing function of the frontier, so the *relative* order of the
+// machines by load is time-invariant: sorting the frontiers once descending
+// sorts the loads descending for every `now`. A commitment moves exactly
+// one machine to a new frontier, which re-sorts with a single binary-search
+// find plus one std::rotate of the displaced range — O(log m) compare cost
+// and an amortized-cheap contiguous memmove — instead of the O(m log m)
+// full sort the naive arrival loop pays.
+//
+// Order and tie-breaking: machines are kept sorted by (frontier descending,
+// machine index ascending). The secondary index order reproduces, by
+// construction, the lowest-index-wins tie-breaking of a naive ascending
+// scan with a strict comparison, which the equivalence tests pin
+// decision-for-decision against the seed implementations.
+//
+// Zero-load machines need one extra structure: all machines with
+// frontier <= now carry load exactly 0, and a naive scan picks the lowest
+// *index* among them regardless of their (stale) frontiers. A lazily
+// advanced idle bitset answers that min-index query in O(m/64) words
+// without disturbing the sorted order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace slacksched {
+
+/// Sorted multiset of machine frontiers with O(log m) point updates and
+/// the position/feasibility queries Algorithm 1 and the greedy baselines
+/// need. All storage is preallocated at construction; no member function
+/// allocates, so the arrival hot path built on top is allocation-free.
+class FrontierSet {
+ public:
+  explicit FrontierSet(int machines);
+
+  /// Returns every machine to frontier 0 (the empty system).
+  void reset();
+
+  /// Number of machines.
+  [[nodiscard]] int size() const { return machines_; }
+
+  /// Frontier (absolute completion time of the last commitment) of a
+  /// physical machine.
+  [[nodiscard]] TimePoint frontier(int machine) const;
+
+  /// Machine occupying sorted position `position` (0 = largest frontier;
+  /// ties ordered by ascending machine index).
+  [[nodiscard]] int machine_at(int position) const;
+
+  /// Frontier at sorted position `position`.
+  [[nodiscard]] TimePoint frontier_at(int position) const;
+
+  /// Current sorted position of a physical machine.
+  [[nodiscard]] int position_of(int machine) const;
+
+  /// Outstanding load of a physical machine at time `now`.
+  [[nodiscard]] Duration load(int machine, TimePoint now) const;
+
+  /// Outstanding load at sorted position `position` (loads are
+  /// non-increasing in the position for every `now`).
+  [[nodiscard]] Duration load_at(int position, TimePoint now) const;
+
+  /// Moves one machine to a new frontier and restores sorted order with a
+  /// binary-search find and a single rotate of the displaced range.
+  void update(int machine, TimePoint frontier);
+
+  /// First sorted position whose frontier is <= `value` (== size() when
+  /// every frontier is larger). The suffix from this position holds the
+  /// machines that are idle at time `value`.
+  [[nodiscard]] int first_position_not_above(TimePoint value) const;
+
+  /// Best-fit allocation: the machine a naive ascending scan with strict
+  /// `load > best` comparison would pick — the most loaded machine that
+  /// still completes a job of length `proc` released at `now` by
+  /// `deadline`, lowest machine index among exact load ties. Returns -1
+  /// when no machine is feasible. (Non-const: advances the idle bitset.)
+  [[nodiscard]] int best_fit(TimePoint now, Duration proc, TimePoint deadline);
+
+  /// Least-loaded allocation: the machine a naive ascending scan with
+  /// strict `load < best` comparison would pick. Returns -1 when no
+  /// machine is feasible. O(1) feasibility check: the least loaded machine
+  /// is feasible iff any machine is.
+  [[nodiscard]] int least_loaded_fit(TimePoint now, Duration proc,
+                                     TimePoint deadline);
+
+  /// Lowest machine index among the machines idle at `now` (frontier <=
+  /// now); -1 when every machine is busy. Amortized O(m/64): the idle
+  /// bitset advances forward with `now` and only rebuilds on a backward
+  /// query (the engine feeds non-decreasing release dates).
+  [[nodiscard]] int min_idle_machine(TimePoint now);
+
+ private:
+  /// Strict weak order of the maintained sequence: larger frontier first,
+  /// ties by ascending machine index.
+  [[nodiscard]] bool ordered_before(int a, int b) const;
+
+  /// First sorted position whose frontier is strictly below `value`.
+  [[nodiscard]] int first_position_below(TimePoint value) const;
+
+  /// Lowest machine index among machines whose load at `now` equals the
+  /// load at sorted position `position` (which must be the first position
+  /// of its equal-frontier run). Handles the zero-load case through the
+  /// idle bitset and the (floating-point corner) case of equal loads
+  /// across distinct frontiers by jumping run heads.
+  [[nodiscard]] int min_machine_with_load_at(int position, TimePoint now);
+
+  void set_idle_bit(int machine, bool idle);
+  void rebuild_idle_bits(TimePoint now);
+  void advance_idle_watermark(TimePoint now);
+
+  int machines_;
+  std::vector<TimePoint> frontier_;    ///< per physical machine
+  std::vector<std::int32_t> order_;    ///< machine ids, sorted
+  std::vector<std::int32_t> position_; ///< inverse permutation of order_
+  /// Bit i set iff frontier_[i] <= idle_watermark_.
+  std::vector<std::uint64_t> idle_bits_;
+  TimePoint idle_watermark_ = 0.0;
+};
+
+}  // namespace slacksched

@@ -1,7 +1,6 @@
 #include "core/threshold.hpp"
 
 #include <algorithm>
-#include <numeric>
 
 #include "common/expects.hpp"
 
@@ -13,7 +12,7 @@ ThresholdScheduler::ThresholdScheduler(const ThresholdConfig& config)
                     ? RatioFunction::solve_with_k(config.eps, config.machines,
                                                   *config.k_override)
                     : RatioFunction::solve(config.eps, config.machines)),
-      frontier_(static_cast<std::size_t>(config.machines), 0.0) {
+      frontier_(config.machines) {
   SLACKSCHED_EXPECTS(config.machines >= 1);
   SLACKSCHED_EXPECTS(config.eps > 0.0 && config.eps <= 1.0);
 }
@@ -23,9 +22,7 @@ ThresholdScheduler::ThresholdScheduler(double eps, int machines)
 
 int ThresholdScheduler::machines() const { return config_.machines; }
 
-void ThresholdScheduler::reset() {
-  std::fill(frontier_.begin(), frontier_.end(), 0.0);
-}
+void ThresholdScheduler::reset() { frontier_.reset(); }
 
 std::string ThresholdScheduler::name() const {
   std::string n = "Threshold(eps=" + std::to_string(config_.eps) +
@@ -37,23 +34,24 @@ std::string ThresholdScheduler::name() const {
 }
 
 std::vector<Duration> ThresholdScheduler::loads(TimePoint now) const {
-  std::vector<Duration> result(frontier_.size());
-  for (std::size_t i = 0; i < frontier_.size(); ++i) {
-    result[i] = std::max(0.0, frontier_[i] - now);
+  std::vector<Duration> result(static_cast<std::size_t>(config_.machines));
+  for (int i = 0; i < config_.machines; ++i) {
+    result[static_cast<std::size_t>(i)] = frontier_.load(i, now);
   }
   return result;
 }
 
 TimePoint ThresholdScheduler::deadline_threshold(TimePoint now) const {
-  // Outstanding loads, sorted decreasingly: position h (1-based) carries
-  // factor f_h for h >= k.
-  std::vector<Duration> sorted = loads(now);
-  std::sort(sorted.begin(), sorted.end(), std::greater<>());
-
+  // Position h (1-based, decreasing load) carries factor f_h for h >= k.
+  // The FrontierSet maintains that order incrementally, so no sort and no
+  // load snapshot: scan the maintained order and stop at the first idle
+  // machine — every later position has load 0 and contributes only `now`,
+  // which d_lim already starts from.
   TimePoint d_lim = now;  // with zero loads the threshold is `now`
   for (int h = solution_.k; h <= config_.machines; ++h) {
-    const Duration l_h = sorted[static_cast<std::size_t>(h - 1)];
-    d_lim = std::max(d_lim, now + l_h * solution_.f_at(h));
+    const TimePoint frontier = frontier_.frontier_at(h - 1);
+    if (frontier <= now) break;
+    d_lim = std::max(d_lim, now + (frontier - now) * solution_.f_at(h));
   }
   return d_lim;
 }
@@ -70,26 +68,17 @@ Decision ThresholdScheduler::on_arrival(const Job& job) {
 
   // Allocation phase (Lines 9-10): best fit — the most loaded candidate
   // machine that still completes the job on time; start right after its
-  // outstanding load.
-  int best = -1;
-  Duration best_load = -1.0;
-  for (int i = 0; i < config_.machines; ++i) {
-    const Duration load =
-        std::max(0.0, frontier_[static_cast<std::size_t>(i)] - t);
-    if (!approx_le(t + load + job.proc, job.deadline)) continue;
-    if (load > best_load) {
-      best_load = load;
-      best = i;
-    }
-  }
+  // outstanding load. Binary search over the maintained order (feasibility
+  // is monotone in the position) instead of a linear scan.
+  const int best = frontier_.best_fit(t, job.proc, job.deadline);
   // The least loaded machine is always a candidate: with l = min load,
   // either l <= eps * p (then l + p <= (1+eps) p <= d - t by the slack
   // condition) or l > eps * p (then l + p < l (1+eps)/eps = l * f_m
   // <= d_lim - t <= d - t). So acceptance always allocates.
   SLACKSCHED_ENSURES(best >= 0);
 
-  const TimePoint start = t + best_load;
-  frontier_[static_cast<std::size_t>(best)] = start + job.proc;
+  const TimePoint start = t + frontier_.load(best, t);
+  frontier_.update(best, start + job.proc);
   return Decision::accept(best, start);
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/frontier_set.hpp"
 #include "core/ratio_function.hpp"
 #include "sched/online.hpp"
 
@@ -32,6 +33,16 @@ struct ThresholdConfig {
 };
 
 /// The paper's Algorithm 1. Deterministic; supports immediate commitment.
+///
+/// The arrival loop is sort-free and allocation-free: machine frontiers
+/// live in an incrementally maintained FrontierSet, the admission threshold
+/// is a descending scan over the maintained order with an early exit once
+/// loads hit zero, and best-fit allocation is a binary search for the most
+/// loaded feasible machine — O(log m) plus the scan/rotate lengths per
+/// arrival instead of the O(m log m) sort the naive loop pays. The
+/// decision stream is pinned byte-identical to the sort-based seed
+/// implementation (core/threshold_reference.hpp) by randomized
+/// equivalence tests.
 class ThresholdScheduler final : public OnlineScheduler {
  public:
   explicit ThresholdScheduler(const ThresholdConfig& config);
@@ -59,8 +70,9 @@ class ThresholdScheduler final : public OnlineScheduler {
  private:
   ThresholdConfig config_;
   RatioSolution solution_;
-  /// Absolute completion time of the last committed job per machine.
-  std::vector<TimePoint> frontier_;
+  /// Absolute completion time of the last committed job per machine, kept
+  /// sorted incrementally (relative load order is time-invariant).
+  FrontierSet frontier_;
 };
 
 /// Goldwasser & Kerbikov's optimal (2 + 1/eps)-competitive single-machine

@@ -1,0 +1,46 @@
+// The seed implementation of Algorithm 1, retained verbatim as the
+// differential oracle for the FrontierSet-based hot path.
+//
+// This class recomputes everything from scratch on every arrival — a fresh
+// loads() vector, a full O(m log m) sort in deadline_threshold(), and a
+// linear best-fit scan — exactly as the library's first implementation did.
+// It is deliberately not optimized: the randomized equivalence tests pin
+// ThresholdScheduler decision-for-decision against it, and the
+// threshold-scaling benchmark (bench/micro_throughput → BENCH_threshold.json)
+// reports old-vs-new jobs/sec against it. Do not change its decision logic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ratio_function.hpp"
+#include "core/threshold.hpp"
+#include "sched/online.hpp"
+
+namespace slacksched {
+
+/// Sort-per-arrival reference implementation of the paper's Algorithm 1.
+/// Semantically identical to ThresholdScheduler; O(m log m) per arrival and
+/// allocating, so only tests and benches should instantiate it.
+class ReferenceThresholdScheduler final : public OnlineScheduler {
+ public:
+  explicit ReferenceThresholdScheduler(const ThresholdConfig& config);
+  ReferenceThresholdScheduler(double eps, int machines);
+
+  Decision on_arrival(const Job& job) override;
+  [[nodiscard]] int machines() const override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] TimePoint deadline_threshold(TimePoint now) const;
+  [[nodiscard]] const RatioSolution& solution() const { return solution_; }
+  [[nodiscard]] std::vector<Duration> loads(TimePoint now) const;
+
+ private:
+  ThresholdConfig config_;
+  RatioSolution solution_;
+  std::vector<TimePoint> frontier_;
+};
+
+}  // namespace slacksched

@@ -1,42 +1,78 @@
 #include "sched/engine.hpp"
 
-#include <algorithm>
+#include <utility>
 
 #include "common/expects.hpp"
 #include "sched/validator.hpp"
 
 namespace slacksched {
 
+StreamingRunner::StreamingRunner(OnlineScheduler& scheduler,
+                                 const RunOptions& options)
+    : scheduler_(&scheduler),
+      options_(options),
+      result_{Schedule(scheduler.machines()), RunMetrics{}, {}, {}} {
+  scheduler_->reset();
+}
+
+void StreamingRunner::reserve_decisions(std::size_t n) {
+  if (options_.record_decisions) result_.decisions.reserve(n);
+}
+
+FeedOutcome StreamingRunner::feed(const Job& job) {
+  FeedOutcome outcome;
+  if (halted_) return outcome;  // poisoned run: drop without deciding
+  outcome.decided = true;
+  outcome.decision = scheduler_->on_arrival(job);
+  if (options_.record_decisions) {
+    result_.decisions.push_back({job, outcome.decision});
+  }
+  ++result_.metrics.submitted;
+
+  const std::string violation =
+      validate_commitment(result_.schedule, job, outcome.decision);
+  if (!violation.empty()) {
+    if (result_.commitment_violation.empty()) {
+      result_.commitment_violation = violation;
+    }
+    if (options_.halt_on_violation) halted_ = true;
+    return outcome;  // skip the illegal commitment
+  }
+  outcome.legal = true;
+
+  if (outcome.decision.accepted) {
+    result_.schedule.commit(job, outcome.decision.machine,
+                            outcome.decision.start);
+    ++result_.metrics.accepted;
+    result_.metrics.accepted_volume += job.proc;
+  } else {
+    ++result_.metrics.rejected;
+    result_.metrics.rejected_volume += job.proc;
+  }
+  return outcome;
+}
+
+RunResult StreamingRunner::finish() {
+  result_.metrics.makespan = result_.schedule.makespan();
+  return std::move(result_);
+}
+
+RunResult run_online(OnlineScheduler& scheduler, const Instance& instance,
+                     const RunOptions& options) {
+  StreamingRunner runner(scheduler, options);
+  runner.reserve_decisions(instance.size());
+  for (const Job& job : instance.jobs()) {
+    runner.feed(job);
+    if (runner.halted()) break;
+  }
+  return runner.finish();
+}
+
 RunResult run_online(OnlineScheduler& scheduler, const Instance& instance,
                      bool halt_on_violation) {
-  scheduler.reset();
-  RunResult result{Schedule(scheduler.machines()), RunMetrics{}, {}, {}};
-  result.decisions.reserve(instance.size());
-
-  for (const Job& job : instance.jobs()) {
-    const Decision decision = scheduler.on_arrival(job);
-    result.decisions.push_back({job, decision});
-    ++result.metrics.submitted;
-
-    const std::string violation =
-        validate_commitment(result.schedule, job, decision);
-    if (!violation.empty()) {
-      result.commitment_violation = violation;
-      if (halt_on_violation) break;
-      continue;  // skip the illegal commitment but keep simulating
-    }
-
-    if (decision.accepted) {
-      result.schedule.commit(job, decision.machine, decision.start);
-      ++result.metrics.accepted;
-      result.metrics.accepted_volume += job.proc;
-    } else {
-      ++result.metrics.rejected;
-      result.metrics.rejected_volume += job.proc;
-    }
-  }
-  result.metrics.makespan = result.schedule.makespan();
-  return result;
+  RunOptions options;
+  options.halt_on_violation = halt_on_violation;
+  return run_online(scheduler, instance, options);
 }
 
 }  // namespace slacksched

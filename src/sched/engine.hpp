@@ -7,8 +7,16 @@
 // commitments, completion by the deadline) and refuses to continue past a
 // violation — an algorithm cannot gain objective value through an illegal
 // promise. This realizes the "immediate commitment" model of the paper.
+//
+// Two entry points share one implementation: run_online replays a whole
+// Instance, and StreamingRunner feeds one job at a time — the streaming
+// fast path the gateway shards (service/shard.cpp) drive directly. With
+// decision recording disabled (RunOptions::record_decisions) the streaming
+// path accumulates metrics only and performs no per-job heap allocation
+// beyond the committed schedule itself.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,9 +45,74 @@ struct RunResult {
   [[nodiscard]] bool clean() const { return commitment_violation.empty(); }
 };
 
+/// Knobs of the replay loop.
+struct RunOptions {
+  /// Keep per-job DecisionRecords. Disable for multi-million-job streams
+  /// where only metrics and the committed schedule matter — the decision
+  /// log is the only per-job allocation on the engine's path.
+  bool record_decisions = true;
+  /// Stop deciding after the first illegal commitment (the default). When
+  /// false the illegal commitment is skipped but the replay continues.
+  bool halt_on_violation = true;
+};
+
+/// What StreamingRunner::feed did with one job.
+struct FeedOutcome {
+  /// False iff the runner had already halted and the job was dropped
+  /// undecided (the scheduler was not consulted).
+  bool decided = false;
+  /// True iff the decision was legal and applied (committed or counted as
+  /// a rejection). False marks the commitment violation that poisoned the
+  /// run.
+  bool legal = false;
+  Decision decision;
+};
+
+/// The engine's inner loop as an incremental object: feed jobs one at a
+/// time in submission order, read live metrics, take the RunResult at the
+/// end. Exactly the semantics of run_online — same decision recording,
+/// same commitment-legality check, same halt-on-violation rule — so a
+/// consumer built on StreamingRunner (e.g. a gateway shard) is
+/// byte-identical to the sequential engine.
+class StreamingRunner {
+ public:
+  /// Resets the scheduler and starts an empty run.
+  explicit StreamingRunner(OnlineScheduler& scheduler,
+                           const RunOptions& options = {});
+
+  /// Pre-sizes the decision log (no-op when recording is disabled).
+  void reserve_decisions(std::size_t n);
+
+  /// Decides one job (now == job.release; callers feed non-decreasing
+  /// release dates). No-op returning decided == false once halted.
+  FeedOutcome feed(const Job& job);
+
+  /// True once an illegal commitment occurred under halt_on_violation.
+  [[nodiscard]] bool halted() const { return halted_; }
+
+  /// Live view of the run so far (metrics lag feed() by nothing; the
+  /// makespan field is only filled by finish()).
+  [[nodiscard]] const RunResult& result() const { return result_; }
+
+  /// Finalizes the makespan and moves the result out. The runner must not
+  /// be fed afterwards.
+  [[nodiscard]] RunResult finish();
+
+ private:
+  OnlineScheduler* scheduler_;
+  RunOptions options_;
+  RunResult result_;
+  bool halted_ = false;
+};
+
 /// Runs the scheduler over the instance. The scheduler is reset() first.
-/// If `halt_on_violation` is true (default), processing stops at the first
-/// illegal commitment and the violation is reported in the result.
+[[nodiscard]] RunResult run_online(OnlineScheduler& scheduler,
+                                   const Instance& instance,
+                                   const RunOptions& options);
+
+/// Back-compat convenience: if `halt_on_violation` is true (default),
+/// processing stops at the first illegal commitment and the violation is
+/// reported in the result.
 [[nodiscard]] RunResult run_online(OnlineScheduler& scheduler,
                                    const Instance& instance,
                                    bool halt_on_violation = true);

@@ -9,6 +9,8 @@ namespace slacksched {
 Schedule::Schedule(int machines) {
   SLACKSCHED_EXPECTS(machines >= 1);
   per_machine_.resize(static_cast<std::size_t>(machines));
+  frontier_.resize(static_cast<std::size_t>(machines), 0.0);
+  ids_ascending_.resize(static_cast<std::size_t>(machines), true);
 }
 
 void Schedule::commit(const Job& job, int machine, TimePoint start) {
@@ -21,7 +23,25 @@ void Schedule::commit(const Job& job, int machine, TimePoint start) {
   const auto it = std::upper_bound(
       list.begin(), list.end(), start,
       [](TimePoint s, const Placement& q) { return s < q.start; });
-  list.insert(it, std::move(p));
+  const auto inserted = list.insert(it, std::move(p));
+
+  // Incremental caches: placements are non-overlapping and sorted by start,
+  // so the machine frontier only ever grows to this completion.
+  const TimePoint completion = inserted->completion();
+  auto& frontier = frontier_[static_cast<std::size_t>(machine)];
+  frontier = std::max(frontier, completion);
+  makespan_ = std::max(makespan_, completion);
+  total_volume_ += job.proc;
+  ++job_count_;
+  if (ids_ascending_[static_cast<std::size_t>(machine)]) {
+    const bool after_prev =
+        inserted == list.begin() || std::prev(inserted)->job.id < job.id;
+    const bool before_next =
+        std::next(inserted) == list.end() || job.id < std::next(inserted)->job.id;
+    if (!after_prev || !before_next) {
+      ids_ascending_[static_cast<std::size_t>(machine)] = false;
+    }
+  }
 }
 
 bool Schedule::interval_free(int machine, TimePoint start,
@@ -42,8 +62,7 @@ bool Schedule::interval_free(int machine, TimePoint start,
 
 TimePoint Schedule::frontier(int machine) const {
   SLACKSCHED_EXPECTS(machine >= 0 && machine < machines());
-  const auto& list = per_machine_[static_cast<std::size_t>(machine)];
-  return list.empty() ? 0.0 : list.back().completion();
+  return frontier_[static_cast<std::size_t>(machine)];
 }
 
 Duration Schedule::outstanding_load(int machine, TimePoint now) const {
@@ -57,35 +76,25 @@ const std::vector<Placement>& Schedule::on_machine(int machine) const {
 
 std::vector<Placement> Schedule::all_placements() const {
   std::vector<Placement> out;
+  out.reserve(job_count_);
   for (const auto& list : per_machine_)
     out.insert(out.end(), list.begin(), list.end());
   return out;
 }
 
-double Schedule::total_volume() const {
-  double total = 0.0;
-  for (const auto& list : per_machine_)
-    for (const Placement& p : list) total += p.job.proc;
-  return total;
-}
-
-std::size_t Schedule::job_count() const {
-  std::size_t n = 0;
-  for (const auto& list : per_machine_) n += list.size();
-  return n;
-}
-
-TimePoint Schedule::makespan() const {
-  TimePoint latest = 0.0;
-  for (const auto& list : per_machine_)
-    if (!list.empty()) latest = std::max(latest, list.back().completion());
-  return latest;
-}
-
 std::optional<Placement> Schedule::find(JobId id) const {
-  for (const auto& list : per_machine_)
-    for (const Placement& p : list)
-      if (p.job.id == id) return p;
+  for (std::size_t m = 0; m < per_machine_.size(); ++m) {
+    const auto& list = per_machine_[m];
+    if (ids_ascending_[m]) {
+      const auto it = std::partition_point(
+          list.begin(), list.end(),
+          [&](const Placement& p) { return p.job.id < id; });
+      if (it != list.end() && it->job.id == id) return *it;
+    } else {
+      for (const Placement& p : list)
+        if (p.job.id == id) return p;
+    }
+  }
   return std::nullopt;
 }
 

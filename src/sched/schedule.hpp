@@ -1,7 +1,9 @@
 // Committed non-preemptive schedules: the record of (job, machine, start)
 // placements an algorithm has irrevocably promised. Supports the load
 // queries the Threshold algorithm needs and the overlap/feasibility queries
-// the validator and engine need.
+// the validator and engine need. Frontier, makespan, volume and job-count
+// queries are O(1): commit() maintains them incrementally instead of
+// recomputing from the placement lists.
 #pragma once
 
 #include <optional>
@@ -40,6 +42,7 @@ class Schedule {
                                    Duration proc) const;
 
   /// Completion time of the last committed job on the machine (0 if none).
+  /// O(1): cached by commit().
   [[nodiscard]] TimePoint frontier(int machine) const;
 
   /// Outstanding load at time `now`: the remaining committed work on the
@@ -54,20 +57,31 @@ class Schedule {
   /// All placements, ordered by (machine, start).
   [[nodiscard]] std::vector<Placement> all_placements() const;
 
-  /// Total committed processing volume (the objective value).
-  [[nodiscard]] double total_volume() const;
+  /// Total committed processing volume (the objective value). O(1).
+  [[nodiscard]] double total_volume() const { return total_volume_; }
 
-  /// Number of committed jobs.
-  [[nodiscard]] std::size_t job_count() const;
+  /// Number of committed jobs. O(1).
+  [[nodiscard]] std::size_t job_count() const { return job_count_; }
 
-  /// Latest completion over all machines (0 when empty).
-  [[nodiscard]] TimePoint makespan() const;
+  /// Latest completion over all machines (0 when empty). O(1).
+  [[nodiscard]] TimePoint makespan() const { return makespan_; }
 
-  /// Looks up the placement of a job by id, if committed.
+  /// Looks up the placement of a job by id, if committed. Uses a
+  /// per-machine binary search when that machine's ids happen to ascend
+  /// with start time (true for every arrival-ordered engine run); falls
+  /// back to a linear sweep otherwise.
   [[nodiscard]] std::optional<Placement> find(JobId id) const;
 
  private:
   std::vector<std::vector<Placement>> per_machine_;
+  /// Cached completion time of the last placement per machine.
+  std::vector<TimePoint> frontier_;
+  /// True while the machine's placement list has strictly ascending job
+  /// ids in list (= start) order, enabling binary-search find().
+  std::vector<bool> ids_ascending_;
+  TimePoint makespan_ = 0.0;
+  double total_volume_ = 0.0;
+  std::size_t job_count_ = 0;
 };
 
 }  // namespace slacksched

@@ -88,22 +88,36 @@ std::vector<CoveredInterval> covered_intervals(const RunResult& result) {
   }
 
   // Attribute rejected windows and committed execution to the intervals.
+  // The intervals are sorted and disjoint (begins and ends both ascend), so
+  // both attributions locate their interval(s) by binary search instead of
+  // scanning the whole interval list per record.
   for (const DecisionRecord& record : result.decisions) {
     if (record.decision.accepted) continue;
-    for (CoveredInterval& interval : intervals) {
-      if (record.job.release >= interval.begin - kTimeEps &&
-          record.job.deadline <= interval.end + kTimeEps) {
-        ++interval.rejected_jobs;
-        interval.rejected_volume += record.job.proc;
-        break;
-      }
+    // A naive forward scan stops at the first interval containing the
+    // window; with ascending ends that is the first interval with
+    // deadline <= end + eps, and with ascending begins every earlier
+    // interval satisfies the begin condition whenever that one does.
+    const auto it = std::partition_point(
+        intervals.begin(), intervals.end(), [&](const CoveredInterval& iv) {
+          return !(record.job.deadline <= iv.end + kTimeEps);
+        });
+    if (it != intervals.end() && record.job.release >= it->begin - kTimeEps) {
+      ++it->rejected_jobs;
+      it->rejected_volume += record.job.proc;
     }
   }
   for (const Placement& p : result.schedule.all_placements()) {
-    for (CoveredInterval& interval : intervals) {
-      const TimePoint begin = std::max(p.start, interval.begin);
-      const TimePoint end = std::min(p.completion(), interval.end);
-      if (end > begin) interval.online_volume += end - begin;
+    // Intervals overlapping [start, completion) form a contiguous range:
+    // skip those ending at or before the start, stop at the first one
+    // beginning at or after the completion.
+    const TimePoint completion = p.completion();
+    auto it = std::partition_point(
+        intervals.begin(), intervals.end(),
+        [&](const CoveredInterval& iv) { return !(iv.end > p.start); });
+    for (; it != intervals.end() && it->begin < completion; ++it) {
+      const TimePoint begin = std::max(p.start, it->begin);
+      const TimePoint end = std::min(completion, it->end);
+      if (end > begin) it->online_volume += end - begin;
     }
   }
   return intervals;

@@ -1,12 +1,27 @@
 #include "service/shard.hpp"
 
-#include <string>
 #include <utility>
 
 #include "common/expects.hpp"
-#include "sched/validator.hpp"
 
 namespace slacksched {
+
+namespace {
+
+RunOptions to_run_options(const ShardConfig& config) {
+  RunOptions options;
+  options.record_decisions = config.record_decisions;
+  options.halt_on_violation = config.halt_on_violation;
+  return options;
+}
+
+OnlineScheduler& require_scheduler(
+    const std::unique_ptr<OnlineScheduler>& scheduler) {
+  SLACKSCHED_EXPECTS(scheduler != nullptr);
+  return *scheduler;
+}
+
+}  // namespace
 
 Shard::Shard(int index, std::unique_ptr<OnlineScheduler> scheduler,
              const ShardConfig& config, MetricsRegistry& metrics)
@@ -15,10 +30,10 @@ Shard::Shard(int index, std::unique_ptr<OnlineScheduler> scheduler,
       scheduler_(std::move(scheduler)),
       metrics_(metrics),
       queue_(config.queue_capacity),
+      runner_(require_scheduler(scheduler_), to_run_options(config)),
       result_{Schedule(scheduler_->machines()), RunMetrics{}, {}, {}} {
   SLACKSCHED_EXPECTS(index >= 0);
   SLACKSCHED_EXPECTS(config.batch_size >= 1);
-  SLACKSCHED_EXPECTS(scheduler_ != nullptr);
 }
 
 Shard::~Shard() {
@@ -76,9 +91,8 @@ RunResult Shard::take_result() {
 }
 
 void Shard::worker_loop() {
-  // Mirrors run_online: reset first, then one binding decision per job in
-  // FIFO (= submission) order.
-  scheduler_->reset();
+  // One binding decision per job in FIFO (= submission) order, through the
+  // engine's StreamingRunner (the scheduler was reset at construction).
   std::vector<Task> batch;
   batch.reserve(config_.batch_size);
   while (true) {
@@ -88,38 +102,18 @@ void Shard::worker_loop() {
     metrics_.on_batch(index_, popped);
     for (const Task& task : batch) process(task);
   }
-  result_.metrics.makespan = result_.schedule.makespan();
+  result_ = runner_.finish();
 }
 
 void Shard::process(const Task& task) {
-  if (halted_) return;  // poisoned shard: drain without deciding
-  const Decision decision = scheduler_->on_arrival(task.job);
-  if (config_.record_decisions) {
-    result_.decisions.push_back({task.job, decision});
-  }
-  ++result_.metrics.submitted;
-
-  const std::string violation =
-      validate_commitment(result_.schedule, task.job, decision);
-  if (!violation.empty()) {
-    if (result_.commitment_violation.empty()) {
-      result_.commitment_violation = violation;
-    }
-    if (config_.halt_on_violation) halted_ = true;
-    return;  // skip the illegal commitment
-  }
-
-  if (decision.accepted) {
-    result_.schedule.commit(task.job, decision.machine, decision.start);
-    ++result_.metrics.accepted;
-    result_.metrics.accepted_volume += task.job.proc;
-  } else {
-    ++result_.metrics.rejected;
-    result_.metrics.rejected_volume += task.job.proc;
-  }
+  const FeedOutcome outcome = runner_.feed(task.job);
+  // Poisoned shard (drained without deciding) or an illegal commitment:
+  // neither counts as a served decision in the live metrics.
+  if (!outcome.decided || !outcome.legal) return;
   const double latency =
       std::chrono::duration<double>(Clock::now() - task.enqueued_at).count();
-  metrics_.on_decision(index_, task.job.proc, decision.accepted, latency);
+  metrics_.on_decision(index_, task.job.proc, outcome.decision.accepted,
+                       latency);
 }
 
 }  // namespace slacksched

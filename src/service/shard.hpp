@@ -1,9 +1,11 @@
 // One shard of the admission gateway: an independent machine group owned
 // by its own OnlineScheduler instance and consumer thread. The shard
-// replays its queue in FIFO order through exactly the engine semantics of
-// run_online — same decision recording, same commitment-legality check
-// (sched/validator's validate_commitment), same halt-on-violation rule —
-// so a single-shard gateway is byte-identical to the sequential engine.
+// replays its queue in FIFO order through the engine's StreamingRunner —
+// literally the same code path as run_online (decision recording,
+// commitment-legality check, halt-on-violation rule) — so a single-shard
+// gateway is byte-identical to the sequential engine. With decision
+// recording disabled the consumer loop accumulates metrics reserve-free
+// and allocation-free outside the committed schedule.
 #pragma once
 
 #include <chrono>
@@ -93,8 +95,8 @@ class Shard {
   std::unique_ptr<OnlineScheduler> scheduler_;
   MetricsRegistry& metrics_;
   BoundedMpscQueue<Task> queue_;
-  RunResult result_;
-  bool halted_ = false;
+  StreamingRunner runner_;
+  RunResult result_;  ///< taken from runner_ when the consumer exits
   bool joined_ = false;
   std::thread worker_;
 };

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "baselines/greedy_reference.hpp"
 #include "common/expects.hpp"
+#include "common/rng.hpp"
 #include "sched/engine.hpp"
 #include "sched/validator.hpp"
 #include "workload/generators.hpp"
@@ -119,6 +125,89 @@ INSTANTIATE_TEST_SUITE_P(
                                          GreedyPolicy::kFirstFit,
                                          GreedyPolicy::kLeastLoaded),
                        ::testing::Values(1, 2, 4)));
+
+// ---------------------------------------------------------------------------
+// Randomized equivalence with the seed implementation: the FrontierSet-based
+// GreedyScheduler must reproduce ReferenceGreedyScheduler's decision stream
+// bit-for-bit under every policy.
+// ---------------------------------------------------------------------------
+
+/// Tie-heavy stream: batches of identical jobs at one release (maximal
+/// frontier ties), drain gaps (zero-load min-index path), and tight singles
+/// (reject path). Deadlines always leave at least `eps` slack.
+Instance greedy_tie_stream(double eps, int machines, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Job> jobs;
+  TimePoint now = 0.0;
+  JobId next_id = 1;
+  for (int round = 0; round < 80; ++round) {
+    const int batch = machines + static_cast<int>(rng.uniform_int(1, 3));
+    const Duration proc = rng.uniform(0.0, 1.0) < 0.5 ? 1.0
+                                                      : rng.uniform(0.5, 2.0);
+    const double slack = eps + rng.uniform(0.0, 2.0);
+    for (int i = 0; i < batch; ++i) {
+      jobs.push_back(make_job(next_id++, now, proc, now + (1.0 + slack) * proc));
+    }
+    jobs.push_back(
+        make_job(next_id++, now, 4.0 * proc, now + (1.0 + eps) * 4.0 * proc));
+    now += (round % 3 == 1) ? proc * batch + 8.0 : rng.uniform(0.1, 1.2);
+  }
+  return Instance(std::move(jobs));
+}
+
+class GreedyEquivalence
+    : public ::testing::TestWithParam<std::tuple<GreedyPolicy, int, double>> {};
+
+TEST_P(GreedyEquivalence, MatchesSeedDecisionForDecision) {
+  const auto [policy, m, eps] = GetParam();
+  const Instance inst =
+      greedy_tie_stream(eps, m, 0x6Eu + static_cast<std::uint64_t>(m));
+
+  GreedyScheduler fast(m, policy);
+  ReferenceGreedyScheduler slow(m, policy);
+  fast.reset();
+  slow.reset();
+  for (const Job& job : inst.jobs()) {
+    const Decision expected = slow.on_arrival(job);
+    const Decision actual = fast.on_arrival(job);
+    ASSERT_EQ(actual, expected)
+        << "policy " << to_string(policy) << " diverged at job " << job.id
+        << " (release " << job.release << ", proc " << job.proc << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GreedyEquivalence,
+    ::testing::Combine(::testing::Values(GreedyPolicy::kBestFit,
+                                         GreedyPolicy::kFirstFit,
+                                         GreedyPolicy::kLeastLoaded),
+                       ::testing::Values(1, 2, 7, 64),
+                       ::testing::Values(0.1, 0.5, 1.0)));
+
+TEST(GreedyEquivalence, RunOnlineStreamsAreIdenticalOnGeneratedWorkloads) {
+  for (const auto policy : {GreedyPolicy::kBestFit, GreedyPolicy::kFirstFit,
+                            GreedyPolicy::kLeastLoaded}) {
+    WorkloadConfig config;
+    config.n = 1500;
+    config.eps = 0.2;
+    config.arrival = ArrivalModel::kBursty;
+    config.size = SizeModel::kConstant;  // exact ties everywhere
+    config.slack = SlackModel::kTight;
+    config.arrival_rate = 5.0;
+    config.seed = 909;
+    const Instance inst = generate_workload(config);
+
+    GreedyScheduler fast(6, policy);
+    ReferenceGreedyScheduler slow(6, policy);
+    const RunResult a = run_online(fast, inst);
+    const RunResult b = run_online(slow, inst);
+    ASSERT_EQ(a.decisions.size(), b.decisions.size());
+    for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+      ASSERT_EQ(a.decisions[i].decision, b.decisions[i].decision)
+          << to_string(policy) << " job " << i;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace slacksched

@@ -1,11 +1,19 @@
 // Tests of Algorithm 1 (ThresholdScheduler): the admission rule (9)/(10),
 // the best-fit allocation, Claim 1 (every accepted job completes on time)
-// as a property over workload sweeps, and determinism.
+// as a property over workload sweeps, determinism, and decision-for-decision
+// equivalence of the FrontierSet hot path with the seed implementation.
 #include "core/threshold.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
 #include "common/expects.hpp"
+#include "common/rng.hpp"
+#include "core/threshold_reference.hpp"
 #include "sched/engine.hpp"
 #include "sched/validator.hpp"
 #include "workload/generators.hpp"
@@ -258,6 +266,129 @@ TEST_P(ThresholdSeedSweep, TightSlackStressStaysLegal) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ThresholdSeedSweep,
                          ::testing::Values(1, 7, 21, 1001, 424242));
+
+// ---------------------------------------------------------------------------
+// Randomized equivalence with the seed implementation.
+//
+// ThresholdScheduler's FrontierSet hot path must be byte-identical — same
+// accept/reject bit, same machine, same start time, bit-for-bit — to
+// ReferenceThresholdScheduler (the retained seed code) on every stream.
+// ---------------------------------------------------------------------------
+
+enum class StreamKind { kAdversarial, kBurst, kPoisson };
+
+/// Hand-built worst case for incremental order maintenance: batches of
+/// *identical* jobs released at the same instant (maximal frontier ties),
+/// interleaved with idle gaps long enough to drain every machine (zero-load
+/// min-index path) and occasional tight-deadline singles (reject path).
+/// Every job satisfies the slack condition for `eps`.
+Instance adversarial_tie_stream(double eps, int machines, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Job> jobs;
+  TimePoint now = 0.0;
+  JobId next_id = 1;
+  for (int round = 0; round < 60; ++round) {
+    // A batch of clones, more than machines so several stack per machine.
+    const int batch = machines + static_cast<int>(rng.uniform_int(1, 4));
+    const Duration proc = rng.uniform(0.0, 1.0) < 0.5 ? 1.0  // exact ties
+                                                      : rng.uniform(0.5, 2.0);
+    const double slack = eps + rng.uniform(0.0, 2.0);
+    for (int i = 0; i < batch; ++i) {
+      jobs.push_back(make_job(next_id++, now, proc, now + (1.0 + slack) * proc));
+    }
+    // A tight single at the same release to exercise the reject branch.
+    jobs.push_back(
+        make_job(next_id++, now, 3.0 * proc, now + (1.0 + eps) * 3.0 * proc));
+    switch (round % 3) {
+      case 0: now += rng.uniform(0.1, 1.0); break;         // dense arrivals
+      case 1: now += proc * batch + 10.0; break;           // full drain: idle
+      default: now += proc * 0.5; break;                   // partial drain
+    }
+  }
+  return Instance(std::move(jobs));
+}
+
+Instance equivalence_stream(StreamKind kind, double eps, int machines,
+                            std::uint64_t seed) {
+  if (kind == StreamKind::kAdversarial) {
+    return adversarial_tie_stream(eps, machines, seed);
+  }
+  WorkloadConfig config;
+  config.n = 800;
+  config.eps = eps;
+  config.seed = seed;
+  config.arrival_rate = std::max(1.0, 1.5 * machines);
+  if (kind == StreamKind::kBurst) {
+    config.arrival = ArrivalModel::kBursty;
+    config.size = SizeModel::kConstant;  // exact frontier ties
+    config.slack = SlackModel::kTight;
+  } else {
+    config.arrival = ArrivalModel::kPoisson;
+    config.size = SizeModel::kBoundedPareto;
+    config.slack = SlackModel::kMixed;
+  }
+  return generate_workload(config);
+}
+
+class ThresholdEquivalence
+    : public ::testing::TestWithParam<std::tuple<double, int, StreamKind>> {};
+
+TEST_P(ThresholdEquivalence, MatchesSeedDecisionForDecision) {
+  const auto [eps, m, kind] = GetParam();
+  const Instance inst =
+      equivalence_stream(kind, eps, m, 0xE9u + static_cast<std::uint64_t>(m));
+
+  ThresholdScheduler fast(eps, m);
+  ReferenceThresholdScheduler slow(eps, m);
+  fast.reset();
+  slow.reset();
+  for (const Job& job : inst.jobs()) {
+    // The admission threshold itself must agree bit-for-bit...
+    ASSERT_EQ(fast.deadline_threshold(job.release),
+              slow.deadline_threshold(job.release))
+        << "threshold diverged at job " << job.id;
+    // ...and so must the full decision (accept bit, machine, start).
+    const Decision expected = slow.on_arrival(job);
+    const Decision actual = fast.on_arrival(job);
+    ASSERT_EQ(actual, expected)
+        << "decision diverged at job " << job.id << " (release " << job.release
+        << ", proc " << job.proc << ", deadline " << job.deadline << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ThresholdEquivalence,
+    ::testing::Combine(::testing::Values(0.1, 0.5, 1.0),
+                       ::testing::Values(1, 2, 7, 64),
+                       ::testing::Values(StreamKind::kAdversarial,
+                                         StreamKind::kBurst,
+                                         StreamKind::kPoisson)));
+
+TEST(ThresholdEquivalence, RunOnlineStreamsAreIdentical) {
+  // End-to-end through the engine: identical decision records and identical
+  // committed schedules on a large mixed workload.
+  const Instance inst = generate_workload([] {
+    WorkloadConfig c;
+    c.n = 2000;
+    c.eps = 0.2;
+    c.arrival = ArrivalModel::kBursty;
+    c.size = SizeModel::kBimodal;
+    c.arrival_rate = 6.0;
+    c.seed = 4242;
+    return c;
+  }());
+  ThresholdScheduler fast(0.2, 8);
+  ReferenceThresholdScheduler slow(0.2, 8);
+  const RunResult a = run_online(fast, inst);
+  const RunResult b = run_online(slow, inst);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    ASSERT_EQ(a.decisions[i].decision, b.decisions[i].decision) << "job " << i;
+  }
+  EXPECT_EQ(a.metrics.accepted, b.metrics.accepted);
+  EXPECT_DOUBLE_EQ(a.schedule.total_volume(), b.schedule.total_volume());
+  EXPECT_DOUBLE_EQ(a.schedule.makespan(), b.schedule.makespan());
+}
 
 }  // namespace
 }  // namespace slacksched
