@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf-regression gate over the committed/freshly-generated bench JSONs.
 
-Validates the two machine-readable bench artifacts:
+Validates the three machine-readable bench artifacts:
 
   BENCH_threshold.json  (bench/micro_throughput --threshold_jobs=N)
       - every row's decision stream matched the seed implementation
@@ -9,16 +9,23 @@ Validates the two machine-readable bench artifacts:
       - speedup at every m >= --large-m reaches --min-speedup
   BENCH_service.json    (bench/service_throughput [jobs])
       - every shard configuration finished clean
+  BENCH_recovery.json   (bench/recovery_replay [records])
+      - every replay pass was clean (all records recovered + re-validated)
+      - the torn-tail log truncated on the first pass, replayed clean on
+        the second
+      - fsync ordering holds: never >= batch >= every-commit append rate
 
 Only the Python standard library is used. Exit status 0 iff every check
 passes; each failure is printed on its own line.
 
 Usage:
   scripts/perf_check.py [--threshold-json PATH] [--service-json PATH]
+                        [--recovery-json PATH]
                         [--min-speedup X] [--large-m M]
 
-A missing file is an error unless its path is passed as the empty string
-(e.g. --service-json= to gate only the threshold bench).
+A missing file is an error (reported as "<path>: not found — run
+bench/<name> to generate it") unless its path is passed as the empty
+string (e.g. --service-json= to gate only the other benches).
 """
 
 from __future__ import annotations
@@ -96,10 +103,59 @@ def check_service(path: Path, errors: list[str]) -> None:
     print(f"ok: {path}: {len(runs)} shard configurations, all clean")
 
 
+def check_recovery(path: Path, errors: list[str]) -> None:
+    data = json.loads(path.read_text())
+    if data.get("bench") != "recovery_replay":
+        fail(errors, f"{path}: unexpected bench id {data.get('bench')!r}")
+        return
+    appends = data.get("append", [])
+    replays = data.get("replay", [])
+    if not appends or not replays:
+        fail(errors, f"{path}: missing append/replay runs")
+        return
+    if not data.get("clean", False):
+        fail(errors, f"{path}: the bench itself reported an unclean pass")
+
+    rate_by_policy: dict[str, float] = {}
+    for run in appends:
+        policy = run.get("policy")
+        rate = run.get("records_per_sec", 0.0)
+        if rate <= 0.0:
+            fail(errors, f"{path}: append policy={policy} reports "
+                         "non-positive throughput")
+        rate_by_policy[str(policy)] = rate
+    for stronger, weaker in (("batch", "never"), ("every-commit", "batch")):
+        if stronger in rate_by_policy and weaker in rate_by_policy:
+            # Durability is never free: a stronger policy being *faster*
+            # means the fsync path is not actually syncing.
+            if rate_by_policy[stronger] > rate_by_policy[weaker] * 1.5:
+                fail(errors, f"{path}: fsync={stronger} outran "
+                             f"fsync={weaker} — the sync path looks inert")
+
+    for run in replays:
+        records = run.get("records")
+        if not run.get("clean", False):
+            fail(errors, f"{path}: replay of {records} records was not "
+                         "clean (lost or invalid records)")
+        if run.get("records_per_sec", 0.0) <= 0.0:
+            fail(errors, f"{path}: replay of {records} records reports "
+                         "non-positive rate")
+
+    torn = data.get("torn_tail", {})
+    if not torn.get("truncated_on_first_pass", False):
+        fail(errors, f"{path}: torn tail was not truncated on first "
+                     "recovery")
+    if not torn.get("clean_on_second_pass", False):
+        fail(errors, f"{path}: log not clean after torn-tail truncation")
+    print(f"ok: {path}: {len(appends)} fsync policies, {len(replays)} "
+          "replay sizes, torn tail handled")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--threshold-json", default="BENCH_threshold.json")
     parser.add_argument("--service-json", default="BENCH_service.json")
+    parser.add_argument("--recovery-json", default="BENCH_recovery.json")
     parser.add_argument("--min-speedup", type=float, default=3.0,
                         help="jobs/sec floor for new/old at large m "
                              "(default 3.0; use 1.0 on noisy smoke runners)")
@@ -109,16 +165,24 @@ def main() -> int:
     args = parser.parse_args()
 
     errors: list[str] = []
+    generators = {
+        args.threshold_json: "bench/micro_throughput",
+        args.service_json: "bench/service_throughput",
+        args.recovery_json: "bench/recovery_replay",
+    }
     for raw, checker in ((args.threshold_json,
                           lambda p: check_threshold(p, args.min_speedup,
                                                     args.large_m, errors)),
                          (args.service_json,
-                          lambda p: check_service(p, errors))):
+                          lambda p: check_service(p, errors)),
+                         (args.recovery_json,
+                          lambda p: check_recovery(p, errors))):
         if not raw:
             continue
         path = Path(raw)
         if not path.is_file():
-            fail(errors, f"{path}: not found")
+            fail(errors, f"{path}: not found — run {generators[raw]} "
+                         "to generate it")
             continue
         try:
             checker(path)

@@ -32,6 +32,14 @@ std::string GreedyScheduler::name() const {
          ")";
 }
 
+bool GreedyScheduler::restore_commitment(const Job& job, int machine,
+                                         TimePoint start) {
+  if (machine < 0 || machine >= machines_) return false;
+  frontier_.update(machine,
+                   std::max(frontier_.frontier(machine), start + job.proc));
+  return true;
+}
+
 Decision GreedyScheduler::on_arrival(const Job& job) {
   SLACKSCHED_EXPECTS(job.structurally_valid());
   const TimePoint t = job.release;

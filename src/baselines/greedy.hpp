@@ -39,6 +39,10 @@ class GreedyScheduler final : public OnlineScheduler {
   void reset() override;
   [[nodiscard]] std::string name() const override;
 
+  /// Greedy's entire mutable state is the machine frontiers: restorable.
+  bool restore_commitment(const Job& job, int machine,
+                          TimePoint start) override;
+
  private:
   int machines_;
   GreedyPolicy policy_;

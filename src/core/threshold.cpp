@@ -82,6 +82,14 @@ Decision ThresholdScheduler::on_arrival(const Job& job) {
   return Decision::accept(best, start);
 }
 
+bool ThresholdScheduler::restore_commitment(const Job& job, int machine,
+                                            TimePoint start) {
+  if (machine < 0 || machine >= config_.machines) return false;
+  frontier_.update(machine,
+                   std::max(frontier_.frontier(machine), start + job.proc));
+  return true;
+}
+
 ThresholdScheduler make_goldwasser_kerbikov(double eps) {
   return ThresholdScheduler(eps, 1);
 }

@@ -55,6 +55,12 @@ class ThresholdScheduler final : public OnlineScheduler {
   void reset() override;
   [[nodiscard]] std::string name() const override;
 
+  /// Threshold's entire mutable state is the machine frontiers, so a
+  /// committed allocation restores exactly: advance the target machine's
+  /// frontier to the allocation's completion time.
+  bool restore_commitment(const Job& job, int machine,
+                          TimePoint start) override;
+
   /// The admission threshold d_lim the algorithm would apply at time `now`
   /// in its current state (exposed for tests and the adversary analysis).
   [[nodiscard]] TimePoint deadline_threshold(TimePoint now) const;

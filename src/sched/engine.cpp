@@ -15,6 +15,18 @@ StreamingRunner::StreamingRunner(OnlineScheduler& scheduler,
   scheduler_->reset();
 }
 
+StreamingRunner::StreamingRunner(ResumeTag, OnlineScheduler& scheduler,
+                                 const RunOptions& options, RunResult state)
+    : scheduler_(&scheduler), options_(options), result_(std::move(state)) {
+  SLACKSCHED_EXPECTS(result_.schedule.machines() == scheduler.machines());
+}
+
+StreamingRunner StreamingRunner::resumed(OnlineScheduler& scheduler,
+                                         const RunOptions& options,
+                                         RunResult state) {
+  return StreamingRunner(ResumeTag{}, scheduler, options, std::move(state));
+}
+
 void StreamingRunner::reserve_decisions(std::size_t n) {
   if (options_.record_decisions) result_.decisions.reserve(n);
 }
@@ -41,6 +53,9 @@ FeedOutcome StreamingRunner::feed(const Job& job) {
   outcome.legal = true;
 
   if (outcome.decision.accepted) {
+    // Write-ahead ordering: the durability hook runs before the in-memory
+    // commit, so every commit that becomes visible is already logged.
+    if (commit_hook_) commit_hook_(job, outcome.decision);
     result_.schedule.commit(job, outcome.decision.machine,
                             outcome.decision.start);
     ++result_.metrics.accepted;

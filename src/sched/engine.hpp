@@ -16,6 +16,7 @@
 // beyond the committed schedule itself.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -76,9 +77,32 @@ struct FeedOutcome {
 /// byte-identical to the sequential engine.
 class StreamingRunner {
  public:
+  /// Invoked for every legal accepting decision after validation succeeds
+  /// and *before* the in-memory commit is applied — the write-ahead
+  /// ordering a durable commit log (service/commit_log.hpp) needs: if the
+  /// process dies between the hook and the commit, replaying the log
+  /// re-applies the allocation. A throwing hook aborts the commit; the
+  /// job is then neither counted nor scheduled in memory, matching a
+  /// crash at that point.
+  using CommitHook = std::function<void(const Job&, const Decision&)>;
+
   /// Resets the scheduler and starts an empty run.
   explicit StreamingRunner(OnlineScheduler& scheduler,
                            const RunOptions& options = {});
+
+  /// Resumes a run from previously recovered state (service/recovery.hpp):
+  /// the schedule and metrics continue from `state`, and — unlike the
+  /// resetting constructor — the scheduler is taken as-is; the caller has
+  /// already restored its internal state to match the schedule.
+  [[nodiscard]] static StreamingRunner resumed(OnlineScheduler& scheduler,
+                                               const RunOptions& options,
+                                               RunResult state);
+
+  StreamingRunner(StreamingRunner&&) = default;
+  StreamingRunner& operator=(StreamingRunner&&) = default;
+
+  /// Installs (or clears, with nullptr) the write-ahead commit hook.
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
 
   /// Pre-sizes the decision log (no-op when recording is disabled).
   void reserve_decisions(std::size_t n);
@@ -99,9 +123,14 @@ class StreamingRunner {
   [[nodiscard]] RunResult finish();
 
  private:
+  struct ResumeTag {};
+  StreamingRunner(ResumeTag, OnlineScheduler& scheduler,
+                  const RunOptions& options, RunResult state);
+
   OnlineScheduler* scheduler_;
   RunOptions options_;
   RunResult result_;
+  CommitHook commit_hook_;
   bool halted_ = false;
 };
 

@@ -32,6 +32,22 @@ class OnlineScheduler {
   /// Resets all internal state to an empty system.
   virtual void reset() = 0;
 
+  /// Restores one previously committed allocation during crash recovery
+  /// (service/recovery.hpp): bring internal state to exactly what it was
+  /// after the original accepting on_arrival, without re-deciding. Called
+  /// on a freshly reset() scheduler in original commit order. Returns
+  /// false when the algorithm cannot reconstruct its state from the
+  /// committed allocations alone (e.g. it carries hidden randomized
+  /// state); recovery then fails rather than resuming with a diverged
+  /// scheduler. The default is conservative: not restorable.
+  virtual bool restore_commitment(const Job& job, int machine,
+                                  TimePoint start) {
+    (void)job;
+    (void)machine;
+    (void)start;
+    return false;
+  }
+
   /// Human-readable algorithm name for reports.
   [[nodiscard]] virtual std::string name() const = 0;
 };

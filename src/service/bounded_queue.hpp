@@ -6,6 +6,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
@@ -15,6 +16,14 @@
 #include "common/expects.hpp"
 
 namespace slacksched {
+
+/// Result of a timed consumer pop: how many items were delivered, and
+/// whether the queue is closed-and-drained (count == 0 then distinguishes
+/// "shut down" from "timed out with nothing available").
+struct PopOutcome {
+  std::size_t count = 0;
+  bool closed = false;
+};
 
 /// Fixed-capacity ring buffer with blocking batch-pop on the consumer side
 /// and non-blocking push on the producer side.
@@ -45,11 +54,16 @@ class BoundedMpscQueue {
   /// Attempts to enqueue a span of items in one lock acquisition. Stops at
   /// the first item that does not fit (or immediately when closed) and
   /// returns how many were taken; items are consumed from the front of
-  /// `first` in order, so the caller re-submits or sheds the tail.
-  [[nodiscard]] std::size_t try_push_batch(T* first, std::size_t count) {
+  /// `first` in order, so the caller re-submits or sheds the tail. When
+  /// `closed` is non-null it reports whether the refusal (if any) was due
+  /// to the queue being closed rather than full — the two demand different
+  /// degradation (a closed shard is gone; a full one is backpressure).
+  [[nodiscard]] std::size_t try_push_batch(T* first, std::size_t count,
+                                           bool* closed = nullptr) {
     std::size_t taken = 0;
     {
       std::unique_lock lock(mutex_);
+      if (closed != nullptr) *closed = closed_;
       if (closed_) return 0;
       taken = std::min(count, capacity_ - size_);
       for (std::size_t i = 0; i < taken; ++i) {
@@ -77,6 +91,24 @@ class BoundedMpscQueue {
     return n;
   }
 
+  /// Timed variant of pop_batch for supervised consumers: waits at most
+  /// `timeout` for an item, so the worker wakes periodically to publish a
+  /// heartbeat even when the queue is idle — a supervisor can then tell a
+  /// stalled consumer from an idle one. `outcome.count == 0 && !closed`
+  /// means the wait timed out; `closed` means closed-and-drained.
+  PopOutcome pop_batch_for(std::vector<T>& out, std::size_t max_items,
+                           std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mutex_);
+    cv_ready_.wait_for(lock, timeout, [this] { return closed_ || size_ > 0; });
+    const std::size_t n = std::min(size_, max_items);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(buffer_[head_]));
+      head_ = (head_ + 1) % capacity_;
+      --size_;
+    }
+    return PopOutcome{n, n == 0 && closed_};
+  }
+
   /// Marks the queue closed: subsequent pushes fail, the consumer drains
   /// the remaining items and then sees pop_batch return 0.
   void close() {
@@ -85,6 +117,14 @@ class BoundedMpscQueue {
       closed_ = true;
     }
     cv_ready_.notify_all();
+  }
+
+  /// Reopens a closed queue for a supervised restart. Requires the old
+  /// consumer to have exited; items still buffered survive and are
+  /// delivered to the new consumer.
+  void reopen() {
+    std::unique_lock lock(mutex_);
+    closed_ = false;
   }
 
   [[nodiscard]] std::size_t size() const {

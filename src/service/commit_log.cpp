@@ -1,0 +1,213 @@
+#include "service/commit_log.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+template <typename T>
+void put_raw(std::vector<char>& out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw CommitLogError(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string to_string(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNever:
+      return "never";
+    case FsyncPolicy::kBatch:
+      return "batch";
+    case FsyncPolicy::kEveryCommit:
+      return "every-commit";
+  }
+  return "unknown";
+}
+
+std::uint32_t wal_crc32(const void* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void encode_wal_record(const Job& job, int machine, TimePoint start,
+                       std::vector<char>& out) {
+  std::vector<char> payload;
+  payload.reserve(kWalPayloadBytes);
+  put_raw(payload, static_cast<std::int64_t>(job.id));
+  put_raw(payload, job.release);
+  put_raw(payload, job.proc);
+  put_raw(payload, job.deadline);
+  put_raw(payload, static_cast<std::int32_t>(machine));
+  put_raw(payload, start);
+  SLACKSCHED_ENSURES(payload.size() == kWalPayloadBytes);
+
+  put_raw(out, static_cast<std::uint32_t>(payload.size()));
+  put_raw(out, wal_crc32(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::unique_ptr<CommitLog> CommitLog::open(const std::string& path,
+                                           int machines,
+                                           const CommitLogConfig& config,
+                                           FaultInjector* faults, int shard) {
+  SLACKSCHED_EXPECTS(!path.empty());
+  SLACKSCHED_EXPECTS(machines >= 1);
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) throw_errno("cannot open commit log", path);
+
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    throw_errno("cannot seek commit log", path);
+  }
+  if (static_cast<std::size_t>(size) < kWalHeaderBytes) {
+    // Fresh log (or a tail torn inside the header): reset and write the
+    // header.
+    if (::ftruncate(fd, 0) != 0) {
+      ::close(fd);
+      throw_errno("cannot reset commit log", path);
+    }
+    std::vector<char> header;
+    header.insert(header.end(), kWalMagic, kWalMagic + sizeof(kWalMagic));
+    put_raw(header, kWalVersion);
+    put_raw(header, static_cast<std::uint32_t>(machines));
+    SLACKSCHED_ENSURES(header.size() == kWalHeaderBytes);
+    if (::write(fd, header.data(), header.size()) !=
+        static_cast<ssize_t>(header.size())) {
+      ::close(fd);
+      throw_errno("cannot write commit log header", path);
+    }
+  } else {
+    char header[kWalHeaderBytes];
+    if (::pread(fd, header, sizeof(header), 0) !=
+        static_cast<ssize_t>(sizeof(header))) {
+      ::close(fd);
+      throw_errno("cannot read commit log header", path);
+    }
+    if (std::memcmp(header, kWalMagic, sizeof(kWalMagic)) != 0) {
+      ::close(fd);
+      throw CommitLogError(path + ": not a commit log (bad magic)");
+    }
+    std::uint32_t version = 0;
+    std::uint32_t header_machines = 0;
+    std::memcpy(&version, header + 8, sizeof(version));
+    std::memcpy(&header_machines, header + 12, sizeof(header_machines));
+    if (version != kWalVersion) {
+      ::close(fd);
+      throw CommitLogError(path + ": unsupported commit log version " +
+                           std::to_string(version));
+    }
+    if (header_machines != static_cast<std::uint32_t>(machines)) {
+      ::close(fd);
+      throw CommitLogError(path + ": commit log is for " +
+                           std::to_string(header_machines) +
+                           " machines, shard has " + std::to_string(machines));
+    }
+  }
+  return std::unique_ptr<CommitLog>(
+      new CommitLog(path, fd, config, faults, shard));
+}
+
+CommitLog::CommitLog(std::string path, int fd, const CommitLogConfig& config,
+                     FaultInjector* faults, int shard)
+    : path_(std::move(path)),
+      fd_(fd),
+      config_(config),
+      faults_(faults),
+      shard_(shard) {
+  buffer_.reserve(config_.buffer_bytes + kWalRecordBytes);
+}
+
+CommitLog::~CommitLog() {
+  // Crash-consistent teardown: buffered records are lost, exactly as an
+  // unflushed user-space buffer dies with a crashed process.
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void CommitLog::append(const Job& job, int machine, TimePoint start) {
+  SLACKSCHED_EXPECTS(fd_ >= 0);
+  encode_wal_record(job, machine, start, buffer_);
+  ++records_;
+  bytes_ += kWalRecordBytes;
+  if (config_.fsync == FsyncPolicy::kEveryCommit) {
+    flush_buffer();
+    fsync_now();
+  } else if (buffer_.size() >= config_.buffer_bytes) {
+    flush_buffer();
+  }
+}
+
+void CommitLog::sync_batch() {
+  if (config_.fsync != FsyncPolicy::kBatch) return;
+  flush_buffer();
+  fsync_now();
+}
+
+void CommitLog::sync() {
+  flush_buffer();
+  fsync_now();
+}
+
+void CommitLog::close() {
+  SLACKSCHED_EXPECTS(fd_ >= 0);
+  flush_buffer();
+  if (config_.fsync != FsyncPolicy::kNever) fsync_now();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void CommitLog::flush_buffer() {
+  const char* data = buffer_.data();
+  std::size_t remaining = buffer_.size();
+  while (remaining > 0) {
+    const ssize_t written = ::write(fd_, data, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("cannot append to commit log", path_);
+    }
+    data += written;
+    remaining -= static_cast<std::size_t>(written);
+  }
+  buffer_.clear();
+}
+
+void CommitLog::fsync_now() {
+  SLACKSCHED_FAULT_CRASH_POINT(faults_, FaultSite::kFsync, shard_);
+  if (::fsync(fd_) != 0) throw_errno("cannot fsync commit log", path_);
+  ++fsyncs_;
+}
+
+}  // namespace slacksched

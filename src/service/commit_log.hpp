@@ -1,0 +1,135 @@
+// Durable write-ahead log of committed admission decisions — the crash-safe
+// half of the paper's immediate-commitment contract. A shard appends each
+// accepted (job, machine, start) allocation to its own append-only binary
+// log *before* applying the in-memory commit, so any accept that could have
+// become externally visible is recoverable after a crash; recovery
+// (service/recovery.hpp) replays the log, truncating a torn tail, and
+// rebuilds the shard's committed schedule and scheduler frontier state.
+//
+// On-disk format (little-endian, fixed-width):
+//
+//   header   : magic "SLKWAL01" (8) | u32 version | u32 machines     = 16 B
+//   record   : u32 payload_len (=44) | u32 crc32(payload) | payload  = 52 B
+//   payload  : i64 job_id | f64 release | f64 proc | f64 deadline
+//              | i32 machine | f64 start                             = 44 B
+//
+// The CRC frames each record independently: a record whose frame or
+// payload is short, whose length field is implausible, or whose CRC does
+// not match is a *torn tail* — everything from its offset on is discarded
+// and the file truncated back to the last whole record. Corruption that
+// passes the CRC but describes an illegal commitment (overlap, deadline
+// miss) is detected semantically during replay by validate_commitment and
+// fails recovery outright.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "job/job.hpp"
+#include "service/fault_injection.hpp"
+
+namespace slacksched {
+
+/// When appended records are forced to stable storage.
+enum class FsyncPolicy : std::uint8_t {
+  kNever,        ///< OS-buffered only; fastest, loses the unflushed tail
+  kBatch,        ///< one fsync per consumed shard batch (sync_batch())
+  kEveryCommit,  ///< fsync after every append; zero accepted jobs lost
+};
+
+[[nodiscard]] std::string to_string(FsyncPolicy policy);
+
+/// IEEE CRC-32 (reflected, poly 0xEDB88320) over `n` bytes — the record
+/// framing checksum. Exposed so tests can forge/verify frames.
+[[nodiscard]] std::uint32_t wal_crc32(const void* data, std::size_t n);
+
+inline constexpr char kWalMagic[8] = {'S', 'L', 'K', 'W', 'A', 'L', '0', '1'};
+inline constexpr std::uint32_t kWalVersion = 1;
+inline constexpr std::size_t kWalHeaderBytes = 16;
+inline constexpr std::size_t kWalPayloadBytes = 44;
+inline constexpr std::size_t kWalFrameBytes = 8;
+inline constexpr std::size_t kWalRecordBytes =
+    kWalFrameBytes + kWalPayloadBytes;
+
+/// Thrown on I/O failure or header mismatch.
+class CommitLogError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct CommitLogConfig {
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  /// User-space buffer flush threshold (write() granularity under
+  /// kNever/kBatch; kEveryCommit flushes per record regardless).
+  std::size_t buffer_bytes = 1 << 16;
+};
+
+/// Append-only writer for one shard's commit log. Single-writer (the
+/// shard's consumer thread); not thread-safe by design.
+class CommitLog {
+ public:
+  /// Opens (creating if needed) the log at `path` for appending. An
+  /// existing file must carry a valid header with a matching machine
+  /// count; a file shorter than the header is reset to a fresh log.
+  /// Recovery runs *before* open — open never replays.
+  [[nodiscard]] static std::unique_ptr<CommitLog> open(
+      const std::string& path, int machines, const CommitLogConfig& config = {},
+      FaultInjector* faults = nullptr, int shard = 0);
+
+  /// Closes the file descriptor WITHOUT flushing the user-space buffer —
+  /// destruction models a crash; call close() for a durable shutdown.
+  ~CommitLog();
+
+  CommitLog(const CommitLog&) = delete;
+  CommitLog& operator=(const CommitLog&) = delete;
+
+  /// Appends one committed allocation. Under kEveryCommit the record is on
+  /// stable storage when this returns. Throws CommitLogError on I/O
+  /// failure and InjectedFault at the fsync crash site.
+  void append(const Job& job, int machine, TimePoint start);
+
+  /// Batch boundary: under kBatch, flushes and fsyncs everything appended
+  /// since the last boundary. No-op under the other policies.
+  void sync_batch();
+
+  /// Unconditional flush + fsync.
+  void sync();
+
+  /// Flushes (and fsyncs unless kNever) and closes the descriptor. The log
+  /// must not be appended to afterwards.
+  void close();
+
+  [[nodiscard]] std::uint64_t records_appended() const { return records_; }
+  [[nodiscard]] std::uint64_t bytes_appended() const { return bytes_; }
+  [[nodiscard]] std::uint64_t fsync_count() const { return fsyncs_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] FsyncPolicy fsync_policy() const { return config_.fsync; }
+
+ private:
+  CommitLog(std::string path, int fd, const CommitLogConfig& config,
+            FaultInjector* faults, int shard);
+
+  void flush_buffer();  ///< write() the buffer to the fd
+  void fsync_now();     ///< fault point + ::fsync
+
+  std::string path_;
+  int fd_ = -1;
+  CommitLogConfig config_;
+  FaultInjector* faults_ = nullptr;
+  int shard_ = 0;
+  std::vector<char> buffer_;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t fsyncs_ = 0;
+};
+
+/// Encodes one record (frame + payload) into `out` — the single encoding
+/// path shared by the writer and the tests that forge torn/corrupt logs.
+void encode_wal_record(const Job& job, int machine, TimePoint start,
+                       std::vector<char>& out);
+
+}  // namespace slacksched

@@ -15,6 +15,8 @@ std::string to_string(SubmitStatus status) {
       return "rejected: shard queue full (backpressure)";
     case SubmitStatus::kRejectedClosed:
       return "rejected: gateway closed";
+    case SubmitStatus::kRejectedRetryAfter:
+      return "rejected: no shard available (retry later)";
   }
   return "unknown";
 }
@@ -45,30 +47,59 @@ AdmissionGateway::AdmissionGateway(const GatewayConfig& config,
   shard_config.batch_size = config.batch_size;
   shard_config.halt_on_violation = config.halt_shard_on_violation;
   shard_config.record_decisions = config.record_decisions;
+  shard_config.pop_timeout = config.pop_timeout;
+  shard_config.wal_fsync = config.wal_fsync;
+  shard_config.faults = config.fault_injector;
   shards_.reserve(static_cast<std::size_t>(config.shards));
   for (int s = 0; s < config.shards; ++s) {
-    shards_.push_back(
-        std::make_unique<Shard>(s, factory(s), shard_config, metrics_));
+    if (!config.wal_dir.empty()) {
+      shard_config.wal_path =
+          config.wal_dir + "/shard-" + std::to_string(s) + ".wal";
+    }
+    shards_.push_back(std::make_unique<Shard>(
+        s, [factory, s] { return factory(s); }, shard_config, metrics_));
   }
   for (auto& shard : shards_) shard->start();
+  supervisor_ = std::make_unique<ShardSupervisor>(shards_, config.supervisor);
+  supervisor_->start();
 }
 
 AdmissionGateway::~AdmissionGateway() {
+  supervisor_->stop();
   if (!finished_.load()) {
     for (auto& shard : shards_) shard->close();
     // ~Shard joins.
   }
 }
 
+int AdmissionGateway::resolve_target(int home) {
+  if (supervisor_->available(home)) return home;
+  if (!config_.enable_failover) return home;  // offer to the home anyway
+  return router_.failover_target(
+      home, [this](int s) { return supervisor_->available(s); });
+}
+
 SubmitStatus AdmissionGateway::submit(const Job& job) {
   if (finished_.load(std::memory_order_acquire)) {
     return SubmitStatus::kRejectedClosed;
   }
-  const int shard = router_.route(job);
-  return shards_[static_cast<std::size_t>(shard)]->try_enqueue(
-             job, Shard::Clock::now())
-             ? SubmitStatus::kEnqueued
-             : SubmitStatus::kRejectedQueueFull;
+  const int home = router_.route(job);
+  const int target = resolve_target(home);
+  if (target < 0) {
+    metrics_.on_degraded_reject(home);
+    return SubmitStatus::kRejectedRetryAfter;
+  }
+  if (target != home) metrics_.on_failover(home);
+  switch (shards_[static_cast<std::size_t>(target)]->try_enqueue(
+      job, Shard::Clock::now())) {
+    case EnqueueStatus::kEnqueued:
+      return SubmitStatus::kEnqueued;
+    case EnqueueStatus::kFull:
+      return SubmitStatus::kRejectedQueueFull;
+    case EnqueueStatus::kClosed:
+      return SubmitStatus::kRejectedClosed;
+  }
+  return SubmitStatus::kRejectedClosed;
 }
 
 BatchSubmitResult AdmissionGateway::submit_batch(
@@ -81,27 +112,57 @@ BatchSubmitResult AdmissionGateway::submit_batch(
     result.rejected_closed = jobs.size();
     return result;
   }
-  // Route every job first, preserving submission order within each shard's
-  // group, then hand each group to its shard under one queue lock.
-  std::vector<std::vector<std::uint32_t>> groups(
-      static_cast<std::size_t>(config_.shards));
+  // Route every job, resolve each home shard's failover target once (the
+  // availability view is sampled once per batch), and group the jobs by
+  // the shard they actually go to, preserving submission order within each
+  // group.
+  const auto shard_count = static_cast<std::size_t>(config_.shards);
+  std::vector<std::vector<std::uint32_t>> groups(shard_count);
+  std::vector<int> target_of(shard_count, -2);  // -2: not yet resolved
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    groups[static_cast<std::size_t>(router_.route(jobs[i]))].push_back(
+    const auto home = static_cast<std::size_t>(router_.route(jobs[i]));
+    if (target_of[home] == -2) {
+      target_of[home] = resolve_target(static_cast<int>(home));
+    }
+    const int target = target_of[home];
+    if (target < 0) {
+      ++result.rejected_retry_after;
+      metrics_.on_degraded_reject(static_cast<int>(home));
+      if (statuses != nullptr) {
+        (*statuses)[i] = SubmitStatus::kRejectedRetryAfter;
+      }
+      continue;
+    }
+    if (target != static_cast<int>(home)) {
+      metrics_.on_failover(static_cast<int>(home));
+    }
+    groups[static_cast<std::size_t>(target)].push_back(
         static_cast<std::uint32_t>(i));
   }
   const auto now = Shard::Clock::now();
   for (int s = 0; s < config_.shards; ++s) {
     const auto& group = groups[static_cast<std::size_t>(s)];
     if (group.empty()) continue;
-    const std::size_t taken =
+    const Shard::BatchEnqueueResult pushed =
         shards_[static_cast<std::size_t>(s)]->try_enqueue_batch(
             jobs.data(), group.data(), group.size(), now);
-    result.enqueued += taken;
-    result.rejected_queue_full += group.size() - taken;
+    result.enqueued += pushed.taken;
+    // A shed tail on a closed queue is not backpressure: the shard shut
+    // down mid-batch, and the caller must treat the tail as unserviceable
+    // rather than retryable-on-this-shard.
+    const std::size_t shed = group.size() - pushed.taken;
+    if (pushed.closed) {
+      result.rejected_closed += shed;
+    } else {
+      result.rejected_queue_full += shed;
+    }
     if (statuses != nullptr) {
+      const SubmitStatus tail_status = pushed.closed
+                                           ? SubmitStatus::kRejectedClosed
+                                           : SubmitStatus::kRejectedQueueFull;
       for (std::size_t g = 0; g < group.size(); ++g) {
-        (*statuses)[group[g]] = g < taken ? SubmitStatus::kEnqueued
-                                          : SubmitStatus::kRejectedQueueFull;
+        (*statuses)[group[g]] =
+            g < pushed.taken ? SubmitStatus::kEnqueued : tail_status;
       }
     }
   }
@@ -110,12 +171,17 @@ BatchSubmitResult AdmissionGateway::submit_batch(
 
 GatewayResult AdmissionGateway::finish() {
   SLACKSCHED_EXPECTS(!finished_.exchange(true, std::memory_order_acq_rel));
+  supervisor_->stop();  // no restarts may race the shutdown below
   for (auto& shard : shards_) shard->close();
   for (auto& shard : shards_) shard->join();
 
   GatewayResult result;
   result.shards.reserve(shards_.size());
   for (auto& shard : shards_) {
+    if (shard->worker_failed()) {
+      result.errors.push_back("shard " + std::to_string(shard->index()) +
+                              ": " + shard->last_error());
+    }
     result.shards.push_back(shard->take_result());
   }
   for (const RunResult& r : result.shards) {

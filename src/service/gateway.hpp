@@ -3,17 +3,27 @@
 // queues with explicit backpressure. The paper's model (immediate
 // commitment on m identical machines with slack eps) maps onto each shard
 // unchanged; the gateway adds the serving-side concerns — concurrent
-// ingest, batching, load shedding, and live metrics — without touching
-// the algorithms.
+// ingest, batching, load shedding, durability, failover, and live metrics
+// — without touching the algorithms.
 //
 // Overload semantics: submissions are never silently dropped and never
 // block. When a shard's queue is full the submit call returns
 // SubmitStatus::kRejectedQueueFull (and the shed job is counted in the
 // MetricsRegistry), so callers choose between retrying, rerouting, or
 // propagating the rejection upstream.
+//
+// Failure semantics: with a wal_dir configured each shard appends every
+// accepted commitment to its own durable log before applying it, and the
+// supervisor restarts crashed shard workers in place from that log. While
+// a shard is unavailable, *new* jobs spill to the next healthy shard in
+// cyclic order (existing commitments never migrate — they belong to the
+// down shard's machine group and are replayed there on restart); when no
+// shard is available the gateway sheds with kRejectedRetryAfter and the
+// suggested back-off from retry_after().
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -23,9 +33,12 @@
 
 #include "sched/engine.hpp"
 #include "sched/online.hpp"
+#include "service/commit_log.hpp"
+#include "service/fault_injection.hpp"
 #include "service/metrics_registry.hpp"
 #include "service/router.hpp"
 #include "service/shard.hpp"
+#include "service/supervisor.hpp"
 
 namespace slacksched {
 
@@ -34,12 +47,14 @@ enum class SubmitStatus {
   kEnqueued,           ///< handed to a shard queue; a decision will follow
   kRejectedQueueFull,  ///< backpressure: the routed shard's queue is full
   kRejectedClosed,     ///< the gateway has been finished/shut down
+  kRejectedRetryAfter, ///< every shard unavailable; retry after retry_after()
 };
 
 [[nodiscard]] std::string to_string(SubmitStatus status);
 
 /// Builds the scheduler owning shard `shard`'s machine group. Called once
-/// per shard at gateway construction.
+/// per shard at gateway construction, and again on every supervised
+/// restart of that shard.
 using ShardSchedulerFactory =
     std::function<std::unique_ptr<OnlineScheduler>(int shard)>;
 
@@ -51,6 +66,24 @@ struct GatewayConfig {
   RoutingPolicy routing = RoutingPolicy::kRoundRobin;
   bool halt_shard_on_violation = true;
   bool record_decisions = true;
+
+  // --- fault tolerance (see docs/service.md, "Failure model") ---
+  /// Directory for the per-shard commit logs ("<wal_dir>/shard-<s>.wal").
+  /// Empty disables durability and restart — the original in-memory-only
+  /// gateway.
+  std::string wal_dir;
+  FsyncPolicy wal_fsync = FsyncPolicy::kBatch;
+  /// Supervision policy (health FSM, restart backoff, circuit breaker).
+  SupervisorConfig supervisor;
+  /// Spill new jobs from unavailable shards to healthy ones. When false an
+  /// unavailable shard's jobs are offered to it anyway (and fail with
+  /// kRejectedClosed once its queue is closed).
+  bool enable_failover = true;
+  /// Worker idle wake-up period (heartbeat cadence when the queue is
+  /// empty); must stay well below supervisor.stall_threshold.
+  std::chrono::milliseconds pop_timeout{50};
+  /// Optional deterministic fault injector (tests/benches only).
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// Per-batch ingest outcome (counts; pass `statuses` for per-job detail).
@@ -58,15 +91,21 @@ struct BatchSubmitResult {
   std::size_t enqueued = 0;
   std::size_t rejected_queue_full = 0;
   std::size_t rejected_closed = 0;
+  std::size_t rejected_retry_after = 0;
 };
 
 /// Everything a finished gateway run produced: one RunResult per shard
 /// (decision logs + committed schedules), the merged RunMetrics, and the
-/// final metrics snapshot.
+/// final metrics snapshot. For a shard whose worker crashed, the RunResult
+/// is reconstructed from its commit log (the durable truth) and the fatal
+/// error is reported in `errors`.
 struct GatewayResult {
   std::vector<RunResult> shards;
   RunMetrics merged;
   MetricsSnapshot metrics;
+  /// Fatal per-shard worker errors ("shard 2: injected fault: ...");
+  /// empty when every worker exited cleanly.
+  std::vector<std::string> errors;
 
   /// True iff no shard attempted an illegal commitment.
   [[nodiscard]] bool clean() const;
@@ -89,7 +128,10 @@ class AdmissionGateway {
   AdmissionGateway(const AdmissionGateway&) = delete;
   AdmissionGateway& operator=(const AdmissionGateway&) = delete;
 
-  /// Routes and enqueues one job. Non-blocking; see SubmitStatus.
+  /// Routes and enqueues one job. Non-blocking; see SubmitStatus. An
+  /// unavailable home shard spills to the next healthy shard (cyclic
+  /// probe) when failover is enabled; with none available the job is shed
+  /// with kRejectedRetryAfter.
   [[nodiscard]] SubmitStatus submit(const Job& job);
 
   /// Batched ingest: routes every job, then pushes each shard's group
@@ -104,6 +146,19 @@ class AdmissionGateway {
     return metrics_.snapshot();
   }
 
+  /// Live health of one shard (lock-free).
+  [[nodiscard]] ShardHealth shard_health(int shard) const {
+    return supervisor_->health(shard);
+  }
+
+  /// Suggested client back-off accompanying kRejectedRetryAfter.
+  [[nodiscard]] std::chrono::milliseconds retry_after() const {
+    return supervisor_->retry_after();
+  }
+
+  /// The supervision facade (force_down/force_recover, restart counters).
+  [[nodiscard]] ShardSupervisor& supervisor() { return *supervisor_; }
+
   /// Closes every shard queue, joins the consumers, and collects results.
   /// After finish() all submissions return kRejectedClosed.
   GatewayResult finish();
@@ -112,10 +167,17 @@ class AdmissionGateway {
   [[nodiscard]] int shards() const { return config_.shards; }
 
  private:
+  /// Resolves the shard a job actually goes to: the home shard when
+  /// available, else the failover target. -1 means shed with retry_after.
+  [[nodiscard]] int resolve_target(int home);
+
   GatewayConfig config_;
   MetricsRegistry metrics_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Declared after shards_ (destroyed first): the supervisor holds a
+  /// reference to the shard vector and its monitor must die before them.
+  std::unique_ptr<ShardSupervisor> supervisor_;
   std::atomic<bool> finished_{false};
 };
 

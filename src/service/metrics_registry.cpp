@@ -34,7 +34,12 @@ std::string MetricsSnapshot::to_string() const {
      << " accepted=" << total.accepted << " rejected=" << total.rejected
      << " backpressure=" << total.backpressure_rejected
      << " volume=" << total.accepted_volume
-     << " queue_depth=" << total.queue_depth;
+     << " queue_depth=" << total.queue_depth
+     << " recoveries=" << total.recoveries
+     << " replayed=" << total.wal_records_replayed
+     << " truncations=" << total.wal_truncations
+     << " failovers=" << total.failovers
+     << " degraded_rejected=" << total.degraded_rejected;
   return os.str();
 }
 
@@ -94,6 +99,29 @@ void MetricsRegistry::on_decision(int shard, double job_volume, bool accepted,
       1, std::memory_order_relaxed);
 }
 
+void MetricsRegistry::on_recovery(int shard, std::size_t records_replayed,
+                                  bool truncated) {
+  Slot& slot = slots_[static_cast<std::size_t>(shard)];
+  slot.recoveries.fetch_add(1, std::memory_order_relaxed);
+  slot.wal_records_replayed.fetch_add(records_replayed,
+                                      std::memory_order_relaxed);
+  if (truncated) {
+    slot.wal_truncations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void MetricsRegistry::on_failover(int home_shard, std::size_t count) {
+  if (count == 0) return;
+  slots_[static_cast<std::size_t>(home_shard)].failovers.fetch_add(
+      count, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::on_degraded_reject(int home_shard, std::size_t count) {
+  if (count == 0) return;
+  slots_[static_cast<std::size_t>(home_shard)].degraded_rejected.fetch_add(
+      count, std::memory_order_relaxed);
+}
+
 std::size_t MetricsRegistry::latency_bin(double seconds) const {
   const auto it = std::upper_bound(latency_edges_.begin(),
                                    latency_edges_.end(), seconds);
@@ -122,6 +150,13 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     row.peak_queue_depth =
         slot.peak_queue_depth.load(std::memory_order_relaxed);
     row.batches = slot.batches.load(std::memory_order_relaxed);
+    row.recoveries = slot.recoveries.load(std::memory_order_relaxed);
+    row.wal_records_replayed =
+        slot.wal_records_replayed.load(std::memory_order_relaxed);
+    row.wal_truncations = slot.wal_truncations.load(std::memory_order_relaxed);
+    row.failovers = slot.failovers.load(std::memory_order_relaxed);
+    row.degraded_rejected =
+        slot.degraded_rejected.load(std::memory_order_relaxed);
 
     snap.total.enqueued += row.enqueued;
     snap.total.submitted += row.submitted;
@@ -133,6 +168,11 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     snap.total.queue_depth += row.queue_depth;
     snap.total.peak_queue_depth += row.peak_queue_depth;
     snap.total.batches += row.batches;
+    snap.total.recoveries += row.recoveries;
+    snap.total.wal_records_replayed += row.wal_records_replayed;
+    snap.total.wal_truncations += row.wal_truncations;
+    snap.total.failovers += row.failovers;
+    snap.total.degraded_rejected += row.degraded_rejected;
 
     for (std::size_t bin = 0; bin < kAdmitLatencyBins; ++bin) {
       bins[bin] += slot.latency[bin].load(std::memory_order_relaxed);

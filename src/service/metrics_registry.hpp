@@ -44,6 +44,13 @@ struct ShardMetricsSnapshot {
   std::size_t peak_queue_depth = 0;
   std::size_t batches = 0;           ///< consumer wake-ups that found work
 
+  // --- fault-tolerance counters (service/supervisor.hpp) ---
+  std::size_t recoveries = 0;            ///< WAL replays / restarts completed
+  std::size_t wal_records_replayed = 0;  ///< records re-applied by recovery
+  std::size_t wal_truncations = 0;       ///< torn tails truncated
+  std::size_t failovers = 0;         ///< jobs rerouted away from this shard
+  std::size_t degraded_rejected = 0; ///< rejected: no healthy shard available
+
   [[nodiscard]] double acceptance_rate() const {
     return submitted == 0
                ? 0.0
@@ -78,6 +85,14 @@ class MetricsRegistry {
   void on_decision(int shard, double job_volume, bool accepted,
                    double latency_seconds);
 
+  // --- writer side (recovery / supervisor / failover router) ---
+  /// Records one completed WAL replay for the shard.
+  void on_recovery(int shard, std::size_t records_replayed, bool truncated);
+  /// Records one job routed away from its (unavailable) home shard.
+  void on_failover(int home_shard, std::size_t count = 1);
+  /// Records jobs rejected with retry_after because no shard was available.
+  void on_degraded_reject(int home_shard, std::size_t count = 1);
+
   [[nodiscard]] int shards() const { return shard_count_; }
 
   /// Point-in-time copy of every counter. Reads are relaxed atomics: the
@@ -94,6 +109,11 @@ class MetricsRegistry {
     std::atomic<std::uint64_t> rejected{0};
     std::atomic<std::uint64_t> backpressure_rejected{0};
     std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> recoveries{0};
+    std::atomic<std::uint64_t> wal_records_replayed{0};
+    std::atomic<std::uint64_t> wal_truncations{0};
+    std::atomic<std::uint64_t> failovers{0};
+    std::atomic<std::uint64_t> degraded_rejected{0};
     std::atomic<std::int64_t> queue_depth{0};
     std::atomic<std::uint64_t> peak_queue_depth{0};
     // Single-writer (the shard consumer): plain load+store suffices.

@@ -42,6 +42,20 @@ class ShardRouter {
   /// can predict placements.
   [[nodiscard]] static std::uint64_t mix_id(JobId id);
 
+  /// Failover probe: the first shard in the deterministic cyclic order
+  /// home, home+1, ..., home-1 for which `available(shard)` holds, or -1
+  /// when none does. Deterministic given the availability view, so a fixed
+  /// set of down shards yields a stable spill pattern. Templated on the
+  /// predicate to keep the per-job hot path free of std::function.
+  template <typename Available>
+  [[nodiscard]] int failover_target(int home, Available&& available) const {
+    for (int step = 0; step < shards_; ++step) {
+      const int candidate = (home + step) % shards_;
+      if (available(candidate)) return candidate;
+    }
+    return -1;
+  }
+
  private:
   RoutingPolicy policy_;
   int shards_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/expects.hpp"
+#include "service/recovery.hpp"
 
 namespace slacksched {
 
@@ -15,25 +16,20 @@ RunOptions to_run_options(const ShardConfig& config) {
   return options;
 }
 
-OnlineScheduler& require_scheduler(
-    const std::unique_ptr<OnlineScheduler>& scheduler) {
-  SLACKSCHED_EXPECTS(scheduler != nullptr);
-  return *scheduler;
-}
-
 }  // namespace
 
-Shard::Shard(int index, std::unique_ptr<OnlineScheduler> scheduler,
-             const ShardConfig& config, MetricsRegistry& metrics)
+Shard::Shard(int index, SchedulerFactory factory, const ShardConfig& config,
+             MetricsRegistry& metrics)
     : index_(index),
       config_(config),
-      scheduler_(std::move(scheduler)),
+      factory_(std::move(factory)),
       metrics_(metrics),
       queue_(config.queue_capacity),
-      runner_(require_scheduler(scheduler_), to_run_options(config)),
-      result_{Schedule(scheduler_->machines()), RunMetrics{}, {}, {}} {
+      result_{Schedule(1), RunMetrics{}, {}, {}} {
   SLACKSCHED_EXPECTS(index >= 0);
   SLACKSCHED_EXPECTS(config.batch_size >= 1);
+  SLACKSCHED_EXPECTS(config.pop_timeout.count() >= 1);
+  SLACKSCHED_EXPECTS(factory_ != nullptr);
 }
 
 Shard::~Shard() {
@@ -44,32 +40,88 @@ Shard::~Shard() {
 }
 
 void Shard::start() {
-  SLACKSCHED_EXPECTS(!worker_.joinable() && !joined_);
+  SLACKSCHED_EXPECTS(!started_);
+  started_ = true;
+  spawn(/*is_restart=*/false);
+}
+
+void Shard::spawn(bool is_restart) {
+  // Replacing the previous CommitLog instance closes its descriptor
+  // without flushing: whatever the crashed worker had buffered but not
+  // written is lost, exactly as it would be in a process crash.
+  wal_.reset();
+  runner_.reset();
+  scheduler_ = factory_();
+  SLACKSCHED_EXPECTS(scheduler_ != nullptr);
+  const RunOptions options = to_run_options(config_);
+
+  if (config_.wal_path.empty()) {
+    runner_.emplace(*scheduler_, options);
+  } else {
+    scheduler_->reset();
+    RecoveryResult recovered = recover_commit_log(
+        config_.wal_path, scheduler_->machines(), scheduler_.get());
+    if (!recovered.ok) {
+      throw CommitLogError("shard " + std::to_string(index_) +
+                           " recovery failed: " + recovered.error);
+    }
+    if (is_restart || recovered.records_replayed > 0 ||
+        recovered.tail_truncated) {
+      metrics_.on_recovery(index_, recovered.records_replayed,
+                           recovered.tail_truncated);
+    }
+    CommitLogConfig log_config;
+    log_config.fsync = config_.wal_fsync;
+    wal_ = CommitLog::open(config_.wal_path, scheduler_->machines(),
+                           log_config, config_.faults, index_);
+    RunResult state{std::move(recovered.schedule), recovered.metrics, {}, {}};
+    runner_.emplace(
+        StreamingRunner::resumed(*scheduler_, options, std::move(state)));
+    runner_->set_commit_hook([this](const Job& job, const Decision& decision) {
+      wal_->append(job, decision.machine, decision.start);
+      // The commit crash site sits between the WAL append and the
+      // in-memory commit: recovery must replay the logged-but-unapplied
+      // record.
+      SLACKSCHED_FAULT_CRASH_POINT(config_.faults, FaultSite::kCommit,
+                                   index_);
+    });
+  }
+
+  worker_failed_.store(false, std::memory_order_release);
+  worker_exited_.store(false, std::memory_order_release);
   worker_ = std::thread([this] { worker_loop(); });
 }
 
-bool Shard::try_enqueue(const Job& job, Clock::time_point now) {
+EnqueueStatus Shard::try_enqueue(const Job& job, Clock::time_point now) {
+  if (SLACKSCHED_FAULT_FIRES(config_.faults, FaultSite::kEnqueue, index_)) {
+    metrics_.on_backpressure(index_);
+    return EnqueueStatus::kFull;  // simulated ingest drop
+  }
   if (queue_.try_push(Task{job, now})) {
     metrics_.on_enqueued(index_);
-    return true;
+    return EnqueueStatus::kEnqueued;
   }
+  if (queue_.closed()) return EnqueueStatus::kClosed;
   metrics_.on_backpressure(index_);
-  return false;
+  return EnqueueStatus::kFull;
 }
 
-std::size_t Shard::try_enqueue_batch(const Job* jobs,
-                                     const std::uint32_t* indices,
-                                     std::size_t count,
-                                     Clock::time_point now) {
+Shard::BatchEnqueueResult Shard::try_enqueue_batch(
+    const Job* jobs, const std::uint32_t* indices, std::size_t count,
+    Clock::time_point now) {
   std::vector<Task> tasks;
   tasks.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     tasks.push_back(Task{jobs[indices[i]], now});
   }
-  const std::size_t taken = queue_.try_push_batch(tasks.data(), tasks.size());
-  metrics_.on_enqueued(index_, taken);
-  metrics_.on_backpressure(index_, count - taken);
-  return taken;
+  BatchEnqueueResult result;
+  result.taken =
+      queue_.try_push_batch(tasks.data(), tasks.size(), &result.closed);
+  metrics_.on_enqueued(index_, result.taken);
+  if (!result.closed) {
+    metrics_.on_backpressure(index_, count - result.taken);
+  }
+  return result;
 }
 
 void Shard::close() { queue_.close(); }
@@ -80,6 +132,30 @@ void Shard::join() {
   joined_ = true;
 }
 
+bool Shard::restart() {
+  SLACKSCHED_EXPECTS(started_);
+  if (config_.wal_path.empty()) {
+    set_error("restart requires a commit log (ShardConfig::wal_path)");
+    return false;
+  }
+  if (!worker_exited()) {
+    set_error("restart refused: worker thread is still running");
+    return false;
+  }
+  if (worker_.joinable()) worker_.join();
+  joined_ = false;
+  queue_.reopen();  // buffered jobs survive and feed the new worker
+  try {
+    spawn(/*is_restart=*/true);
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    worker_failed_.store(true, std::memory_order_release);
+    worker_exited_.store(true, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
 const RunResult& Shard::result() const {
   SLACKSCHED_EXPECTS(joined_);
   return result_;
@@ -87,26 +163,72 @@ const RunResult& Shard::result() const {
 
 RunResult Shard::take_result() {
   SLACKSCHED_EXPECTS(joined_);
+  if (worker_failed() && !config_.wal_path.empty()) {
+    // The in-memory result died with the worker; the commit log is the
+    // durable truth. Read-only replay: finish() may still be mid-shutdown
+    // elsewhere, and the next restart will truncate the tail itself.
+    RecoveryResult recovered =
+        recover_commit_log(config_.wal_path, scheduler_->machines(),
+                           /*scheduler=*/nullptr, /*truncate_file=*/false);
+    RunResult from_log{std::move(recovered.schedule), recovered.metrics,
+                       {}, {}};
+    if (!recovered.ok) from_log.commitment_violation = recovered.error;
+    return from_log;
+  }
   return std::move(result_);
+}
+
+std::string Shard::last_error() const {
+  std::lock_guard lock(error_mutex_);
+  return last_error_;
+}
+
+void Shard::set_error(std::string message) {
+  std::lock_guard lock(error_mutex_);
+  last_error_ = std::move(message);
 }
 
 void Shard::worker_loop() {
   // One binding decision per job in FIFO (= submission) order, through the
-  // engine's StreamingRunner (the scheduler was reset at construction).
-  std::vector<Task> batch;
-  batch.reserve(config_.batch_size);
-  while (true) {
-    batch.clear();
-    const std::size_t popped = queue_.pop_batch(batch, config_.batch_size);
-    if (popped == 0) break;  // closed and drained
-    metrics_.on_batch(index_, popped);
-    for (const Task& task : batch) process(task);
+  // engine's StreamingRunner. Any exception — injected fault, WAL I/O
+  // error, scheduler bug — marks the shard failed; the supervisor decides
+  // whether to restart it.
+  try {
+    std::vector<Task> batch;
+    batch.reserve(config_.batch_size);
+    while (true) {
+      heartbeat_.fetch_add(1, std::memory_order_relaxed);
+      batch.clear();
+      const PopOutcome popped =
+          queue_.pop_batch_for(batch, config_.batch_size, config_.pop_timeout);
+      if (popped.count == 0) {
+        if (popped.closed) break;  // closed and drained
+        continue;                  // idle wake: heartbeat already advanced
+      }
+      metrics_.on_batch(index_, popped.count);
+      // Crash after the pop, before any decision: the popped jobs are lost
+      // undecided (never accepted, so nothing durable is owed for them).
+      SLACKSCHED_FAULT_CRASH_POINT(config_.faults, FaultSite::kDequeue,
+                                   index_);
+      for (const Task& task : batch) {
+        process(task);
+        heartbeat_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (wal_) wal_->sync_batch();
+      SLACKSCHED_FAULT_CRASH_POINT(config_.faults, FaultSite::kWorkerPanic,
+                                   index_);
+    }
+    result_ = runner_->finish();
+    if (wal_) wal_->close();
+  } catch (const std::exception& e) {
+    set_error(e.what());
+    worker_failed_.store(true, std::memory_order_release);
   }
-  result_ = runner_.finish();
+  worker_exited_.store(true, std::memory_order_release);
 }
 
 void Shard::process(const Task& task) {
-  const FeedOutcome outcome = runner_.feed(task.job);
+  const FeedOutcome outcome = runner_->feed(task.job);
   // Poisoned shard (drained without deciding) or an illegal commitment:
   // neither counts as a served decision in the live metrics.
   if (!outcome.decided || !outcome.legal) return;

@@ -6,20 +6,39 @@
 // gateway is byte-identical to the sequential engine. With decision
 // recording disabled the consumer loop accumulates metrics reserve-free
 // and allocation-free outside the committed schedule.
+//
+// Crash safety (optional, enabled by ShardConfig::wal_path): every
+// accepted commitment is appended to a per-shard commit log *before* it is
+// applied in memory, the worker publishes a heartbeat the supervisor
+// (service/supervisor.hpp) watches, and a crashed worker can be restarted
+// in place — the replacement replays the log, rebuilds the committed
+// schedule and the scheduler's frontiers, and resumes consuming the same
+// queue. Commitments never migrate between shards: a restart resumes the
+// same machine group from its own durable log.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "sched/engine.hpp"
 #include "sched/online.hpp"
 #include "service/bounded_queue.hpp"
+#include "service/commit_log.hpp"
+#include "service/fault_injection.hpp"
 #include "service/metrics_registry.hpp"
 
 namespace slacksched {
+
+/// Builds (or rebuilds, on restart) the shard's scheduler instance.
+using SchedulerFactory = std::function<std::unique_ptr<OnlineScheduler>()>;
 
 /// Per-shard knobs (the gateway fills these from its own config).
 struct ShardConfig {
@@ -32,6 +51,22 @@ struct ShardConfig {
   /// Record per-job DecisionRecords (disable for multi-million-job benches
   /// where only metrics and the committed schedule matter).
   bool record_decisions = true;
+  /// Longest the worker sleeps on an empty queue before waking to publish
+  /// a heartbeat; must stay well below the supervisor's stall threshold.
+  std::chrono::milliseconds pop_timeout{50};
+  /// Path of this shard's durable commit log; empty disables the WAL (and
+  /// with it restartability — the original in-memory-only behavior).
+  std::string wal_path;
+  FsyncPolicy wal_fsync = FsyncPolicy::kBatch;
+  /// Optional deterministic fault injector shared across the gateway.
+  FaultInjector* faults = nullptr;
+};
+
+/// Outcome of a single-job enqueue attempt.
+enum class EnqueueStatus : std::uint8_t {
+  kEnqueued,
+  kFull,    ///< backpressure: the bounded queue is at capacity
+  kClosed,  ///< the shard's queue is closed (shut down or force-drained)
 };
 
 /// An independent scheduler + queue + consumer thread.
@@ -39,8 +74,16 @@ class Shard {
  public:
   using Clock = std::chrono::steady_clock;
 
-  Shard(int index, std::unique_ptr<OnlineScheduler> scheduler,
-        const ShardConfig& config, MetricsRegistry& metrics);
+  /// Outcome of a batched enqueue: how many of the offered jobs were
+  /// taken, and whether the refusal of the tail (if any) was because the
+  /// queue is closed rather than full.
+  struct BatchEnqueueResult {
+    std::size_t taken = 0;
+    bool closed = false;
+  };
+
+  Shard(int index, SchedulerFactory factory, const ShardConfig& config,
+        MetricsRegistry& metrics);
 
   /// Closes and joins if the owner forgot to.
   ~Shard();
@@ -48,38 +91,72 @@ class Shard {
   Shard(const Shard&) = delete;
   Shard& operator=(const Shard&) = delete;
 
-  /// Spawns the consumer thread. Must be called exactly once.
+  /// Spawns the consumer thread (running recovery first when a WAL is
+  /// configured and a log already exists). Must be called exactly once.
   void start();
 
-  /// Non-blocking enqueue of one job; false means the bounded queue is
-  /// full (backpressure) or the shard is closed. Metrics are updated
-  /// either way.
-  [[nodiscard]] bool try_enqueue(const Job& job, Clock::time_point now);
+  /// Non-blocking enqueue of one job. Metrics are updated on enqueue and
+  /// backpressure; a kClosed refusal is not backpressure (the shard is
+  /// gone, not busy).
+  [[nodiscard]] EnqueueStatus try_enqueue(const Job& job,
+                                          Clock::time_point now);
 
-  /// Enqueues jobs[indices[0..count)] in order under one queue lock.
-  /// Returns how many fit; the tail [taken, count) was shed and is counted
-  /// as backpressure in the metrics.
-  [[nodiscard]] std::size_t try_enqueue_batch(const Job* jobs,
-                                              const std::uint32_t* indices,
-                                              std::size_t count,
-                                              Clock::time_point now);
+  /// Enqueues jobs[indices[0..count)] in order under one queue lock. The
+  /// accepted prefix is counted as enqueued; a shed tail is counted as
+  /// backpressure only when the queue was full, not when it was closed.
+  [[nodiscard]] BatchEnqueueResult try_enqueue_batch(const Job* jobs,
+                                                     const std::uint32_t* indices,
+                                                     std::size_t count,
+                                                     Clock::time_point now);
 
   /// Closes the queue: producers start failing, the consumer drains the
   /// backlog and exits.
   void close();
 
-  /// Joins the consumer thread (close() first, or this blocks forever).
+  /// Joins the consumer thread. Safe without close() only when the worker
+  /// has already exited (crashed or drained).
   void join();
 
-  /// The shard's run outcome; only valid after join().
+  /// Restarts a dead worker in place: joins the old thread if needed,
+  /// reopens the queue, rebuilds the scheduler, replays the commit log and
+  /// spawns a fresh consumer that resumes from the recovered state.
+  /// Returns false (with the reason in last_error()) when recovery fails;
+  /// the shard then stays down. Requires a configured WAL — without one a
+  /// crashed shard's commitments are unrecoverable and restart refuses.
+  [[nodiscard]] bool restart();
+
+  /// The shard's run outcome; only valid after join(). When the worker
+  /// crashed, take_result() reconstructs the durable truth by replaying
+  /// the commit log (the in-memory result died with the worker).
   [[nodiscard]] const RunResult& result() const;
   [[nodiscard]] RunResult take_result();
 
   [[nodiscard]] int index() const { return index_; }
   [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
+  [[nodiscard]] bool queue_closed() const { return queue_.closed(); }
   [[nodiscard]] const OnlineScheduler& scheduler() const {
     return *scheduler_;
   }
+
+  // --- supervision surface (service/supervisor.hpp) ---
+  /// Monotone progress counter the worker bumps on every wake-up and every
+  /// processed job; a supervisor that sees it unchanged past the stall
+  /// threshold declares the shard degraded.
+  [[nodiscard]] std::uint64_t heartbeat() const {
+    return heartbeat_.load(std::memory_order_relaxed);
+  }
+  /// True once the worker died on an exception (injected fault, I/O error,
+  /// scheduler bug). The queue stays open; jobs keep buffering until the
+  /// supervisor restarts the shard or routes around it.
+  [[nodiscard]] bool worker_failed() const {
+    return worker_failed_.load(std::memory_order_acquire);
+  }
+  /// True once the worker thread has returned (cleanly or not).
+  [[nodiscard]] bool worker_exited() const {
+    return worker_exited_.load(std::memory_order_acquire);
+  }
+  /// Description of the worker's fatal error (empty when none).
+  [[nodiscard]] std::string last_error() const;
 
  private:
   struct Task {
@@ -87,18 +164,31 @@ class Shard {
     Clock::time_point enqueued_at;
   };
 
+  /// Builds scheduler + runner (+ WAL recovery when configured) and spawns
+  /// the worker thread. Throws when recovery fails.
+  void spawn(bool is_restart);
   void worker_loop();
   void process(const Task& task);
+  void set_error(std::string message);
 
   int index_;
   ShardConfig config_;
-  std::unique_ptr<OnlineScheduler> scheduler_;
+  SchedulerFactory factory_;
   MetricsRegistry& metrics_;
   BoundedMpscQueue<Task> queue_;
-  StreamingRunner runner_;
+  std::unique_ptr<OnlineScheduler> scheduler_;
+  std::unique_ptr<CommitLog> wal_;
+  std::optional<StreamingRunner> runner_;
   RunResult result_;  ///< taken from runner_ when the consumer exits
+  bool started_ = false;
   bool joined_ = false;
   std::thread worker_;
+
+  std::atomic<std::uint64_t> heartbeat_{0};
+  std::atomic<bool> worker_failed_{false};
+  std::atomic<bool> worker_exited_{false};
+  mutable std::mutex error_mutex_;
+  std::string last_error_;
 };
 
 }  // namespace slacksched

@@ -1,0 +1,171 @@
+// Shard supervision: a health state machine per shard, driven by the
+// worker heartbeat and exit flags Shard publishes, with in-place restart
+// of crashed workers (exponential backoff, deterministic jitter, circuit
+// breaker) and the availability view the gateway's failover routing reads
+// on its hot path.
+//
+// Health FSM per shard:
+//
+//                    heartbeat stalls          stall persists
+//        Healthy ───────────────────► Degraded ─────────────► Down
+//           ▲  ▲      (>= stall_threshold)     (>= down_threshold)
+//           │  └──────────── heartbeat resumes ──┘              │
+//           │                                                   │ worker
+//           │            restart succeeds                       │ crashed
+//           └──────────── Recovering ◄───── backoff elapsed ────┘
+//                              │
+//                              └── restart fails / attempts exhausted
+//                                  ──► Down (circuit broken: no further
+//                                       automatic restarts)
+//
+// Only a *dead* worker is restarted (the thread has exited and can be
+// joined). A live-but-wedged worker cannot be safely torn down, so a
+// stalled shard is merely excluded from routing (Degraded/Down) until its
+// heartbeat resumes. Commitments never migrate: a restart replays the
+// shard's own commit log onto the same machine group.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/shard.hpp"
+
+namespace slacksched {
+
+/// Health of one shard as the supervisor sees it.
+enum class ShardHealth : std::uint8_t {
+  kHealthy,     ///< worker alive and making progress
+  kDegraded,    ///< heartbeat stalled past the stall threshold
+  kDown,        ///< worker dead (or stalled past the down threshold)
+  kRecovering,  ///< restart in progress (replaying the commit log)
+};
+
+[[nodiscard]] std::string to_string(ShardHealth health);
+
+/// Supervision policy.
+struct SupervisorConfig {
+  /// When false no monitor thread runs; health stays kHealthy unless
+  /// forced (force_down) — supervision becomes a manual-only facility.
+  bool enabled = true;
+  std::chrono::milliseconds poll_interval{10};
+  /// Unchanged heartbeat for this long marks the shard Degraded.
+  std::chrono::milliseconds stall_threshold{500};
+  /// ... and for this long marks it Down (still not restartable while the
+  /// wedged thread lives; it rejoins routing if the heartbeat resumes).
+  std::chrono::milliseconds down_threshold{2000};
+  /// Automatic restart attempts per shard before the circuit breaks.
+  int max_restarts = 5;
+  std::chrono::milliseconds backoff_initial{10};
+  double backoff_factor = 2.0;
+  std::chrono::milliseconds backoff_max{1000};
+  /// Seed for the deterministic restart jitter (SplitMix64 over
+  /// (seed, shard, attempt)); jitter scales each delay by [0.5, 1.0].
+  std::uint64_t jitter_seed = 0x5eed5eed5eed5eedULL;
+  /// Suggested client back-off returned with a retry_after rejection when
+  /// no shard is available.
+  std::chrono::milliseconds retry_after{50};
+};
+
+/// Watches a gateway's shards. Health reads are lock-free atomics, safe
+/// on the per-job submit path; all supervision state transitions happen
+/// on the monitor thread or under the control mutex (force_* calls).
+class ShardSupervisor {
+ public:
+  ShardSupervisor(std::vector<std::unique_ptr<Shard>>& shards,
+                  const SupervisorConfig& config);
+  ~ShardSupervisor();
+
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  /// Spawns the monitor thread (no-op when config.enabled is false).
+  void start();
+
+  /// Stops and joins the monitor thread. Idempotent; called by the
+  /// destructor and by the gateway before it closes the shards.
+  void stop();
+
+  [[nodiscard]] ShardHealth health(int shard) const {
+    return states_[static_cast<std::size_t>(shard)]->health.load(
+        std::memory_order_acquire);
+  }
+
+  /// A shard receives new work iff it is Healthy.
+  [[nodiscard]] bool available(int shard) const {
+    return health(shard) == ShardHealth::kHealthy;
+  }
+
+  [[nodiscard]] bool any_available() const;
+
+  /// Completed automatic + forced restarts of the shard.
+  [[nodiscard]] int restarts(int shard) const {
+    return states_[static_cast<std::size_t>(shard)]->restarts.load(
+        std::memory_order_relaxed);
+  }
+
+  /// True once the shard exhausted max_restarts; only force_recover()
+  /// re-arms it.
+  [[nodiscard]] bool circuit_broken(int shard) const {
+    return states_[static_cast<std::size_t>(shard)]->circuit_broken.load(
+        std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::chrono::milliseconds retry_after() const {
+    return config_.retry_after;
+  }
+
+  /// Administrative drain: marks the shard Down and closes its queue (the
+  /// worker finishes the backlog and exits cleanly). Works with the
+  /// monitor disabled.
+  void force_down(int shard);
+
+  /// Clears a forced-down or circuit-broken state and restarts the shard
+  /// immediately (when its worker has exited). Returns false with the
+  /// shard left Down when the restart fails.
+  [[nodiscard]] bool force_recover(int shard);
+
+  [[nodiscard]] const SupervisorConfig& config() const { return config_; }
+
+ private:
+  struct State {
+    std::atomic<ShardHealth> health{ShardHealth::kHealthy};
+    std::atomic<int> restarts{0};
+    std::atomic<bool> circuit_broken{false};
+    std::atomic<bool> forced_down{false};
+    // Monitor-side bookkeeping, guarded by control_mutex_.
+    std::uint64_t last_beat = 0;
+    std::chrono::steady_clock::time_point last_progress{};
+    std::chrono::steady_clock::time_point next_restart{};
+    bool restart_pending = false;
+    int attempts = 0;
+  };
+
+  void monitor_loop();
+  void tick(std::chrono::steady_clock::time_point now);
+  /// Backoff delay before restart attempt `attempt` (1-based) of `shard`,
+  /// exponentially grown, capped, and jittered deterministically.
+  [[nodiscard]] std::chrono::milliseconds restart_delay(int shard,
+                                                        int attempt) const;
+  /// Runs Shard::restart under the control mutex and updates counters.
+  /// Caller holds control_mutex_.
+  bool restart_locked(int shard, State& state);
+
+  std::vector<std::unique_ptr<Shard>>& shards_;
+  SupervisorConfig config_;
+  std::vector<std::unique_ptr<State>> states_;
+
+  std::mutex control_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread monitor_;
+};
+
+}  // namespace slacksched

@@ -1,0 +1,460 @@
+// Commit-log (WAL) format, durability policies, and crash recovery.
+//
+// The torn-tail tests forge log files byte-by-byte through the same
+// encode_wal_record/wal_crc32 primitives the writer uses, so every framing
+// rule (length plausibility, CRC, short payload) is pinned independently
+// of the writer's behavior.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "baselines/greedy.hpp"
+#include "core/threshold.hpp"
+#include "sched/validator.hpp"
+#include "service/commit_log.hpp"
+#include "service/recovery.hpp"
+
+namespace slacksched {
+namespace {
+
+Job make_job(JobId id, double release, double proc, double deadline) {
+  Job job;
+  job.id = id;
+  job.release = release;
+  job.proc = proc;
+  job.deadline = deadline;
+  return job;
+}
+
+/// Fresh per-test WAL path under the gtest temp dir; removes leftovers.
+std::string wal_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "slacksched_" + name +
+                           ".wal";
+  std::remove(path.c_str());
+  return path;
+}
+
+/// Appends raw bytes to an existing file (simulating a torn write).
+void append_bytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::size_t file_size(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in ? static_cast<std::size_t>(in.tellg()) : 0;
+}
+
+TEST(WalCrc32, MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32 check: crc32("123456789") == 0xCBF43926.
+  const char data[] = "123456789";
+  EXPECT_EQ(wal_crc32(data, 9), 0xCBF43926u);
+  EXPECT_EQ(wal_crc32(data, 0), 0u);
+}
+
+TEST(WalCrc32, SensitiveToEveryByte) {
+  std::vector<char> payload(kWalPayloadBytes, 'x');
+  const std::uint32_t base = wal_crc32(payload.data(), payload.size());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] ^= 0x01;
+    EXPECT_NE(wal_crc32(payload.data(), payload.size()), base)
+        << "flip at byte " << i << " not detected";
+    payload[i] ^= 0x01;
+  }
+}
+
+TEST(WalRecord, EncodesTheDocumentedFixedWidthLayout) {
+  std::vector<char> out;
+  encode_wal_record(make_job(42, 1.0, 2.0, 8.0), 3, 1.5, out);
+  ASSERT_EQ(out.size(), kWalRecordBytes);
+
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+  std::memcpy(&len, out.data(), 4);
+  std::memcpy(&crc, out.data() + 4, 4);
+  EXPECT_EQ(len, kWalPayloadBytes);
+  EXPECT_EQ(crc, wal_crc32(out.data() + kWalFrameBytes, kWalPayloadBytes));
+
+  std::int64_t id = 0;
+  double release = 0.0, proc = 0.0, deadline = 0.0, start = 0.0;
+  std::int32_t machine = -1;
+  const char* p = out.data() + kWalFrameBytes;
+  std::memcpy(&id, p + 0, 8);
+  std::memcpy(&release, p + 8, 8);
+  std::memcpy(&proc, p + 16, 8);
+  std::memcpy(&deadline, p + 24, 8);
+  std::memcpy(&machine, p + 32, 4);
+  std::memcpy(&start, p + 36, 8);
+  EXPECT_EQ(id, 42);
+  EXPECT_DOUBLE_EQ(release, 1.0);
+  EXPECT_DOUBLE_EQ(proc, 2.0);
+  EXPECT_DOUBLE_EQ(deadline, 8.0);
+  EXPECT_EQ(machine, 3);
+  EXPECT_DOUBLE_EQ(start, 1.5);
+}
+
+TEST(CommitLog, AppendCloseRecoverRoundTrips) {
+  const std::string path = wal_path("roundtrip");
+  {
+    auto log = CommitLog::open(path, 2);
+    log->append(make_job(1, 0.0, 1.0, 4.0), 0, 0.0);
+    log->append(make_job(2, 0.0, 1.0, 4.0), 1, 0.0);
+    log->append(make_job(3, 1.0, 1.0, 5.0), 0, 1.0);
+    EXPECT_EQ(log->records_appended(), 3u);
+    log->close();
+  }
+  EXPECT_EQ(file_size(path), kWalHeaderBytes + 3 * kWalRecordBytes);
+
+  const RecoveryResult recovered = recover_commit_log(path, 2);
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_TRUE(recovered.clean());
+  EXPECT_EQ(recovered.records_replayed, 3u);
+  EXPECT_EQ(recovered.schedule.job_count(), 3u);
+  EXPECT_EQ(recovered.metrics.submitted, 3u);
+  EXPECT_EQ(recovered.metrics.accepted, 3u);
+  EXPECT_DOUBLE_EQ(recovered.metrics.accepted_volume, 3.0);
+  EXPECT_DOUBLE_EQ(recovered.metrics.makespan, 2.0);
+
+  const auto p3 = recovered.schedule.find(3);
+  ASSERT_TRUE(p3.has_value());
+  EXPECT_EQ(p3->machine, 0);
+  EXPECT_DOUBLE_EQ(p3->start, 1.0);
+}
+
+TEST(CommitLog, MissingLogRecoversToFreshState) {
+  const RecoveryResult recovered =
+      recover_commit_log(wal_path("missing"), 4);
+  EXPECT_TRUE(recovered.ok);
+  EXPECT_TRUE(recovered.clean());
+  EXPECT_EQ(recovered.records_replayed, 0u);
+  EXPECT_EQ(recovered.schedule.job_count(), 0u);
+}
+
+TEST(CommitLog, ReopenAppendsAfterExistingRecords) {
+  const std::string path = wal_path("reopen");
+  {
+    auto log = CommitLog::open(path, 1);
+    log->append(make_job(1, 0.0, 1.0, 4.0), 0, 0.0);
+    log->close();
+  }
+  {
+    auto log = CommitLog::open(path, 1);
+    log->append(make_job(2, 1.0, 1.0, 5.0), 0, 1.0);
+    log->close();
+  }
+  const RecoveryResult recovered = recover_commit_log(path, 1);
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_EQ(recovered.records_replayed, 2u);
+}
+
+TEST(CommitLog, DestructionWithoutCloseDropsTheBufferedTail) {
+  // ~CommitLog models a crash: under kNever the buffered record must NOT
+  // reach the file. (close() would have flushed it.)
+  const std::string path = wal_path("crashdtor");
+  {
+    CommitLogConfig config;
+    config.fsync = FsyncPolicy::kNever;
+    auto log = CommitLog::open(path, 1, config);
+    log->append(make_job(1, 0.0, 1.0, 4.0), 0, 0.0);
+    // destroyed without close(): buffer discarded
+  }
+  EXPECT_EQ(file_size(path), kWalHeaderBytes);
+  const RecoveryResult recovered = recover_commit_log(path, 1);
+  EXPECT_TRUE(recovered.ok);
+  EXPECT_EQ(recovered.records_replayed, 0u);
+}
+
+TEST(CommitLog, FsyncPolicyControlsWhenRecordsAreSynced) {
+  CommitLogConfig every;
+  every.fsync = FsyncPolicy::kEveryCommit;
+  {
+    auto log = CommitLog::open(wal_path("fsync_every"), 1, every);
+    log->append(make_job(1, 0.0, 1.0, 4.0), 0, 0.0);
+    log->append(make_job(2, 1.0, 1.0, 5.0), 0, 1.0);
+    EXPECT_EQ(log->fsync_count(), 2u);
+    log->sync_batch();  // no-op under kEveryCommit
+    EXPECT_EQ(log->fsync_count(), 2u);
+  }
+  CommitLogConfig batch;
+  batch.fsync = FsyncPolicy::kBatch;
+  {
+    auto log = CommitLog::open(wal_path("fsync_batch"), 1, batch);
+    log->append(make_job(1, 0.0, 1.0, 4.0), 0, 0.0);
+    log->append(make_job(2, 1.0, 1.0, 5.0), 0, 1.0);
+    EXPECT_EQ(log->fsync_count(), 0u);
+    log->sync_batch();
+    EXPECT_EQ(log->fsync_count(), 1u);
+  }
+  CommitLogConfig never;
+  never.fsync = FsyncPolicy::kNever;
+  {
+    const std::string path = wal_path("fsync_never");
+    auto log = CommitLog::open(path, 1, never);
+    log->append(make_job(1, 0.0, 1.0, 4.0), 0, 0.0);
+    log->sync_batch();  // no-op under kNever
+    log->close();       // flushes but does not fsync
+    EXPECT_EQ(log->fsync_count(), 0u);
+    // Still recoverable: the data reached the file, just not fsync'd.
+    EXPECT_EQ(recover_commit_log(path, 1).records_replayed, 1u);
+  }
+}
+
+TEST(CommitLog, ToStringNamesEveryPolicy) {
+  EXPECT_EQ(to_string(FsyncPolicy::kNever), "never");
+  EXPECT_EQ(to_string(FsyncPolicy::kBatch), "batch");
+  EXPECT_EQ(to_string(FsyncPolicy::kEveryCommit), "every-commit");
+}
+
+TEST(Recovery, TornPartialRecordIsTruncated) {
+  const std::string path = wal_path("torn_partial");
+  {
+    auto log = CommitLog::open(path, 1);
+    log->append(make_job(1, 0.0, 1.0, 4.0), 0, 0.0);
+    log->append(make_job(2, 1.0, 1.0, 5.0), 0, 1.0);
+    log->close();
+  }
+  // A record torn mid-payload: only the first 20 of 52 bytes made it.
+  std::vector<char> torn;
+  encode_wal_record(make_job(3, 2.0, 1.0, 6.0), 0, 2.0, torn);
+  torn.resize(20);
+  append_bytes(path, torn);
+
+  const RecoveryResult recovered = recover_commit_log(path, 1);
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_TRUE(recovered.tail_truncated);
+  EXPECT_EQ(recovered.bytes_truncated, 20u);
+  EXPECT_EQ(recovered.records_replayed, 2u);
+  EXPECT_FALSE(recovered.clean());
+
+  // The file was truncated back to the last whole record: a second
+  // recovery is clean and a reopened log appends from a sound boundary.
+  EXPECT_EQ(file_size(path), kWalHeaderBytes + 2 * kWalRecordBytes);
+  const RecoveryResult again = recover_commit_log(path, 1);
+  EXPECT_TRUE(again.clean());
+  EXPECT_EQ(again.records_replayed, 2u);
+}
+
+TEST(Recovery, CorruptCrcEndsTheReplayAtTheLastGoodRecord) {
+  const std::string path = wal_path("torn_crc");
+  {
+    auto log = CommitLog::open(path, 1);
+    log->append(make_job(1, 0.0, 1.0, 4.0), 0, 0.0);
+    log->close();
+  }
+  std::vector<char> record;
+  encode_wal_record(make_job(2, 1.0, 1.0, 5.0), 0, 1.0, record);
+  record[kWalFrameBytes + 3] ^= 0x40;  // flip one payload bit
+  append_bytes(path, record);
+
+  const RecoveryResult recovered = recover_commit_log(path, 1);
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_TRUE(recovered.tail_truncated);
+  EXPECT_EQ(recovered.records_replayed, 1u);
+  EXPECT_EQ(recovered.bytes_truncated, kWalRecordBytes);
+}
+
+TEST(Recovery, ImplausibleLengthFieldIsATornTailNotACrash) {
+  const std::string path = wal_path("torn_len");
+  {
+    auto log = CommitLog::open(path, 1);
+    log->append(make_job(1, 0.0, 1.0, 4.0), 0, 0.0);
+    log->close();
+  }
+  // Garbage that decodes to an absurd length field.
+  append_bytes(path, std::vector<char>(12, '\xff'));
+
+  const RecoveryResult recovered = recover_commit_log(path, 1);
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_TRUE(recovered.tail_truncated);
+  EXPECT_EQ(recovered.records_replayed, 1u);
+}
+
+TEST(Recovery, ReadOnlyModeDetectsButDoesNotTruncate) {
+  const std::string path = wal_path("readonly");
+  {
+    auto log = CommitLog::open(path, 1);
+    log->append(make_job(1, 0.0, 1.0, 4.0), 0, 0.0);
+    log->close();
+  }
+  append_bytes(path, std::vector<char>(7, 'z'));
+  const std::size_t size_before = file_size(path);
+
+  const RecoveryResult recovered =
+      recover_commit_log(path, 1, nullptr, /*truncate_file=*/false);
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_TRUE(recovered.tail_truncated);
+  EXPECT_EQ(file_size(path), size_before);  // untouched
+}
+
+TEST(Recovery, SemanticallyIllegalRecordIsAHardErrorNotATruncation) {
+  // Two CRC-valid records that overlap on machine 0: the log lied, and
+  // recovery must refuse rather than silently drop an "accepted" job.
+  const std::string path = wal_path("overlap");
+  {
+    auto log = CommitLog::open(path, 1);
+    log->append(make_job(1, 0.0, 2.0, 4.0), 0, 0.0);
+    log->close();
+  }
+  std::vector<char> record;
+  encode_wal_record(make_job(2, 0.0, 2.0, 4.0), 0, 1.0, record);  // overlaps
+  append_bytes(path, record);
+
+  const RecoveryResult recovered = recover_commit_log(path, 1);
+  EXPECT_FALSE(recovered.ok);
+  EXPECT_NE(recovered.error.find("record 2"), std::string::npos)
+      << recovered.error;
+}
+
+TEST(Recovery, MachineCountMismatchIsAHardError) {
+  const std::string path = wal_path("mismatch");
+  {
+    auto log = CommitLog::open(path, 2);
+    log->append(make_job(1, 0.0, 1.0, 4.0), 1, 0.0);
+    log->close();
+  }
+  const RecoveryResult recovered = recover_commit_log(path, 3);
+  EXPECT_FALSE(recovered.ok);
+  EXPECT_NE(recovered.error.find("machine"), std::string::npos)
+      << recovered.error;
+  // CommitLog::open enforces the same invariant.
+  EXPECT_THROW((void)CommitLog::open(path, 3), CommitLogError);
+}
+
+TEST(Recovery, BadMagicIsAHardError) {
+  const std::string path = wal_path("badmagic");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTAWAL0";
+    const std::uint32_t version = kWalVersion;
+    const std::uint32_t machines = 1;
+    out.write(reinterpret_cast<const char*>(&version), 4);
+    out.write(reinterpret_cast<const char*>(&machines), 4);
+  }
+  const RecoveryResult recovered = recover_commit_log(path, 1);
+  EXPECT_FALSE(recovered.ok);
+  EXPECT_THROW((void)CommitLog::open(path, 1), CommitLogError);
+}
+
+TEST(Recovery, FileShorterThanTheHeaderIsResetToFresh) {
+  const std::string path = wal_path("stub");
+  append_bytes(path, std::vector<char>(9, 'S'));
+  const RecoveryResult recovered = recover_commit_log(path, 1);
+  EXPECT_TRUE(recovered.ok);
+  EXPECT_TRUE(recovered.tail_truncated);
+  EXPECT_EQ(recovered.records_replayed, 0u);
+  EXPECT_EQ(file_size(path), 0u);
+}
+
+/// Drives a scheduler over a prefix of jobs, logging accepts, then checks
+/// that a reset + recovery brings a second instance to a state that
+/// decides the *next* jobs identically to the uninterrupted original.
+template <typename MakeScheduler>
+void expect_restore_equivalence(MakeScheduler make, const std::string& tag) {
+  const std::string path = wal_path("restore_" + tag);
+  auto original = make();
+  auto recovered_instance = make();
+  {
+    auto log = CommitLog::open(path, original->machines());
+    for (int i = 0; i < 40; ++i) {
+      const double r = 0.37 * i;
+      const Job job = make_job(i, r, 1.0 + 0.13 * (i % 5),
+                               r + 2.5 + 0.29 * (i % 7));
+      const Decision decision = original->on_arrival(job);
+      if (decision.accepted) {
+        log->append(job, decision.machine, decision.start);
+      }
+    }
+    log->close();
+  }
+
+  recovered_instance->reset();
+  const RecoveryResult recovered = recover_commit_log(
+      path, recovered_instance->machines(), recovered_instance.get());
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_GT(recovered.records_replayed, 0u);
+
+  // Both instances must now be in identical states: same decisions on a
+  // fresh tail of jobs.
+  for (int i = 100; i < 130; ++i) {
+    const double r = 15.0 + 0.41 * (i - 100);
+    const Job job = make_job(i, r, 1.0 + 0.17 * (i % 4),
+                             r + 2.0 + 0.31 * (i % 6));
+    const Decision a = original->on_arrival(job);
+    const Decision b = recovered_instance->on_arrival(job);
+    EXPECT_EQ(a.accepted, b.accepted) << tag << " job " << i;
+    if (a.accepted && b.accepted) {
+      EXPECT_EQ(a.machine, b.machine) << tag << " job " << i;
+      EXPECT_DOUBLE_EQ(a.start, b.start) << tag << " job " << i;
+    }
+  }
+}
+
+TEST(Recovery, RestoresThresholdSchedulerStateExactly) {
+  expect_restore_equivalence(
+      [] { return std::make_unique<ThresholdScheduler>(0.5, 3); },
+      "threshold");
+}
+
+TEST(Recovery, RestoresGreedySchedulerStateExactly) {
+  expect_restore_equivalence(
+      [] { return std::make_unique<GreedyScheduler>(3); }, "greedy");
+}
+
+TEST(Recovery, SchedulerThatCannotRestoreFailsRecovery) {
+  // The OnlineScheduler default is conservative: not restorable.
+  class Opaque final : public OnlineScheduler {
+   public:
+    Decision on_arrival(const Job& job) override {
+      return Decision::accept(0, job.release);
+    }
+    [[nodiscard]] int machines() const override { return 1; }
+    void reset() override {}
+    [[nodiscard]] std::string name() const override { return "Opaque"; }
+  };
+
+  const std::string path = wal_path("opaque");
+  {
+    auto log = CommitLog::open(path, 1);
+    log->append(make_job(1, 0.0, 1.0, 4.0), 0, 0.0);
+    log->close();
+  }
+  Opaque opaque;
+  const RecoveryResult recovered = recover_commit_log(path, 1, &opaque);
+  EXPECT_FALSE(recovered.ok);
+  EXPECT_NE(recovered.error.find("Opaque"), std::string::npos)
+      << recovered.error;
+}
+
+TEST(Recovery, RecoveredScheduleValidatesAgainstTheInstance) {
+  const std::string path = wal_path("validate");
+  std::vector<Job> jobs;
+  ThresholdScheduler scheduler(0.5, 2);
+  {
+    auto log = CommitLog::open(path, 2);
+    // Ids start at 1: the Instance builder treats id 0 as unassigned.
+    for (int i = 1; i <= 30; ++i) {
+      const double r = 0.5 * i;
+      const Job job = make_job(i, r, 1.0, r + 3.0);
+      jobs.push_back(job);
+      const Decision decision = scheduler.on_arrival(job);
+      if (decision.accepted) {
+        log->append(job, decision.machine, decision.start);
+      }
+    }
+    log->close();
+  }
+  const RecoveryResult recovered = recover_commit_log(path, 2);
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  const Instance instance(jobs);
+  const ValidationReport report =
+      validate_schedule(instance, recovered.schedule);
+  EXPECT_TRUE(report.ok) << report.to_string();
+}
+
+}  // namespace
+}  // namespace slacksched

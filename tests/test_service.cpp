@@ -3,6 +3,7 @@
 // violation semantics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -363,6 +364,176 @@ TEST(Gateway, HaltsPoisonedShardAndReportsViolation) {
   EXPECT_NE(result.first_violation().find("overlaps"), std::string::npos);
   // Halted at the violation, exactly like run_online: one commitment.
   EXPECT_EQ(result.shards[0].metrics.accepted, 1u);
+}
+
+// ---------- BoundedMpscQueue: timed pop, reopen, close/drain torture ----------
+
+TEST(BoundedQueue, PopBatchForTimesOutOnAnIdleQueue) {
+  BoundedMpscQueue<int> q(4);
+  std::vector<int> out;
+  const PopOutcome idle = q.pop_batch_for(out, 4, std::chrono::milliseconds(5));
+  EXPECT_EQ(idle.count, 0u);
+  EXPECT_FALSE(idle.closed);  // timed out, not shut down
+
+  ASSERT_TRUE(q.try_push(9));
+  const PopOutcome hit = q.pop_batch_for(out, 4, std::chrono::milliseconds(5));
+  EXPECT_EQ(hit.count, 1u);
+  EXPECT_FALSE(hit.closed);
+  EXPECT_EQ(out, (std::vector<int>{9}));
+
+  q.close();
+  const PopOutcome done = q.pop_batch_for(out, 4, std::chrono::milliseconds(5));
+  EXPECT_EQ(done.count, 0u);
+  EXPECT_TRUE(done.closed);  // closed-and-drained: the exit signal
+}
+
+TEST(BoundedQueue, PopBatchForWakesWhenAProducerArrives) {
+  BoundedMpscQueue<int> q(2);
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE(q.try_push(42));
+  });
+  std::vector<int> out;
+  // Generous timeout: the wait must end on the push, not the deadline.
+  const PopOutcome got = q.pop_batch_for(out, 1, std::chrono::seconds(10));
+  EXPECT_EQ(got.count, 1u);
+  EXPECT_EQ(out, (std::vector<int>{42}));
+  producer.join();
+}
+
+TEST(BoundedQueue, TryPushBatchReportsClosedDistinctFromFull) {
+  BoundedMpscQueue<int> q(2);
+  std::vector<int> items{1, 2, 3};
+  bool closed = true;
+  EXPECT_EQ(q.try_push_batch(items.data(), items.size(), &closed), 2u);
+  EXPECT_FALSE(closed);  // tail shed because full
+  q.close();
+  EXPECT_EQ(q.try_push_batch(items.data(), items.size(), &closed), 0u);
+  EXPECT_TRUE(closed);  // tail shed because closed
+}
+
+TEST(BoundedQueue, ReopenAcceptsNewWorkAndKeepsTheBacklog) {
+  BoundedMpscQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(1));
+  q.close();
+  EXPECT_FALSE(q.try_push(2));
+  q.reopen();
+  EXPECT_FALSE(q.closed());
+  EXPECT_TRUE(q.try_push(2));  // accepted again
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 4), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));  // backlog survived the cycle
+}
+
+TEST(BoundedQueue, CloseDrainTortureDeliversEveryAcceptedItemExactlyOnce) {
+  // Racing producers push unique values while the queue is closed midway;
+  // the consumer must deliver exactly the accepted set, each value once,
+  // and the exit signal must fire exactly when the backlog is drained.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  BoundedMpscQueue<int> q(64);
+
+  std::vector<std::vector<int>> accepted(kProducers);
+  std::atomic<int> running{kProducers};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        if (q.try_push(value)) {
+          accepted[static_cast<std::size_t>(p)].push_back(value);
+        } else if (q.closed()) {
+          break;  // shard gone: a real producer stops submitting
+        }
+        // On a full queue: drop and continue (backpressure shed).
+      }
+      running.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+
+  std::vector<int> delivered;
+  std::vector<int> batch;
+  std::size_t wakeups = 0;
+  while (true) {
+    batch.clear();
+    const PopOutcome popped =
+        q.pop_batch_for(batch, 32, std::chrono::milliseconds(2));
+    ++wakeups;
+    delivered.insert(delivered.end(), batch.begin(), batch.end());
+    if (popped.closed) break;
+    // Close midway: some producers are still pushing when the shutter falls.
+    if (wakeups == 50) q.close();
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(running.load(), 0);
+  EXPECT_TRUE(q.closed());
+
+  std::vector<int> pushed;
+  for (const auto& per_producer : accepted) {
+    pushed.insert(pushed.end(), per_producer.begin(), per_producer.end());
+  }
+  std::sort(pushed.begin(), pushed.end());
+  std::sort(delivered.begin(), delivered.end());
+  EXPECT_EQ(delivered, pushed);  // every accepted item, exactly once
+  EXPECT_TRUE(std::adjacent_find(delivered.begin(), delivered.end()) ==
+              delivered.end());
+}
+
+// ---------- Gateway: closed-tail vs backpressure accounting ----------
+
+TEST(Gateway, BatchTailOnAClosedShardIsRejectedClosedNotBackpressure) {
+  // One shard, force-drained: every job offered to it must come back as
+  // kRejectedClosed. Before the accounting fix the batch path charged the
+  // closed-queue tail to rejected_queue_full, which tells the caller to
+  // retry a shard that is gone.
+  GatewayConfig config;
+  config.shards = 1;
+  config.supervisor.enabled = false;
+  config.enable_failover = false;  // offer to the home shard anyway
+  AdmissionGateway gateway(
+      config, [](int) { return std::make_unique<GreedyScheduler>(2); });
+  gateway.supervisor().force_down(0);
+
+  std::vector<Job> jobs;
+  for (JobId id = 0; id < 6; ++id) {
+    jobs.push_back(make_job(id, 0.0, 1.0, 100.0));
+  }
+  std::vector<SubmitStatus> statuses;
+  const BatchSubmitResult result = gateway.submit_batch(
+      std::span<const Job>(jobs.data(), jobs.size()), &statuses);
+  EXPECT_EQ(result.enqueued, 0u);
+  EXPECT_EQ(result.rejected_closed, 6u);
+  EXPECT_EQ(result.rejected_queue_full, 0u);
+  for (const SubmitStatus s : statuses) {
+    EXPECT_EQ(s, SubmitStatus::kRejectedClosed);
+  }
+  // And none of it was counted as backpressure in the live metrics.
+  EXPECT_EQ(gateway.metrics_snapshot().total.backpressure_rejected, 0u);
+  (void)gateway.finish();
+}
+
+TEST(Gateway, BatchTailOnAFullQueueIsStillBackpressure) {
+  // The complementary case: a live shard with a tiny queue and a slow
+  // consumer sheds the tail as rejected_queue_full, never rejected_closed.
+  GatewayConfig config;
+  config.shards = 1;
+  config.queue_capacity = 2;
+  config.supervisor.enabled = false;
+  AdmissionGateway gateway(
+      config, [](int) { return std::make_unique<SlowScheduler>(); });
+
+  std::vector<Job> jobs;
+  for (JobId id = 0; id < 32; ++id) {
+    jobs.push_back(make_job(id, 0.0, 1.0, 1000.0));
+  }
+  std::vector<SubmitStatus> statuses;
+  const BatchSubmitResult result = gateway.submit_batch(
+      std::span<const Job>(jobs.data(), jobs.size()), &statuses);
+  EXPECT_EQ(result.rejected_closed, 0u);
+  EXPECT_GT(result.rejected_queue_full, 0u);
+  EXPECT_EQ(result.enqueued + result.rejected_queue_full, jobs.size());
+  (void)gateway.finish();
 }
 
 }  // namespace

@@ -6,7 +6,11 @@
 // must never change what a shard decides.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <filesystem>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/greedy.hpp"
@@ -14,6 +18,7 @@
 #include "core/threshold.hpp"
 #include "sched/engine.hpp"
 #include "service/gateway.hpp"
+#include "service/recovery.hpp"
 #include "workload/generators.hpp"
 
 namespace slacksched {
@@ -167,6 +172,118 @@ TEST(ServiceEquivalence, RoundRobinPartitionCoversTheStream) {
       EXPECT_EQ(decisions[i].job, instance[s + 3 * i]);
     }
   }
+}
+
+TEST(ServiceEquivalence, WalBackedShardMatchesEngineByteForByte) {
+  // Durability must be invisible to the algorithm: a 1-shard gateway with
+  // the commit log enabled (fsync=every-commit, the strictest policy)
+  // renders the exact engine decision stream, and the log it leaves behind
+  // replays to the exact committed schedule.
+  const Instance instance = test_instance(2000, 26);
+  ThresholdScheduler reference(0.1, 4);
+  const RunResult engine = run_online(reference, instance);
+  ASSERT_TRUE(engine.clean());
+
+  const std::string dir = ::testing::TempDir() + "slacksched_equiv_wal";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  GatewayConfig config;
+  config.shards = 1;
+  config.routing = RoutingPolicy::kRoundRobin;
+  config.queue_capacity = instance.size();
+  config.wal_dir = dir;
+  config.wal_fsync = FsyncPolicy::kEveryCommit;
+  AdmissionGateway gateway(config, [](int) {
+    return std::make_unique<ThresholdScheduler>(0.1, 4);
+  });
+  EXPECT_EQ(gateway.submit_batch(instance.jobs()).enqueued, instance.size());
+  const GatewayResult result = gateway.finish();
+  expect_identical(engine, result);
+
+  const RecoveryResult replayed =
+      recover_commit_log(dir + "/shard-0.wal", 4);
+  ASSERT_TRUE(replayed.ok) << replayed.error;
+  EXPECT_TRUE(replayed.clean());
+  EXPECT_EQ(replayed.records_replayed, engine.metrics.accepted);
+  EXPECT_EQ(replayed.schedule.total_volume(), engine.schedule.total_volume());
+  EXPECT_EQ(replayed.schedule.makespan(), engine.schedule.makespan());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServiceEquivalence, HashRoutingIsIdenticalAcrossRunsAndProcessShapes) {
+  // The router is a pure function of the job id: two freshly constructed
+  // routers (simulating two separate processes) agree on every assignment,
+  // and the assignment never depends on submission interleaving.
+  const Instance instance = test_instance(3000, 27);
+  ShardRouter first_run(RoutingPolicy::kHash, 4);
+  ShardRouter second_run(RoutingPolicy::kHash, 4);
+  std::vector<int> forward;
+  forward.reserve(instance.size());
+  for (const Job& job : instance.jobs()) forward.push_back(first_run.route(job));
+  // Route in reverse order on the second "process": same per-job answer.
+  for (std::size_t i = instance.size(); i-- > 0;) {
+    EXPECT_EQ(second_run.route(instance[i]), forward[i]) << "job " << i;
+  }
+}
+
+TEST(ServiceEquivalence, RoutingSurvivesAFailoverAndRecoveryRoundTrip) {
+  // Take shard 1 down and bring it back (no jobs submitted in between);
+  // then run the stream. Routing — and therefore every per-shard decision
+  // sequence — must be identical to a run without the down/up cycle:
+  // failover is a transient of the unavailable window, not a lasting
+  // perturbation of the partition.
+  const Instance instance = test_instance(2000, 28);
+  const auto run_once = [&instance](bool bounce_shard) {
+    const std::string dir = ::testing::TempDir() + "slacksched_equiv_bounce" +
+                            (bounce_shard ? "_b" : "_a");
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    GatewayConfig config;
+    config.shards = 2;
+    config.routing = RoutingPolicy::kHash;
+    config.queue_capacity = instance.size();
+    config.wal_dir = dir;
+    config.supervisor.enabled = false;  // manual force_* only
+    AdmissionGateway gateway(
+        config, [](int) { return std::make_unique<GreedyScheduler>(2); });
+    if (bounce_shard) {
+      gateway.supervisor().force_down(1);
+      // Wait out the drain, then restart from the (empty) commit log.
+      const auto give_up =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      bool recovered = false;
+      while (!recovered && std::chrono::steady_clock::now() < give_up) {
+        recovered = gateway.supervisor().force_recover(1);
+        if (!recovered) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+      EXPECT_TRUE(recovered) << "shard 1 never recovered";
+      EXPECT_EQ(gateway.shard_health(1), ShardHealth::kHealthy);
+    }
+    EXPECT_EQ(gateway.submit_batch(instance.jobs()).enqueued,
+              instance.size());
+    GatewayResult result = gateway.finish();
+    std::filesystem::remove_all(dir);
+    return result;
+  };
+
+  const GatewayResult plain = run_once(false);
+  const GatewayResult bounced = run_once(true);
+  ASSERT_EQ(plain.shards.size(), bounced.shards.size());
+  for (std::size_t s = 0; s < plain.shards.size(); ++s) {
+    ASSERT_EQ(plain.shards[s].decisions.size(),
+              bounced.shards[s].decisions.size())
+        << "shard " << s << " received a different job subset";
+    for (std::size_t i = 0; i < plain.shards[s].decisions.size(); ++i) {
+      EXPECT_EQ(plain.shards[s].decisions[i].job,
+                bounced.shards[s].decisions[i].job);
+      EXPECT_EQ(plain.shards[s].decisions[i].decision,
+                bounced.shards[s].decisions[i].decision);
+    }
+  }
+  EXPECT_EQ(plain.merged.accepted_volume, bounced.merged.accepted_volume);
+  EXPECT_EQ(bounced.metrics.total.failovers, 0u);  // nothing was rerouted
 }
 
 }  // namespace

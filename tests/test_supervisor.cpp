@@ -1,0 +1,320 @@
+// Shard supervision: the health FSM, in-place restart of crashed workers,
+// the circuit breaker, administrative force_down/force_recover, and the
+// gateway's failover routing around unavailable shards.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/greedy.hpp"
+#include "service/fault_injection.hpp"
+#include "service/gateway.hpp"
+
+namespace slacksched {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+std::string wal_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "slacksched_sup_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+SupervisorConfig fast_supervisor() {
+  SupervisorConfig config;
+  config.poll_interval = milliseconds(2);
+  config.stall_threshold = milliseconds(200);
+  config.down_threshold = milliseconds(500);
+  config.max_restarts = 10;
+  config.backoff_initial = milliseconds(2);
+  config.backoff_max = milliseconds(10);
+  config.retry_after = milliseconds(5);
+  return config;
+}
+
+/// Polls `pred` until it holds or `limit` elapses.
+template <typename Pred>
+bool eventually(Pred pred, milliseconds limit = milliseconds(5000)) {
+  const auto give_up = steady_clock::now() + limit;
+  while (steady_clock::now() < give_up) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  return pred();
+}
+
+Job make_job(JobId id, double release, double proc, double deadline) {
+  Job job;
+  job.id = id;
+  job.release = release;
+  job.proc = proc;
+  job.deadline = deadline;
+  return job;
+}
+
+/// `count` jobs every greedy configuration in this file accepts: unit
+/// processing times, generous deadlines, releases ascending from `from`.
+std::vector<Job> easy_jobs(int count, JobId first_id, double from) {
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double r = from + 0.01 * i;
+    jobs.push_back(make_job(first_id + i, r, 1.0, r + 100.0));
+  }
+  return jobs;
+}
+
+void submit_now(AdmissionGateway& gateway, const std::vector<Job>& jobs) {
+  for (const Job& job : jobs) {
+    ASSERT_EQ(gateway.submit(job), SubmitStatus::kEnqueued)
+        << "job " << job.id;
+  }
+}
+
+TEST(ShardHealthNames, EveryStateHasAName) {
+  EXPECT_EQ(to_string(ShardHealth::kHealthy), "healthy");
+  EXPECT_EQ(to_string(ShardHealth::kDegraded), "degraded");
+  EXPECT_EQ(to_string(ShardHealth::kDown), "down");
+  EXPECT_EQ(to_string(ShardHealth::kRecovering), "recovering");
+}
+
+TEST(Supervisor, DisabledMonitorLeavesShardsHealthy) {
+  GatewayConfig config;
+  config.shards = 2;
+  config.supervisor.enabled = false;
+  AdmissionGateway gateway(
+      config, [](int) { return std::make_unique<GreedyScheduler>(2); });
+  EXPECT_EQ(gateway.shard_health(0), ShardHealth::kHealthy);
+  EXPECT_EQ(gateway.shard_health(1), ShardHealth::kHealthy);
+  submit_now(gateway, easy_jobs(10, 0, 0.0));
+  const GatewayResult result = gateway.finish();
+  EXPECT_TRUE(result.clean());
+  EXPECT_EQ(result.merged.accepted, 10u);
+}
+
+TEST(Supervisor, CrashedWorkerIsRestartedInPlaceFromItsLog) {
+  FaultPlan plan;
+  plan.add({FaultSite::kWorkerPanic, 0, 1});  // crash at 1st batch boundary
+  FaultInjector injector(plan);
+
+  GatewayConfig config;
+  config.shards = 1;
+  config.wal_dir = wal_dir("restart");
+  config.wal_fsync = FsyncPolicy::kEveryCommit;
+  config.supervisor = fast_supervisor();
+  config.pop_timeout = milliseconds(5);
+  config.fault_injector = &injector;
+  AdmissionGateway gateway(
+      config, [](int) { return std::make_unique<GreedyScheduler>(4); });
+
+  submit_now(gateway, easy_jobs(10, 0, 0.0));
+  ASSERT_TRUE(eventually([&] {
+    return gateway.supervisor().restarts(0) >= 1 &&
+           gateway.shard_health(0) == ShardHealth::kHealthy;
+  })) << "crashed worker was not restarted";
+  EXPECT_EQ(injector.fired(), 1u);
+
+  submit_now(gateway, easy_jobs(10, 100, 10.0));
+  const GatewayResult result = gateway.finish();
+  EXPECT_TRUE(result.clean()) << result.first_violation();
+  EXPECT_TRUE(result.errors.empty());
+  // Every accepted job survived the crash: the pre-crash commitments came
+  // back from the log, the post-restart ones were decided live.
+  EXPECT_EQ(result.merged.accepted, 20u);
+  EXPECT_EQ(result.shards[0].schedule.job_count(), 20u);
+  EXPECT_GE(result.metrics.total.recoveries, 1u);
+  EXPECT_GE(result.metrics.total.wal_records_replayed, 1u);
+  std::filesystem::remove_all(config.wal_dir);
+}
+
+TEST(Supervisor, HeartbeatStallDegradesThenHealthyOnResume) {
+  /// Wedges the worker inside one on_arrival call long enough to trip the
+  /// stall threshold, then behaves normally.
+  class WedgeScheduler final : public OnlineScheduler {
+   public:
+    explicit WedgeScheduler(milliseconds wedge) : wedge_(wedge), inner_(2) {}
+    Decision on_arrival(const Job& job) override {
+      if (!wedged_) {
+        wedged_ = true;
+        std::this_thread::sleep_for(wedge_);
+      }
+      return inner_.on_arrival(job);
+    }
+    [[nodiscard]] int machines() const override { return inner_.machines(); }
+    void reset() override { inner_.reset(); }
+    [[nodiscard]] std::string name() const override { return "Wedge"; }
+
+   private:
+    milliseconds wedge_;
+    bool wedged_ = false;
+    GreedyScheduler inner_;
+  };
+
+  GatewayConfig config;
+  config.shards = 1;
+  config.supervisor = fast_supervisor();
+  config.supervisor.stall_threshold = milliseconds(40);
+  config.supervisor.down_threshold = milliseconds(10000);
+  config.pop_timeout = milliseconds(5);
+  AdmissionGateway gateway(config, [](int) {
+    return std::make_unique<WedgeScheduler>(milliseconds(250));
+  });
+
+  submit_now(gateway, easy_jobs(1, 0, 0.0));
+  EXPECT_TRUE(eventually(
+      [&] { return gateway.shard_health(0) == ShardHealth::kDegraded; }))
+      << "stalled worker never marked degraded";
+  EXPECT_TRUE(eventually(
+      [&] { return gateway.shard_health(0) == ShardHealth::kHealthy; }))
+      << "resumed worker never marked healthy again";
+  const GatewayResult result = gateway.finish();
+  EXPECT_TRUE(result.clean());
+  EXPECT_EQ(result.merged.accepted, 1u);
+}
+
+TEST(Supervisor, CircuitBreaksWhenRestartsAreExhausted) {
+  // No WAL configured: a crashed shard cannot be restarted, every attempt
+  // fails, and after max_restarts the circuit breaks for good.
+  FaultPlan plan;
+  plan.add({FaultSite::kDequeue, 0, 1});
+  FaultInjector injector(plan);
+
+  GatewayConfig config;
+  config.shards = 1;
+  config.supervisor = fast_supervisor();
+  config.supervisor.max_restarts = 2;
+  config.pop_timeout = milliseconds(5);
+  config.fault_injector = &injector;
+  AdmissionGateway gateway(
+      config, [](int) { return std::make_unique<GreedyScheduler>(2); });
+
+  submit_now(gateway, easy_jobs(4, 0, 0.0));
+  ASSERT_TRUE(eventually([&] { return gateway.supervisor().circuit_broken(0); }))
+      << "circuit never broke";
+  EXPECT_EQ(gateway.shard_health(0), ShardHealth::kDown);
+  EXPECT_EQ(gateway.supervisor().restarts(0), 0);
+
+  // The single shard is gone: new work is shed with retry_after.
+  const SubmitStatus status = gateway.submit(make_job(99, 1.0, 1.0, 100.0));
+  EXPECT_EQ(status, SubmitStatus::kRejectedRetryAfter);
+  EXPECT_EQ(gateway.retry_after(), milliseconds(5));
+  EXPECT_GE(gateway.metrics_snapshot().total.degraded_rejected, 1u);
+
+  const GatewayResult result = gateway.finish();
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].find("shard 0"), std::string::npos)
+      << result.errors[0];
+}
+
+TEST(Supervisor, ForceDownDrainsAndForceRecoverRestarts) {
+  GatewayConfig config;
+  config.shards = 1;
+  config.wal_dir = wal_dir("force");
+  config.supervisor = fast_supervisor();
+  config.pop_timeout = milliseconds(5);
+  AdmissionGateway gateway(
+      config, [](int) { return std::make_unique<GreedyScheduler>(2); });
+
+  submit_now(gateway, easy_jobs(5, 0, 0.0));
+  ASSERT_TRUE(eventually(
+      [&] { return gateway.metrics_snapshot().total.submitted >= 5; }));
+
+  gateway.supervisor().force_down(0);
+  EXPECT_EQ(gateway.shard_health(0), ShardHealth::kDown);
+  // The monitor must not undo an administrative drain.
+  std::this_thread::sleep_for(milliseconds(30));
+  EXPECT_EQ(gateway.shard_health(0), ShardHealth::kDown);
+  EXPECT_EQ(gateway.supervisor().restarts(0), 0);
+
+  // force_recover refuses until the worker drained and exited, then
+  // replays the log and brings the shard back.
+  ASSERT_TRUE(eventually([&] { return gateway.supervisor().force_recover(0); }))
+      << "force_recover never succeeded";
+  EXPECT_EQ(gateway.shard_health(0), ShardHealth::kHealthy);
+  EXPECT_EQ(gateway.supervisor().restarts(0), 1);
+
+  submit_now(gateway, easy_jobs(5, 100, 10.0));
+  const GatewayResult result = gateway.finish();
+  EXPECT_TRUE(result.clean());
+  EXPECT_TRUE(result.errors.empty());
+  EXPECT_EQ(result.merged.accepted, 10u);
+  EXPECT_EQ(result.shards[0].schedule.job_count(), 10u);
+  EXPECT_GE(result.metrics.total.recoveries, 1u);
+  std::filesystem::remove_all(config.wal_dir);
+}
+
+TEST(Supervisor, FailoverSpillsNewJobsToTheHealthyShard) {
+  GatewayConfig config;
+  config.shards = 2;
+  config.routing = RoutingPolicy::kRoundRobin;
+  config.supervisor.enabled = false;  // manual control only
+  AdmissionGateway gateway(
+      config, [](int) { return std::make_unique<GreedyScheduler>(2); });
+
+  gateway.supervisor().force_down(0);
+  EXPECT_FALSE(gateway.supervisor().available(0));
+  EXPECT_TRUE(gateway.supervisor().any_available());
+
+  // Round-robin homes half the jobs on shard 0; every one of those must
+  // spill to shard 1, and existing commitments must not move.
+  submit_now(gateway, easy_jobs(20, 0, 0.0));
+  const GatewayResult result = gateway.finish();
+  EXPECT_TRUE(result.clean());
+  EXPECT_EQ(result.shards[0].schedule.job_count(), 0u);
+  EXPECT_EQ(result.shards[1].schedule.job_count(), 20u);
+  EXPECT_EQ(result.metrics.total.failovers, 10u);
+  EXPECT_EQ(result.metrics.shards[0].failovers, 10u);  // charged to the home
+}
+
+TEST(Supervisor, AllShardsDownShedsWithRetryAfter) {
+  GatewayConfig config;
+  config.shards = 1;
+  config.supervisor.enabled = false;
+  config.supervisor.retry_after = milliseconds(7);
+  AdmissionGateway gateway(
+      config, [](int) { return std::make_unique<GreedyScheduler>(2); });
+
+  gateway.supervisor().force_down(0);
+  EXPECT_FALSE(gateway.supervisor().any_available());
+  EXPECT_EQ(gateway.submit(make_job(1, 0.0, 1.0, 10.0)),
+            SubmitStatus::kRejectedRetryAfter);
+  EXPECT_EQ(gateway.retry_after(), milliseconds(7));
+
+  std::vector<SubmitStatus> statuses;
+  const std::vector<Job> jobs = easy_jobs(3, 10, 1.0);
+  const BatchSubmitResult batch = gateway.submit_batch(
+      std::span<const Job>(jobs.data(), jobs.size()), &statuses);
+  EXPECT_EQ(batch.rejected_retry_after, 3u);
+  EXPECT_EQ(batch.enqueued, 0u);
+  for (const SubmitStatus s : statuses) {
+    EXPECT_EQ(s, SubmitStatus::kRejectedRetryAfter);
+  }
+  EXPECT_GE(gateway.metrics_snapshot().total.degraded_rejected, 4u);
+  (void)gateway.finish();
+}
+
+TEST(Supervisor, WithoutFailoverADownShardRejectsAsClosed) {
+  GatewayConfig config;
+  config.shards = 1;
+  config.supervisor.enabled = false;
+  config.enable_failover = false;
+  AdmissionGateway gateway(
+      config, [](int) { return std::make_unique<GreedyScheduler>(2); });
+
+  gateway.supervisor().force_down(0);
+  // The drained queue refuses as closed — not as backpressure, and not as
+  // retry_after (failover is off; the job is offered to its home shard).
+  EXPECT_EQ(gateway.submit(make_job(1, 0.0, 1.0, 10.0)),
+            SubmitStatus::kRejectedClosed);
+  (void)gateway.finish();
+}
+
+}  // namespace
+}  // namespace slacksched
