@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf-regression gate over the committed/freshly-generated bench JSONs.
 
-Validates the three machine-readable bench artifacts:
+Validates the four machine-readable bench artifacts:
 
   BENCH_threshold.json  (bench/micro_throughput --threshold_jobs=N)
       - every row's decision stream matched the seed implementation
@@ -14,14 +14,22 @@ Validates the three machine-readable bench artifacts:
       - the torn-tail log truncated on the first pass, replayed clean on
         the second
       - fsync ordering holds: never >= batch >= every-commit append rate
+  BENCH_obs.json        (bench/obs_overhead [jobs])
+      - every mode finished clean
+      - decision tracing costs at most --max-overhead of the baseline
+        throughput, and so does tracing + the background publisher
+        (i.e. the publisher never blocks ingest)
+      - the published textfile reported exactly the final gateway
+        counters, and the drained trace accounted for every decision and
+        survived a CSV round trip
 
 Only the Python standard library is used. Exit status 0 iff every check
 passes; each failure is printed on its own line.
 
 Usage:
   scripts/perf_check.py [--threshold-json PATH] [--service-json PATH]
-                        [--recovery-json PATH]
-                        [--min-speedup X] [--large-m M]
+                        [--recovery-json PATH] [--obs-json PATH]
+                        [--min-speedup X] [--large-m M] [--max-overhead F]
 
 A missing file is an error (reported as "<path>: not found — run
 bench/<name> to generate it") unless its path is passed as the empty
@@ -151,17 +159,61 @@ def check_recovery(path: Path, errors: list[str]) -> None:
           "replay sizes, torn tail handled")
 
 
+def check_obs(path: Path, max_overhead: float, errors: list[str]) -> None:
+    data = json.loads(path.read_text())
+    if data.get("bench") != "obs_overhead":
+        fail(errors, f"{path}: unexpected bench id {data.get('bench')!r}")
+        return
+    runs = {run.get("mode"): run for run in data.get("runs", [])}
+    for mode in ("off", "tracing", "tracing+publisher"):
+        run = runs.get(mode)
+        if run is None:
+            fail(errors, f"{path}: missing mode {mode!r}")
+            continue
+        if not run.get("clean", False):
+            fail(errors, f"{path}: mode={mode} did not finish clean")
+        if run.get("jobs_per_sec", 0.0) <= 0.0:
+            fail(errors, f"{path}: mode={mode} reports non-positive "
+                         "throughput")
+    for key, label in (("tracing_overhead", "decision tracing"),
+                       ("publisher_overhead", "tracing + publisher")):
+        overhead = data.get(key)
+        if overhead is None:
+            fail(errors, f"{path}: missing field {key!r}")
+        elif overhead > max_overhead:
+            fail(errors, f"{path}: {label} costs {overhead:.1%} of baseline "
+                         f"throughput (ceiling {max_overhead:.1%})")
+    for key, message in (
+            ("trace_accounted",
+             "drained + dropped trace events != rendered decisions"),
+            ("trace_csv_round_trip",
+             "the drained trace did not survive a CSV round trip"),
+            ("textfile_consistent",
+             "the published textfile disagrees with the final gateway "
+             "counters")):
+        if not data.get(key, False):
+            fail(errors, f"{path}: {message}")
+    print(f"ok: {path}: tracing {data.get('tracing_overhead', 0.0):+.1%}, "
+          f"with publisher {data.get('publisher_overhead', 0.0):+.1%} "
+          f"(ceiling {max_overhead:.1%}), textfile consistent")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--threshold-json", default="BENCH_threshold.json")
     parser.add_argument("--service-json", default="BENCH_service.json")
     parser.add_argument("--recovery-json", default="BENCH_recovery.json")
+    parser.add_argument("--obs-json", default="BENCH_obs.json")
     parser.add_argument("--min-speedup", type=float, default=3.0,
                         help="jobs/sec floor for new/old at large m "
                              "(default 3.0; use 1.0 on noisy smoke runners)")
     parser.add_argument("--large-m", type=int, default=256,
                         help="machine count from which the speedup floor "
                              "applies (default 256)")
+    parser.add_argument("--max-overhead", type=float, default=0.03,
+                        help="throughput fraction the observability layer "
+                             "may cost (default 0.03; loosen on noisy "
+                             "smoke runners)")
     args = parser.parse_args()
 
     errors: list[str] = []
@@ -169,6 +221,7 @@ def main() -> int:
         args.threshold_json: "bench/micro_throughput",
         args.service_json: "bench/service_throughput",
         args.recovery_json: "bench/recovery_replay",
+        args.obs_json: "bench/obs_overhead",
     }
     for raw, checker in ((args.threshold_json,
                           lambda p: check_threshold(p, args.min_speedup,
@@ -176,7 +229,10 @@ def main() -> int:
                          (args.service_json,
                           lambda p: check_service(p, errors)),
                          (args.recovery_json,
-                          lambda p: check_recovery(p, errors))):
+                          lambda p: check_recovery(p, errors)),
+                         (args.obs_json,
+                          lambda p: check_obs(p, args.max_overhead,
+                                              errors))):
         if not raw:
             continue
         path = Path(raw)

@@ -44,15 +44,31 @@ Histogram Histogram::logarithmic(double lo, double hi, std::size_t bins) {
 void Histogram::add(double value) { add(value, 1); }
 
 void Histogram::add(double value, std::size_t count) {
-  // Clamp into the covered range, then binary-search the bin.
-  const double clamped =
-      std::clamp(value, edges_.front(),
-                 std::nextafter(edges_.back(), edges_.front()));
-  const auto it =
-      std::upper_bound(edges_.begin(), edges_.end(), clamped);
-  const std::size_t bin = static_cast<std::size_t>(
-      std::distance(edges_.begin(), it)) - 1;
-  counts_[std::min(bin, counts_.size() - 1)] += count;
+  // NaN fails every ordered comparison: it would pass a std::clamp
+  // unchanged, make upper_bound return begin(), and underflow the bin
+  // index — so it must never reach the binary search.
+  if (std::isnan(value)) {
+    nan_ += count;
+    return;
+  }
+  if (value < edges_.front()) {
+    underflow_ += count;
+    return;
+  }
+  if (value >= edges_.back()) {
+    overflow_ += count;
+    return;
+  }
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  const std::size_t bin =
+      static_cast<std::size_t>(std::distance(edges_.begin(), it)) - 1;
+  counts_[bin] += count;
+  total_ += count;
+}
+
+void Histogram::add_to_bin(std::size_t bin, std::size_t count) {
+  SLACKSCHED_EXPECTS(bin < counts_.size());
+  counts_[bin] += count;
   total_ += count;
 }
 
@@ -86,6 +102,9 @@ void Histogram::print(std::ostream& out, int width) const {
         << ' ' << counts_[bin] << '\n';
   }
   out << "  total: " << total_ << (log_scale_ ? " (log bins)" : "") << '\n';
+  if (underflow_ > 0) out << "  below range: " << underflow_ << '\n';
+  if (overflow_ > 0) out << "  above range: " << overflow_ << '\n';
+  if (nan_ > 0) out << "  NaN: " << nan_ << '\n';
 }
 
 }  // namespace slacksched

@@ -1,5 +1,7 @@
-// Fixed-bin text histograms for console reports (job-size mixes, ratio
-// distributions). Linear or log-spaced bins, rendered as horizontal bars.
+// Fixed-bin histograms for console reports and metrics snapshots
+// (job-size mixes, ratio distributions, admit latencies). Linear or
+// log-spaced bins, rendered as horizontal bars or exported to Prometheus
+// text format (service/metrics_exporter.hpp).
 #pragma once
 
 #include <iosfwd>
@@ -9,9 +11,17 @@
 namespace slacksched {
 
 /// A histogram with fixed bin edges chosen at construction.
+///
+/// Bin i covers [edge_i, edge_{i+1}). Samples outside the covered range
+/// are NOT folded into the edge bins: they are tracked in explicit
+/// underflow/overflow counters (folding them in silently distorts the
+/// distribution's tails — a dashboard cannot tell a real 1 s latency
+/// from a clamped 100 s one). NaN samples are counted separately and
+/// never enter a bin: NaN would otherwise slip through clamping
+/// comparisons and land in an arbitrary bin.
 class Histogram {
  public:
-  /// Linear bins over [lo, hi]; values outside clamp into the end bins.
+  /// Linear bins over [lo, hi].
   static Histogram linear(double lo, double hi, std::size_t bins);
 
   /// Log-spaced bins over [lo, hi] (lo > 0).
@@ -19,17 +29,30 @@ class Histogram {
 
   void add(double value);
 
-  /// Adds `count` observations of `value` at once (bulk merge, e.g. when
-  /// rebuilding a histogram from externally accumulated bin counters).
+  /// Adds `count` observations of `value` at once (bulk merge).
   void add(double value, std::size_t count);
 
+  /// Adds `count` observations directly to bin `bin` — the exact-copy
+  /// path for rebuilding a histogram from externally accumulated bin
+  /// counters (e.g. MetricsRegistry's atomic latency bins) without the
+  /// lossy value->bin float round trip.
+  void add_to_bin(std::size_t bin, std::size_t count);
+
+  /// In-range observations only (excludes underflow/overflow/NaN).
   [[nodiscard]] std::size_t total_count() const { return total_; }
+  /// Samples below the lowest edge.
+  [[nodiscard]] std::size_t underflow_count() const { return underflow_; }
+  /// Samples at or above the highest edge.
+  [[nodiscard]] std::size_t overflow_count() const { return overflow_; }
+  /// NaN samples (never binned).
+  [[nodiscard]] std::size_t nan_count() const { return nan_; }
   [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
   [[nodiscard]] std::size_t count_in_bin(std::size_t bin) const;
   /// [lower, upper) edges of a bin.
   [[nodiscard]] std::pair<double, double> bin_range(std::size_t bin) const;
 
   /// Renders horizontal bars, one row per bin, scaled to `width` cells.
+  /// Underflow/overflow/NaN tallies are appended when non-zero.
   void print(std::ostream& out, int width = 50) const;
 
  private:
@@ -38,6 +61,9 @@ class Histogram {
   std::vector<double> edges_;  ///< bin i covers [edges_[i], edges_[i+1])
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t nan_ = 0;
   bool log_scale_;
 };
 

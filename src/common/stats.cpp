@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/expects.hpp"
@@ -30,9 +31,13 @@ double OnlineStats::variance() const {
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
 
-double OnlineStats::min() const { return min_; }
+double OnlineStats::min() const {
+  return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
 
-double OnlineStats::max() const { return max_; }
+double OnlineStats::max() const {
+  return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
 
 void OnlineStats::merge(const OnlineStats& other) {
   if (other.n_ == 0) return;

@@ -18,7 +18,10 @@ class OnlineStats {
   /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
   [[nodiscard]] double variance() const;
   [[nodiscard]] double stddev() const;
+  /// Smallest sample seen; quiet NaN for an empty accumulator (an empty
+  /// sweep must not report a fake 0 minimum).
   [[nodiscard]] double min() const;
+  /// Largest sample seen; quiet NaN for an empty accumulator.
   [[nodiscard]] double max() const;
   [[nodiscard]] double sum() const { return sum_; }
 

@@ -4,8 +4,22 @@
 #include <utility>
 
 #include "common/expects.hpp"
+#include "service/metrics_exporter.hpp"
 
 namespace slacksched {
+
+namespace {
+
+TraceEvent routing_event(JobId job_id, int home, int shard, TraceKind kind) {
+  TraceEvent event;
+  event.job_id = job_id;
+  event.home_shard = static_cast<std::int16_t>(home);
+  event.shard = static_cast<std::int16_t>(shard);
+  event.kind = kind;
+  return event;  // latency_bin / fsync_class keep their no-value sentinels
+}
+
+}  // namespace
 
 std::string to_string(SubmitStatus status) {
   switch (status) {
@@ -50,18 +64,38 @@ AdmissionGateway::AdmissionGateway(const GatewayConfig& config,
   shard_config.pop_timeout = config.pop_timeout;
   shard_config.wal_fsync = config.wal_fsync;
   shard_config.faults = config.fault_injector;
+  if (config.enable_tracing) {
+    traces_.reserve(static_cast<std::size_t>(config.shards));
+    for (int s = 0; s < config.shards; ++s) {
+      // One shared seq counter across all rings: a multi-shard trace
+      // merges into one total order with a sort (drain_trace()).
+      traces_.push_back(
+          std::make_unique<TraceRing>(config.trace_capacity, &trace_seq_));
+    }
+  }
   shards_.reserve(static_cast<std::size_t>(config.shards));
   for (int s = 0; s < config.shards; ++s) {
     if (!config.wal_dir.empty()) {
       shard_config.wal_path =
           config.wal_dir + "/shard-" + std::to_string(s) + ".wal";
     }
+    shard_config.trace =
+        config.enable_tracing ? traces_[static_cast<std::size_t>(s)].get()
+                              : nullptr;
     shards_.push_back(std::make_unique<Shard>(
         s, [factory, s] { return factory(s); }, shard_config, metrics_));
   }
   for (auto& shard : shards_) shard->start();
   supervisor_ = std::make_unique<ShardSupervisor>(shards_, config.supervisor);
   supervisor_->start();
+  if (!config.metrics_textfile.empty()) {
+    PublisherConfig publisher_config;
+    publisher_config.path = config.metrics_textfile;
+    publisher_config.period = config.metrics_period;
+    publisher_ = std::make_unique<MetricsPublisher>(
+        publisher_config, [this] { return render_prometheus(*this); });
+    publisher_->start();
+  }
 }
 
 AdmissionGateway::~AdmissionGateway() {
@@ -87,11 +121,21 @@ SubmitStatus AdmissionGateway::submit(const Job& job) {
   const int target = resolve_target(home);
   if (target < 0) {
     metrics_.on_degraded_reject(home);
+    if (!traces_.empty()) {
+      traces_[static_cast<std::size_t>(home)]->record(
+          routing_event(job.id, home, /*shard=*/-1, TraceKind::kShed));
+    }
     return SubmitStatus::kRejectedRetryAfter;
   }
-  if (target != home) metrics_.on_failover(home);
+  if (target != home) {
+    metrics_.on_failover(home);
+    if (!traces_.empty()) {
+      traces_[static_cast<std::size_t>(target)]->record(
+          routing_event(job.id, home, target, TraceKind::kFailover));
+    }
+  }
   switch (shards_[static_cast<std::size_t>(target)]->try_enqueue(
-      job, Shard::Clock::now())) {
+      job, Shard::Clock::now(), home)) {
     case EnqueueStatus::kEnqueued:
       return SubmitStatus::kEnqueued;
     case EnqueueStatus::kFull:
@@ -118,6 +162,9 @@ BatchSubmitResult AdmissionGateway::submit_batch(
   // group.
   const auto shard_count = static_cast<std::size_t>(config_.shards);
   std::vector<std::vector<std::uint32_t>> groups(shard_count);
+  /// Parallel to `groups`: the router's home shard of each grouped job
+  /// (several homes can fail over to the same target within one batch).
+  std::vector<std::vector<std::int16_t>> homes(shard_count);
   std::vector<int> target_of(shard_count, -2);  // -2: not yet resolved
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const auto home = static_cast<std::size_t>(router_.route(jobs[i]));
@@ -128,6 +175,10 @@ BatchSubmitResult AdmissionGateway::submit_batch(
     if (target < 0) {
       ++result.rejected_retry_after;
       metrics_.on_degraded_reject(static_cast<int>(home));
+      if (!traces_.empty()) {
+        traces_[home]->record(routing_event(jobs[i].id, static_cast<int>(home),
+                                            /*shard=*/-1, TraceKind::kShed));
+      }
       if (statuses != nullptr) {
         (*statuses)[i] = SubmitStatus::kRejectedRetryAfter;
       }
@@ -135,9 +186,15 @@ BatchSubmitResult AdmissionGateway::submit_batch(
     }
     if (target != static_cast<int>(home)) {
       metrics_.on_failover(static_cast<int>(home));
+      if (!traces_.empty()) {
+        traces_[static_cast<std::size_t>(target)]->record(routing_event(
+            jobs[i].id, static_cast<int>(home), target, TraceKind::kFailover));
+      }
     }
     groups[static_cast<std::size_t>(target)].push_back(
         static_cast<std::uint32_t>(i));
+    homes[static_cast<std::size_t>(target)].push_back(
+        static_cast<std::int16_t>(home));
   }
   const auto now = Shard::Clock::now();
   for (int s = 0; s < config_.shards; ++s) {
@@ -145,7 +202,8 @@ BatchSubmitResult AdmissionGateway::submit_batch(
     if (group.empty()) continue;
     const Shard::BatchEnqueueResult pushed =
         shards_[static_cast<std::size_t>(s)]->try_enqueue_batch(
-            jobs.data(), group.data(), group.size(), now);
+            jobs.data(), group.data(), group.size(), now,
+            homes[static_cast<std::size_t>(s)].data());
     result.enqueued += pushed.taken;
     // A shed tail on a closed queue is not backpressure: the shard shut
     // down mid-batch, and the caller must treat the tail as unserviceable
@@ -169,11 +227,24 @@ BatchSubmitResult AdmissionGateway::submit_batch(
   return result;
 }
 
+std::vector<TraceEvent> AdmissionGateway::drain_trace() {
+  std::vector<TraceEvent> events;
+  for (auto& ring : traces_) ring->drain(events);
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.seq < b.seq;
+            });
+  return events;
+}
+
 GatewayResult AdmissionGateway::finish() {
   SLACKSCHED_EXPECTS(!finished_.exchange(true, std::memory_order_acq_rel));
   supervisor_->stop();  // no restarts may race the shutdown below
   for (auto& shard : shards_) shard->close();
   for (auto& shard : shards_) shard->join();
+  // Final publish after the shards quiesced: the textfile on disk ends
+  // exactly equal to the counters GatewayResult reports.
+  if (publisher_) publisher_->stop();
 
   GatewayResult result;
   result.shards.reserve(shards_.size());

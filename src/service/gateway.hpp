@@ -35,10 +35,12 @@
 #include "sched/online.hpp"
 #include "service/commit_log.hpp"
 #include "service/fault_injection.hpp"
+#include "service/metrics_publisher.hpp"
 #include "service/metrics_registry.hpp"
 #include "service/router.hpp"
 #include "service/shard.hpp"
 #include "service/supervisor.hpp"
+#include "service/trace_ring.hpp"
 
 namespace slacksched {
 
@@ -84,6 +86,21 @@ struct GatewayConfig {
   std::chrono::milliseconds pop_timeout{50};
   /// Optional deterministic fault injector (tests/benches only).
   FaultInjector* fault_injector = nullptr;
+
+  // --- observability (see docs/observability.md) ---
+  /// Record one TraceEvent per rendered decision, failover, and shed into
+  /// per-shard lock-free rings (service/trace_ring.hpp). Drop-on-full:
+  /// tracing never blocks or slows ingest; drops are counted and exported.
+  bool enable_tracing = false;
+  /// Capacity of each shard's trace ring (rounded up to a power of two).
+  std::size_t trace_capacity = std::size_t{1} << 16;
+  /// When non-empty, a background MetricsPublisher renders the Prometheus
+  /// exposition page (service/metrics_exporter.hpp) and atomically
+  /// replaces this file every metrics_period — the node-exporter
+  /// textfile-collector contract.
+  std::string metrics_textfile;
+  /// Base publish period for the metrics textfile (jittered per cycle).
+  std::chrono::milliseconds metrics_period{1000};
 };
 
 /// Per-batch ingest outcome (counts; pass `statuses` for per-job detail).
@@ -158,6 +175,25 @@ class AdmissionGateway {
 
   /// The supervision facade (force_down/force_recover, restart counters).
   [[nodiscard]] ShardSupervisor& supervisor() { return *supervisor_; }
+  [[nodiscard]] const ShardSupervisor& supervisor() const {
+    return *supervisor_;
+  }
+
+  /// Shard `shard`'s trace ring, or nullptr when tracing is disabled.
+  [[nodiscard]] TraceRing* trace_ring(int shard) const {
+    if (traces_.empty()) return nullptr;
+    return traces_[static_cast<std::size_t>(shard)].get();
+  }
+
+  /// Drains every shard's trace ring and merges the events into one
+  /// globally ordered (by seq) trace. Single-drainer only: call between
+  /// runs or after finish(), not from concurrent threads.
+  [[nodiscard]] std::vector<TraceEvent> drain_trace();
+
+  /// The background textfile publisher, or nullptr when not configured.
+  [[nodiscard]] const MetricsPublisher* metrics_publisher() const {
+    return publisher_.get();
+  }
 
   /// Closes every shard queue, joins the consumers, and collects results.
   /// After finish() all submissions return kRejectedClosed.
@@ -174,10 +210,17 @@ class AdmissionGateway {
   GatewayConfig config_;
   MetricsRegistry metrics_;
   ShardRouter router_;
+  /// One global seq counter + one ring per shard; declared before shards_
+  /// because each shard holds a raw pointer into this vector.
+  std::atomic<std::uint64_t> trace_seq_{0};
+  std::vector<std::unique_ptr<TraceRing>> traces_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Declared after shards_ (destroyed first): the supervisor holds a
   /// reference to the shard vector and its monitor must die before them.
   std::unique_ptr<ShardSupervisor> supervisor_;
+  /// Declared last (destroyed first): the publisher's collector reads the
+  /// registry, supervisor and trace rings, so they must outlive it.
+  std::unique_ptr<MetricsPublisher> publisher_;
   std::atomic<bool> finished_{false};
 };
 

@@ -1,0 +1,276 @@
+#include "service/metrics_exporter.hpp"
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "service/gateway.hpp"
+
+namespace slacksched {
+
+namespace {
+
+/// Shortest round-trip decimal rendering (std::to_chars): integral values
+/// print without a fractional part, everything else with exactly the
+/// digits needed to reparse bit-identically.
+std::string fmt(double v) { return CsvWriter::format(v); }
+
+/// Emits one metric family: HELP/TYPE header, then samples.
+class FamilyWriter {
+ public:
+  FamilyWriter(std::ostringstream& os, const std::string& prefix,
+               const std::string& name, const std::string& help,
+               const std::string& type)
+      : os_(os), name_(prefix + "_" + name) {
+    os_ << "# HELP " << name_ << ' ' << help << '\n';
+    os_ << "# TYPE " << name_ << ' ' << type << '\n';
+  }
+
+  void sample(const std::string& labels, const std::string& value,
+              const std::string& suffix = "") {
+    os_ << name_ << suffix;
+    if (!labels.empty()) os_ << '{' << labels << '}';
+    os_ << ' ' << value << '\n';
+  }
+
+ private:
+  std::ostringstream& os_;
+  std::string name_;
+};
+
+std::string shard_label(std::size_t shard) {
+  return "shard=\"" + std::to_string(shard) + "\"";
+}
+
+/// A counter/gauge family mapped onto a ShardMetricsSnapshot field.
+template <typename T>
+struct Field {
+  const char* name;
+  const char* help;
+  const char* type;
+  T ShardMetricsSnapshot::*member;
+};
+
+constexpr Field<std::size_t> kCountFields[] = {
+    {"enqueued_total", "Jobs accepted into a shard submission queue.",
+     "counter", &ShardMetricsSnapshot::enqueued},
+    {"submitted_total", "Decisions rendered by the shard engines.",
+     "counter", &ShardMetricsSnapshot::submitted},
+    {"accepted_total", "Jobs admitted (committed to a machine and start).",
+     "counter", &ShardMetricsSnapshot::accepted},
+    {"rejected_total", "Jobs declined by the admission policy.", "counter",
+     &ShardMetricsSnapshot::rejected},
+    {"backpressure_rejected_total",
+     "Jobs shed because the routed shard queue was full.", "counter",
+     &ShardMetricsSnapshot::backpressure_rejected},
+    {"degraded_rejected_total",
+     "Jobs shed with retry-after because no shard was available.", "counter",
+     &ShardMetricsSnapshot::degraded_rejected},
+    {"failovers_total",
+     "Jobs rerouted away from an unavailable home shard.", "counter",
+     &ShardMetricsSnapshot::failovers},
+    {"batches_total", "Consumer wake-ups that found work.", "counter",
+     &ShardMetricsSnapshot::batches},
+    {"recoveries_total", "Completed WAL replays / shard restarts.",
+     "counter", &ShardMetricsSnapshot::recoveries},
+    {"wal_records_replayed_total",
+     "Commit-log records re-applied by recovery.", "counter",
+     &ShardMetricsSnapshot::wal_records_replayed},
+    {"wal_truncations_total", "Torn commit-log tails truncated.", "counter",
+     &ShardMetricsSnapshot::wal_truncations},
+};
+
+constexpr Field<double> kVolumeFields[] = {
+    {"accepted_volume_total",
+     "Total processing volume of admitted jobs (sum of p_j).", "counter",
+     &ShardMetricsSnapshot::accepted_volume},
+    {"rejected_volume_total",
+     "Total processing volume of declined jobs.", "counter",
+     &ShardMetricsSnapshot::rejected_volume},
+};
+
+const char* health_state_name(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kHealthy: return "healthy";
+    case ShardHealth::kDegraded: return "degraded";
+    case ShardHealth::kDown: return "down";
+    case ShardHealth::kRecovering: return "recovering";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string render_prometheus(const ExporterInput& input,
+                              const ExporterOptions& options) {
+  const MetricsSnapshot& snap = input.snapshot;
+  std::ostringstream os;
+
+  {
+    FamilyWriter family(os, options.prefix, "shards",
+                        "Number of shards in the gateway.", "gauge");
+    family.sample("", std::to_string(snap.shards.size()));
+  }
+
+  for (const auto& field : kCountFields) {
+    FamilyWriter family(os, options.prefix, field.name, field.help,
+                        field.type);
+    family.sample("", std::to_string(snap.total.*field.member));
+    if (options.per_shard) {
+      for (std::size_t s = 0; s < snap.shards.size(); ++s) {
+        family.sample(shard_label(s),
+                      std::to_string(snap.shards[s].*field.member));
+      }
+    }
+  }
+
+  for (const auto& field : kVolumeFields) {
+    FamilyWriter family(os, options.prefix, field.name, field.help,
+                        field.type);
+    family.sample("", fmt(snap.total.*field.member));
+    if (options.per_shard) {
+      for (std::size_t s = 0; s < snap.shards.size(); ++s) {
+        family.sample(shard_label(s), fmt(snap.shards[s].*field.member));
+      }
+    }
+  }
+
+  {
+    FamilyWriter family(os, options.prefix, "queue_depth",
+                        "Jobs waiting in the shard queues right now.",
+                        "gauge");
+    family.sample("", std::to_string(snap.total.queue_depth));
+    if (options.per_shard) {
+      for (std::size_t s = 0; s < snap.shards.size(); ++s) {
+        family.sample(shard_label(s),
+                      std::to_string(snap.shards[s].queue_depth));
+      }
+    }
+  }
+  {
+    FamilyWriter family(
+        os, options.prefix, "queue_depth_peak",
+        "High-water mark of queue_depth. The aggregate sample is the MAX "
+        "across shards (per-shard peaks happen at different instants), not "
+        "the sum of the labelled series.",
+        "gauge");
+    family.sample("", std::to_string(snap.total.peak_queue_depth));
+    if (options.per_shard) {
+      for (std::size_t s = 0; s < snap.shards.size(); ++s) {
+        family.sample(shard_label(s),
+                      std::to_string(snap.shards[s].peak_queue_depth));
+      }
+    }
+  }
+
+  {
+    // The merged admit-latency histogram, Prometheus-style: cumulative
+    // buckets keyed by upper edge, then +Inf, _sum and _count. Underflow
+    // is <= every upper edge so it joins the first bucket; overflow only
+    // reaches +Inf. (The registry clamps into the edge bins, so both are
+    // zero for gateway snapshots — rendered generically regardless.)
+    const Histogram& h = snap.admit_latency;
+    FamilyWriter family(os, options.prefix, "admit_latency_seconds",
+                        "Queue-entry to decision-rendered wall time.",
+                        "histogram");
+    std::size_t cumulative = h.underflow_count();
+    for (std::size_t bin = 0; bin < h.bin_count(); ++bin) {
+      cumulative += h.count_in_bin(bin);
+      family.sample("le=\"" + fmt(h.bin_range(bin).second) + "\"",
+                    std::to_string(cumulative), "_bucket");
+    }
+    cumulative += h.overflow_count();
+    family.sample("le=\"+Inf\"", std::to_string(cumulative), "_bucket");
+    family.sample("", fmt(snap.total.latency_sum_seconds), "_sum");
+    family.sample("", std::to_string(cumulative), "_count");
+  }
+
+  if (!input.health.empty()) {
+    {
+      FamilyWriter family(
+          os, options.prefix, "shard_health",
+          "Supervision state of each shard, one-hot over "
+          "healthy/degraded/down/recovering.",
+          "gauge");
+      for (const ShardHealthStatus& row : input.health) {
+        for (const ShardHealth state :
+             {ShardHealth::kHealthy, ShardHealth::kDegraded,
+              ShardHealth::kDown, ShardHealth::kRecovering}) {
+          family.sample(
+              shard_label(static_cast<std::size_t>(row.shard)) +
+                  ",state=\"" + health_state_name(state) + "\"",
+              row.health == state ? "1" : "0");
+        }
+      }
+    }
+    {
+      FamilyWriter family(os, options.prefix, "shard_restarts_total",
+                          "Completed automatic + forced shard restarts.",
+                          "counter");
+      for (const ShardHealthStatus& row : input.health) {
+        family.sample(shard_label(static_cast<std::size_t>(row.shard)),
+                      std::to_string(row.restarts));
+      }
+    }
+    {
+      FamilyWriter family(
+          os, options.prefix, "shard_circuit_broken",
+          "1 once a shard exhausted its automatic restart budget.",
+          "gauge");
+      for (const ShardHealthStatus& row : input.health) {
+        family.sample(shard_label(static_cast<std::size_t>(row.shard)),
+                      row.circuit_broken ? "1" : "0");
+      }
+    }
+  }
+
+  if (!input.trace_dropped.empty()) {
+    FamilyWriter family(
+        os, options.prefix, "trace_dropped_total",
+        "Trace events refused because a shard's trace ring was full.",
+        "counter");
+    std::uint64_t total = 0;
+    for (const std::uint64_t d : input.trace_dropped) total += d;
+    family.sample("", std::to_string(total));
+    if (options.per_shard) {
+      for (std::size_t s = 0; s < input.trace_dropped.size(); ++s) {
+        family.sample(shard_label(s),
+                      std::to_string(input.trace_dropped[s]));
+      }
+    }
+  }
+
+  return os.str();
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot,
+                              const ExporterOptions& options) {
+  ExporterInput input;
+  input.snapshot = snapshot;
+  return render_prometheus(input, options);
+}
+
+ExporterInput collect_exporter_input(const AdmissionGateway& gateway) {
+  ExporterInput input;
+  input.snapshot = gateway.metrics_snapshot();
+  const ShardSupervisor& supervisor = gateway.supervisor();
+  input.health.reserve(static_cast<std::size_t>(gateway.shards()));
+  for (int s = 0; s < gateway.shards(); ++s) {
+    input.health.push_back(ShardHealthStatus{
+        s, supervisor.health(s), supervisor.restarts(s),
+        supervisor.circuit_broken(s)});
+  }
+  if (gateway.config().enable_tracing) {
+    input.trace_dropped.reserve(static_cast<std::size_t>(gateway.shards()));
+    for (int s = 0; s < gateway.shards(); ++s) {
+      input.trace_dropped.push_back(gateway.trace_ring(s)->dropped());
+    }
+  }
+  return input;
+}
+
+std::string render_prometheus(const AdmissionGateway& gateway,
+                              const ExporterOptions& options) {
+  return render_prometheus(collect_exporter_input(gateway), options);
+}
+
+}  // namespace slacksched

@@ -1,0 +1,101 @@
+#include "service/metrics_publisher.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "common/expects.hpp"
+#include "common/rng.hpp"
+
+namespace slacksched {
+
+MetricsPublisher::MetricsPublisher(PublisherConfig config, Collector collector)
+    : config_(std::move(config)), collector_(std::move(collector)) {
+  SLACKSCHED_EXPECTS(!config_.path.empty());
+  SLACKSCHED_EXPECTS(config_.period.count() >= 1);
+  SLACKSCHED_EXPECTS(config_.jitter >= 0.0 && config_.jitter < 1.0);
+  SLACKSCHED_EXPECTS(collector_ != nullptr);
+}
+
+MetricsPublisher::~MetricsPublisher() { stop(); }
+
+void MetricsPublisher::start() {
+  std::lock_guard lock(mutex_);
+  SLACKSCHED_EXPECTS(!started_);
+  started_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void MetricsPublisher::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    stopping_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // The final page: written after the thread is gone (and, in the
+  // gateway, after the shards have quiesced), so the file on disk equals
+  // the final counter values exactly.
+  (void)publish_now();
+}
+
+bool MetricsPublisher::publish_now() {
+  const std::string page = collector_();
+  const std::string tmp = config_.path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::lock_guard lock(mutex_);
+      last_error_ = "open failed: " + tmp;
+      return false;
+    }
+    out << page;
+    out.flush();
+    if (!out) {
+      std::lock_guard lock(mutex_);
+      last_error_ = "write failed: " + tmp;
+      return false;
+    }
+  }
+  // POSIX rename over an existing file is atomic: a concurrent scraper
+  // sees either the previous complete page or this one, never a mix.
+  if (std::rename(tmp.c_str(), config_.path.c_str()) != 0) {
+    std::lock_guard lock(mutex_);
+    last_error_ = "rename failed: " + std::string(std::strerror(errno));
+    return false;
+  }
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::string MetricsPublisher::last_error() const {
+  std::lock_guard lock(mutex_);
+  return last_error_;
+}
+
+void MetricsPublisher::loop() {
+  SplitMix64 jitter(config_.jitter_seed);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Draw the sleep from [period*(1-j), period*(1+j)] each cycle so
+    // co-started publishers de-correlate instead of stampeding together.
+    const double base = static_cast<double>(config_.period.count());
+    const double u =
+        static_cast<double>(jitter.next() >> 11) * 0x1.0p-53;  // [0, 1)
+    const auto sleep = std::chrono::milliseconds(static_cast<std::int64_t>(
+        base * (1.0 - config_.jitter + 2.0 * config_.jitter * u)));
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait_for(lock, sleep, [this] {
+        return stopping_.load(std::memory_order_acquire);
+      });
+    }
+    if (stopping_.load(std::memory_order_acquire)) break;  // stop() publishes
+    (void)publish_now();
+  }
+}
+
+}  // namespace slacksched

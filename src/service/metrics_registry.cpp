@@ -84,8 +84,9 @@ void MetricsRegistry::on_batch(int shard, std::size_t popped) {
                              std::memory_order_relaxed);
 }
 
-void MetricsRegistry::on_decision(int shard, double job_volume, bool accepted,
-                                  double latency_seconds) {
+std::size_t MetricsRegistry::on_decision(int shard, double job_volume,
+                                         bool accepted,
+                                         double latency_seconds) {
   Slot& slot = slots_[static_cast<std::size_t>(shard)];
   slot.submitted.fetch_add(1, std::memory_order_relaxed);
   if (accepted) {
@@ -95,8 +96,10 @@ void MetricsRegistry::on_decision(int shard, double job_volume, bool accepted,
     slot.rejected.fetch_add(1, std::memory_order_relaxed);
     accumulate(slot.rejected_volume, job_volume);
   }
-  slot.latency[latency_bin(latency_seconds)].fetch_add(
-      1, std::memory_order_relaxed);
+  accumulate(slot.latency_sum, latency_seconds);
+  const std::size_t bin = latency_bin(latency_seconds);
+  slot.latency[bin].fetch_add(1, std::memory_order_relaxed);
+  return bin;
 }
 
 void MetricsRegistry::on_recovery(int shard, std::size_t records_replayed,
@@ -145,6 +148,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         slot.backpressure_rejected.load(std::memory_order_relaxed);
     row.accepted_volume = slot.accepted_volume.load(std::memory_order_relaxed);
     row.rejected_volume = slot.rejected_volume.load(std::memory_order_relaxed);
+    row.latency_sum_seconds = slot.latency_sum.load(std::memory_order_relaxed);
     row.queue_depth = static_cast<std::size_t>(std::max<std::int64_t>(
         0, slot.queue_depth.load(std::memory_order_relaxed)));
     row.peak_queue_depth =
@@ -165,8 +169,12 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     snap.total.backpressure_rejected += row.backpressure_rejected;
     snap.total.accepted_volume += row.accepted_volume;
     snap.total.rejected_volume += row.rejected_volume;
+    snap.total.latency_sum_seconds += row.latency_sum_seconds;
     snap.total.queue_depth += row.queue_depth;
-    snap.total.peak_queue_depth += row.peak_queue_depth;
+    // Per-shard peaks were reached at different instants: summing them
+    // would overstate the aggregate. Max = the deepest any queue got.
+    snap.total.peak_queue_depth =
+        std::max(snap.total.peak_queue_depth, row.peak_queue_depth);
     snap.total.batches += row.batches;
     snap.total.recoveries += row.recoveries;
     snap.total.wal_records_replayed += row.wal_records_replayed;
@@ -180,9 +188,10 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   }
   for (std::size_t bin = 0; bin < kAdmitLatencyBins; ++bin) {
     if (bins[bin] == 0) continue;
-    // Deposit at the geometric bin center so the count lands inside the bin.
-    const auto [lo, hi] = snap.admit_latency.bin_range(bin);
-    snap.admit_latency.add(std::sqrt(lo * hi), bins[bin]);
+    // Exact copy of the atomic counters. Depositing a synthetic value at
+    // the geometric bin center would go back through the float->bin
+    // search, one ULP away from landing the count in the wrong bin.
+    snap.admit_latency.add_to_bin(bin, bins[bin]);
   }
   return snap;
 }

@@ -37,6 +37,9 @@ struct ShardMetricsSnapshot {
   std::size_t backpressure_rejected = 0;  ///< shed at the full queue
   double accepted_volume = 0.0;
   double rejected_volume = 0.0;
+  /// Sum of admit latencies over all decisions (seconds) — the exact
+  /// `_sum` a Prometheus histogram exposes next to its buckets.
+  double latency_sum_seconds = 0.0;
   std::size_t queue_depth = 0;  ///< jobs waiting right now
   /// High-water mark of queue_depth. The depth counter is maintained
   /// outside the queue's lock, so under concurrency the observed peak can
@@ -62,7 +65,12 @@ struct ShardMetricsSnapshot {
 /// merged admit-latency histogram (seconds, log-spaced bins).
 struct MetricsSnapshot {
   std::vector<ShardMetricsSnapshot> shards;
-  ShardMetricsSnapshot total;  ///< field-wise sum over shards
+  /// Field-wise sum over shards, except `peak_queue_depth`, which is the
+  /// MAX across shards: each shard's high-water mark was reached at its
+  /// own instant, so summing them reports a backlog that never existed
+  /// at any point in time. The aggregate peak answers "how deep did the
+  /// worst queue get", not "what was the worst total backlog".
+  ShardMetricsSnapshot total;
   Histogram admit_latency = Histogram::logarithmic(
       kAdmitLatencyLo, kAdmitLatencyHi, kAdmitLatencyBins);
 
@@ -81,9 +89,10 @@ class MetricsRegistry {
   // --- writer side (the shard's single consumer thread) ---
   void on_batch(int shard, std::size_t popped);
   /// Records one rendered decision. `latency_seconds` is queue-entry to
-  /// decision-rendered wall time.
-  void on_decision(int shard, double job_volume, bool accepted,
-                   double latency_seconds);
+  /// decision-rendered wall time. Returns the latency bin the decision
+  /// landed in so decision tracing can reuse it without a second search.
+  std::size_t on_decision(int shard, double job_volume, bool accepted,
+                          double latency_seconds);
 
   // --- writer side (recovery / supervisor / failover router) ---
   /// Records one completed WAL replay for the shard.
@@ -100,6 +109,12 @@ class MetricsRegistry {
   /// linearization (totals can be mid-update by one job) — exactly the
   /// guarantee a live dashboard needs.
   [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// The latency bin (0..kAdmitLatencyBins-1) a decision latency falls
+  /// into; out-of-range latencies clamp into the edge bins (the merged
+  /// histogram's top bin plays the Prometheus +Inf bucket's role). Also
+  /// the bin recorded in trace events (service/trace_ring.hpp).
+  [[nodiscard]] std::size_t latency_bin(double seconds) const;
 
  private:
   struct alignas(64) Slot {
@@ -119,10 +134,9 @@ class MetricsRegistry {
     // Single-writer (the shard consumer): plain load+store suffices.
     std::atomic<double> accepted_volume{0.0};
     std::atomic<double> rejected_volume{0.0};
+    std::atomic<double> latency_sum{0.0};
     std::array<std::atomic<std::uint64_t>, kAdmitLatencyBins> latency{};
   };
-
-  [[nodiscard]] std::size_t latency_bin(double seconds) const;
 
   std::vector<double> latency_edges_;  ///< kAdmitLatencyBins + 1 edges
   std::unique_ptr<Slot[]> slots_;

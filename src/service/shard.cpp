@@ -92,12 +92,15 @@ void Shard::spawn(bool is_restart) {
   worker_ = std::thread([this] { worker_loop(); });
 }
 
-EnqueueStatus Shard::try_enqueue(const Job& job, Clock::time_point now) {
+EnqueueStatus Shard::try_enqueue(const Job& job, Clock::time_point now,
+                                 int home) {
   if (SLACKSCHED_FAULT_FIRES(config_.faults, FaultSite::kEnqueue, index_)) {
     metrics_.on_backpressure(index_);
     return EnqueueStatus::kFull;  // simulated ingest drop
   }
-  if (queue_.try_push(Task{job, now})) {
+  if (queue_.try_push(
+          Task{job, now,
+               static_cast<std::int16_t>(home < 0 ? index_ : home)})) {
     metrics_.on_enqueued(index_);
     return EnqueueStatus::kEnqueued;
   }
@@ -108,11 +111,14 @@ EnqueueStatus Shard::try_enqueue(const Job& job, Clock::time_point now) {
 
 Shard::BatchEnqueueResult Shard::try_enqueue_batch(
     const Job* jobs, const std::uint32_t* indices, std::size_t count,
-    Clock::time_point now) {
+    Clock::time_point now, const std::int16_t* homes) {
   std::vector<Task> tasks;
   tasks.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    tasks.push_back(Task{jobs[indices[i]], now});
+    tasks.push_back(Task{jobs[indices[i]], now,
+                         homes != nullptr
+                             ? homes[i]
+                             : static_cast<std::int16_t>(index_)});
   }
   BatchEnqueueResult result;
   result.taken =
@@ -234,8 +240,21 @@ void Shard::process(const Task& task) {
   if (!outcome.decided || !outcome.legal) return;
   const double latency =
       std::chrono::duration<double>(Clock::now() - task.enqueued_at).count();
-  metrics_.on_decision(index_, task.job.proc, outcome.decision.accepted,
-                       latency);
+  const std::size_t latency_bin = metrics_.on_decision(
+      index_, task.job.proc, outcome.decision.accepted, latency);
+  if (config_.trace != nullptr) {
+    TraceEvent event;
+    event.job_id = task.job.id;
+    event.home_shard = task.home;
+    event.shard = static_cast<std::int16_t>(index_);
+    event.kind = outcome.decision.accepted ? TraceKind::kAccepted
+                                           : TraceKind::kRejected;
+    event.latency_bin = static_cast<std::uint8_t>(latency_bin);
+    event.fsync_class = wal_ != nullptr
+                            ? static_cast<std::uint8_t>(config_.wal_fsync)
+                            : kTraceNoWal;
+    config_.trace->record(event);  // drop-on-full: never blocks decisions
+  }
 }
 
 }  // namespace slacksched

@@ -34,6 +34,7 @@
 #include "service/commit_log.hpp"
 #include "service/fault_injection.hpp"
 #include "service/metrics_registry.hpp"
+#include "service/trace_ring.hpp"
 
 namespace slacksched {
 
@@ -60,6 +61,10 @@ struct ShardConfig {
   FsyncPolicy wal_fsync = FsyncPolicy::kBatch;
   /// Optional deterministic fault injector shared across the gateway.
   FaultInjector* faults = nullptr;
+  /// Optional decision trace ring (owned by the gateway). When set, the
+  /// consumer records one TraceEvent per rendered decision; recording is
+  /// drop-on-full and never blocks the decision path.
+  TraceRing* trace = nullptr;
 };
 
 /// Outcome of a single-job enqueue attempt.
@@ -97,17 +102,20 @@ class Shard {
 
   /// Non-blocking enqueue of one job. Metrics are updated on enqueue and
   /// backpressure; a kClosed refusal is not backpressure (the shard is
-  /// gone, not busy).
+  /// gone, not busy). `home` is the shard the router originally chose
+  /// (recorded in trace events; -1 means "this shard").
   [[nodiscard]] EnqueueStatus try_enqueue(const Job& job,
-                                          Clock::time_point now);
+                                          Clock::time_point now,
+                                          int home = -1);
 
   /// Enqueues jobs[indices[0..count)] in order under one queue lock. The
   /// accepted prefix is counted as enqueued; a shed tail is counted as
   /// backpressure only when the queue was full, not when it was closed.
-  [[nodiscard]] BatchEnqueueResult try_enqueue_batch(const Job* jobs,
-                                                     const std::uint32_t* indices,
-                                                     std::size_t count,
-                                                     Clock::time_point now);
+  /// `homes`, when non-null, carries the router's home shard for each
+  /// offered job (parallel to `indices`).
+  [[nodiscard]] BatchEnqueueResult try_enqueue_batch(
+      const Job* jobs, const std::uint32_t* indices, std::size_t count,
+      Clock::time_point now, const std::int16_t* homes = nullptr);
 
   /// Closes the queue: producers start failing, the consumer drains the
   /// backlog and exits.
@@ -162,6 +170,7 @@ class Shard {
   struct Task {
     Job job;
     Clock::time_point enqueued_at;
+    std::int16_t home = -1;  ///< router's home shard (trace provenance)
   };
 
   /// Builds scheduler + runner (+ WAL recovery when configured) and spawns

@@ -1,0 +1,252 @@
+// Per-decision structured tracing for the admission gateway: a
+// fixed-capacity, lock-free bounded ring of TraceEvents, one ring per
+// shard. The common case is single-writer-per-shard (the shard's consumer
+// thread records one event per rendered decision), but the slot protocol
+// is Vyukov-style per-cell sequence claiming, so the gateway's failover
+// path — which runs on arbitrary producer threads — can safely record
+// into the same rings. When the ring is full the event is DROPPED and an
+// atomic counter is bumped: tracing never blocks or slows the decision
+// path to preserve an event, and the drop count itself is exported as a
+// metric so operators know the window was undersized.
+//
+// Draining is single-consumer (the gateway after finish(), or any one
+// thread between runs). Drained events carry a globally unique `seq`
+// assigned at record time from a counter that can be shared across rings,
+// so a multi-shard trace merges into one total order with a sort.
+//
+// The CSV writers at the bottom follow sched/decision_io conventions: a
+// fixed header, round-trip-exact cells, and a strict parser that rejects
+// malformed rows — a trace is an audit artifact, not best-effort output.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/expects.hpp"
+#include "job/job.hpp"
+#include "service/commit_log.hpp"
+
+namespace slacksched {
+
+/// What the traced event says happened to the job.
+enum class TraceKind : std::uint8_t {
+  kAccepted = 0,    ///< decision rendered: committed
+  kRejected = 1,    ///< decision rendered: declined by the policy
+  kFailover = 2,    ///< routed away from an unavailable home shard
+  kShed = 3,        ///< no shard available; rejected with retry-after
+};
+
+[[nodiscard]] inline std::string to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kAccepted: return "accepted";
+    case TraceKind::kRejected: return "rejected";
+    case TraceKind::kFailover: return "failover";
+    case TraceKind::kShed: return "shed";
+  }
+  return "unknown";
+}
+
+/// Sentinel for TraceEvent::latency_bin on events that carry no latency
+/// (failover/shed happen before any decision is rendered).
+inline constexpr std::uint8_t kTraceNoLatencyBin = 0xff;
+/// Sentinel for TraceEvent::fsync_class when the shard runs without a WAL.
+inline constexpr std::uint8_t kTraceNoWal = 0xff;
+
+/// One structured trace record. Fixed-size, trivially copyable: recording
+/// is a struct store plus two atomic operations.
+struct TraceEvent {
+  std::uint64_t seq = 0;        ///< global record order (sort key)
+  JobId job_id = 0;
+  std::int16_t home_shard = -1; ///< shard the router chose
+  std::int16_t shard = -1;      ///< shard that handled/recorded the event
+  TraceKind kind = TraceKind::kRejected;
+  /// MetricsRegistry::latency_bin of the admit latency, or
+  /// kTraceNoLatencyBin for routing events.
+  std::uint8_t latency_bin = kTraceNoLatencyBin;
+  /// FsyncPolicy of the recording shard's WAL, or kTraceNoWal.
+  std::uint8_t fsync_class = kTraceNoWal;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Fixed-capacity lock-free event ring (bounded queue with drop-on-full).
+class TraceRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2). When
+  /// `shared_seq` is non-null, record() draws event seqs from it instead
+  /// of the ring's own counter — one counter across all shards yields a
+  /// globally sortable trace.
+  explicit TraceRing(std::size_t capacity,
+                     std::atomic<std::uint64_t>* shared_seq = nullptr)
+      : seq_source_(shared_seq != nullptr ? shared_seq : &own_seq_) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap *= 2;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].slot.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Records one event (its `seq` field is assigned here). Never blocks:
+  /// returns false and bumps dropped() when the ring is full.
+  bool record(TraceEvent event) {
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    Cell* cell;
+    while (true) {
+      cell = &cells_[pos & mask_];
+      const std::uint64_t slot = cell->slot.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::int64_t>(slot) -
+                       static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;  // claimed cells_[pos & mask_]
+        }
+      } else if (dif < 0) {
+        // The consumer has not freed this cell yet: the ring is full.
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    event.seq = seq_source_->fetch_add(1, std::memory_order_relaxed);
+    cell->event = event;
+    cell->slot.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Appends every currently published event to `out` in ring (FIFO claim)
+  /// order and frees the cells. Single consumer only. Returns the number
+  /// of events drained.
+  std::size_t drain(std::vector<TraceEvent>& out) {
+    std::size_t drained = 0;
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    while (true) {
+      Cell* cell = &cells_[pos & mask_];
+      const std::uint64_t slot = cell->slot.load(std::memory_order_acquire);
+      if (static_cast<std::int64_t>(slot) -
+              static_cast<std::int64_t>(pos + 1) != 0) {
+        break;  // next cell not published yet: ring drained
+      }
+      out.push_back(cell->event);
+      cell->slot.store(pos + mask_ + 1, std::memory_order_release);
+      ++pos;
+      ++drained;
+    }
+    tail_.store(pos, std::memory_order_relaxed);
+    return drained;
+  }
+
+  /// Events refused because the ring was full (monotone counter).
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> slot{0};
+    TraceEvent event;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> own_seq_{0};
+  std::atomic<std::uint64_t>* seq_source_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Writes `seq,job_id,home_shard,shard,kind,latency_bin,fsync` rows.
+inline void write_trace_csv(std::ostream& out,
+                            const std::vector<TraceEvent>& events) {
+  CsvWriter writer(out, {"seq", "job_id", "home_shard", "shard", "kind",
+                         "latency_bin", "fsync"});
+  for (const TraceEvent& e : events) {
+    writer.row({std::to_string(e.seq), std::to_string(e.job_id),
+                std::to_string(e.home_shard), std::to_string(e.shard),
+                to_string(e.kind),
+                e.latency_bin == kTraceNoLatencyBin
+                    ? std::string("-")
+                    : std::to_string(e.latency_bin),
+                e.fsync_class == kTraceNoWal
+                    ? std::string("-")
+                    : to_string(static_cast<FsyncPolicy>(e.fsync_class))});
+  }
+}
+
+/// Reads a trace written by write_trace_csv. Throws PreconditionError on
+/// malformed input.
+[[nodiscard]] inline std::vector<TraceEvent> read_trace_csv(
+    std::istream& in) {
+  const auto rows = parse_csv(in);
+  if (rows.empty() ||
+      rows.front() != std::vector<std::string>{"seq", "job_id", "home_shard",
+                                               "shard", "kind", "latency_bin",
+                                               "fsync"}) {
+    throw PreconditionError("trace csv: missing or malformed header");
+  }
+  std::vector<TraceEvent> events;
+  events.reserve(rows.size() - 1);
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& cells = rows[r];
+    if (cells.size() != 7) {
+      throw PreconditionError("trace csv: row " + std::to_string(r) +
+                              " has wrong arity");
+    }
+    try {
+      TraceEvent e;
+      e.seq = std::stoull(cells[0]);
+      e.job_id = std::stoll(cells[1]);
+      e.home_shard = static_cast<std::int16_t>(std::stoi(cells[2]));
+      e.shard = static_cast<std::int16_t>(std::stoi(cells[3]));
+      if (cells[4] == "accepted") {
+        e.kind = TraceKind::kAccepted;
+      } else if (cells[4] == "rejected") {
+        e.kind = TraceKind::kRejected;
+      } else if (cells[4] == "failover") {
+        e.kind = TraceKind::kFailover;
+      } else if (cells[4] == "shed") {
+        e.kind = TraceKind::kShed;
+      } else {
+        throw PreconditionError("bad kind");
+      }
+      e.latency_bin = cells[5] == "-"
+                          ? kTraceNoLatencyBin
+                          : static_cast<std::uint8_t>(std::stoi(cells[5]));
+      if (cells[6] == "-") {
+        e.fsync_class = kTraceNoWal;
+      } else if (cells[6] == to_string(FsyncPolicy::kNever)) {
+        e.fsync_class = static_cast<std::uint8_t>(FsyncPolicy::kNever);
+      } else if (cells[6] == to_string(FsyncPolicy::kBatch)) {
+        e.fsync_class = static_cast<std::uint8_t>(FsyncPolicy::kBatch);
+      } else if (cells[6] == to_string(FsyncPolicy::kEveryCommit)) {
+        e.fsync_class = static_cast<std::uint8_t>(FsyncPolicy::kEveryCommit);
+      } else {
+        throw PreconditionError("bad fsync class");
+      }
+      events.push_back(e);
+    } catch (const PreconditionError&) {
+      throw;
+    } catch (const std::exception&) {
+      throw PreconditionError("trace csv: row " + std::to_string(r) +
+                              " has malformed cells");
+    }
+  }
+  return events;
+}
+
+}  // namespace slacksched

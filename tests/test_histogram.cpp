@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "common/expects.hpp"
@@ -35,13 +36,55 @@ TEST(Histogram, BinRangesPartitionTheDomain) {
   EXPECT_DOUBLE_EQ(prev_upper, 1.0);
 }
 
-TEST(Histogram, OutOfRangeValuesClampIntoEndBins) {
+TEST(Histogram, OutOfRangeValuesLandInExplicitCounters) {
+  // Regression: out-of-range samples used to clamp into the end bins,
+  // silently distorting the tails of the distribution.
   Histogram h = Histogram::linear(0.0, 10.0, 5);
   h.add(-100.0);
   h.add(100.0);
-  h.add(10.0);  // exactly the upper edge clamps into the last bin
-  EXPECT_EQ(h.count_in_bin(0), 1u);
-  EXPECT_EQ(h.count_in_bin(4), 2u);
+  h.add(10.0);  // exactly the upper edge is outside [0, 10)
+  h.add(5.0);
+  EXPECT_EQ(h.underflow_count(), 1u);
+  EXPECT_EQ(h.overflow_count(), 2u);
+  EXPECT_EQ(h.count_in_bin(0), 0u);
+  EXPECT_EQ(h.count_in_bin(4), 0u);
+  EXPECT_EQ(h.count_in_bin(2), 1u);
+  EXPECT_EQ(h.total_count(), 1u);  // in-range observations only
+}
+
+TEST(Histogram, NanIsCountedSeparatelyNeverBinned) {
+  // Regression: NaN passed std::clamp unchanged, made upper_bound return
+  // begin(), underflowed the bin index to SIZE_MAX, and the std::min
+  // clamp silently landed it in the top bin.
+  Histogram h = Histogram::linear(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::quiet_NaN(), 3);
+  for (std::size_t bin = 0; bin < h.bin_count(); ++bin) {
+    EXPECT_EQ(h.count_in_bin(bin), 0u);
+  }
+  EXPECT_EQ(h.nan_count(), 4u);
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.underflow_count(), 0u);
+  EXPECT_EQ(h.overflow_count(), 0u);
+}
+
+TEST(Histogram, AddToBinCopiesCountsExactly) {
+  Histogram h = Histogram::logarithmic(1e-7, 1.0, 28);
+  h.add_to_bin(0, 5);
+  h.add_to_bin(27, 2);
+  EXPECT_EQ(h.count_in_bin(0), 5u);
+  EXPECT_EQ(h.count_in_bin(27), 2u);
+  EXPECT_EQ(h.total_count(), 7u);
+  EXPECT_THROW(h.add_to_bin(28, 1), PreconditionError);
+}
+
+TEST(Histogram, InfinityCountsAsOverflowAndUnderflow) {
+  Histogram h = Histogram::linear(0.0, 1.0, 4);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_EQ(h.underflow_count(), 1u);
+  EXPECT_EQ(h.total_count(), 0u);
 }
 
 TEST(Histogram, LogBinsAreGeometric) {

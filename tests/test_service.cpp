@@ -177,6 +177,54 @@ TEST(MetricsRegistry, LatencyClampsIntoRange) {
   EXPECT_EQ(snap.admit_latency.count_in_bin(kAdmitLatencyBins - 1), 1u);
 }
 
+TEST(MetricsRegistry, SnapshotCopiesLatencyBinsExactly) {
+  // Regression: snapshot() used to rebuild the merged histogram by
+  // depositing synthetic values at geometric bin centers — a lossy float
+  // round trip one ULP away from the wrong bin. Depositing exactly on
+  // every bin's lower edge is the adversarial case: any re-search that
+  // rounds down by one ULP lands the count one bin too low.
+  MetricsRegistry registry(2);
+  const Histogram reference = Histogram::logarithmic(
+      kAdmitLatencyLo, kAdmitLatencyHi, kAdmitLatencyBins);
+  for (std::size_t bin = 0; bin < kAdmitLatencyBins; ++bin) {
+    const double edge = reference.bin_range(bin).first;
+    EXPECT_EQ(registry.latency_bin(edge), bin);
+    registry.on_decision(static_cast<int>(bin % 2), 1.0, true, edge);
+  }
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.admit_latency.total_count(), kAdmitLatencyBins);
+  for (std::size_t bin = 0; bin < kAdmitLatencyBins; ++bin) {
+    EXPECT_EQ(snap.admit_latency.count_in_bin(bin), 1u)
+        << "count deposited in bin " << bin << " leaked to a neighbor";
+  }
+}
+
+TEST(MetricsRegistry, PeakQueueDepthAggregatesAsMaxNotSum) {
+  // Regression: the aggregate peak used to SUM per-shard high-water
+  // marks, reporting a backlog that never existed at any single instant.
+  MetricsRegistry registry(2);
+  registry.on_enqueued(0, 3);  // shard 0 peak: 3
+  registry.on_batch(0, 3);
+  registry.on_enqueued(1, 5);  // shard 1 peak: 5
+  registry.on_batch(1, 5);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.shards[0].peak_queue_depth, 3u);
+  EXPECT_EQ(snap.shards[1].peak_queue_depth, 5u);
+  EXPECT_EQ(snap.total.peak_queue_depth, 5u);
+  EXPECT_EQ(snap.total.queue_depth, 0u);
+}
+
+TEST(MetricsRegistry, LatencySumAccumulatesPerShardAndTotal) {
+  MetricsRegistry registry(2);
+  registry.on_decision(0, 1.0, true, 1e-5);
+  registry.on_decision(0, 1.0, false, 2e-5);
+  registry.on_decision(1, 1.0, true, 5e-4);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.shards[0].latency_sum_seconds, 3e-5);
+  EXPECT_DOUBLE_EQ(snap.shards[1].latency_sum_seconds, 5e-4);
+  EXPECT_DOUBLE_EQ(snap.total.latency_sum_seconds, 3e-5 + 5e-4);
+}
+
 // ---------- gateway: backpressure ----------
 
 /// Accept-everything scheduler that burns wall time per decision, so a

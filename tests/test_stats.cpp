@@ -19,6 +19,31 @@ TEST(OnlineStats, EmptyIsZero) {
   EXPECT_EQ(s.sum(), 0.0);
 }
 
+TEST(OnlineStats, EmptyMinMaxAreNaNNotZero) {
+  // Regression: an empty accumulator used to report min() == max() == 0.0,
+  // so an empty latency sweep looked like it had observed a 0 s minimum.
+  OnlineStats s;
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  s.add(-3.0);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), -3.0);
+}
+
+TEST(OnlineStats, MergeIntoEmptyKeepsMinMax) {
+  OnlineStats empty;
+  OnlineStats filled;
+  filled.add(2.0);
+  filled.add(7.0);
+  empty.merge(filled);
+  EXPECT_EQ(empty.min(), 2.0);
+  EXPECT_EQ(empty.max(), 7.0);
+  OnlineStats still_empty;
+  filled.merge(still_empty);  // merging an empty one changes nothing
+  EXPECT_EQ(filled.min(), 2.0);
+  EXPECT_EQ(filled.max(), 7.0);
+}
+
 TEST(OnlineStats, SingleValue) {
   OnlineStats s;
   s.add(4.0);
