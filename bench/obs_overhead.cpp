@@ -74,7 +74,7 @@ struct RunStats {
 /// so the consumer always drains it eventually).
 void submit_range(AdmissionGateway& gateway, const Job* jobs,
                   std::size_t count, std::size_t chunk) {
-  std::vector<SubmitStatus> statuses;
+  std::vector<Outcome> statuses;
   std::vector<Job> pending;
   std::vector<Job> still_pending;
   for (std::size_t offset = 0; offset < count; offset += chunk) {
@@ -86,7 +86,7 @@ void submit_range(AdmissionGateway& gateway, const Job* jobs,
       if (result.rejected_queue_full == 0) break;
       still_pending.clear();
       for (std::size_t i = 0; i < pending.size(); ++i) {
-        if (statuses[i] == SubmitStatus::kRejectedQueueFull) {
+        if (statuses[i] == Outcome::kRejectedQueueFull) {
           still_pending.push_back(pending[i]);
         }
       }

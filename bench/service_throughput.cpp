@@ -55,7 +55,7 @@ struct RunStats {
 std::uint64_t submit_range(AdmissionGateway& gateway, const Job* jobs,
                            std::size_t count, std::size_t chunk) {
   std::uint64_t retries = 0;
-  std::vector<SubmitStatus> statuses;
+  std::vector<Outcome> statuses;
   std::vector<Job> pending;
   std::vector<Job> still_pending;
   for (std::size_t offset = 0; offset < count; offset += chunk) {
@@ -68,7 +68,7 @@ std::uint64_t submit_range(AdmissionGateway& gateway, const Job* jobs,
       retries += result.rejected_queue_full;
       still_pending.clear();
       for (std::size_t i = 0; i < pending.size(); ++i) {
-        if (statuses[i] == SubmitStatus::kRejectedQueueFull) {
+        if (statuses[i] == Outcome::kRejectedQueueFull) {
           still_pending.push_back(pending[i]);
         }
       }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf-regression gate over the committed/freshly-generated bench JSONs.
 
-Validates the four machine-readable bench artifacts:
+Validates the five machine-readable bench artifacts:
 
   BENCH_threshold.json  (bench/micro_throughput --threshold_jobs=N)
       - every row's decision stream matched the seed implementation
@@ -14,6 +14,11 @@ Validates the four machine-readable bench artifacts:
       - the torn-tail log truncated on the first pass, replayed clean on
         the second
       - fsync ordering holds: never >= batch >= every-commit append rate
+  BENCH_net.json        (bench/net_throughput [jobs])
+      - every connections x batch configuration finished clean: every
+        submitted job answered by exactly one rendered decision (no
+        silent drops) and the DRAINED counters matched the replies the
+        clients observed on the wire
   BENCH_obs.json        (bench/obs_overhead [jobs])
       - every mode finished clean
       - decision tracing costs at most --max-overhead of the baseline
@@ -29,6 +34,7 @@ passes; each failure is printed on its own line.
 Usage:
   scripts/perf_check.py [--threshold-json PATH] [--service-json PATH]
                         [--recovery-json PATH] [--obs-json PATH]
+                        [--net-json PATH]
                         [--min-speedup X] [--large-m M] [--max-overhead F]
 
 A missing file is an error (reported as "<path>: not found — run
@@ -159,6 +165,31 @@ def check_recovery(path: Path, errors: list[str]) -> None:
           "replay sizes, torn tail handled")
 
 
+def check_net(path: Path, errors: list[str]) -> None:
+    data = json.loads(path.read_text())
+    if data.get("bench") != "net_throughput":
+        fail(errors, f"{path}: unexpected bench id {data.get('bench')!r}")
+        return
+    runs = data.get("runs", [])
+    if not runs:
+        fail(errors, f"{path}: no runs recorded")
+        return
+    for run in runs:
+        config = (f"connections={run.get('connections')} "
+                  f"batch={run.get('batch')}")
+        if not run.get("clean", False):
+            fail(errors, f"{path}: {config} did not finish clean")
+        if run.get("answered") != run.get("jobs"):
+            fail(errors, f"{path}: {config} answered "
+                         f"{run.get('answered')} of {run.get('jobs')} "
+                         "submissions — the wire dropped replies")
+        if run.get("jobs_per_sec", 0.0) <= 0.0:
+            fail(errors, f"{path}: {config} reports non-positive "
+                         "throughput")
+    print(f"ok: {path}: {len(runs)} connection/batch configurations, "
+          "all clean, every submission answered")
+
+
 def check_obs(path: Path, max_overhead: float, errors: list[str]) -> None:
     data = json.loads(path.read_text())
     if data.get("bench") != "obs_overhead":
@@ -204,6 +235,7 @@ def main() -> int:
     parser.add_argument("--service-json", default="BENCH_service.json")
     parser.add_argument("--recovery-json", default="BENCH_recovery.json")
     parser.add_argument("--obs-json", default="BENCH_obs.json")
+    parser.add_argument("--net-json", default="BENCH_net.json")
     parser.add_argument("--min-speedup", type=float, default=3.0,
                         help="jobs/sec floor for new/old at large m "
                              "(default 3.0; use 1.0 on noisy smoke runners)")
@@ -222,6 +254,7 @@ def main() -> int:
         args.service_json: "bench/service_throughput",
         args.recovery_json: "bench/recovery_replay",
         args.obs_json: "bench/obs_overhead",
+        args.net_json: "bench/net_throughput",
     }
     for raw, checker in ((args.threshold_json,
                           lambda p: check_threshold(p, args.min_speedup,
@@ -232,7 +265,9 @@ def main() -> int:
                           lambda p: check_recovery(p, errors)),
                          (args.obs_json,
                           lambda p: check_obs(p, args.max_overhead,
-                                              errors))):
+                                              errors)),
+                         (args.net_json,
+                          lambda p: check_net(p, errors))):
         if not raw:
             continue
         path = Path(raw)

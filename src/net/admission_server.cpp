@@ -1,0 +1,602 @@
+#include "net/admission_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/expects.hpp"
+#include "service/metrics_exporter.hpp"
+
+namespace slacksched::net {
+
+namespace {
+
+/// epoll user-data ids for the two non-connection descriptors.
+constexpr std::uint64_t kListenerTag = 0;
+constexpr std::uint64_t kEventFdTag = 1;
+constexpr std::uint64_t kFirstConnId = 2;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  // Pipelined request/response traffic; Nagle only adds latency here.
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+AdmissionServer::AdmissionServer(const AdmissionServerConfig& config,
+                                 const ShardSchedulerFactory& factory)
+    : config_(config) {
+  // Refuse to start on an invalid gateway shape: report every problem in
+  // one exception, before any socket exists.
+  const std::vector<std::string> errors = config_.gateway.validate();
+  if (!errors.empty()) {
+    std::string joined =
+        "AdmissionServer refused to start: invalid GatewayConfig:";
+    for (const std::string& e : errors) joined += "\n  - " + e;
+    throw PreconditionError(joined);
+  }
+  SLACKSCHED_EXPECTS(config_.backlog >= 1);
+
+  event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (event_fd_ < 0) throw_errno("eventfd");
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  int one = 1;
+  (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    throw NetError("bad bind address: " + config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("bind " + config_.bind_address + ":" +
+                std::to_string(config_.port));
+  }
+  if (::listen(listen_fd_, config_.backlog) != 0) throw_errno("listen");
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  // The gateway comes up after the response plumbing (eventfd, outbox)
+  // exists: its shard threads may invoke the decision hook as soon as the
+  // first job is enqueued. A user-supplied hook is chained, not replaced.
+  GatewayConfig gateway_config = config_.gateway;
+  GatewayDecisionCallback user_hook = gateway_config.on_decision;
+  gateway_config.on_decision =
+      [this, user_hook = std::move(user_hook)](
+          int shard, const Job& job, const Decision& decision) {
+        if (user_hook) user_hook(shard, job, decision);
+        on_gateway_decision(job, decision);
+      };
+  gateway_ = std::make_unique<AdmissionGateway>(gateway_config, factory);
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    throw_errno("epoll_ctl(listener)");
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = kEventFdTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev) != 0) {
+    throw_errno("epoll_ctl(eventfd)");
+  }
+  loop_ = std::thread([this] { event_loop(); });
+}
+
+AdmissionServer::~AdmissionServer() {
+  try {
+    (void)shutdown();
+  } catch (...) {
+    // Destructors must not throw; shutdown errors die here.
+  }
+}
+
+GatewayResult AdmissionServer::shutdown() {
+  if (!shutdown_done_.exchange(true, std::memory_order_acq_rel)) {
+    stop_.store(true, std::memory_order_release);
+    std::uint64_t wake = 1;
+    (void)::write(event_fd_, &wake, sizeof(wake));
+    if (loop_.joinable()) loop_.join();
+    if (!drained_.load(std::memory_order_acquire)) finish_gateway();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (event_fd_ >= 0) ::close(event_fd_);
+    listen_fd_ = epoll_fd_ = event_fd_ = -1;
+  }
+  std::lock_guard lock(result_mutex_);
+  return result_;
+}
+
+void AdmissionServer::finish_gateway() {
+  GatewayResult result = gateway_->finish();
+  {
+    std::lock_guard lock(result_mutex_);
+    result_ = std::move(result);
+  }
+  drained_.store(true, std::memory_order_release);
+}
+
+void AdmissionServer::on_gateway_decision(const Job& job,
+                                          const Decision& decision) {
+  PendingReply reply;
+  {
+    std::lock_guard lock(pending_mutex_);
+    auto it = pending_.find(job.id);
+    if (it == pending_.end() || it->second.empty()) return;
+    reply = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty()) pending_.erase(it);
+  }
+  DecisionMsg msg;
+  msg.request_id = reply.request_id;
+  msg.job_id = job.id;
+  msg.outcome = decision.accepted ? Outcome::kAccepted : Outcome::kRejected;
+  msg.machine = decision.accepted ? decision.machine : -1;
+  msg.start = decision.accepted ? decision.start : 0.0;
+  std::vector<char> bytes;
+  encode_decision(bytes, msg);
+  {
+    std::lock_guard lock(outbox_mutex_);
+    outbox_.emplace_back(reply.conn_id, std::move(bytes));
+  }
+  std::uint64_t wake = 1;
+  (void)::write(event_fd_, &wake, sizeof(wake));
+}
+
+void AdmissionServer::event_loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone: shutdown is tearing the loop down
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kListenerTag) {
+        accept_ready();
+        continue;
+      }
+      if (tag == kEventFdTag) {
+        std::uint64_t drained_count = 0;
+        (void)::read(event_fd_, &drained_count, sizeof(drained_count));
+        drain_outbox();
+        continue;
+      }
+      auto it = connections_.find(tag);
+      if (it == connections_.end()) continue;  // closed earlier this wake
+      Connection& conn = *it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_connection(tag);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) read_ready(conn);
+      // read_ready may have closed the connection; re-find before writing.
+      auto again = connections_.find(tag);
+      if (again == connections_.end()) continue;
+      if ((events[i].events & EPOLLOUT) != 0) write_ready(*again->second);
+    }
+  }
+  // Loop exit: close every connection; the sockets answer RST from here.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(connections_.size());
+  for (const auto& [id, conn] : connections_) ids.push_back(id);
+  for (const std::uint64_t id : ids) close_connection(id);
+}
+
+void AdmissionServer::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: nothing to accept
+    set_nodelay(fd);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    fd_to_conn_[fd] = conn->id;
+    connections_[conn->id] = std::move(conn);
+  }
+}
+
+void AdmissionServer::read_ready(Connection& conn) {
+  char buf[65536];
+  bool peer_closed = false;
+  while (true) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      const auto len = static_cast<std::size_t>(n);
+      if (conn.is_http == -1) {
+        conn.http_request.append(buf, len);
+        if (conn.http_request.size() < 4) continue;
+        if (conn.http_request.compare(0, 4, "GET ") == 0) {
+          conn.is_http = 1;
+        } else {
+          conn.is_http = 0;
+          conn.decoder.feed(conn.http_request.data(),
+                            conn.http_request.size());
+          conn.http_request.clear();
+          conn.http_request.shrink_to_fit();
+        }
+      } else if (conn.is_http == 1) {
+        conn.http_request.append(buf, len);
+      } else {
+        conn.decoder.feed(buf, len);
+      }
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    peer_closed = true;  // fatal socket error
+    break;
+  }
+
+  if (conn.is_http == 1) {
+    if (conn.http_request.size() > config_.max_http_request) {
+      conn.dead = true;
+    } else if (conn.http_request.find("\r\n\r\n") != std::string::npos) {
+      handle_http(conn);
+    }
+  } else if (conn.is_http == 0) {
+    Frame frame;
+    while (!conn.dead && !conn.close_after_flush) {
+      const FrameDecoder::Status status = conn.decoder.next(frame);
+      if (status == FrameDecoder::Status::kNeedMore) break;
+      if (status == FrameDecoder::Status::kError) {
+        send_protocol_error(conn, conn.decoder.error());
+        break;
+      }
+      handle_frame(conn, frame);
+    }
+  }
+
+  if (conn.dead || peer_closed ||
+      (conn.close_after_flush && conn.write_pos == conn.write_buffer.size())) {
+    // A half-closed peer that still owes us a flush keeps the connection
+    // until the buffer empties only if it asked for a response; with the
+    // read side gone we cannot tell, so close outright.
+    close_connection(conn.id);
+  }
+}
+
+void AdmissionServer::write_ready(Connection& conn) {
+  flush(conn);
+  if (conn.dead ||
+      (conn.close_after_flush && conn.write_pos == conn.write_buffer.size())) {
+    close_connection(conn.id);
+    return;
+  }
+  update_epoll(conn);
+}
+
+void AdmissionServer::handle_frame(Connection& conn, const Frame& frame) {
+  std::string error;
+  switch (frame.type) {
+    case FrameType::kSubmit: {
+      SubmitMsg msg;
+      if (!parse_submit(frame, msg, &error)) {
+        send_protocol_error(conn, error);
+        return;
+      }
+      handle_submit_one(conn, msg.request_id, msg.job);
+      return;
+    }
+    case FrameType::kSubmitBatch: {
+      std::uint64_t base = 0;
+      std::vector<Job> jobs;
+      if (!parse_submit_batch(frame, base, jobs, &error)) {
+        send_protocol_error(conn, error);
+        return;
+      }
+      handle_submit_batch(conn, base, jobs);
+      return;
+    }
+    case FrameType::kPing: {
+      std::uint64_t token = 0;
+      if (!parse_token(frame, token, &error)) {
+        send_protocol_error(conn, error);
+        return;
+      }
+      std::vector<char> bytes;
+      encode_pong(bytes, token);
+      queue_frame(conn, bytes);
+      return;
+    }
+    case FrameType::kDrain:
+      handle_drain(conn);
+      return;
+    case FrameType::kError:
+      // The peer reported a violation on our stream; nothing to answer.
+      conn.dead = true;
+      return;
+    case FrameType::kDecision:
+    case FrameType::kReject:
+    case FrameType::kDrained:
+    case FrameType::kPong:
+      send_protocol_error(conn, "server-bound stream carried a "
+                                "server-to-client frame");
+      return;
+  }
+  send_protocol_error(conn, "unhandled frame type");
+}
+
+RejectMsg AdmissionServer::make_reject(std::uint64_t request_id,
+                                       JobId job_id, Outcome outcome) const {
+  RejectMsg msg;
+  msg.request_id = request_id;
+  msg.job_id = job_id;
+  msg.outcome = outcome;
+  if (outcome == Outcome::kRejectedRetryAfter) {
+    msg.retry_after_ms =
+        static_cast<std::uint32_t>(gateway_->retry_after().count());
+  }
+  return msg;
+}
+
+void AdmissionServer::handle_submit_one(Connection& conn,
+                                        std::uint64_t request_id,
+                                        const Job& job) {
+  std::vector<char> bytes;
+  if (drained_.load(std::memory_order_acquire)) {
+    encode_reject(bytes,
+                  make_reject(request_id, job.id, Outcome::kRejectedClosed));
+    queue_frame(conn, bytes);
+    return;
+  }
+  // Register the reply slot BEFORE the submit: the shard may render the
+  // decision (and run the hook) before submit() even returns.
+  {
+    std::lock_guard lock(pending_mutex_);
+    pending_[job.id].push_back(PendingReply{conn.id, request_id});
+  }
+  const Outcome status = gateway_->submit(job);
+  if (status == Outcome::kEnqueued) return;  // DECISION will follow
+  // Shed synchronously: no decision is owed, so take the slot back. The
+  // newest matching entry is ours (a racing decision consumes the oldest).
+  {
+    std::lock_guard lock(pending_mutex_);
+    auto it = pending_.find(job.id);
+    if (it != pending_.end()) {
+      auto& queue = it->second;
+      for (auto rit = queue.rbegin(); rit != queue.rend(); ++rit) {
+        if (rit->conn_id == conn.id && rit->request_id == request_id) {
+          queue.erase(std::next(rit).base());
+          break;
+        }
+      }
+      if (queue.empty()) pending_.erase(it);
+    }
+  }
+  encode_reject(bytes, make_reject(request_id, job.id, status));
+  queue_frame(conn, bytes);
+}
+
+void AdmissionServer::handle_submit_batch(Connection& conn,
+                                          std::uint64_t base_request_id,
+                                          const std::vector<Job>& jobs) {
+  std::vector<char> bytes;
+  if (drained_.load(std::memory_order_acquire)) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      encode_reject(bytes, make_reject(base_request_id + i, jobs[i].id,
+                                       Outcome::kRejectedClosed));
+    }
+    queue_bytes(conn, bytes.data(), bytes.size());
+    return;
+  }
+  {
+    std::lock_guard lock(pending_mutex_);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      pending_[jobs[i].id].push_back(
+          PendingReply{conn.id, base_request_id + i});
+    }
+  }
+  std::vector<Outcome> statuses;
+  (void)gateway_->submit_batch(std::span<const Job>(jobs), &statuses);
+  // Reclaim the slots of synchronously shed jobs and answer them now.
+  {
+    std::lock_guard lock(pending_mutex_);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (statuses[i] == Outcome::kEnqueued) continue;
+      auto it = pending_.find(jobs[i].id);
+      if (it == pending_.end()) continue;
+      auto& queue = it->second;
+      for (auto rit = queue.rbegin(); rit != queue.rend(); ++rit) {
+        if (rit->conn_id == conn.id &&
+            rit->request_id == base_request_id + i) {
+          queue.erase(std::next(rit).base());
+          break;
+        }
+      }
+      if (queue.empty()) pending_.erase(it);
+    }
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (statuses[i] == Outcome::kEnqueued) continue;
+    encode_reject(bytes, make_reject(base_request_id + i, jobs[i].id,
+                                     statuses[i]));
+  }
+  if (!bytes.empty()) queue_bytes(conn, bytes.data(), bytes.size());
+}
+
+void AdmissionServer::handle_drain(Connection& conn) {
+  if (!drained_.load(std::memory_order_acquire)) {
+    // finish() blocks this (the loop) thread while the shards drain their
+    // queues. Decision hooks keep firing meanwhile, but they only append
+    // to the outbox and signal the eventfd — no deadlock — and the drain
+    // below moves every answer into the write buffers before DRAINED.
+    finish_gateway();
+  }
+  drain_outbox();
+  reject_all_pending();
+  DrainedMsg msg;
+  {
+    std::lock_guard lock(result_mutex_);
+    msg.submitted = result_.merged.submitted;
+    msg.accepted = result_.merged.accepted;
+    msg.rejected = result_.merged.rejected;
+    msg.accepted_volume = result_.merged.accepted_volume;
+    msg.rejected_volume = result_.merged.rejected_volume;
+    msg.makespan = result_.merged.makespan;
+    msg.clean = result_.clean() ? 1 : 0;
+  }
+  std::vector<char> bytes;
+  encode_drained(bytes, msg);
+  queue_frame(conn, bytes);
+}
+
+void AdmissionServer::reject_all_pending() {
+  std::unordered_map<JobId, std::deque<PendingReply>> leftovers;
+  {
+    std::lock_guard lock(pending_mutex_);
+    leftovers.swap(pending_);
+  }
+  // A leftover means the job was enqueued but its shard never rendered a
+  // decision (poisoned by a violation with halt_on_violation, or the
+  // worker crashed without a restart). The submission contract still owes
+  // one answer: closed, no decision.
+  for (const auto& [job_id, queue] : leftovers) {
+    for (const PendingReply& reply : queue) {
+      auto it = connections_.find(reply.conn_id);
+      if (it == connections_.end()) continue;
+      std::vector<char> bytes;
+      encode_reject(bytes, make_reject(reply.request_id, job_id,
+                                       Outcome::kRejectedClosed));
+      queue_frame(*it->second, bytes);
+    }
+  }
+}
+
+void AdmissionServer::handle_http(Connection& conn) {
+  const std::size_t line_end = conn.http_request.find("\r\n");
+  const std::string request_line = conn.http_request.substr(0, line_end);
+  std::string body;
+  std::string status = "200 OK";
+  if (request_line.compare(0, 13, "GET /metrics ") == 0 ||
+      request_line.compare(0, 6, "GET / ") == 0) {
+    body = render_prometheus(collect_exporter_input(*gateway_));
+  } else {
+    status = "404 Not Found";
+    body = "only GET /metrics is served here\n";
+  }
+  std::string response = "HTTP/1.0 " + status +
+                         "\r\nContent-Type: text/plain; version=0.0.4"
+                         "\r\nContent-Length: " +
+                         std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" +
+                         body;
+  conn.close_after_flush = true;
+  queue_bytes(conn, response.data(), response.size());
+}
+
+void AdmissionServer::send_protocol_error(Connection& conn,
+                                          const std::string& message) {
+  std::vector<char> bytes;
+  encode_error(bytes, message);
+  conn.close_after_flush = true;
+  queue_frame(conn, bytes);
+}
+
+void AdmissionServer::queue_bytes(Connection& conn, const char* data,
+                                  std::size_t n) {
+  if (conn.dead) return;
+  // Compact the flushed prefix when it dominates the buffer.
+  if (conn.write_pos > 0 && (conn.write_pos == conn.write_buffer.size() ||
+                             conn.write_pos >= 65536)) {
+    conn.write_buffer.erase(
+        conn.write_buffer.begin(),
+        conn.write_buffer.begin() +
+            static_cast<std::ptrdiff_t>(conn.write_pos));
+    conn.write_pos = 0;
+  }
+  conn.write_buffer.insert(conn.write_buffer.end(), data, data + n);
+  flush(conn);
+  if (!conn.dead) update_epoll(conn);
+}
+
+void AdmissionServer::flush(Connection& conn) {
+  while (conn.write_pos < conn.write_buffer.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.write_buffer.data() + conn.write_pos,
+               conn.write_buffer.size() - conn.write_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.write_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    conn.dead = true;  // peer reset; the loop closes at a safe point
+    return;
+  }
+}
+
+void AdmissionServer::update_epoll(Connection& conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  if (conn.write_pos < conn.write_buffer.size()) ev.events |= EPOLLOUT;
+  ev.data.u64 = conn.id;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void AdmissionServer::close_connection(std::uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  const int fd = it->second->fd;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  fd_to_conn_.erase(fd);
+  connections_.erase(it);
+  // Pending replies owed to this connection stay registered; their
+  // decisions are dropped at outbox drain when the lookup fails.
+}
+
+void AdmissionServer::drain_outbox() {
+  std::vector<std::pair<std::uint64_t, std::vector<char>>> batch;
+  {
+    std::lock_guard lock(outbox_mutex_);
+    batch.swap(outbox_);
+  }
+  for (auto& [conn_id, bytes] : batch) {
+    auto it = connections_.find(conn_id);
+    if (it == connections_.end()) continue;  // client left; answer dropped
+    Connection& conn = *it->second;
+    queue_bytes(conn, bytes.data(), bytes.size());
+    if (conn.dead) close_connection(conn_id);
+  }
+}
+
+}  // namespace slacksched::net

@@ -1,0 +1,178 @@
+/// \file
+/// The networked admission front end: an epoll-based, non-blocking TCP
+/// server that speaks the admission wire protocol (net/protocol.hpp) in
+/// front of an AdmissionGateway. One server thread owns the listener and
+/// every connection; gateway shard threads hand rendered decisions back
+/// through a lock-protected outbox plus an eventfd wake-up, so the
+/// decision hot path never blocks on a socket.
+///
+/// Contract: every SUBMIT is answered by exactly one DECISION (the shard's
+/// scheduler rendered accept/reject — with the committed machine and start
+/// on accept) or one REJECT (shed before any scheduler saw the job: queue
+/// full, gateway closed, or retry-after backoff when every shard is down).
+/// SUBMIT_BATCH is answered as if each job were submitted individually.
+/// A DRAIN frame quiesces the gateway through the exact shutdown path the
+/// in-process API uses (AdmissionGateway::finish(): close queues, join
+/// consumers, final metrics publish) and answers with a DRAINED frame
+/// whose counters equal the returned GatewayResult's merged metrics.
+///
+/// The same port also answers plain-text HTTP: a connection whose first
+/// bytes are "GET " is served the Prometheus exposition page
+/// (service/metrics_exporter.hpp) with HTTP/1.0 semantics and closed.
+/// After a drain the page keeps serving the final counters, so scrapers
+/// observe exactly the numbers the DRAINED frame reported.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "service/gateway.hpp"
+
+namespace slacksched::net {
+
+/// Deployment shape of the network front end.
+struct AdmissionServerConfig {
+  /// IPv4 address to bind; loopback by default (tests and benches).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back with port()).
+  std::uint16_t port = 0;
+  int backlog = 128;
+  /// Cap on a buffered HTTP request head; longer requests are closed.
+  std::size_t max_http_request = 8192;
+  /// The gateway behind the listener. Validated before anything binds:
+  /// the constructor throws a PreconditionError naming every problem
+  /// GatewayConfig::validate() reports, and the server never starts.
+  GatewayConfig gateway;
+};
+
+/// The server. Construction binds, listens, builds the gateway (wiring
+/// its on_decision hook to the response path) and spawns the event-loop
+/// thread; the listener is accepting before the constructor returns.
+class AdmissionServer {
+ public:
+  AdmissionServer(const AdmissionServerConfig& config,
+                  const ShardSchedulerFactory& factory);
+
+  /// Stops the loop and finishes the gateway if no DRAIN ever did.
+  ~AdmissionServer();
+
+  AdmissionServer(const AdmissionServer&) = delete;
+  AdmissionServer& operator=(const AdmissionServer&) = delete;
+
+  /// The bound TCP port (the actual one when config.port was 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// True once a DRAIN frame (or shutdown()) quiesced the gateway.
+  [[nodiscard]] bool drained() const {
+    return drained_.load(std::memory_order_acquire);
+  }
+
+  /// Stops accepting, closes every connection, joins the event loop, and
+  /// returns the gateway's final result (draining it first if no client
+  /// ever sent DRAIN). Idempotent; the destructor calls it.
+  GatewayResult shutdown();
+
+  /// Live gateway access (metrics snapshots, supervisor) for embedding
+  /// processes; network clients use the protocol instead.
+  [[nodiscard]] AdmissionGateway& gateway() { return *gateway_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    FrameDecoder decoder;
+    /// Bytes queued for the socket; drained on EPOLLOUT.
+    std::vector<char> write_buffer;
+    std::size_t write_pos = 0;
+    /// -1 until sniffed; 1 = HTTP ("GET " prefix), 0 = binary protocol.
+    int is_http = -1;
+    std::string http_request;
+    bool close_after_flush = false;
+    /// Set on a fatal socket error mid-handling; the loop closes the
+    /// connection at the next safe point instead of mid-callback.
+    bool dead = false;
+  };
+
+  /// A job whose DECISION is owed to a connection. Keyed by job id in
+  /// pending_; submission order per id is preserved (deque).
+  struct PendingReply {
+    std::uint64_t conn_id = 0;
+    std::uint64_t request_id = 0;
+  };
+
+  /// The gateway's on_decision hook target: resolves the pending reply
+  /// slot and hands the encoded DECISION frame to the outbox. Runs on
+  /// shard consumer threads.
+  void on_gateway_decision(const Job& job, const Decision& decision);
+
+  void event_loop();
+  void accept_ready();
+  void read_ready(Connection& conn);
+  void write_ready(Connection& conn);
+  void handle_frame(Connection& conn, const Frame& frame);
+  void handle_submit_one(Connection& conn, std::uint64_t request_id,
+                         const Job& job);
+  void handle_submit_batch(Connection& conn, std::uint64_t base_request_id,
+                           const std::vector<Job>& jobs);
+  void handle_drain(Connection& conn);
+  void handle_http(Connection& conn);
+  /// Appends bytes to the connection's write buffer and flushes what the
+  /// socket will take now; arms EPOLLOUT for the rest.
+  void queue_bytes(Connection& conn, const char* data, std::size_t n);
+  void queue_frame(Connection& conn, const std::vector<char>& bytes) {
+    queue_bytes(conn, bytes.data(), bytes.size());
+  }
+  void send_protocol_error(Connection& conn, const std::string& message);
+  void flush(Connection& conn);
+  void update_epoll(Connection& conn);
+  void close_connection(std::uint64_t conn_id);
+  /// Moves decision frames queued by shard threads into write buffers.
+  void drain_outbox();
+  /// Answers every still-pending submission with REJECT closed (used
+  /// when the gateway drains before their decisions were rendered).
+  void reject_all_pending();
+  /// Runs gateway finish() once and caches the result.
+  void finish_gateway();
+  RejectMsg make_reject(std::uint64_t request_id, JobId job_id,
+                        Outcome outcome) const;
+
+  AdmissionServerConfig config_;
+  std::unique_ptr<AdmissionGateway> gateway_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;  ///< wakes the loop for outbox drains and shutdown
+  std::uint16_t port_ = 0;
+  std::thread loop_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> drained_{false};
+  std::atomic<bool> shutdown_done_{false};
+
+  /// Connection ids double as epoll tags; 0 and 1 are reserved for the
+  /// listener and the eventfd.
+  std::uint64_t next_conn_id_ = 2;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>>
+      connections_;                                 ///< loop thread only
+  std::unordered_map<int, std::uint64_t> fd_to_conn_;  ///< loop thread only
+
+  /// Shard threads push encoded DECISION frames here; the loop drains.
+  std::mutex outbox_mutex_;
+  std::vector<std::pair<std::uint64_t, std::vector<char>>> outbox_;
+
+  /// Registered before gateway submit so a racing decision always finds
+  /// its reply slot. Shared between the loop and shard threads.
+  std::mutex pending_mutex_;
+  std::unordered_map<JobId, std::deque<PendingReply>> pending_;
+
+  std::mutex result_mutex_;
+  GatewayResult result_;  ///< valid once drained_
+};
+
+}  // namespace slacksched::net

@@ -1,0 +1,189 @@
+/// \file
+/// The admission wire protocol: a versioned, length-prefixed, CRC-framed
+/// binary format spoken between AdmissionClient and AdmissionServer. The
+/// framing follows the commit log's conventions (common/wire.hpp: little-
+/// endian fixed-width fields, IEEE CRC-32 over the payload) so one codec
+/// and one checksum cover every byte the project puts on a wire or a disk.
+///
+/// Frame layout (header is kFrameHeaderSize = 12 bytes):
+///
+///   u8  version      kProtocolVersion (1); mismatch rejects the frame
+///   u8  type         FrameType; unknown values reject the frame
+///   u16 reserved     0 on send, ignored on receive
+///   u32 payload_len  <= kMaxPayload; bigger frames reject loudly
+///   u32 crc          CRC-32 (IEEE) of the payload bytes
+///   ... payload_len bytes of payload
+///
+/// Versioning rules (see docs/net.md): the header layout itself is frozen
+/// forever — a future version 2 keeps the 12-byte header so a version-1
+/// decoder can still *reject* v2 frames cleanly. Within version 1,
+/// payloads may only grow by appending fields; decoders accept payloads
+/// longer than they need and reject shorter ones. Outcome codes travel as
+/// their frozen `slacksched::Outcome` wire values (service/outcome.hpp).
+///
+/// Conversation shape: clients send SUBMIT / SUBMIT_BATCH / PING / DRAIN;
+/// servers answer every submitted job with exactly one DECISION (the
+/// scheduler rendered accept/reject) or REJECT (shed before reaching a
+/// scheduler: queue full, closed, retry-after), answer PING with PONG, and
+/// answer DRAIN with DRAINED after the gateway quiesced. ERROR is sent by
+/// either side before closing on a protocol violation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "job/job.hpp"
+#include "service/outcome.hpp"
+
+namespace slacksched::net {
+
+/// Protocol version this build speaks (header `version` byte).
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Size of the fixed frame header in bytes (frozen across versions).
+inline constexpr std::size_t kFrameHeaderSize = 12;
+
+/// Largest accepted payload. Bounds decoder memory against hostile or
+/// corrupt length fields; also caps SUBMIT_BATCH to ~32k jobs per frame.
+inline constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+/// Frame type tags. Values are frozen; new types append.
+enum class FrameType : std::uint8_t {
+  kSubmit = 1,       ///< client -> server: one job
+  kSubmitBatch = 2,  ///< client -> server: contiguous run of jobs
+  kDecision = 3,     ///< server -> client: rendered accept/reject
+  kReject = 4,       ///< server -> client: shed before a decision
+  kDrain = 5,        ///< client -> server: quiesce request
+  kDrained = 6,      ///< server -> client: final merged counters
+  kPing = 7,         ///< client -> server: liveness probe
+  kPong = 8,         ///< server -> client: probe echo
+  kError = 9,        ///< either side: protocol violation, then close
+};
+
+/// True iff `value` is a defined FrameType wire value.
+[[nodiscard]] constexpr bool frame_type_valid(std::uint8_t value) {
+  return value >= 1 && value <= 9;
+}
+
+/// Thrown by the client on connection failures, peer-reported ERROR
+/// frames, and malformed server responses.
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// SUBMIT payload: u64 request_id, then the job as
+/// (i64 id, f64 release, f64 proc, f64 deadline). 40 bytes.
+struct SubmitMsg {
+  std::uint64_t request_id = 0;
+  Job job;
+};
+
+/// DECISION payload: u64 request_id, i64 job_id, u8 outcome
+/// (kAccepted/kRejected), i32 machine, f64 start. 29 bytes.
+struct DecisionMsg {
+  std::uint64_t request_id = 0;
+  JobId job_id = 0;
+  Outcome outcome = Outcome::kRejected;
+  std::int32_t machine = -1;
+  double start = 0.0;
+};
+
+/// REJECT payload: u64 request_id, i64 job_id, u8 outcome (one of the
+/// shed outcomes), u32 retry_after_ms (0 unless kRejectedRetryAfter).
+struct RejectMsg {
+  std::uint64_t request_id = 0;
+  JobId job_id = 0;
+  Outcome outcome = Outcome::kRejectedClosed;
+  std::uint32_t retry_after_ms = 0;
+};
+
+/// DRAINED payload: the gateway's final merged RunMetrics plus a clean
+/// flag — byte-for-byte the counters GatewayResult reports.
+struct DrainedMsg {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  double accepted_volume = 0.0;
+  double rejected_volume = 0.0;
+  double makespan = 0.0;
+  std::uint8_t clean = 1;  ///< 0 iff some shard attempted an illegal commit
+};
+
+/// One decoded frame: validated header + raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<char> payload;
+};
+
+// --- encoders: append one complete frame (header + payload) to `out` ---
+
+void encode_submit(std::vector<char>& out, const SubmitMsg& msg);
+/// Jobs are assigned request ids base_request_id .. base_request_id+n-1
+/// in order; the server answers each as if submitted individually.
+void encode_submit_batch(std::vector<char>& out,
+                         std::uint64_t base_request_id,
+                         std::span<const Job> jobs);
+void encode_decision(std::vector<char>& out, const DecisionMsg& msg);
+void encode_reject(std::vector<char>& out, const RejectMsg& msg);
+void encode_drain(std::vector<char>& out);
+void encode_drained(std::vector<char>& out, const DrainedMsg& msg);
+void encode_ping(std::vector<char>& out, std::uint64_t token);
+void encode_pong(std::vector<char>& out, std::uint64_t token);
+void encode_error(std::vector<char>& out, std::string_view message);
+
+// --- payload parsers: false (with *error set) on malformed payloads ---
+
+[[nodiscard]] bool parse_submit(const Frame& frame, SubmitMsg& out,
+                                std::string* error);
+[[nodiscard]] bool parse_submit_batch(const Frame& frame,
+                                      std::uint64_t& base_request_id,
+                                      std::vector<Job>& jobs,
+                                      std::string* error);
+[[nodiscard]] bool parse_decision(const Frame& frame, DecisionMsg& out,
+                                  std::string* error);
+[[nodiscard]] bool parse_reject(const Frame& frame, RejectMsg& out,
+                                std::string* error);
+[[nodiscard]] bool parse_drained(const Frame& frame, DrainedMsg& out,
+                                 std::string* error);
+[[nodiscard]] bool parse_token(const Frame& frame, std::uint64_t& token,
+                               std::string* error);
+/// ERROR payloads are the raw UTF-8 message (possibly empty).
+[[nodiscard]] std::string parse_error_message(const Frame& frame);
+
+/// Incremental frame decoder: feed() raw bytes as they arrive, then pull
+/// complete frames with next(). A malformed stream (bad version, unknown
+/// type, oversized length, CRC mismatch) puts the decoder into a sticky
+/// error state — framing is lost for good on a byte stream, so the only
+/// safe reaction is to report and close the connection.
+class FrameDecoder {
+ public:
+  enum class Status {
+    kFrame,     ///< `out` holds the next complete frame
+    kNeedMore,  ///< no complete frame buffered; feed() more bytes
+    kError,     ///< stream corrupt; see error()
+  };
+
+  void feed(const char* data, std::size_t n);
+
+  [[nodiscard]] Status next(Frame& out);
+
+  /// Why the stream was rejected (empty unless next() returned kError).
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed by next().
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size() - pos_; }
+
+ private:
+  std::vector<char> buffer_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buffer_
+  std::string error_;
+};
+
+}  // namespace slacksched::net

@@ -9,29 +9,13 @@
 #include <utility>
 
 #include "common/expects.hpp"
+#include "common/wire.hpp"
 
 namespace slacksched {
 
 namespace {
 
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
-template <typename T>
-void put_raw(std::vector<char>& out, T value) {
-  char bytes[sizeof(T)];
-  std::memcpy(bytes, &value, sizeof(T));
-  out.insert(out.end(), bytes, bytes + sizeof(T));
-}
+using wire::put;
 
 [[noreturn]] void throw_errno(const std::string& what,
                               const std::string& path) {
@@ -53,29 +37,23 @@ std::string to_string(FsyncPolicy policy) {
 }
 
 std::uint32_t wal_crc32(const void* data, std::size_t n) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < n; ++i) {
-    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
+  return wire::crc32_ieee(data, n);
 }
 
 void encode_wal_record(const Job& job, int machine, TimePoint start,
                        std::vector<char>& out) {
   std::vector<char> payload;
   payload.reserve(kWalPayloadBytes);
-  put_raw(payload, static_cast<std::int64_t>(job.id));
-  put_raw(payload, job.release);
-  put_raw(payload, job.proc);
-  put_raw(payload, job.deadline);
-  put_raw(payload, static_cast<std::int32_t>(machine));
-  put_raw(payload, start);
+  put(payload, static_cast<std::int64_t>(job.id));
+  put(payload, job.release);
+  put(payload, job.proc);
+  put(payload, job.deadline);
+  put(payload, static_cast<std::int32_t>(machine));
+  put(payload, start);
   SLACKSCHED_ENSURES(payload.size() == kWalPayloadBytes);
 
-  put_raw(out, static_cast<std::uint32_t>(payload.size()));
-  put_raw(out, wal_crc32(payload.data(), payload.size()));
+  put(out, static_cast<std::uint32_t>(payload.size()));
+  put(out, wal_crc32(payload.data(), payload.size()));
   out.insert(out.end(), payload.begin(), payload.end());
 }
 
@@ -102,8 +80,8 @@ std::unique_ptr<CommitLog> CommitLog::open(const std::string& path,
     }
     std::vector<char> header;
     header.insert(header.end(), kWalMagic, kWalMagic + sizeof(kWalMagic));
-    put_raw(header, kWalVersion);
-    put_raw(header, static_cast<std::uint32_t>(machines));
+    put(header, kWalVersion);
+    put(header, static_cast<std::uint32_t>(machines));
     SLACKSCHED_ENSURES(header.size() == kWalHeaderBytes);
     if (::write(fd, header.data(), header.size()) !=
         static_cast<ssize_t>(header.size())) {

@@ -10,7 +10,7 @@ namespace slacksched {
 
 namespace {
 
-TraceEvent routing_event(JobId job_id, int home, int shard, TraceKind kind) {
+TraceEvent routing_event(JobId job_id, int home, int shard, Outcome kind) {
   TraceEvent event;
   event.job_id = job_id;
   event.home_shard = static_cast<std::int16_t>(home);
@@ -19,20 +19,45 @@ TraceEvent routing_event(JobId job_id, int home, int shard, TraceKind kind) {
   return event;  // latency_bin / fsync_class keep their no-value sentinels
 }
 
+bool is_power_of_two(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
 }  // namespace
 
-std::string to_string(SubmitStatus status) {
-  switch (status) {
-    case SubmitStatus::kEnqueued:
-      return "enqueued";
-    case SubmitStatus::kRejectedQueueFull:
-      return "rejected: shard queue full (backpressure)";
-    case SubmitStatus::kRejectedClosed:
-      return "rejected: gateway closed";
-    case SubmitStatus::kRejectedRetryAfter:
-      return "rejected: no shard available (retry later)";
+std::vector<std::string> GatewayConfig::validate() const {
+  std::vector<std::string> errors;
+  if (shards < 1) {
+    errors.push_back("shards must be >= 1 (got " + std::to_string(shards) +
+                     ")");
   }
-  return "unknown";
+  if (queue_capacity < 1) {
+    errors.push_back("queue_capacity must be >= 1 (got 0)");
+  }
+  if (batch_size < 1) {
+    errors.push_back("batch_size must be >= 1 (got 0)");
+  }
+  if (pop_timeout.count() < 1) {
+    errors.push_back("pop_timeout must be >= 1ms (got " +
+                     std::to_string(pop_timeout.count()) +
+                     "ms): the worker would spin instead of heartbeating");
+  }
+  if (supervisor.enabled && pop_timeout >= supervisor.stall_threshold) {
+    errors.push_back(
+        "pop_timeout (" + std::to_string(pop_timeout.count()) +
+        "ms) must stay below supervisor.stall_threshold (" +
+        std::to_string(supervisor.stall_threshold.count()) +
+        "ms): an idle worker would be declared degraded between wake-ups");
+  }
+  if (enable_tracing && !is_power_of_two(trace_capacity)) {
+    errors.push_back("trace_capacity must be a power of two (got " +
+                     std::to_string(trace_capacity) +
+                     "): the ring would silently round up");
+  }
+  if (!metrics_textfile.empty() && metrics_period.count() < 1) {
+    errors.push_back("metrics_period must be >= 1ms when metrics_textfile "
+                     "is set (got " + std::to_string(metrics_period.count()) +
+                     "ms): the publisher would busy-loop");
+  }
+  return errors;
 }
 
 bool GatewayResult::clean() const {
@@ -52,9 +77,15 @@ AdmissionGateway::AdmissionGateway(const GatewayConfig& config,
     : config_(config),
       metrics_(config.shards),
       router_(config.routing, config.shards) {
-  SLACKSCHED_EXPECTS(config.shards >= 1);
-  SLACKSCHED_EXPECTS(config.queue_capacity >= 1);
-  SLACKSCHED_EXPECTS(config.batch_size >= 1);
+  // Reject invalid deployment shapes loudly instead of clamping them:
+  // every problem in one message, so a misconfigured service names all
+  // its sins at startup rather than one per restart.
+  const std::vector<std::string> errors = config.validate();
+  if (!errors.empty()) {
+    std::string joined = "invalid GatewayConfig:";
+    for (const std::string& e : errors) joined += "\n  - " + e;
+    throw PreconditionError(joined);
+  }
   SLACKSCHED_EXPECTS(factory != nullptr);
   ShardConfig shard_config;
   shard_config.queue_capacity = config.queue_capacity;
@@ -82,6 +113,13 @@ AdmissionGateway::AdmissionGateway(const GatewayConfig& config,
     shard_config.trace =
         config.enable_tracing ? traces_[static_cast<std::size_t>(s)].get()
                               : nullptr;
+    if (config.on_decision) {
+      shard_config.on_decision = [callback = config.on_decision, s](
+                                     const Job& job,
+                                     const Decision& decision) {
+        callback(s, job, decision);
+      };
+    }
     shards_.push_back(std::make_unique<Shard>(
         s, [factory, s] { return factory(s); }, shard_config, metrics_));
   }
@@ -113,9 +151,9 @@ int AdmissionGateway::resolve_target(int home) {
       home, [this](int s) { return supervisor_->available(s); });
 }
 
-SubmitStatus AdmissionGateway::submit(const Job& job) {
+Outcome AdmissionGateway::submit(const Job& job) {
   if (finished_.load(std::memory_order_acquire)) {
-    return SubmitStatus::kRejectedClosed;
+    return Outcome::kRejectedClosed;
   }
   const int home = router_.route(job);
   const int target = resolve_target(home);
@@ -123,34 +161,28 @@ SubmitStatus AdmissionGateway::submit(const Job& job) {
     metrics_.on_degraded_reject(home);
     if (!traces_.empty()) {
       traces_[static_cast<std::size_t>(home)]->record(
-          routing_event(job.id, home, /*shard=*/-1, TraceKind::kShed));
+          routing_event(job.id, home, /*shard=*/-1, Outcome::kRejectedRetryAfter));
     }
-    return SubmitStatus::kRejectedRetryAfter;
+    return Outcome::kRejectedRetryAfter;
   }
   if (target != home) {
     metrics_.on_failover(home);
     if (!traces_.empty()) {
       traces_[static_cast<std::size_t>(target)]->record(
-          routing_event(job.id, home, target, TraceKind::kFailover));
+          routing_event(job.id, home, target, Outcome::kFailover));
     }
   }
-  switch (shards_[static_cast<std::size_t>(target)]->try_enqueue(
-      job, Shard::Clock::now(), home)) {
-    case EnqueueStatus::kEnqueued:
-      return SubmitStatus::kEnqueued;
-    case EnqueueStatus::kFull:
-      return SubmitStatus::kRejectedQueueFull;
-    case EnqueueStatus::kClosed:
-      return SubmitStatus::kRejectedClosed;
-  }
-  return SubmitStatus::kRejectedClosed;
+  // try_enqueue already speaks the unified vocabulary: kEnqueued,
+  // kRejectedQueueFull or kRejectedClosed.
+  return shards_[static_cast<std::size_t>(target)]->try_enqueue(
+      job, Shard::Clock::now(), home);
 }
 
 BatchSubmitResult AdmissionGateway::submit_batch(
-    std::span<const Job> jobs, std::vector<SubmitStatus>* statuses) {
+    std::span<const Job> jobs, std::vector<Outcome>* statuses) {
   BatchSubmitResult result;
   if (statuses != nullptr) {
-    statuses->assign(jobs.size(), SubmitStatus::kRejectedClosed);
+    statuses->assign(jobs.size(), Outcome::kRejectedClosed);
   }
   if (finished_.load(std::memory_order_acquire)) {
     result.rejected_closed = jobs.size();
@@ -177,10 +209,10 @@ BatchSubmitResult AdmissionGateway::submit_batch(
       metrics_.on_degraded_reject(static_cast<int>(home));
       if (!traces_.empty()) {
         traces_[home]->record(routing_event(jobs[i].id, static_cast<int>(home),
-                                            /*shard=*/-1, TraceKind::kShed));
+                                            /*shard=*/-1, Outcome::kRejectedRetryAfter));
       }
       if (statuses != nullptr) {
-        (*statuses)[i] = SubmitStatus::kRejectedRetryAfter;
+        (*statuses)[i] = Outcome::kRejectedRetryAfter;
       }
       continue;
     }
@@ -188,7 +220,7 @@ BatchSubmitResult AdmissionGateway::submit_batch(
       metrics_.on_failover(static_cast<int>(home));
       if (!traces_.empty()) {
         traces_[static_cast<std::size_t>(target)]->record(routing_event(
-            jobs[i].id, static_cast<int>(home), target, TraceKind::kFailover));
+            jobs[i].id, static_cast<int>(home), target, Outcome::kFailover));
       }
     }
     groups[static_cast<std::size_t>(target)].push_back(
@@ -215,12 +247,12 @@ BatchSubmitResult AdmissionGateway::submit_batch(
       result.rejected_queue_full += shed;
     }
     if (statuses != nullptr) {
-      const SubmitStatus tail_status = pushed.closed
-                                           ? SubmitStatus::kRejectedClosed
-                                           : SubmitStatus::kRejectedQueueFull;
+      const Outcome tail_status = pushed.closed
+                                           ? Outcome::kRejectedClosed
+                                           : Outcome::kRejectedQueueFull;
       for (std::size_t g = 0; g < group.size(); ++g) {
         (*statuses)[group[g]] =
-            g < pushed.taken ? SubmitStatus::kEnqueued : tail_status;
+            g < pushed.taken ? Outcome::kEnqueued : tail_status;
       }
     }
   }

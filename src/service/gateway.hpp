@@ -1,25 +1,26 @@
-// The sharded admission-gateway front end: S independent shards, each an
-// OnlineScheduler over its own machine group, fed through bounded MPSC
-// queues with explicit backpressure. The paper's model (immediate
-// commitment on m identical machines with slack eps) maps onto each shard
-// unchanged; the gateway adds the serving-side concerns — concurrent
-// ingest, batching, load shedding, durability, failover, and live metrics
-// — without touching the algorithms.
-//
-// Overload semantics: submissions are never silently dropped and never
-// block. When a shard's queue is full the submit call returns
-// SubmitStatus::kRejectedQueueFull (and the shed job is counted in the
-// MetricsRegistry), so callers choose between retrying, rerouting, or
-// propagating the rejection upstream.
-//
-// Failure semantics: with a wal_dir configured each shard appends every
-// accepted commitment to its own durable log before applying it, and the
-// supervisor restarts crashed shard workers in place from that log. While
-// a shard is unavailable, *new* jobs spill to the next healthy shard in
-// cyclic order (existing commitments never migrate — they belong to the
-// down shard's machine group and are replayed there on restart); when no
-// shard is available the gateway sheds with kRejectedRetryAfter and the
-// suggested back-off from retry_after().
+/// \file
+/// The sharded admission-gateway front end: S independent shards, each an
+/// OnlineScheduler over its own machine group, fed through bounded MPSC
+/// queues with explicit backpressure. The paper's model (immediate
+/// commitment on m identical machines with slack eps) maps onto each shard
+/// unchanged; the gateway adds the serving-side concerns — concurrent
+/// ingest, batching, load shedding, durability, failover, and live metrics
+/// — without touching the algorithms.
+///
+/// Overload semantics: submissions are never silently dropped and never
+/// block. When a shard's queue is full the submit call returns
+/// Outcome::kRejectedQueueFull (and the shed job is counted in the
+/// MetricsRegistry), so callers choose between retrying, rerouting, or
+/// propagating the rejection upstream.
+///
+/// Failure semantics: with a wal_dir configured each shard appends every
+/// accepted commitment to its own durable log before applying it, and the
+/// supervisor restarts crashed shard workers in place from that log. While
+/// a shard is unavailable, *new* jobs spill to the next healthy shard in
+/// cyclic order (existing commitments never migrate — they belong to the
+/// down shard's machine group and are replayed there on restart); when no
+/// shard is available the gateway sheds with kRejectedRetryAfter and the
+/// suggested back-off from retry_after().
 #pragma once
 
 #include <atomic>
@@ -37,6 +38,7 @@
 #include "service/fault_injection.hpp"
 #include "service/metrics_publisher.hpp"
 #include "service/metrics_registry.hpp"
+#include "service/outcome.hpp"
 #include "service/router.hpp"
 #include "service/shard.hpp"
 #include "service/supervisor.hpp"
@@ -44,21 +46,23 @@
 
 namespace slacksched {
 
-/// Outcome of one submission attempt at the gateway.
-enum class SubmitStatus {
-  kEnqueued,           ///< handed to a shard queue; a decision will follow
-  kRejectedQueueFull,  ///< backpressure: the routed shard's queue is full
-  kRejectedClosed,     ///< the gateway has been finished/shut down
-  kRejectedRetryAfter, ///< every shard unavailable; retry after retry_after()
-};
-
-[[nodiscard]] std::string to_string(SubmitStatus status);
+/// Deprecated pre-unification name for the gateway-level submission
+/// outcome; removed one release after the Outcome consolidation. submit()
+/// returns kEnqueued, kRejectedQueueFull, kRejectedClosed or
+/// kRejectedRetryAfter.
+using SubmitStatus [[deprecated("use slacksched::Outcome")]] = Outcome;
 
 /// Builds the scheduler owning shard `shard`'s machine group. Called once
 /// per shard at gateway construction, and again on every supervised
 /// restart of that shard.
 using ShardSchedulerFactory =
     std::function<std::unique_ptr<OnlineScheduler>(int shard)>;
+
+/// Invoked by shard consumer threads for every rendered, legal decision
+/// (see GatewayConfig::on_decision). Calls arrive in decision order per
+/// shard, from that shard's consumer thread.
+using GatewayDecisionCallback =
+    std::function<void(int shard, const Job& job, const Decision& decision)>;
 
 /// Gateway deployment shape.
 struct GatewayConfig {
@@ -101,6 +105,22 @@ struct GatewayConfig {
   std::string metrics_textfile;
   /// Base publish period for the metrics textfile (jittered per cycle).
   std::chrono::milliseconds metrics_period{1000};
+
+  // --- integration hooks (see net/admission_server.hpp) ---
+  /// Per-decision notification: invoked by the deciding shard's consumer
+  /// thread after the decision is validated, counted and traced, in
+  /// decision order within the shard. The network front end uses this to
+  /// answer each SUBMIT frame; leave empty when unused. The callback runs
+  /// on the decision hot path — it must be fast and must not throw.
+  GatewayDecisionCallback on_decision;
+
+  /// Checks the configuration for values that would otherwise misbehave
+  /// at runtime (deadlocked heartbeats, silently resized rings, zero-period
+  /// publishers). Returns one human-readable message per problem; empty
+  /// means valid. AdmissionGateway's constructor throws a
+  /// PreconditionError listing every message, and AdmissionServer refuses
+  /// to start on the same list.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 /// Per-batch ingest outcome (counts; pass `statuses` for per-job detail).
@@ -145,18 +165,18 @@ class AdmissionGateway {
   AdmissionGateway(const AdmissionGateway&) = delete;
   AdmissionGateway& operator=(const AdmissionGateway&) = delete;
 
-  /// Routes and enqueues one job. Non-blocking; see SubmitStatus. An
-  /// unavailable home shard spills to the next healthy shard (cyclic
-  /// probe) when failover is enabled; with none available the job is shed
-  /// with kRejectedRetryAfter.
-  [[nodiscard]] SubmitStatus submit(const Job& job);
+  /// Routes and enqueues one job. Non-blocking; returns kEnqueued or one
+  /// of the kRejected* outcomes. An unavailable home shard spills to the
+  /// next healthy shard (cyclic probe) when failover is enabled; with none
+  /// available the job is shed with kRejectedRetryAfter.
+  [[nodiscard]] Outcome submit(const Job& job);
 
   /// Batched ingest: routes every job, then pushes each shard's group
   /// under a single queue lock. Jobs keep their relative order within a
   /// shard. When `statuses` is non-null it is resized to jobs.size() and
   /// filled with the per-job outcome.
   BatchSubmitResult submit_batch(std::span<const Job> jobs,
-                                 std::vector<SubmitStatus>* statuses = nullptr);
+                                 std::vector<Outcome>* statuses = nullptr);
 
   /// Lock-free live counters (callable at any time, from any thread).
   [[nodiscard]] MetricsSnapshot metrics_snapshot() const {

@@ -4,6 +4,7 @@
 
 #include "common/csv.hpp"
 #include "service/gateway.hpp"
+#include "service/outcome.hpp"
 
 namespace slacksched {
 
@@ -120,6 +121,36 @@ std::string render_prometheus(const ExporterInput& input,
         family.sample(shard_label(s),
                       std::to_string(snap.shards[s].*field.member));
       }
+    }
+  }
+
+  {
+    // One family keyed by the frozen outcome registry (service/outcome.hpp):
+    // the label strings here are byte-identical to the trace-CSV `kind`
+    // cells and the wire protocol's outcome names. kRejectedClosed is not
+    // emitted — refusals after shutdown happen outside the metrics window.
+    struct OutcomeField {
+      Outcome outcome;
+      std::size_t ShardMetricsSnapshot::* member;
+    };
+    static constexpr OutcomeField kOutcomeFields[] = {
+        {Outcome::kEnqueued, &ShardMetricsSnapshot::enqueued},
+        {Outcome::kAccepted, &ShardMetricsSnapshot::accepted},
+        {Outcome::kRejected, &ShardMetricsSnapshot::rejected},
+        {Outcome::kRejectedQueueFull,
+         &ShardMetricsSnapshot::backpressure_rejected},
+        {Outcome::kRejectedRetryAfter,
+         &ShardMetricsSnapshot::degraded_rejected},
+        {Outcome::kFailover, &ShardMetricsSnapshot::failovers},
+    };
+    FamilyWriter family(
+        os, options.prefix, "outcomes_total",
+        "Submission outcomes keyed by the wire-stable outcome registry.",
+        "counter");
+    for (const OutcomeField& field : kOutcomeFields) {
+      family.sample("outcome=\"" + std::string(outcome_label(field.outcome)) +
+                        "\"",
+                    std::to_string(snap.total.*field.member));
     }
   }
 

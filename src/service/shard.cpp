@@ -92,21 +92,20 @@ void Shard::spawn(bool is_restart) {
   worker_ = std::thread([this] { worker_loop(); });
 }
 
-EnqueueStatus Shard::try_enqueue(const Job& job, Clock::time_point now,
-                                 int home) {
+Outcome Shard::try_enqueue(const Job& job, Clock::time_point now, int home) {
   if (SLACKSCHED_FAULT_FIRES(config_.faults, FaultSite::kEnqueue, index_)) {
     metrics_.on_backpressure(index_);
-    return EnqueueStatus::kFull;  // simulated ingest drop
+    return Outcome::kRejectedQueueFull;  // simulated ingest drop
   }
   if (queue_.try_push(
           Task{job, now,
                static_cast<std::int16_t>(home < 0 ? index_ : home)})) {
     metrics_.on_enqueued(index_);
-    return EnqueueStatus::kEnqueued;
+    return Outcome::kEnqueued;
   }
-  if (queue_.closed()) return EnqueueStatus::kClosed;
+  if (queue_.closed()) return Outcome::kRejectedClosed;
   metrics_.on_backpressure(index_);
-  return EnqueueStatus::kFull;
+  return Outcome::kRejectedQueueFull;
 }
 
 Shard::BatchEnqueueResult Shard::try_enqueue_batch(
@@ -247,14 +246,17 @@ void Shard::process(const Task& task) {
     event.job_id = task.job.id;
     event.home_shard = task.home;
     event.shard = static_cast<std::int16_t>(index_);
-    event.kind = outcome.decision.accepted ? TraceKind::kAccepted
-                                           : TraceKind::kRejected;
+    event.kind = outcome.decision.accepted ? Outcome::kAccepted
+                                           : Outcome::kRejected;
     event.latency_bin = static_cast<std::uint8_t>(latency_bin);
     event.fsync_class = wal_ != nullptr
                             ? static_cast<std::uint8_t>(config_.wal_fsync)
                             : kTraceNoWal;
     config_.trace->record(event);  // drop-on-full: never blocks decisions
   }
+  // Notify last: the decision is validated, counted and traced before any
+  // downstream consumer (e.g. the network front end) can observe it.
+  if (config_.on_decision) config_.on_decision(task.job, outcome.decision);
 }
 
 }  // namespace slacksched

@@ -1,20 +1,21 @@
-// One shard of the admission gateway: an independent machine group owned
-// by its own OnlineScheduler instance and consumer thread. The shard
-// replays its queue in FIFO order through the engine's StreamingRunner —
-// literally the same code path as run_online (decision recording,
-// commitment-legality check, halt-on-violation rule) — so a single-shard
-// gateway is byte-identical to the sequential engine. With decision
-// recording disabled the consumer loop accumulates metrics reserve-free
-// and allocation-free outside the committed schedule.
-//
-// Crash safety (optional, enabled by ShardConfig::wal_path): every
-// accepted commitment is appended to a per-shard commit log *before* it is
-// applied in memory, the worker publishes a heartbeat the supervisor
-// (service/supervisor.hpp) watches, and a crashed worker can be restarted
-// in place — the replacement replays the log, rebuilds the committed
-// schedule and the scheduler's frontiers, and resumes consuming the same
-// queue. Commitments never migrate between shards: a restart resumes the
-// same machine group from its own durable log.
+/// \file
+/// One shard of the admission gateway: an independent machine group owned
+/// by its own OnlineScheduler instance and consumer thread. The shard
+/// replays its queue in FIFO order through the engine's StreamingRunner —
+/// literally the same code path as run_online (decision recording,
+/// commitment-legality check, halt-on-violation rule) — so a single-shard
+/// gateway is byte-identical to the sequential engine. With decision
+/// recording disabled the consumer loop accumulates metrics reserve-free
+/// and allocation-free outside the committed schedule.
+///
+/// Crash safety (optional, enabled by ShardConfig::wal_path): every
+/// accepted commitment is appended to a per-shard commit log *before* it is
+/// applied in memory, the worker publishes a heartbeat the supervisor
+/// (service/supervisor.hpp) watches, and a crashed worker can be restarted
+/// in place — the replacement replays the log, rebuilds the committed
+/// schedule and the scheduler's frontiers, and resumes consuming the same
+/// queue. Commitments never migrate between shards: a restart resumes the
+/// same machine group from its own durable log.
 #pragma once
 
 #include <atomic>
@@ -34,12 +35,17 @@
 #include "service/commit_log.hpp"
 #include "service/fault_injection.hpp"
 #include "service/metrics_registry.hpp"
+#include "service/outcome.hpp"
 #include "service/trace_ring.hpp"
 
 namespace slacksched {
 
 /// Builds (or rebuilds, on restart) the shard's scheduler instance.
 using SchedulerFactory = std::function<std::unique_ptr<OnlineScheduler>()>;
+
+/// Per-decision notification hook (see ShardConfig::on_decision).
+using ShardDecisionCallback =
+    std::function<void(const Job& job, const Decision& decision)>;
 
 /// Per-shard knobs (the gateway fills these from its own config).
 struct ShardConfig {
@@ -65,14 +71,18 @@ struct ShardConfig {
   /// consumer records one TraceEvent per rendered decision; recording is
   /// drop-on-full and never blocks the decision path.
   TraceRing* trace = nullptr;
+  /// Optional per-decision notification, invoked by the consumer thread
+  /// after each rendered, legal decision has been validated, counted and
+  /// traced — in decision (FIFO) order. Runs on the decision hot path:
+  /// must be fast and must not throw.
+  ShardDecisionCallback on_decision;
 };
 
-/// Outcome of a single-job enqueue attempt.
-enum class EnqueueStatus : std::uint8_t {
-  kEnqueued,
-  kFull,    ///< backpressure: the bounded queue is at capacity
-  kClosed,  ///< the shard's queue is closed (shut down or force-drained)
-};
+/// Deprecated pre-unification name for the shard-queue enqueue outcome;
+/// removed one release after the Outcome consolidation. try_enqueue
+/// returns kEnqueued, kRejectedQueueFull (was kFull) or kRejectedClosed
+/// (was kClosed).
+using EnqueueStatus [[deprecated("use slacksched::Outcome")]] = Outcome;
 
 /// An independent scheduler + queue + consumer thread.
 class Shard {
@@ -101,12 +111,11 @@ class Shard {
   void start();
 
   /// Non-blocking enqueue of one job. Metrics are updated on enqueue and
-  /// backpressure; a kClosed refusal is not backpressure (the shard is
-  /// gone, not busy). `home` is the shard the router originally chose
-  /// (recorded in trace events; -1 means "this shard").
-  [[nodiscard]] EnqueueStatus try_enqueue(const Job& job,
-                                          Clock::time_point now,
-                                          int home = -1);
+  /// backpressure; a kRejectedClosed refusal is not backpressure (the
+  /// shard is gone, not busy). `home` is the shard the router originally
+  /// chose (recorded in trace events; -1 means "this shard").
+  [[nodiscard]] Outcome try_enqueue(const Job& job, Clock::time_point now,
+                                    int home = -1);
 
   /// Enqueues jobs[indices[0..count)] in order under one queue lock. The
   /// accepted prefix is counted as enqueued; a shed tail is counted as

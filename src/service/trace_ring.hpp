@@ -1,22 +1,26 @@
-// Per-decision structured tracing for the admission gateway: a
-// fixed-capacity, lock-free bounded ring of TraceEvents, one ring per
-// shard. The common case is single-writer-per-shard (the shard's consumer
-// thread records one event per rendered decision), but the slot protocol
-// is Vyukov-style per-cell sequence claiming, so the gateway's failover
-// path — which runs on arbitrary producer threads — can safely record
-// into the same rings. When the ring is full the event is DROPPED and an
-// atomic counter is bumped: tracing never blocks or slows the decision
-// path to preserve an event, and the drop count itself is exported as a
-// metric so operators know the window was undersized.
-//
-// Draining is single-consumer (the gateway after finish(), or any one
-// thread between runs). Drained events carry a globally unique `seq`
-// assigned at record time from a counter that can be shared across rings,
-// so a multi-shard trace merges into one total order with a sort.
-//
-// The CSV writers at the bottom follow sched/decision_io conventions: a
-// fixed header, round-trip-exact cells, and a strict parser that rejects
-// malformed rows — a trace is an audit artifact, not best-effort output.
+/// \file
+/// Per-decision structured tracing for the admission gateway: a
+/// fixed-capacity, lock-free bounded ring of TraceEvents, one ring per
+/// shard. The common case is single-writer-per-shard (the shard's consumer
+/// thread records one event per rendered decision), but the slot protocol
+/// is Vyukov-style per-cell sequence claiming, so the gateway's failover
+/// path — which runs on arbitrary producer threads — can safely record
+/// into the same rings. When the ring is full the event is DROPPED and an
+/// atomic counter is bumped: tracing never blocks or slows the decision
+/// path to preserve an event, and the drop count itself is exported as a
+/// metric so operators know the window was undersized.
+///
+/// Draining is single-consumer (the gateway after finish(), or any one
+/// thread between runs). Drained events carry a globally unique `seq`
+/// assigned at record time from a counter that can be shared across rings,
+/// so a multi-shard trace merges into one total order with a sort.
+///
+/// The CSV writers at the bottom follow sched/decision_io conventions: a
+/// fixed header, round-trip-exact cells, and a strict parser that rejects
+/// malformed rows — a trace is an audit artifact, not best-effort output.
+/// The `kind` cell uses the frozen outcome_label() registry
+/// (service/outcome.hpp); the parser also accepts the pre-unification
+/// "shed" spelling of retry_after.
 #pragma once
 
 #include <atomic>
@@ -24,6 +28,7 @@
 #include <cstdint>
 #include <istream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,26 +36,14 @@
 #include "common/expects.hpp"
 #include "job/job.hpp"
 #include "service/commit_log.hpp"
+#include "service/outcome.hpp"
 
 namespace slacksched {
 
-/// What the traced event says happened to the job.
-enum class TraceKind : std::uint8_t {
-  kAccepted = 0,    ///< decision rendered: committed
-  kRejected = 1,    ///< decision rendered: declined by the policy
-  kFailover = 2,    ///< routed away from an unavailable home shard
-  kShed = 3,        ///< no shard available; rejected with retry-after
-};
-
-[[nodiscard]] inline std::string to_string(TraceKind kind) {
-  switch (kind) {
-    case TraceKind::kAccepted: return "accepted";
-    case TraceKind::kRejected: return "rejected";
-    case TraceKind::kFailover: return "failover";
-    case TraceKind::kShed: return "shed";
-  }
-  return "unknown";
-}
+/// Deprecated pre-unification name for the trace-event kind; removed one
+/// release after the Outcome consolidation. Trace events record
+/// kAccepted, kRejected, kFailover or kRejectedRetryAfter (was kShed).
+using TraceKind [[deprecated("use slacksched::Outcome")]] = Outcome;
 
 /// Sentinel for TraceEvent::latency_bin on events that carry no latency
 /// (failover/shed happen before any decision is rendered).
@@ -65,7 +58,7 @@ struct TraceEvent {
   JobId job_id = 0;
   std::int16_t home_shard = -1; ///< shard the router chose
   std::int16_t shard = -1;      ///< shard that handled/recorded the event
-  TraceKind kind = TraceKind::kRejected;
+  Outcome kind = Outcome::kRejected;
   /// MetricsRegistry::latency_bin of the admit latency, or
   /// kTraceNoLatencyBin for routing events.
   std::uint8_t latency_bin = kTraceNoLatencyBin;
@@ -213,17 +206,14 @@ inline void write_trace_csv(std::ostream& out,
       e.job_id = std::stoll(cells[1]);
       e.home_shard = static_cast<std::int16_t>(std::stoi(cells[2]));
       e.shard = static_cast<std::int16_t>(std::stoi(cells[3]));
-      if (cells[4] == "accepted") {
-        e.kind = TraceKind::kAccepted;
-      } else if (cells[4] == "rejected") {
-        e.kind = TraceKind::kRejected;
-      } else if (cells[4] == "failover") {
-        e.kind = TraceKind::kFailover;
-      } else if (cells[4] == "shed") {
-        e.kind = TraceKind::kShed;
-      } else {
+      const std::optional<Outcome> kind = outcome_from_label(cells[4]);
+      // Only decision and routing outcomes are recordable trace kinds.
+      if (!kind.has_value() ||
+          (!outcome_is_decision(*kind) && *kind != Outcome::kFailover &&
+           *kind != Outcome::kRejectedRetryAfter)) {
         throw PreconditionError("bad kind");
       }
+      e.kind = *kind;
       e.latency_bin = cells[5] == "-"
                           ? kTraceNoLatencyBin
                           : static_cast<std::uint8_t>(std::stoi(cells[5]));

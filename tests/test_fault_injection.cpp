@@ -138,8 +138,8 @@ TEST(FaultInjection, EnqueueFaultLooksLikeOneBackpressureRefusal) {
   job.release = 0.0;
   job.proc = 1.0;
   job.deadline = 10.0;
-  EXPECT_EQ(gateway.submit(job), SubmitStatus::kRejectedQueueFull);
-  EXPECT_EQ(gateway.submit(job), SubmitStatus::kEnqueued);
+  EXPECT_EQ(gateway.submit(job), Outcome::kRejectedQueueFull);
+  EXPECT_EQ(gateway.submit(job), Outcome::kEnqueued);
   const GatewayResult result = gateway.finish();
   EXPECT_EQ(result.merged.submitted, 1u);
   EXPECT_EQ(result.metrics.total.backpressure_rejected, 1u);
@@ -180,9 +180,9 @@ void run_crash_recovery_property(std::uint64_t seed, int* crashes_fired) {
     const auto give_up =
         std::chrono::steady_clock::now() + std::chrono::seconds(30);
     for (;;) {
-      const SubmitStatus status = gateway.submit(job);
-      if (status == SubmitStatus::kEnqueued) break;
-      ASSERT_NE(status, SubmitStatus::kRejectedClosed);
+      const Outcome status = gateway.submit(job);
+      if (status == Outcome::kEnqueued) break;
+      ASSERT_NE(status, Outcome::kRejectedClosed);
       ASSERT_LT(std::chrono::steady_clock::now(), give_up)
           << "submission stuck while shard recovering";
       std::this_thread::sleep_for(std::chrono::milliseconds(1));

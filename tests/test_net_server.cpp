@@ -1,0 +1,396 @@
+// Loopback end-to-end coverage of the networked admission front end:
+// the wire path (AdmissionClient -> AdmissionServer -> gateway -> shard
+// -> decision hook -> DECISION frame) must be observationally identical
+// to the in-process engine, drain must hand back exactly the counters
+// AdmissionGateway::finish() reports, the HTTP metrics page must agree
+// with those counters after quiesce, and protocol violations must be
+// answered with an ERROR frame and a closed connection — never a hang,
+// never a silent drop.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/greedy.hpp"
+#include "common/expects.hpp"
+#include "core/threshold.hpp"
+#include "net/admission_client.hpp"
+#include "net/admission_server.hpp"
+#include "sched/engine.hpp"
+#include "workload/generators.hpp"
+
+namespace slacksched::net {
+namespace {
+
+Instance test_instance(std::size_t n, std::uint64_t seed) {
+  WorkloadConfig config;
+  config.n = n;
+  config.eps = 0.1;
+  config.arrival_rate = 2.0;
+  config.seed = seed;
+  return generate_workload(config);
+}
+
+AdmissionServerConfig loopback_config(std::size_t queue_capacity) {
+  AdmissionServerConfig config;
+  config.gateway.shards = 1;
+  config.gateway.routing = RoutingPolicy::kRoundRobin;
+  config.gateway.queue_capacity = queue_capacity;
+  return config;
+}
+
+/// Extracts the value of an unlabelled sample from an exposition page.
+double metric_value(const std::string& page, const std::string& name) {
+  const std::string needle = "\n" + name + " ";
+  const std::size_t pos = page.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  return std::stod(page.substr(pos + needle.size()));
+}
+
+// ---------- equivalence with the in-process engine ----------
+
+TEST(NetServer, LoopbackDecisionStreamEqualsRunOnline) {
+  const Instance instance = test_instance(400, 2026);
+  ThresholdScheduler reference(0.1, 4);
+  const RunResult engine = run_online(reference, instance, RunOptions{});
+
+  AdmissionServerConfig config = loopback_config(instance.size());
+  AdmissionServer server(config, [](int) {
+    return std::make_unique<ThresholdScheduler>(0.1, 4);
+  });
+  AdmissionClient client("127.0.0.1", server.port());
+
+  // Pipeline everything, then read replies: a single connection into a
+  // single shard preserves submission order end to end.
+  std::vector<std::uint64_t> request_ids;
+  for (const Job& job : instance.jobs()) {
+    request_ids.push_back(client.submit(job));
+  }
+  std::vector<DecisionReply> replies;
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    replies.push_back(client.wait_reply());
+  }
+  EXPECT_EQ(client.outstanding(), 0u);
+
+  ASSERT_EQ(engine.decisions.size(), instance.size());
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const DecisionRecord& expected = engine.decisions[i];
+    const DecisionReply& got = replies[i];
+    EXPECT_EQ(got.request_id, request_ids[i]) << "reply order broke at " << i;
+    EXPECT_EQ(got.job_id, expected.job.id);
+    ASSERT_TRUE(got.is_decision());
+    EXPECT_EQ(got.outcome == Outcome::kAccepted, expected.decision.accepted);
+    if (expected.decision.accepted) {
+      EXPECT_EQ(got.machine, expected.decision.machine);
+      EXPECT_EQ(got.start, expected.decision.start);  // bit-exact doubles
+    }
+  }
+
+  // The DRAINED counters are the engine's RunMetrics, bit for bit.
+  const DrainedMsg drained = client.drain();
+  EXPECT_EQ(drained.submitted, engine.metrics.submitted);
+  EXPECT_EQ(drained.accepted, engine.metrics.accepted);
+  EXPECT_EQ(drained.rejected, engine.metrics.rejected);
+  EXPECT_EQ(drained.accepted_volume, engine.metrics.accepted_volume);
+  EXPECT_EQ(drained.rejected_volume, engine.metrics.rejected_volume);
+  EXPECT_EQ(drained.makespan, engine.metrics.makespan);
+  EXPECT_EQ(drained.clean, 1);
+
+  // The metrics page after drain reports the same final counters.
+  const std::string page = http_get_metrics("127.0.0.1", server.port());
+  EXPECT_EQ(metric_value(page, "slacksched_accepted_total"),
+            static_cast<double>(engine.metrics.accepted));
+  EXPECT_EQ(metric_value(page, "slacksched_rejected_total"),
+            static_cast<double>(engine.metrics.rejected));
+  EXPECT_EQ(metric_value(page, "slacksched_submitted_total"),
+            static_cast<double>(engine.metrics.submitted));
+}
+
+TEST(NetServer, BatchedSubmitMatchesSingleSubmits) {
+  const Instance instance = test_instance(300, 7);
+  ThresholdScheduler reference(0.1, 4);
+  const RunResult engine = run_online(reference, instance, RunOptions{});
+
+  AdmissionServerConfig config = loopback_config(instance.size());
+  AdmissionServer server(config, [](int) {
+    return std::make_unique<ThresholdScheduler>(0.1, 4);
+  });
+  AdmissionClient client("127.0.0.1", server.port());
+
+  const std::uint64_t base = client.submit_batch(instance.jobs());
+  std::map<std::uint64_t, DecisionReply> by_request;
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const DecisionReply reply = client.wait_reply();
+    by_request[reply.request_id] = reply;
+  }
+  ASSERT_EQ(by_request.size(), instance.size());
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const DecisionRecord& expected = engine.decisions[i];
+    ASSERT_TRUE(by_request.count(base + i));
+    const DecisionReply& got = by_request[base + i];
+    EXPECT_EQ(got.job_id, expected.job.id);
+    EXPECT_EQ(got.outcome == Outcome::kAccepted, expected.decision.accepted);
+  }
+}
+
+// ---------- no silent drops under backpressure ----------
+
+TEST(NetServer, EverySubmitIsAnsweredUnderBackpressure) {
+  // Tiny queue + slow-ish consumer: many submissions bounce with
+  // kRejectedQueueFull. Contract: submitted == decisions + rejects.
+  AdmissionServerConfig config = loopback_config(8);
+  config.gateway.batch_size = 4;
+  AdmissionServer server(config, [](int) {
+    return std::make_unique<GreedyScheduler>(2);
+  });
+
+  constexpr int kClients = 4;
+  constexpr int kJobsPerClient = 500;
+  std::vector<std::size_t> decided(kClients, 0);
+  std::vector<std::size_t> shed(kClients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      AdmissionClient client("127.0.0.1", server.port());
+      for (int i = 0; i < kJobsPerClient; ++i) {
+        const JobId id = c * kJobsPerClient + i;
+        Job job;
+        job.id = id;
+        job.release = 0.0;
+        job.proc = 1.0;
+        job.deadline = 1e9;
+        (void)client.submit(job);
+        const DecisionReply reply = client.wait_reply();
+        EXPECT_EQ(reply.job_id, id);
+        if (reply.is_decision()) {
+          ++decided[static_cast<std::size_t>(c)];
+        } else {
+          EXPECT_EQ(reply.outcome, Outcome::kRejectedQueueFull);
+          ++shed[static_cast<std::size_t>(c)];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::size_t total_decided = 0;
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(decided[static_cast<std::size_t>(c)] +
+                  shed[static_cast<std::size_t>(c)],
+              static_cast<std::size_t>(kJobsPerClient));
+    total_decided += decided[static_cast<std::size_t>(c)];
+  }
+  const GatewayResult result = server.shutdown();
+  EXPECT_EQ(result.merged.submitted, total_decided);
+}
+
+// ---------- drain semantics ----------
+
+TEST(NetServer, SubmitAfterDrainIsRejectedClosed) {
+  AdmissionServerConfig config = loopback_config(64);
+  AdmissionServer server(config, [](int) {
+    return std::make_unique<GreedyScheduler>(2);
+  });
+  AdmissionClient client("127.0.0.1", server.port());
+
+  Job job;
+  job.id = 1;
+  job.proc = 1.0;
+  job.deadline = 100.0;
+  const DecisionReply before = client.submit_wait(job);
+  EXPECT_TRUE(before.is_decision());
+
+  const DrainedMsg drained = client.drain();
+  EXPECT_EQ(drained.submitted, 1u);
+  EXPECT_TRUE(server.drained());
+
+  job.id = 2;
+  const DecisionReply after = client.submit_wait(job);
+  EXPECT_EQ(after.outcome, Outcome::kRejectedClosed);
+
+  // A second DRAIN answers again with the same cached counters.
+  const DrainedMsg again = client.drain();
+  EXPECT_EQ(again.submitted, drained.submitted);
+  EXPECT_EQ(again.accepted, drained.accepted);
+}
+
+TEST(NetServer, PingPongEchoesToken) {
+  AdmissionServerConfig config = loopback_config(16);
+  AdmissionServer server(config, [](int) {
+    return std::make_unique<GreedyScheduler>(1);
+  });
+  AdmissionClient client("127.0.0.1", server.port());
+  EXPECT_EQ(client.ping(0xdeadbeef), 0xdeadbeefu);
+  // Pipelined submits in flight are buffered, not lost, across a ping.
+  Job job;
+  job.id = 10;
+  job.proc = 1.0;
+  job.deadline = 100.0;
+  (void)client.submit(job);
+  EXPECT_EQ(client.ping(7), 7u);
+  DecisionReply reply;
+  while (!client.try_reply(reply)) {
+    reply = client.wait_reply();
+    break;
+  }
+  EXPECT_EQ(reply.job_id, 10);
+}
+
+// ---------- config validation ----------
+
+TEST(NetServer, RefusesToStartOnInvalidGatewayConfig) {
+  AdmissionServerConfig config;
+  config.gateway.shards = 0;
+  config.gateway.enable_tracing = true;
+  config.gateway.trace_capacity = 1000;  // not a power of two
+  config.gateway.metrics_textfile = "/tmp/slacksched-net-test-metrics.prom";
+  config.gateway.metrics_period = std::chrono::milliseconds{0};
+  try {
+    AdmissionServer server(config, [](int) {
+      return std::make_unique<GreedyScheduler>(1);
+    });
+    FAIL() << "server started on an invalid config";
+  } catch (const PreconditionError& e) {
+    const std::string message = e.what();
+    // Every problem is named in the single refusal message.
+    EXPECT_NE(message.find("shards"), std::string::npos);
+    EXPECT_NE(message.find("trace_capacity"), std::string::npos);
+    EXPECT_NE(message.find("metrics_period"), std::string::npos);
+  }
+}
+
+TEST(NetServer, GatewayConfigValidateListsEveryProblem) {
+  GatewayConfig config;
+  EXPECT_TRUE(config.validate().empty());  // defaults are deployable
+  config.shards = 0;
+  config.queue_capacity = 0;
+  config.batch_size = 0;
+  config.pop_timeout = std::chrono::milliseconds{0};
+  EXPECT_GE(config.validate().size(), 4u);
+}
+
+// ---------- protocol violations over a real socket ----------
+
+/// Raw loopback socket for sending hand-forged bytes.
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    SLACKSCHED_EXPECTS(fd_ >= 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    SLACKSCHED_EXPECTS(
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) == 1);
+    SLACKSCHED_EXPECTS(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                                 sizeof(addr)) == 0);
+  }
+  ~RawConn() { ::close(fd_); }
+
+  void send_bytes(const void* data, std::size_t n) {
+    ASSERT_EQ(::send(fd_, data, n, MSG_NOSIGNAL),
+              static_cast<ssize_t>(n));
+  }
+
+  /// Reads until EOF and returns everything.
+  std::string read_to_eof() {
+    std::string out;
+    char buf[4096];
+    while (true) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(NetServer, MalformedStreamGetsErrorFrameAndClose) {
+  AdmissionServerConfig config = loopback_config(16);
+  AdmissionServer server(config, [](int) {
+    return std::make_unique<GreedyScheduler>(1);
+  });
+  RawConn raw(server.port());
+  // A bad-version frame: framing is unrecoverable, so the server answers
+  // with one ERROR frame and closes.
+  std::vector<char> bytes;
+  encode_ping(bytes, 1);
+  bytes[0] = 9;  // wrong protocol version
+  raw.send_bytes(bytes.data(), bytes.size());
+  const std::string response = raw.read_to_eof();
+
+  FrameDecoder decoder;
+  decoder.feed(response.data(), response.size());
+  Frame frame;
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kError);
+  EXPECT_NE(parse_error_message(frame).find("version"), std::string::npos);
+
+  // The server survives to serve well-formed clients.
+  AdmissionClient client("127.0.0.1", server.port());
+  EXPECT_EQ(client.ping(3), 3u);
+}
+
+TEST(NetServer, ClientOnlyFramesAreAProtocolError) {
+  AdmissionServerConfig config = loopback_config(16);
+  AdmissionServer server(config, [](int) {
+    return std::make_unique<GreedyScheduler>(1);
+  });
+  RawConn raw(server.port());
+  std::vector<char> bytes;
+  encode_pong(bytes, 5);  // server-to-client frame sent at the server
+  raw.send_bytes(bytes.data(), bytes.size());
+  const std::string response = raw.read_to_eof();
+  FrameDecoder decoder;
+  decoder.feed(response.data(), response.size());
+  Frame frame;
+  ASSERT_EQ(decoder.next(frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kError);
+}
+
+TEST(NetServer, HttpUnknownPathIs404) {
+  AdmissionServerConfig config = loopback_config(16);
+  AdmissionServer server(config, [](int) {
+    return std::make_unique<GreedyScheduler>(1);
+  });
+  RawConn raw(server.port());
+  const std::string request = "GET /nope HTTP/1.0\r\n\r\n";
+  raw.send_bytes(request.data(), request.size());
+  const std::string response = raw.read_to_eof();
+  EXPECT_NE(response.find("404"), std::string::npos);
+}
+
+TEST(NetServer, HttpMetricsServesWhileTrafficFlows) {
+  AdmissionServerConfig config = loopback_config(1024);
+  AdmissionServer server(config, [](int) {
+    return std::make_unique<GreedyScheduler>(2);
+  });
+  AdmissionClient client("127.0.0.1", server.port());
+  for (JobId id = 0; id < 100; ++id) {
+    Job job;
+    job.id = id;
+    job.proc = 1.0;
+    job.deadline = 1e9;
+    (void)client.submit(job);
+  }
+  const std::string page = http_get_metrics("127.0.0.1", server.port());
+  EXPECT_NE(page.find("# HELP slacksched_shards"), std::string::npos);
+  EXPECT_NE(page.find("slacksched_outcomes_total"), std::string::npos);
+  for (int i = 0; i < 100; ++i) (void)client.wait_reply();
+}
+
+}  // namespace
+}  // namespace slacksched::net

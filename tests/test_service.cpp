@@ -258,13 +258,13 @@ TEST(Gateway, QueueFullIsExplicitNeverSilent) {
   int shed = 0;
   for (JobId id = 0; id < n; ++id) {
     // Loose deadlines: the slow scheduler accepts whatever arrives.
-    const SubmitStatus status =
+    const Outcome status =
         gateway.submit(make_job(id, 0.0, 1.0, 1e9));
-    if (status == SubmitStatus::kEnqueued) {
+    if (status == Outcome::kEnqueued) {
       ++enqueued;
     } else {
-      ASSERT_EQ(status, SubmitStatus::kRejectedQueueFull);
-      EXPECT_NE(to_string(status).find("backpressure"), std::string::npos);
+      ASSERT_EQ(status, Outcome::kRejectedQueueFull);
+      EXPECT_NE(describe(status).find("backpressure"), std::string::npos);
       ++shed;
     }
   }
@@ -288,12 +288,12 @@ TEST(Gateway, SubmitAfterFinishIsRejectedClosed) {
       config, [](int) { return std::make_unique<GreedyScheduler>(2); });
   (void)gateway.finish();
   EXPECT_EQ(gateway.submit(make_job(1, 0.0, 1.0, 5.0)),
-            SubmitStatus::kRejectedClosed);
-  std::vector<SubmitStatus> statuses;
+            Outcome::kRejectedClosed);
+  std::vector<Outcome> statuses;
   const std::vector<Job> jobs{make_job(2, 0.0, 1.0, 5.0)};
   const BatchSubmitResult batch = gateway.submit_batch(jobs, &statuses);
   EXPECT_EQ(batch.rejected_closed, 1u);
-  EXPECT_EQ(statuses[0], SubmitStatus::kRejectedClosed);
+  EXPECT_EQ(statuses[0], Outcome::kRejectedClosed);
 }
 
 // ---------- gateway: multi-shard processing ----------
@@ -357,9 +357,9 @@ TEST(Gateway, ConcurrentProducersAccountForEveryJob) {
     producers.emplace_back([&gateway, &enqueued, &shed, p] {
       for (int i = 0; i < kPerProducer; ++i) {
         const JobId id = static_cast<JobId>(p * kPerProducer + i);
-        const SubmitStatus status =
+        const Outcome status =
             gateway.submit(make_job(id, 0.0, 1.0, 1e9));
-        if (status == SubmitStatus::kEnqueued) {
+        if (status == Outcome::kEnqueued) {
           ++enqueued;
         } else {
           ++shed;
@@ -403,7 +403,7 @@ TEST(Gateway, HaltsPoisonedShardAndReportsViolation) {
     // Retry on transient backpressure; the shard keeps draining even after
     // it halts, so this always terminates.
     while (gateway.submit(make_job(id, 0.0, 2.0, 100.0)) !=
-           SubmitStatus::kEnqueued) {
+           Outcome::kEnqueued) {
       std::this_thread::yield();
     }
   }
@@ -547,14 +547,14 @@ TEST(Gateway, BatchTailOnAClosedShardIsRejectedClosedNotBackpressure) {
   for (JobId id = 0; id < 6; ++id) {
     jobs.push_back(make_job(id, 0.0, 1.0, 100.0));
   }
-  std::vector<SubmitStatus> statuses;
+  std::vector<Outcome> statuses;
   const BatchSubmitResult result = gateway.submit_batch(
       std::span<const Job>(jobs.data(), jobs.size()), &statuses);
   EXPECT_EQ(result.enqueued, 0u);
   EXPECT_EQ(result.rejected_closed, 6u);
   EXPECT_EQ(result.rejected_queue_full, 0u);
-  for (const SubmitStatus s : statuses) {
-    EXPECT_EQ(s, SubmitStatus::kRejectedClosed);
+  for (const Outcome s : statuses) {
+    EXPECT_EQ(s, Outcome::kRejectedClosed);
   }
   // And none of it was counted as backpressure in the live metrics.
   EXPECT_EQ(gateway.metrics_snapshot().total.backpressure_rejected, 0u);
@@ -575,7 +575,7 @@ TEST(Gateway, BatchTailOnAFullQueueIsStillBackpressure) {
   for (JobId id = 0; id < 32; ++id) {
     jobs.push_back(make_job(id, 0.0, 1.0, 1000.0));
   }
-  std::vector<SubmitStatus> statuses;
+  std::vector<Outcome> statuses;
   const BatchSubmitResult result = gateway.submit_batch(
       std::span<const Job>(jobs.data(), jobs.size()), &statuses);
   EXPECT_EQ(result.rejected_closed, 0u);

@@ -73,7 +73,7 @@ std::vector<Job> easy_jobs(int count, JobId first_id, double from) {
 
 void submit_now(AdmissionGateway& gateway, const std::vector<Job>& jobs) {
   for (const Job& job : jobs) {
-    ASSERT_EQ(gateway.submit(job), SubmitStatus::kEnqueued)
+    ASSERT_EQ(gateway.submit(job), Outcome::kEnqueued)
         << "job " << job.id;
   }
 }
@@ -202,8 +202,8 @@ TEST(Supervisor, CircuitBreaksWhenRestartsAreExhausted) {
   EXPECT_EQ(gateway.supervisor().restarts(0), 0);
 
   // The single shard is gone: new work is shed with retry_after.
-  const SubmitStatus status = gateway.submit(make_job(99, 1.0, 1.0, 100.0));
-  EXPECT_EQ(status, SubmitStatus::kRejectedRetryAfter);
+  const Outcome status = gateway.submit(make_job(99, 1.0, 1.0, 100.0));
+  EXPECT_EQ(status, Outcome::kRejectedRetryAfter);
   EXPECT_EQ(gateway.retry_after(), milliseconds(5));
   EXPECT_GE(gateway.metrics_snapshot().total.degraded_rejected, 1u);
 
@@ -284,17 +284,17 @@ TEST(Supervisor, AllShardsDownShedsWithRetryAfter) {
   gateway.supervisor().force_down(0);
   EXPECT_FALSE(gateway.supervisor().any_available());
   EXPECT_EQ(gateway.submit(make_job(1, 0.0, 1.0, 10.0)),
-            SubmitStatus::kRejectedRetryAfter);
+            Outcome::kRejectedRetryAfter);
   EXPECT_EQ(gateway.retry_after(), milliseconds(7));
 
-  std::vector<SubmitStatus> statuses;
+  std::vector<Outcome> statuses;
   const std::vector<Job> jobs = easy_jobs(3, 10, 1.0);
   const BatchSubmitResult batch = gateway.submit_batch(
       std::span<const Job>(jobs.data(), jobs.size()), &statuses);
   EXPECT_EQ(batch.rejected_retry_after, 3u);
   EXPECT_EQ(batch.enqueued, 0u);
-  for (const SubmitStatus s : statuses) {
-    EXPECT_EQ(s, SubmitStatus::kRejectedRetryAfter);
+  for (const Outcome s : statuses) {
+    EXPECT_EQ(s, Outcome::kRejectedRetryAfter);
   }
   EXPECT_GE(gateway.metrics_snapshot().total.degraded_rejected, 4u);
   (void)gateway.finish();
@@ -312,7 +312,7 @@ TEST(Supervisor, WithoutFailoverADownShardRejectsAsClosed) {
   // The drained queue refuses as closed — not as backpressure, and not as
   // retry_after (failover is off; the job is offered to its home shard).
   EXPECT_EQ(gateway.submit(make_job(1, 0.0, 1.0, 10.0)),
-            SubmitStatus::kRejectedClosed);
+            Outcome::kRejectedClosed);
   (void)gateway.finish();
 }
 

@@ -20,7 +20,7 @@ TraceEvent decision_event(JobId id, int shard, bool accepted) {
   e.job_id = id;
   e.home_shard = static_cast<std::int16_t>(shard);
   e.shard = static_cast<std::int16_t>(shard);
-  e.kind = accepted ? TraceKind::kAccepted : TraceKind::kRejected;
+  e.kind = accepted ? Outcome::kAccepted : Outcome::kRejected;
   e.latency_bin = 3;
   e.fsync_class = static_cast<std::uint8_t>(FsyncPolicy::kBatch);
   return e;
@@ -172,14 +172,14 @@ TEST(TraceCsv, RoundTripsEveryFieldIncludingSentinels) {
   f.job_id = 43;
   f.home_shard = 1;
   f.shard = 3;
-  f.kind = TraceKind::kFailover;  // routing event: no latency, no WAL
+  f.kind = Outcome::kFailover;  // routing event: no latency, no WAL
   events.push_back(f);
   TraceEvent s;
   s.seq = 9;
   s.job_id = 44;
   s.home_shard = 2;
   s.shard = -1;  // shed: never reached a shard
-  s.kind = TraceKind::kShed;
+  s.kind = Outcome::kRejectedRetryAfter;
   events.push_back(s);
 
   std::ostringstream out;
