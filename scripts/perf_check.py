@@ -19,6 +19,15 @@ Validates the five machine-readable bench artifacts:
         submitted job answered by exactly one rendered decision (no
         silent drops) and the DRAINED counters matched the replies the
         clients observed on the wire
+  BENCH_matrix.json     (bench/model_matrix [jobs-per-row])
+      - every (commit model x eps x m x speed profile x workload) row
+        finished clean (every decision legal under that model's
+        irrevocability contract) and valid (offline schedule validator)
+      - the grid covers >= 3 commit models, >= 2 speed profiles,
+        >= 3 workloads, >= 2 eps values and >= 2 machine counts
+      - the uniform commit-on-arrival Threshold rows stay within noise
+        of the committed BENCH_threshold.json trajectory at matching m
+        (ratio floor --matrix-min-ratio of the micro-bench rate)
   BENCH_obs.json        (bench/obs_overhead [jobs])
       - every mode finished clean
       - decision tracing costs at most --max-overhead of the baseline
@@ -34,8 +43,9 @@ passes; each failure is printed on its own line.
 Usage:
   scripts/perf_check.py [--threshold-json PATH] [--service-json PATH]
                         [--recovery-json PATH] [--obs-json PATH]
-                        [--net-json PATH]
+                        [--net-json PATH] [--matrix-json PATH]
                         [--min-speedup X] [--large-m M] [--max-overhead F]
+                        [--matrix-min-ratio F]
 
 A missing file is an error (reported as "<path>: not found — run
 bench/<name> to generate it") unless its path is passed as the empty
@@ -190,6 +200,81 @@ def check_net(path: Path, errors: list[str]) -> None:
           "all clean, every submission answered")
 
 
+def check_matrix(path: Path, threshold_json: str, min_ratio: float,
+                 errors: list[str]) -> None:
+    data = json.loads(path.read_text())
+    if data.get("bench") != "model_matrix":
+        fail(errors, f"{path}: unexpected bench id {data.get('bench')!r}")
+        return
+    rows = data.get("rows", [])
+    if not rows:
+        fail(errors, f"{path}: no rows recorded")
+        return
+
+    for row in rows:
+        label = (f"{row.get('model')} eps={row.get('eps')} "
+                 f"m={row.get('machines')} "
+                 f"speeds={row.get('speed_profile')} "
+                 f"workload={row.get('workload')}")
+        if not row.get("clean", False):
+            fail(errors, f"{path}: {label}: a decision violated the model's "
+                         "commitment contract (or a job went undecided)")
+        if not row.get("valid", False):
+            fail(errors, f"{path}: {label}: committed schedule failed the "
+                         "offline validator")
+        if row.get("jobs_per_sec", 0.0) <= 0.0:
+            fail(errors, f"{path}: {label}: non-positive throughput")
+
+    coverage = (("commit_model", 3), ("speed_profile", 2), ("workload", 3),
+                ("eps", 2), ("machines", 2))
+    for key, minimum in coverage:
+        distinct = {row.get(key) for row in rows}
+        if len(distinct) < minimum:
+            fail(errors, f"{path}: only {len(distinct)} distinct {key} "
+                         f"values {sorted(map(str, distinct))}, "
+                         f"need >= {minimum}")
+
+    # The uniform commit-on-arrival Threshold rows replay the same
+    # algorithm the micro bench measures; their per-arrival rate must stay
+    # within noise of the committed trajectory at the same machine count.
+    # The matrix rate runs through the full engine (validation + schedule
+    # commit), so only a generous floor is meaningful.
+    if threshold_json:
+        tpath = Path(threshold_json)
+        if tpath.is_file():
+            tdata = json.loads(tpath.read_text())
+            micro = {run.get("machines"): run.get("new_jobs_per_sec", 0.0)
+                     for run in tdata.get("runs", [])}
+            checked = 0
+            for row in rows:
+                if (row.get("model") != "on-arrival/threshold"
+                        or row.get("speed_profile") != "uniform"
+                        or row.get("eps") != tdata.get("eps")):
+                    continue
+                reference = micro.get(row.get("machines"), 0.0)
+                if reference <= 0.0:
+                    continue
+                checked += 1
+                ratio = row.get("jobs_per_sec", 0.0) / reference
+                if ratio < min_ratio:
+                    fail(errors,
+                         f"{path}: uniform Threshold m={row.get('machines')} "
+                         f"workload={row.get('workload')} runs at "
+                         f"{ratio:.2f}x the committed micro-bench rate "
+                         f"(floor {min_ratio:.2f}x)")
+            if checked == 0:
+                fail(errors, f"{path}: no uniform Threshold row matched a "
+                             f"machine count in {tpath} — the regression "
+                             "anchor is gone")
+
+    models = len({row.get("commit_model") for row in rows})
+    profiles = len({row.get("speed_profile") for row in rows})
+    workloads = len({row.get("workload") for row in rows})
+    print(f"ok: {path}: {len(rows)} rows over {models} commit models x "
+          f"{profiles} speed profiles x {workloads} workloads, all clean "
+          "and valid")
+
+
 def check_obs(path: Path, max_overhead: float, errors: list[str]) -> None:
     data = json.loads(path.read_text())
     if data.get("bench") != "obs_overhead":
@@ -236,6 +321,12 @@ def main() -> int:
     parser.add_argument("--recovery-json", default="BENCH_recovery.json")
     parser.add_argument("--obs-json", default="BENCH_obs.json")
     parser.add_argument("--net-json", default="BENCH_net.json")
+    parser.add_argument("--matrix-json", default="BENCH_matrix.json")
+    parser.add_argument("--matrix-min-ratio", type=float, default=0.15,
+                        help="floor for uniform-Threshold matrix rate over "
+                             "the committed micro-bench rate (default 0.15; "
+                             "the matrix pays full-engine validation per "
+                             "arrival)")
     parser.add_argument("--min-speedup", type=float, default=3.0,
                         help="jobs/sec floor for new/old at large m "
                              "(default 3.0; use 1.0 on noisy smoke runners)")
@@ -255,6 +346,7 @@ def main() -> int:
         args.recovery_json: "bench/recovery_replay",
         args.obs_json: "bench/obs_overhead",
         args.net_json: "bench/net_throughput",
+        args.matrix_json: "bench/model_matrix",
     }
     for raw, checker in ((args.threshold_json,
                           lambda p: check_threshold(p, args.min_speedup,
@@ -267,7 +359,11 @@ def main() -> int:
                           lambda p: check_obs(p, args.max_overhead,
                                               errors)),
                          (args.net_json,
-                          lambda p: check_net(p, errors))):
+                          lambda p: check_net(p, errors)),
+                         (args.matrix_json,
+                          lambda p: check_matrix(p, args.threshold_json,
+                                                 args.matrix_min_ratio,
+                                                 errors))):
         if not raw:
             continue
         path = Path(raw)

@@ -20,10 +20,8 @@ std::string to_string(QueuePolicy policy) {
   return "unknown";
 }
 
-namespace {
-
-/// Picks the index of the best startable pending job at time `now`, or -1.
-int pick(const std::vector<Job>& pending, TimePoint now, QueuePolicy policy) {
+int pick_startable(const std::vector<Job>& pending, TimePoint now,
+                   QueuePolicy policy) {
   int best = -1;
   for (std::size_t i = 0; i < pending.size(); ++i) {
     const Job& j = pending[i];
@@ -49,8 +47,6 @@ int pick(const std::vector<Job>& pending, TimePoint now, QueuePolicy policy) {
   }
   return best;
 }
-
-}  // namespace
 
 DelayedCommitResult run_delayed_commit(const Instance& instance, int machines,
                                        QueuePolicy policy) {
@@ -85,7 +81,7 @@ DelayedCommitResult run_delayed_commit(const Instance& instance, int machines,
     // Start work on every idle machine.
     for (int machine = 0; machine < machines && !pending.empty(); ++machine) {
       while (approx_le(free[static_cast<std::size_t>(machine)], now)) {
-        const int idx = pick(pending, now, policy);
+        const int idx = pick_startable(pending, now, policy);
         if (idx < 0) break;
         const Job job = pending[static_cast<std::size_t>(idx)];
         pending.erase(pending.begin() + idx);

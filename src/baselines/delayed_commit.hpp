@@ -1,17 +1,19 @@
-// Commitment-on-admission baseline (the weaker commitment model of the
-// early admission-control literature, e.g. Goldwasser '99 and Lee '03):
-// the scheduler only commits to a job when it actually starts it, so a
-// submitted job may wait in a queue and be silently dropped if its latest
-// start time passes. This cannot be expressed through the immediate-
-// commitment OnlineScheduler interface, so it ships with its own
-// event-driven simulator and reports the same RunMetrics.
-//
-// Substitution note (see DESIGN.md): Lee's exact multi-machine algorithm is
-// not specified in this paper; this queue-based greedy realizes the same
-// commitment model and serves as the commitment-model comparison point.
+/// \file
+/// Commitment-on-admission baseline (the weaker commitment model of the
+/// early admission-control literature, e.g. Goldwasser '99 and Lee '03):
+/// the scheduler only commits to a job when it actually starts it, so a
+/// submitted job may wait in a queue and be silently dropped if its latest
+/// start time passes. This cannot be expressed through the immediate-
+/// commitment OnlineScheduler interface, so it ships with its own
+/// event-driven simulator and reports the same RunMetrics.
+///
+/// Substitution note (see DESIGN.md): Lee's exact multi-machine algorithm is
+/// not specified in this paper; this queue-based greedy realizes the same
+/// commitment model and serves as the commitment-model comparison point.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "job/instance.hpp"
 #include "sched/metrics.hpp"
@@ -27,6 +29,13 @@ enum class QueuePolicy {
 };
 
 [[nodiscard]] std::string to_string(QueuePolicy policy);
+
+/// Index of the best startable pending job at time `now` under the queue
+/// policy, or -1 when none can still start. Shared by the event-driven
+/// simulator below and the streaming DeltaCommitScheduler
+/// (models/delta_commit.hpp), which must agree job for job.
+[[nodiscard]] int pick_startable(const std::vector<Job>& pending,
+                                 TimePoint now, QueuePolicy policy);
 
 /// Result of a delayed-commitment run.
 struct DelayedCommitResult {

@@ -23,20 +23,34 @@ GreedyScheduler::GreedyScheduler(int machines, GreedyPolicy policy)
   SLACKSCHED_EXPECTS(machines >= 1);
 }
 
+GreedyScheduler::GreedyScheduler(SpeedProfile speeds, GreedyPolicy policy)
+    : machines_(speeds.machines()),
+      policy_(policy),
+      frontier_(speeds.machines(), speeds.speeds()) {
+  if (!speeds.uniform()) profile_ = std::move(speeds);
+}
+
 int GreedyScheduler::machines() const { return machines_; }
 
 void GreedyScheduler::reset() { frontier_.reset(); }
 
 std::string GreedyScheduler::name() const {
-  return "Greedy[" + to_string(policy_) + "](m=" + std::to_string(machines_) +
-         ")";
+  std::string n = "Greedy[" + to_string(policy_) +
+                  "](m=" + std::to_string(machines_) + ")";
+  if (profile_) n += "[" + profile_->label() + "]";
+  return n;
+}
+
+const SpeedProfile* GreedyScheduler::speed_profile() const {
+  return profile_ ? &*profile_ : nullptr;
 }
 
 bool GreedyScheduler::restore_commitment(const Job& job, int machine,
                                          TimePoint start) {
   if (machine < 0 || machine >= machines_) return false;
   frontier_.update(machine,
-                   std::max(frontier_.frontier(machine), start + job.proc));
+                   std::max(frontier_.frontier(machine),
+                            start + frontier_.exec_time(machine, job.proc)));
   return true;
 }
 
@@ -57,7 +71,8 @@ Decision GreedyScheduler::on_arrival(const Job& job) {
       // scan stops at the first feasible machine (usually machine 0).
       for (int i = 0; i < machines_; ++i) {
         const Duration load = frontier_.load(i, t);
-        if (approx_le(t + load + job.proc, job.deadline)) {
+        if (approx_le(t + load + frontier_.exec_time(i, job.proc),
+                      job.deadline)) {
           chosen = i;
           break;
         }
@@ -67,7 +82,7 @@ Decision GreedyScheduler::on_arrival(const Job& job) {
   if (chosen < 0) return Decision::reject();
 
   const TimePoint start = t + frontier_.load(chosen, t);
-  frontier_.update(chosen, start + job.proc);
+  frontier_.update(chosen, start + frontier_.exec_time(chosen, job.proc));
   return Decision::accept(chosen, start);
 }
 

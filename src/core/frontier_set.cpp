@@ -23,6 +23,26 @@ FrontierSet::FrontierSet(int machines)
   reset();
 }
 
+FrontierSet::FrontierSet(int machines, std::vector<double> speeds)
+    : FrontierSet(machines) {
+  if (speeds.empty()) return;
+  SLACKSCHED_EXPECTS(static_cast<int>(speeds.size()) == machines);
+  bool uniform = true;
+  for (const double s : speeds) {
+    SLACKSCHED_EXPECTS(s > 0.0);
+    if (s != 1.0) uniform = false;
+  }
+  // All-unit speeds normalize to the identical-machine representation so
+  // the uniform fast paths (and their bit-exactness pins) still apply.
+  if (!uniform) speed_ = std::move(speeds);
+}
+
+double FrontierSet::speed(int machine) const {
+  SLACKSCHED_EXPECTS(machine >= 0 && machine < machines_);
+  if (speed_.empty()) return 1.0;
+  return speed_[static_cast<std::size_t>(machine)];
+}
+
 void FrontierSet::reset() {
   std::fill(frontier_.begin(), frontier_.end(), 0.0);
   std::iota(order_.begin(), order_.end(), std::int32_t{0});
@@ -144,6 +164,7 @@ int FrontierSet::first_position_below(TimePoint value) const {
 }
 
 int FrontierSet::best_fit(TimePoint now, Duration proc, TimePoint deadline) {
+  if (!speed_.empty()) return best_fit_scan(now, proc, deadline);
   // Loads are non-increasing in the sorted position and floating-point
   // addition is weakly monotone, so feasibility splits the order into an
   // infeasible prefix and a feasible suffix; the first feasible position
@@ -162,8 +183,39 @@ int FrontierSet::best_fit(TimePoint now, Duration proc, TimePoint deadline) {
   return min_machine_with_load_at(lo, now);
 }
 
+int FrontierSet::best_fit_scan(TimePoint now, Duration proc,
+                               TimePoint deadline) const {
+  int chosen = -1;
+  Duration best = 0.0;
+  for (int i = 0; i < machines_; ++i) {
+    const Duration l = load(i, now);
+    if (!approx_le(now + l + exec_time(i, proc), deadline)) continue;
+    if (chosen < 0 || l > best) {
+      chosen = i;
+      best = l;
+    }
+  }
+  return chosen;
+}
+
+int FrontierSet::least_loaded_fit_scan(TimePoint now, Duration proc,
+                                       TimePoint deadline) const {
+  int chosen = -1;
+  Duration best = 0.0;
+  for (int i = 0; i < machines_; ++i) {
+    const Duration l = load(i, now);
+    if (!approx_le(now + l + exec_time(i, proc), deadline)) continue;
+    if (chosen < 0 || l < best) {
+      chosen = i;
+      best = l;
+    }
+  }
+  return chosen;
+}
+
 int FrontierSet::least_loaded_fit(TimePoint now, Duration proc,
                                   TimePoint deadline) {
+  if (!speed_.empty()) return least_loaded_fit_scan(now, proc, deadline);
   // The last position holds the minimum load, and feasibility is monotone
   // in the position, so the least loaded machine is feasible iff any is.
   const int tail = machines_ - 1;

@@ -1,28 +1,38 @@
-// Incrementally maintained sorted machine frontiers — the data structure
-// behind the O(log m) admission hot path.
-//
-// Every immediate-commitment algorithm in this library tracks one number
-// per machine: the absolute completion time of its last committed job (the
-// "frontier"). The outstanding load at time `now` is max(0, frontier - now),
-// a non-decreasing function of the frontier, so the *relative* order of the
-// machines by load is time-invariant: sorting the frontiers once descending
-// sorts the loads descending for every `now`. A commitment moves exactly
-// one machine to a new frontier, which re-sorts with a single binary-search
-// find plus one std::rotate of the displaced range — O(log m) compare cost
-// and an amortized-cheap contiguous memmove — instead of the O(m log m)
-// full sort the naive arrival loop pays.
-//
-// Order and tie-breaking: machines are kept sorted by (frontier descending,
-// machine index ascending). The secondary index order reproduces, by
-// construction, the lowest-index-wins tie-breaking of a naive ascending
-// scan with a strict comparison, which the equivalence tests pin
-// decision-for-decision against the seed implementations.
-//
-// Zero-load machines need one extra structure: all machines with
-// frontier <= now carry load exactly 0, and a naive scan picks the lowest
-// *index* among them regardless of their (stale) frontiers. A lazily
-// advanced idle bitset answers that min-index query in O(m/64) words
-// without disturbing the sorted order.
+/// \file
+/// Incrementally maintained sorted machine frontiers — the data structure
+/// behind the O(log m) admission hot path.
+///
+/// Every immediate-commitment algorithm in this library tracks one number
+/// per machine: the absolute completion time of its last committed job (the
+/// "frontier"). The outstanding load at time `now` is max(0, frontier - now),
+/// a non-decreasing function of the frontier, so the *relative* order of the
+/// machines by load is time-invariant: sorting the frontiers once descending
+/// sorts the loads descending for every `now`. A commitment moves exactly
+/// one machine to a new frontier, which re-sorts with a single binary-search
+/// find plus one std::rotate of the displaced range — O(log m) compare cost
+/// and an amortized-cheap contiguous memmove — instead of the O(m log m)
+/// full sort the naive arrival loop pays.
+///
+/// Order and tie-breaking: machines are kept sorted by (frontier descending,
+/// machine index ascending). The secondary index order reproduces, by
+/// construction, the lowest-index-wins tie-breaking of a naive ascending
+/// scan with a strict comparison, which the equivalence tests pin
+/// decision-for-decision against the seed implementations.
+///
+/// Zero-load machines need one extra structure: all machines with
+/// frontier <= now carry load exactly 0, and a naive scan picks the lowest
+/// *index* among them regardless of their (stale) frontiers. A lazily
+/// advanced idle bitset answers that min-index query in O(m/64) words
+/// without disturbing the sorted order.
+///
+/// Related machines: an optional per-machine speed vector generalizes the
+/// fit queries to execution times p/s_i. Heterogeneous speeds break the
+/// monotonicity the binary searches rely on (a lighter-loaded machine can be
+/// slower and therefore infeasible), so the non-uniform fit paths fall back
+/// to the naive ascending index scan with strict comparisons — the exact
+/// semantics the uniform fast paths are pinned against. A FrontierSet built
+/// without speeds (or with every speed exactly 1) takes the original code
+/// paths untouched, bit for bit.
 #pragma once
 
 #include <cstdint>
@@ -40,11 +50,31 @@ class FrontierSet {
  public:
   explicit FrontierSet(int machines);
 
+  /// Related-machine variant: machine i runs at speed `speeds[i]` > 0, so a
+  /// job of processing requirement p occupies it for p / speeds[i]. An
+  /// empty vector means identical machines and is bit-identical to the
+  /// speed-less constructor.
+  FrontierSet(int machines, std::vector<double> speeds);
+
   /// Returns every machine to frontier 0 (the empty system).
   void reset();
 
   /// Number of machines.
   [[nodiscard]] int size() const { return machines_; }
+
+  /// True iff the set was built without speeds (or with all speeds exactly
+  /// 1.0 normalized away) — the identical-machine fast paths apply.
+  [[nodiscard]] bool uniform_speeds() const { return speed_.empty(); }
+
+  /// Speed of a physical machine (1.0 when uniform).
+  [[nodiscard]] double speed(int machine) const;
+
+  /// Execution time of a job with processing requirement `proc` on
+  /// `machine`: p / s_i, returned as exactly `proc` when uniform.
+  [[nodiscard]] Duration exec_time(int machine, Duration proc) const {
+    if (speed_.empty()) return proc;
+    return proc / speed_[static_cast<std::size_t>(machine)];
+  }
 
   /// Frontier (absolute completion time of the last commitment) of a
   /// physical machine.
@@ -80,13 +110,17 @@ class FrontierSet {
   /// `load > best` comparison would pick — the most loaded machine that
   /// still completes a job of length `proc` released at `now` by
   /// `deadline`, lowest machine index among exact load ties. Returns -1
-  /// when no machine is feasible. (Non-const: advances the idle bitset.)
+  /// when no machine is feasible. Uniform speeds: O(log m) binary search
+  /// (feasibility is monotone in the sorted position). Heterogeneous
+  /// speeds: O(m) index scan with feasibility now + load + p/s_i <=
+  /// deadline. (Non-const: advances the idle bitset.)
   [[nodiscard]] int best_fit(TimePoint now, Duration proc, TimePoint deadline);
 
   /// Least-loaded allocation: the machine a naive ascending scan with
   /// strict `load < best` comparison would pick. Returns -1 when no
-  /// machine is feasible. O(1) feasibility check: the least loaded machine
-  /// is feasible iff any machine is.
+  /// machine is feasible. Uniform speeds: O(1) feasibility check (the
+  /// least loaded machine is feasible iff any machine is). Heterogeneous
+  /// speeds: O(m) index scan.
   [[nodiscard]] int least_loaded_fit(TimePoint now, Duration proc,
                                      TimePoint deadline);
 
@@ -115,7 +149,16 @@ class FrontierSet {
   void rebuild_idle_bits(TimePoint now);
   void advance_idle_watermark(TimePoint now);
 
+  /// Naive ascending index scans used when speeds are heterogeneous and
+  /// the sorted-order binary searches lose their monotonicity.
+  [[nodiscard]] int best_fit_scan(TimePoint now, Duration proc,
+                                  TimePoint deadline) const;
+  [[nodiscard]] int least_loaded_fit_scan(TimePoint now, Duration proc,
+                                          TimePoint deadline) const;
+
   int machines_;
+  /// Per-machine speeds; empty means identical machines (all s_i = 1).
+  std::vector<double> speed_;
   std::vector<TimePoint> frontier_;    ///< per physical machine
   std::vector<std::int32_t> order_;    ///< machine ids, sorted
   std::vector<std::int32_t> position_; ///< inverse permutation of order_

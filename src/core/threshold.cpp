@@ -12,13 +12,23 @@ ThresholdScheduler::ThresholdScheduler(const ThresholdConfig& config)
                     ? RatioFunction::solve_with_k(config.eps, config.machines,
                                                   *config.k_override)
                     : RatioFunction::solve(config.eps, config.machines)),
-      frontier_(config.machines) {
+      frontier_(config.machines,
+                config.speeds ? config.speeds->speeds()
+                              : std::vector<double>{}) {
   SLACKSCHED_EXPECTS(config.machines >= 1);
   SLACKSCHED_EXPECTS(config.eps > 0.0 && config.eps <= 1.0);
+  SLACKSCHED_EXPECTS(!config.speeds ||
+                     config.speeds->machines() == config.machines);
 }
 
 ThresholdScheduler::ThresholdScheduler(double eps, int machines)
-    : ThresholdScheduler(ThresholdConfig{eps, machines, std::nullopt}) {}
+    : ThresholdScheduler(
+          ThresholdConfig{eps, machines, std::nullopt, std::nullopt}) {}
+
+const SpeedProfile* ThresholdScheduler::speed_profile() const {
+  if (config_.speeds && !config_.speeds->uniform()) return &*config_.speeds;
+  return nullptr;
+}
 
 int ThresholdScheduler::machines() const { return config_.machines; }
 
@@ -30,6 +40,7 @@ std::string ThresholdScheduler::name() const {
   if (config_.k_override) {
     n += "[k=" + std::to_string(*config_.k_override) + "]";
   }
+  if (speed_profile() != nullptr) n += "[" + config_.speeds->label() + "]";
   return n;
 }
 
@@ -71,14 +82,21 @@ Decision ThresholdScheduler::on_arrival(const Job& job) {
   // outstanding load. Binary search over the maintained order (feasibility
   // is monotone in the position) instead of a linear scan.
   const int best = frontier_.best_fit(t, job.proc, job.deadline);
-  // The least loaded machine is always a candidate: with l = min load,
-  // either l <= eps * p (then l + p <= (1+eps) p <= d - t by the slack
-  // condition) or l > eps * p (then l + p < l (1+eps)/eps = l * f_m
-  // <= d_lim - t <= d - t). So acceptance always allocates.
-  SLACKSCHED_ENSURES(best >= 0);
+  if (best < 0) {
+    // Only reachable with heterogeneous speeds, where the identical-machine
+    // allocation guarantee below does not hold: the threshold passed but no
+    // machine is fast enough given its load. Reject.
+    SLACKSCHED_ENSURES(!frontier_.uniform_speeds());
+    return Decision::reject();
+  }
+  // On identical machines the least loaded machine is always a candidate:
+  // with l = min load, either l <= eps * p (then l + p <= (1+eps) p
+  // <= d - t by the slack condition) or l > eps * p (then l + p
+  // < l (1+eps)/eps = l * f_m <= d_lim - t <= d - t). So acceptance always
+  // allocates.
 
   const TimePoint start = t + frontier_.load(best, t);
-  frontier_.update(best, start + job.proc);
+  frontier_.update(best, start + frontier_.exec_time(best, job.proc));
   return Decision::accept(best, start);
 }
 
@@ -86,7 +104,8 @@ bool ThresholdScheduler::restore_commitment(const Job& job, int machine,
                                             TimePoint start) {
   if (machine < 0 || machine >= config_.machines) return false;
   frontier_.update(machine,
-                   std::max(frontier_.frontier(machine), start + job.proc));
+                   std::max(frontier_.frontier(machine),
+                            start + frontier_.exec_time(machine, job.proc)));
   return true;
 }
 

@@ -1,17 +1,18 @@
-// Algorithm 1 of the paper: the deterministic Threshold algorithm for
-// Pm | online, eps, immediate | sum p_j (1 - U_j).
-//
-// On each arrival at time t the machines are indexed by decreasing
-// outstanding load l(m_1) >= ... >= l(m_m). The admission threshold is
-//
-//     d_lim = max_{h in {k..m}} ( t + l(m_h) * f_h )           (9),(10)
-//
-// over the m - k + 1 least loaded machines, with k and the factors f_h from
-// the ratio-function recursion. A job is rejected iff its deadline is below
-// d_lim; an accepted job goes to the most loaded machine that can still
-// complete it on time (best fit) and starts right after that machine's
-// outstanding load. Theorem 2: the competitive ratio is (m f_k + 1)/k for
-// k <= 3 and at most 0.164 larger otherwise.
+/// \file
+/// Algorithm 1 of the paper: the deterministic Threshold algorithm for
+/// Pm | online, eps, immediate | sum p_j (1 - U_j).
+///
+/// On each arrival at time t the machines are indexed by decreasing
+/// outstanding load l(m_1) >= ... >= l(m_m). The admission threshold is
+///
+///     d_lim = max_{h in {k..m}} ( t + l(m_h) * f_h )           (9),(10)
+///
+/// over the m - k + 1 least loaded machines, with k and the factors f_h from
+/// the ratio-function recursion. A job is rejected iff its deadline is below
+/// d_lim; an accepted job goes to the most loaded machine that can still
+/// complete it on time (best fit) and starts right after that machine's
+/// outstanding load. Theorem 2: the competitive ratio is (m f_k + 1)/k for
+/// k <= 3 and at most 0.164 larger otherwise.
 #pragma once
 
 #include <optional>
@@ -20,6 +21,7 @@
 
 #include "core/frontier_set.hpp"
 #include "core/ratio_function.hpp"
+#include "models/speed_profile.hpp"
 #include "sched/online.hpp"
 
 namespace slacksched {
@@ -30,6 +32,14 @@ struct ThresholdConfig {
   int machines = 1;
   /// Force a phase index instead of the paper's k (ablation only).
   std::optional<int> k_override;
+  /// Machine speeds for the related-machine extension; nullopt (or an
+  /// all-unit profile) is the paper's identical-machine model, whose
+  /// decision stream is pinned bit-identical to the speed-less code. With
+  /// heterogeneous speeds the threshold rule is applied to the time loads
+  /// unchanged (a heuristic extension — Theorem 2 is proved for identical
+  /// machines only; see docs/models.md) and acceptance may fail to
+  /// allocate, in which case the job is rejected.
+  std::optional<SpeedProfile> speeds;
 };
 
 /// The paper's Algorithm 1. Deterministic; supports immediate commitment.
@@ -54,6 +64,7 @@ class ThresholdScheduler final : public OnlineScheduler {
   [[nodiscard]] int machines() const override;
   void reset() override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] const SpeedProfile* speed_profile() const override;
 
   /// Threshold's entire mutable state is the machine frontiers, so a
   /// committed allocation restores exactly: advance the target machine's

@@ -1,0 +1,24 @@
+#include "models/commitment.hpp"
+
+namespace slacksched {
+
+std::string to_string(CommitModel model) {
+  switch (model) {
+    case CommitModel::kOnArrival:
+      return "on-arrival";
+    case CommitModel::kDelta:
+      return "delta";
+    case CommitModel::kOnAdmission:
+      return "on-admission";
+  }
+  return "unknown";
+}
+
+std::optional<CommitModel> commit_model_from_label(std::string_view label) {
+  if (label == "on-arrival") return CommitModel::kOnArrival;
+  if (label == "delta") return CommitModel::kDelta;
+  if (label == "on-admission") return CommitModel::kOnAdmission;
+  return std::nullopt;
+}
+
+}  // namespace slacksched

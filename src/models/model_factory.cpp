@@ -1,0 +1,111 @@
+#include "models/model_factory.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/greedy.hpp"
+#include "common/expects.hpp"
+#include "core/threshold.hpp"
+#include "models/delta_commit.hpp"
+
+namespace slacksched {
+
+namespace {
+
+/// Compact number for labels: "0.25", not "0.250000".
+std::string compact(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(ArrivalPolicy policy) {
+  switch (policy) {
+    case ArrivalPolicy::kThreshold:
+      return "threshold";
+    case ArrivalPolicy::kGreedyBestFit:
+      return "greedy-best-fit";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> ModelConfig::validate() const {
+  std::vector<std::string> problems;
+  if (machines < 1) problems.push_back("machines must be >= 1");
+  if (!speeds.empty() &&
+      static_cast<int>(speeds.size()) != machines) {
+    problems.push_back("speeds has " + std::to_string(speeds.size()) +
+                       " entries for " + std::to_string(machines) +
+                       " machines");
+  }
+  for (const double s : speeds) {
+    if (!(std::isfinite(s) && s > 0.0)) {
+      problems.push_back("every machine speed must be finite and > 0");
+      break;
+    }
+  }
+  if (model == CommitModel::kOnArrival &&
+      arrival == ArrivalPolicy::kThreshold &&
+      !(eps > 0.0 && eps <= 1.0)) {
+    problems.push_back("the Threshold algorithm requires 0 < eps <= 1");
+  }
+  if (model == CommitModel::kDelta &&
+      !(delta >= 0.0 && std::isfinite(delta))) {
+    problems.push_back("delta must be finite and >= 0");
+  }
+  return problems;
+}
+
+std::string ModelConfig::label() const {
+  switch (model) {
+    case CommitModel::kOnArrival:
+      return to_string(model) + "/" + to_string(arrival);
+    case CommitModel::kDelta:
+      return to_string(model) + "(" + compact(delta) + ")/" +
+             to_string(queue);
+    case CommitModel::kOnAdmission:
+      return to_string(model) + "/" + to_string(queue);
+  }
+  return "unknown";
+}
+
+std::unique_ptr<OnlineScheduler> make_scheduler(const ModelConfig& config) {
+  const std::vector<std::string> problems = config.validate();
+  SLACKSCHED_EXPECTS(problems.empty());
+
+  switch (config.model) {
+    case CommitModel::kOnArrival: {
+      if (config.arrival == ArrivalPolicy::kGreedyBestFit) {
+        if (config.speeds.empty()) {
+          return std::make_unique<GreedyScheduler>(config.machines,
+                                                   GreedyPolicy::kBestFit);
+        }
+        return std::make_unique<GreedyScheduler>(SpeedProfile(config.speeds),
+                                                 GreedyPolicy::kBestFit);
+      }
+      ThresholdConfig threshold;
+      threshold.eps = config.eps;
+      threshold.machines = config.machines;
+      if (!config.speeds.empty()) {
+        threshold.speeds = SpeedProfile(config.speeds);
+      }
+      return std::make_unique<ThresholdScheduler>(threshold);
+    }
+    case CommitModel::kDelta:
+    case CommitModel::kOnAdmission: {
+      DeltaCommitConfig delta;
+      delta.machines = config.machines;
+      delta.delta = config.delta;
+      delta.commit_on_admission = config.model == CommitModel::kOnAdmission;
+      delta.queue = config.queue;
+      delta.speeds = config.speeds;
+      return std::make_unique<DeltaCommitScheduler>(delta);
+    }
+  }
+  SLACKSCHED_EXPECTS(false);  // unreachable: enum fully covered
+  return nullptr;
+}
+
+}  // namespace slacksched

@@ -1,0 +1,95 @@
+#include "models/speed_profile.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+namespace {
+
+/// Compact number for labels: "4" / "0.75", not "4.000000".
+std::string compact(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+bool all_unit(const std::vector<double>& speeds) {
+  for (const double s : speeds) {
+    if (s != 1.0) return false;
+  }
+  return true;
+}
+
+double sum(const std::vector<double>& speeds) {
+  double total = 0.0;
+  for (const double s : speeds) total += s;
+  return total;
+}
+
+}  // namespace
+
+SpeedProfile::SpeedProfile(int machines)
+    : speed_(static_cast<std::size_t>(machines), 1.0),
+      total_(static_cast<double>(machines)),
+      uniform_(true),
+      label_("uniform") {
+  SLACKSCHED_EXPECTS(machines >= 1);
+}
+
+SpeedProfile::SpeedProfile(std::vector<double> speeds)
+    : speed_(std::move(speeds)) {
+  SLACKSCHED_EXPECTS(!speed_.empty());
+  for (const double s : speed_) {
+    SLACKSCHED_EXPECTS(std::isfinite(s) && s > 0.0);
+  }
+  uniform_ = all_unit(speed_);
+  total_ = sum(speed_);
+  label_ = uniform_ ? "uniform" : "custom";
+}
+
+double SpeedProfile::speed(int machine) const {
+  SLACKSCHED_EXPECTS(machine >= 0 && machine < machines());
+  return speed_[static_cast<std::size_t>(machine)];
+}
+
+SpeedProfile SpeedProfile::identical(int machines) {
+  return SpeedProfile(machines);
+}
+
+SpeedProfile SpeedProfile::two_tier(int machines, int fast_count,
+                                    double fast_speed) {
+  SLACKSCHED_EXPECTS(machines >= 1);
+  SLACKSCHED_EXPECTS(fast_count >= 0 && fast_count <= machines);
+  SLACKSCHED_EXPECTS(fast_speed > 0.0);
+  std::vector<double> speeds(static_cast<std::size_t>(machines), 1.0);
+  for (int i = 0; i < fast_count; ++i) {
+    speeds[static_cast<std::size_t>(i)] = fast_speed;
+  }
+  SpeedProfile profile{std::move(speeds)};
+  if (!profile.uniform_) {
+    profile.label_ = "two-tier(f=" + std::to_string(fast_count) +
+                     ",s=" + compact(fast_speed) + ")";
+  }
+  return profile;
+}
+
+SpeedProfile SpeedProfile::geometric(int machines, double ratio) {
+  SLACKSCHED_EXPECTS(machines >= 1);
+  SLACKSCHED_EXPECTS(ratio > 0.0 && ratio <= 1.0);
+  std::vector<double> speeds(static_cast<std::size_t>(machines));
+  double s = 1.0;
+  for (int i = 0; i < machines; ++i) {
+    speeds[static_cast<std::size_t>(i)] = s;
+    s *= ratio;
+  }
+  SpeedProfile profile{std::move(speeds)};
+  if (!profile.uniform_) {
+    profile.label_ = "geometric(r=" + compact(ratio) + ")";
+  }
+  return profile;
+}
+
+}  // namespace slacksched

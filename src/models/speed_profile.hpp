@@ -1,0 +1,91 @@
+/// \file
+/// Per-machine speed model — the "related machines" axis of the
+/// commitment-model matrix (docs/models.md).
+///
+/// The source paper assumes identical machines: a job of processing
+/// requirement p_j occupies any machine for exactly p_j time units. The
+/// related-machine generalization (Q_m in three-field notation, and the
+/// setting of Eberle–Megow–Schewior, arXiv 1912.10769) gives machine i a
+/// speed s_i > 0, so the same job occupies machine i for p_j / s_i time
+/// units. A SpeedProfile carries that vector and answers the one derived
+/// quantity every scheduler needs: the execution time of a job on a
+/// machine.
+///
+/// Uniform profiles are the common case and are treated exactly: a profile
+/// whose speeds are all 1.0 reports uniform() == true and exec_time()
+/// returns the processing time unchanged (no division), so code threading a
+/// SpeedProfile through the identical-machine path performs bit-identical
+/// arithmetic to code that never heard of speeds. The equivalence suites
+/// pin this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace slacksched {
+
+/// Immutable per-machine speed vector with exact uniform-speed semantics.
+class SpeedProfile {
+ public:
+  /// Uniform profile over `machines` identical machines (every s_i = 1).
+  explicit SpeedProfile(int machines);
+
+  /// Related-machine profile; every speed must be > 0.
+  explicit SpeedProfile(std::vector<double> speeds);
+
+  /// Number of machines.
+  [[nodiscard]] int machines() const {
+    return static_cast<int>(speed_.size());
+  }
+
+  /// True iff every speed is exactly 1.0 — the identical-machine model.
+  [[nodiscard]] bool uniform() const { return uniform_; }
+
+  /// Speed of one machine.
+  [[nodiscard]] double speed(int machine) const;
+
+  /// Execution time of a job with processing requirement `proc` on
+  /// `machine`: proc / s_i, returned as exactly `proc` when uniform.
+  [[nodiscard]] Duration exec_time(int machine, Duration proc) const {
+    if (uniform_) return proc;
+    return proc / speed_[static_cast<std::size_t>(machine)];
+  }
+
+  /// The raw speed vector (size == machines()).
+  [[nodiscard]] const std::vector<double>& speeds() const { return speed_; }
+
+  /// Sum of speeds — the aggregate service capacity in work units per time
+  /// unit (equals m for a uniform profile).
+  [[nodiscard]] double total_speed() const { return total_; }
+
+  /// Short label for benches and reports: "uniform", "two-tier(f=2,s=4)",
+  /// "geometric(r=0.5)", or "custom".
+  [[nodiscard]] std::string label() const { return label_; }
+
+  friend bool operator==(const SpeedProfile&, const SpeedProfile&) = default;
+
+  // --- named profiles -----------------------------------------------------
+
+  /// `machines` identical machines (s_i = 1).
+  [[nodiscard]] static SpeedProfile identical(int machines);
+
+  /// `fast_count` machines at speed `fast_speed`, the rest at 1.0 — the
+  /// classic "a few big boxes in front of the fleet" shape. Fast machines
+  /// occupy the lowest indices.
+  [[nodiscard]] static SpeedProfile two_tier(int machines, int fast_count,
+                                             double fast_speed);
+
+  /// Geometrically decaying speeds s_i = ratio^i (s_0 = 1), 0 < ratio <= 1
+  /// — a heterogeneous fleet with a long slow tail.
+  [[nodiscard]] static SpeedProfile geometric(int machines, double ratio);
+
+ private:
+  std::vector<double> speed_;
+  double total_ = 0.0;
+  bool uniform_ = true;
+  std::string label_;
+};
+
+}  // namespace slacksched

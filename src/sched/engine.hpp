@@ -1,19 +1,29 @@
-// The commitment-enforcing simulation engine.
-//
-// Replays an instance against an OnlineScheduler in submission order and
-// records every decision into a Schedule. Acceptance is binding: the engine
-// immediately checks that each committed allocation is physically possible
-// (machine in range, start after release, no overlap with earlier
-// commitments, completion by the deadline) and refuses to continue past a
-// violation — an algorithm cannot gain objective value through an illegal
-// promise. This realizes the "immediate commitment" model of the paper.
-//
-// Two entry points share one implementation: run_online replays a whole
-// Instance, and StreamingRunner feeds one job at a time — the streaming
-// fast path the gateway shards (service/shard.cpp) drive directly. With
-// decision recording disabled (RunOptions::record_decisions) the streaming
-// path accumulates metrics only and performs no per-job heap allocation
-// beyond the committed schedule itself.
+/// \file
+/// The commitment-enforcing simulation engine.
+///
+/// Replays an instance against an OnlineScheduler in submission order and
+/// records every decision into a Schedule. Acceptance is binding: the engine
+/// immediately checks that each committed allocation is physically possible
+/// (machine in range, start after release, no overlap with earlier
+/// commitments, completion by the deadline) and refuses to continue past a
+/// violation — an algorithm cannot gain objective value through an illegal
+/// promise. This realizes the "immediate commitment" model of the paper.
+///
+/// Two entry points share one implementation: run_online replays a whole
+/// Instance, and StreamingRunner feeds one job at a time — the streaming
+/// fast path the gateway shards (service/shard.cpp) drive directly. With
+/// decision recording disabled (RunOptions::record_decisions) the streaming
+/// path accumulates metrics only and performs no per-job heap allocation
+/// beyond the committed schedule itself.
+///
+/// Deferred commitment (models/commitment.hpp): when the scheduler's
+/// contract allows deferral, feed() first drains every decision that became
+/// binding before the new arrival (OnlineScheduler::advance_to), applies
+/// each one under the model-aware validate_commitment overload — same
+/// write-ahead hook, same halt-on-violation rule — and only then consults
+/// on_arrival, which may answer Decision::defer(). finish() drains to the
+/// end of time so every submitted job ends the run decided. Commit-on-
+/// arrival schedulers never defer and take the original path untouched.
 #pragma once
 
 #include <functional>
@@ -86,6 +96,13 @@ class StreamingRunner {
   /// crash at that point.
   using CommitHook = std::function<void(const Job&, const Decision&)>;
 
+  /// Invoked for every legal resolution of a previously deferred job,
+  /// after it was applied (committed or counted as a rejection). Lets a
+  /// consumer that reports per-job outcomes (e.g. a gateway shard) observe
+  /// decisions that arrive outside any feed() call.
+  using ResolutionHook =
+      std::function<void(const Job&, const Decision&, TimePoint decided_at)>;
+
   /// Resets the scheduler and starts an empty run.
   explicit StreamingRunner(OnlineScheduler& scheduler,
                            const RunOptions& options = {});
@@ -103,6 +120,11 @@ class StreamingRunner {
 
   /// Installs (or clears, with nullptr) the write-ahead commit hook.
   void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
+  /// Installs (or clears, with nullptr) the deferred-resolution hook.
+  void set_resolution_hook(ResolutionHook hook) {
+    resolution_hook_ = std::move(hook);
+  }
 
   /// Pre-sizes the decision log (no-op when recording is disabled).
   void reserve_decisions(std::size_t n);
@@ -127,10 +149,22 @@ class StreamingRunner {
   StreamingRunner(ResumeTag, OnlineScheduler& scheduler,
                   const RunOptions& options, RunResult state);
 
+  /// Builds the empty schedule, speed-aware when the scheduler reports a
+  /// related-machine profile.
+  [[nodiscard]] static Schedule make_schedule(const OnlineScheduler& s);
+
+  /// Pulls and applies every decision that became binding up to `now`.
+  void drain_resolutions(TimePoint now);
+  void apply_resolution(const DeferredResolution& resolution);
+
   OnlineScheduler* scheduler_;
   RunOptions options_;
   RunResult result_;
   CommitHook commit_hook_;
+  ResolutionHook resolution_hook_;
+  CommitmentContract contract_;
+  /// Scratch buffer reused across drain_resolutions calls.
+  std::vector<DeferredResolution> resolved_;
   bool halted_ = false;
 };
 

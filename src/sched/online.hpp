@@ -1,21 +1,39 @@
-// The single public interface implemented by every online algorithm with
-// immediate commitment. The engine (sched/engine.hpp) feeds jobs in
-// submission order; the adversary (adversary/lower_bound_game.hpp) drives
-// the same interface interactively.
+/// \file
+/// The single public interface implemented by every online admission
+/// algorithm, across all three commitment models (models/commitment.hpp).
+/// The engine (sched/engine.hpp) feeds jobs in submission order; the
+/// adversary (adversary/lower_bound_game.hpp) drives the same interface
+/// interactively. Commit-on-arrival schedulers answer every on_arrival with
+/// a binding accept/reject; deferred-commitment schedulers may answer
+/// Decision::defer() and deliver the binding decision later through
+/// advance_to.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "job/job.hpp"
+#include "models/commitment.hpp"
+#include "models/speed_profile.hpp"
 #include "sched/decision.hpp"
 
 namespace slacksched {
 
+/// A decision rendered after its job's arrival by a deferred-commitment
+/// scheduler, stamped with the simulated time it became binding.
+struct DeferredResolution {
+  Job job;
+  Decision decision;
+  TimePoint decided_at = 0.0;
+};
+
 /// Interface of a deterministic (or internally randomized) online admission
 /// algorithm. Implementations own all machine state. Jobs arrive with
 /// non-decreasing release dates; on_arrival is called exactly once per job
-/// at time job.release and the returned decision is binding.
+/// at time job.release and the returned decision is binding — unless the
+/// scheduler's commitment model allows deferral, in which case a deferred
+/// job's binding decision is produced by advance_to.
 class OnlineScheduler {
  public:
   virtual ~OnlineScheduler() = default;
@@ -50,6 +68,30 @@ class OnlineScheduler {
 
   /// Human-readable algorithm name for reports.
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The irrevocability contract this scheduler operates under. The
+  /// default is the paper's model: commitment on arrival.
+  [[nodiscard]] virtual CommitmentContract commitment_contract() const {
+    return CommitmentContract{};
+  }
+
+  /// The machine-speed model, or nullptr for identical machines (the
+  /// default). The pointed-to profile must outlive the scheduler's use.
+  [[nodiscard]] virtual const SpeedProfile* speed_profile() const {
+    return nullptr;
+  }
+
+  /// Advances a deferred-commitment scheduler's internal clock to `now`,
+  /// appending every decision that became binding strictly before or at
+  /// `now` to `resolved` in decision order. Commit-on-arrival schedulers
+  /// never defer, so the default is a no-op. The engine calls this before
+  /// each arrival (now = next release) and once at end of stream
+  /// (now = kTimeInfinity).
+  virtual void advance_to(TimePoint now,
+                          std::vector<DeferredResolution>& resolved) {
+    (void)now;
+    (void)resolved;
+  }
 };
 
 }  // namespace slacksched

@@ -13,12 +13,24 @@ Schedule::Schedule(int machines) {
   ids_ascending_.resize(static_cast<std::size_t>(machines), true);
 }
 
+Schedule::Schedule(int machines, std::vector<double> speeds)
+    : Schedule(machines) {
+  if (speeds.empty()) return;
+  SLACKSCHED_EXPECTS(static_cast<int>(speeds.size()) == machines);
+  bool uniform = true;
+  for (const double s : speeds) {
+    SLACKSCHED_EXPECTS(s > 0.0);
+    if (s != 1.0) uniform = false;
+  }
+  if (!uniform) speed_ = std::move(speeds);
+}
+
 void Schedule::commit(const Job& job, int machine, TimePoint start) {
   SLACKSCHED_EXPECTS(machine >= 0 && machine < machines());
   SLACKSCHED_EXPECTS(job.proc > 0.0);
   SLACKSCHED_EXPECTS(interval_free(machine, start, job.proc));
   auto& list = per_machine_[static_cast<std::size_t>(machine)];
-  Placement p{job, machine, start};
+  Placement p{job, machine, start, exec_time(machine, job.proc)};
   // Insert keeping the list sorted by start time. Almost always appends.
   const auto it = std::upper_bound(
       list.begin(), list.end(), start,
@@ -48,7 +60,7 @@ bool Schedule::interval_free(int machine, TimePoint start,
                              Duration proc) const {
   SLACKSCHED_EXPECTS(machine >= 0 && machine < machines());
   const auto& list = per_machine_[static_cast<std::size_t>(machine)];
-  const TimePoint end = start + proc;
+  const TimePoint end = start + exec_time(machine, proc);
   // Placements are sorted by start and non-overlapping, so completions are
   // sorted too: the only possible conflict is the last placement starting
   // before `end`. Overlap iff the intervals intersect by more than the

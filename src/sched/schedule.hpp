@@ -1,9 +1,16 @@
-// Committed non-preemptive schedules: the record of (job, machine, start)
-// placements an algorithm has irrevocably promised. Supports the load
-// queries the Threshold algorithm needs and the overlap/feasibility queries
-// the validator and engine need. Frontier, makespan, volume and job-count
-// queries are O(1): commit() maintains them incrementally instead of
-// recomputing from the placement lists.
+/// \file
+/// Committed non-preemptive schedules: the record of (job, machine, start)
+/// placements an algorithm has irrevocably promised. Supports the load
+/// queries the Threshold algorithm needs and the overlap/feasibility queries
+/// the validator and engine need. Frontier, makespan, volume and job-count
+/// queries are O(1): commit() maintains them incrementally instead of
+/// recomputing from the placement lists.
+///
+/// Related machines: a Schedule built with a speed vector records for every
+/// placement the execution time p_j / s_i on its machine; occupancy,
+/// frontier and makespan queries all use that duration. A speed-less
+/// Schedule is the identical-machine model and its arithmetic is untouched
+/// (durations are the processing times, no division anywhere).
 #pragma once
 
 #include <optional>
@@ -14,13 +21,16 @@
 
 namespace slacksched {
 
-/// One committed placement.
+/// One committed placement. `duration` is the execution time the job
+/// occupies its machine for — job.proc on identical machines, job.proc/s_i
+/// under a speed vector; Schedule::commit fills it in.
 struct Placement {
   Job job;
   int machine = 0;
   TimePoint start = 0.0;
+  Duration duration = 0.0;
 
-  [[nodiscard]] TimePoint completion() const { return start + job.proc; }
+  [[nodiscard]] TimePoint completion() const { return start + duration; }
 };
 
 /// A growing, per-machine-ordered non-preemptive schedule.
@@ -28,8 +38,26 @@ class Schedule {
  public:
   explicit Schedule(int machines);
 
+  /// Related-machine variant: machine i runs at speed `speeds[i]` > 0. An
+  /// empty vector means identical machines and is bit-identical to the
+  /// speed-less constructor (all-unit vectors are normalized to empty).
+  Schedule(int machines, std::vector<double> speeds);
+
   [[nodiscard]] int machines() const {
     return static_cast<int>(per_machine_.size());
+  }
+
+  /// True iff the schedule models identical machines.
+  [[nodiscard]] bool uniform_speeds() const { return speed_.empty(); }
+
+  /// The per-machine speed vector; empty when identical machines.
+  [[nodiscard]] const std::vector<double>& speeds() const { return speed_; }
+
+  /// Execution time of a job with processing requirement `proc` on
+  /// `machine`: p / s_i, returned as exactly `proc` on identical machines.
+  [[nodiscard]] Duration exec_time(int machine, Duration proc) const {
+    if (speed_.empty()) return proc;
+    return proc / speed_[static_cast<std::size_t>(machine)];
   }
 
   /// Commits a placement. Requires the machine index to be valid and the
@@ -37,7 +65,8 @@ class Schedule {
   /// machine (checked; throws PreconditionError otherwise).
   void commit(const Job& job, int machine, TimePoint start);
 
-  /// Whether [start, start + proc) is free on the machine.
+  /// Whether [start, start + exec_time(machine, proc)) is free on the
+  /// machine; `proc` is the processing requirement, not the wall time.
   [[nodiscard]] bool interval_free(int machine, TimePoint start,
                                    Duration proc) const;
 
@@ -73,6 +102,8 @@ class Schedule {
   [[nodiscard]] std::optional<Placement> find(JobId id) const;
 
  private:
+  /// Per-machine speeds; empty means identical machines (all s_i = 1).
+  std::vector<double> speed_;
   std::vector<std::vector<Placement>> per_machine_;
   /// Cached completion time of the last placement per machine.
   std::vector<TimePoint> frontier_;

@@ -26,13 +26,49 @@ std::string validate_commitment(const Schedule& schedule, const Job& job,
     return job.to_string() + ": committed start " +
            std::to_string(decision.start) + " precedes release";
   }
-  if (definitely_greater(decision.start + job.proc, job.deadline)) {
+  const TimePoint completion =
+      decision.start + schedule.exec_time(decision.machine, job.proc);
+  if (definitely_greater(completion, job.deadline)) {
     return job.to_string() + ": committed completion " +
-           std::to_string(decision.start + job.proc) + " misses deadline";
+           std::to_string(completion) + " misses deadline";
   }
   if (!schedule.interval_free(decision.machine, decision.start, job.proc)) {
     return job.to_string() + ": committed interval overlaps earlier " +
            "commitment on machine " + std::to_string(decision.machine);
+  }
+  return {};
+}
+
+std::string validate_commitment(const Schedule& schedule, const Job& job,
+                                const Decision& decision, TimePoint decided_at,
+                                const CommitmentContract& contract) {
+  if (decision.deferred) {
+    return job.to_string() + ": deferred decision offered as a commitment";
+  }
+  const std::string physical = validate_commitment(schedule, job, decision);
+  if (!physical.empty()) return physical;
+  if (!decision.accepted) return {};  // rejections carry no obligations
+
+  if (definitely_less(decided_at, job.release)) {
+    return job.to_string() + ": decided at " + std::to_string(decided_at) +
+           " before release (" + to_string(contract.model) + ")";
+  }
+  const TimePoint latest = contract.commit_deadline(job);
+  if (definitely_greater(decided_at, latest)) {
+    return job.to_string() + ": decided at " + std::to_string(decided_at) +
+           " after the " + to_string(contract.model) +
+           " commitment deadline " + std::to_string(latest);
+  }
+  if (definitely_less(decision.start, decided_at)) {
+    return job.to_string() + ": committed start " +
+           std::to_string(decision.start) + " precedes the decision time " +
+           std::to_string(decided_at);
+  }
+  if (contract.model == CommitModel::kOnAdmission &&
+      definitely_greater(decision.start, decided_at)) {
+    return job.to_string() + ": on-admission commitment at " +
+           std::to_string(decided_at) + " does not coincide with start " +
+           std::to_string(decision.start);
   }
   return {};
 }

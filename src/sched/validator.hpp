@@ -1,13 +1,15 @@
-// Independent schedule validation. Every experiment re-checks its schedules
-// here, so a bug in an algorithm cannot silently inflate its reported load:
-// Claim 1 of the paper ("Algorithm 1 completes any accepted job on time")
-// is asserted empirically on every run.
+/// \file
+/// Independent schedule validation. Every experiment re-checks its schedules
+/// here, so a bug in an algorithm cannot silently inflate its reported load:
+/// Claim 1 of the paper ("Algorithm 1 completes any accepted job on time")
+/// is asserted empirically on every run.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "job/instance.hpp"
+#include "models/commitment.hpp"
 #include "sched/decision.hpp"
 #include "sched/schedule.hpp"
 
@@ -47,5 +49,23 @@ struct ValidationReport {
 [[nodiscard]] std::string validate_commitment(const Schedule& schedule,
                                               const Job& job,
                                               const Decision& decision);
+
+/// Commitment-model-aware variant: the physical checks above plus the
+/// irrevocability contract (models/commitment.hpp). `decided_at` is the
+/// simulated time the decision became binding. An accepting decision must
+/// additionally satisfy
+///  - decided_at in [r_j, contract.commit_deadline(j)] (on-arrival pins
+///    decided_at == r_j; on-admission allows any time up to the latest
+///    start),
+///  - start >= decided_at (no retroactive commitments), and
+///  - under commitment-on-admission, start == decided_at (the commitment
+///    *is* the start).
+/// A rejecting decision is always legal; a still-deferred decision is never
+/// a commitment and is reported as a violation.
+[[nodiscard]] std::string validate_commitment(const Schedule& schedule,
+                                              const Job& job,
+                                              const Decision& decision,
+                                              TimePoint decided_at,
+                                              const CommitmentContract& contract);
 
 }  // namespace slacksched

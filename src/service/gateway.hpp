@@ -28,10 +28,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "models/model_factory.hpp"
 #include "sched/engine.hpp"
 #include "sched/online.hpp"
 #include "service/commit_log.hpp"
@@ -72,6 +74,15 @@ struct GatewayConfig {
   RoutingPolicy routing = RoutingPolicy::kRoundRobin;
   bool halt_shard_on_violation = true;
   bool record_decisions = true;
+
+  // --- scheduler-model selector (see docs/models.md) ---
+  /// Which point of the commitment-model matrix every shard runs. This is
+  /// purely server-side configuration: clients speak the same frozen wire
+  /// protocol whatever the model, and the factory-less constructor
+  /// AdmissionGateway(config) builds each shard's scheduler from this
+  /// value via make_scheduler(). Leave disengaged when constructing with
+  /// an explicit ShardSchedulerFactory.
+  std::optional<ModelConfig> model;
 
   // --- fault tolerance (see docs/service.md, "Failure model") ---
   /// Directory for the per-shard commit logs ("<wal_dir>/shard-<s>.wal").
@@ -158,6 +169,12 @@ class AdmissionGateway {
  public:
   AdmissionGateway(const GatewayConfig& config,
                    const ShardSchedulerFactory& factory);
+
+  /// Model-selector form: builds every shard's scheduler from
+  /// `config.model` (which must be engaged and valid). Equivalent to the
+  /// factory form with `[m = *config.model](int) { return
+  /// make_scheduler(m); }`.
+  explicit AdmissionGateway(const GatewayConfig& config);
 
   /// Shuts down (close + join) if finish() was never called.
   ~AdmissionGateway();

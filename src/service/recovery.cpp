@@ -39,8 +39,15 @@ bool plausible_payload_len(std::uint32_t len) {
 
 RecoveryResult recover_commit_log(const std::string& path, int machines,
                                   OnlineScheduler* scheduler,
-                                  bool truncate_file) {
-  RecoveryResult result{.schedule = Schedule(machines),
+                                  bool truncate_file,
+                                  const SpeedProfile* speeds) {
+  const SpeedProfile* profile =
+      speeds != nullptr
+          ? speeds
+          : (scheduler != nullptr ? scheduler->speed_profile() : nullptr);
+  RecoveryResult result{.schedule = profile != nullptr
+                                        ? Schedule(machines, profile->speeds())
+                                        : Schedule(machines),
                         .metrics = {},
                         .records_replayed = 0,
                         .bytes_truncated = 0,

@@ -1,11 +1,12 @@
-// Crash recovery for a shard's commit log: replays the WAL written by
-// service/commit_log.hpp, truncates a torn tail, and rebuilds the shard's
-// committed Schedule (and, optionally, the scheduler's internal state via
-// OnlineScheduler::restore_commitment). Every replayed record passes
-// through validate_commitment — the same legality path the live engine
-// uses — so a log that decodes cleanly but describes an impossible
-// schedule (overlap, deadline miss) fails recovery outright instead of
-// resurrecting a corrupt state.
+/// \file
+/// Crash recovery for a shard's commit log: replays the WAL written by
+/// service/commit_log.hpp, truncates a torn tail, and rebuilds the shard's
+/// committed Schedule (and, optionally, the scheduler's internal state via
+/// OnlineScheduler::restore_commitment). Every replayed record passes
+/// through validate_commitment — the same legality path the live engine
+/// uses — so a log that decodes cleanly but describes an impossible
+/// schedule (overlap, deadline miss) fails recovery outright instead of
+/// resurrecting a corrupt state.
 #pragma once
 
 #include <cstddef>
@@ -53,10 +54,16 @@ struct RecoveryResult {
 ///    OnlineScheduler::restore_commitment so the algorithm's internal
 ///    state (e.g. machine frontiers) matches the rebuilt schedule; a
 ///    scheduler that cannot restore (returns false) is a hard error.
+///  - Related machines: the rebuilt Schedule carries the speed profile of
+///    the recovering scheduler (speed_profile()), or the explicit `speeds`
+///    for a scheduler-less replay — so replayed occupancies use the same
+///    execution times p_j / s_i the original run committed with. Passing
+///    neither replays under the identical-machine model.
 ///
 /// The caller resets the scheduler before invoking recovery.
 [[nodiscard]] RecoveryResult recover_commit_log(
     const std::string& path, int machines,
-    OnlineScheduler* scheduler = nullptr, bool truncate_file = true);
+    OnlineScheduler* scheduler = nullptr, bool truncate_file = true,
+    const SpeedProfile* speeds = nullptr);
 
 }  // namespace slacksched

@@ -86,6 +86,14 @@ void Shard::spawn(bool is_restart) {
                                    index_);
     });
   }
+  // Deferred-commitment schedulers resolve jobs outside any feed() call;
+  // the resolution hook performs the same bookkeeping process() does for
+  // immediate decisions (metrics, trace, notification), with a zero queue
+  // latency — the job left the queue when it was fed.
+  runner_->set_resolution_hook(
+      [this](const Job& job, const Decision& decision, TimePoint) {
+        on_resolution(job, decision);
+      });
 
   worker_failed_.store(false, std::memory_order_release);
   worker_exited_.store(false, std::memory_order_release);
@@ -174,7 +182,8 @@ RunResult Shard::take_result() {
     // elsewhere, and the next restart will truncate the tail itself.
     RecoveryResult recovered =
         recover_commit_log(config_.wal_path, scheduler_->machines(),
-                           /*scheduler=*/nullptr, /*truncate_file=*/false);
+                           /*scheduler=*/nullptr, /*truncate_file=*/false,
+                           scheduler_->speed_profile());
     RunResult from_log{std::move(recovered.schedule), recovered.metrics,
                        {}, {}};
     if (!recovered.ok) from_log.commitment_violation = recovered.error;
@@ -232,11 +241,31 @@ void Shard::worker_loop() {
   worker_exited_.store(true, std::memory_order_release);
 }
 
+void Shard::on_resolution(const Job& job, const Decision& decision) {
+  const std::size_t latency_bin =
+      metrics_.on_decision(index_, job.proc, decision.accepted, 0.0);
+  if (config_.trace != nullptr) {
+    TraceEvent event;
+    event.job_id = job.id;
+    event.home_shard = static_cast<std::int16_t>(index_);
+    event.shard = static_cast<std::int16_t>(index_);
+    event.kind = decision.accepted ? Outcome::kAccepted : Outcome::kRejected;
+    event.latency_bin = static_cast<std::uint8_t>(latency_bin);
+    event.fsync_class = wal_ != nullptr
+                            ? static_cast<std::uint8_t>(config_.wal_fsync)
+                            : kTraceNoWal;
+    config_.trace->record(event);
+  }
+  if (config_.on_decision) config_.on_decision(job, decision);
+}
+
 void Shard::process(const Task& task) {
   const FeedOutcome outcome = runner_->feed(task.job);
   // Poisoned shard (drained without deciding) or an illegal commitment:
-  // neither counts as a served decision in the live metrics.
-  if (!outcome.decided || !outcome.legal) return;
+  // neither counts as a served decision in the live metrics. A deferred
+  // decision is not a decision yet — its bookkeeping happens in
+  // on_resolution when the binding answer lands.
+  if (!outcome.decided || !outcome.legal || outcome.decision.deferred) return;
   const double latency =
       std::chrono::duration<double>(Clock::now() - task.enqueued_at).count();
   const std::size_t latency_bin = metrics_.on_decision(

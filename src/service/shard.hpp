@@ -187,6 +187,9 @@ class Shard {
   void spawn(bool is_restart);
   void worker_loop();
   void process(const Task& task);
+  /// Bookkeeping for a deferred job's binding decision (metrics, trace,
+  /// notification) — the resolution-hook twin of process()'s tail.
+  void on_resolution(const Job& job, const Decision& decision);
   void set_error(std::string message);
 
   int index_;
