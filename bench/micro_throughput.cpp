@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "adversary/lower_bound_game.hpp"
+#include "bench_env.hpp"
 #include "baselines/greedy.hpp"
 #include "baselines/greedy_reference.hpp"
 #include "core/classify_select.hpp"
@@ -340,6 +341,7 @@ void write_threshold_json(const std::vector<ScalingRow>& rows,
   std::ofstream out("BENCH_threshold.json");
   out << "{\n"
       << "  \"bench\": \"threshold_scaling\",\n"
+      << bench::BenchEnv::detect(1, /*pinned=*/false, "closed").json_fields()
       << "  \"jobs\": " << jobs << ",\n"
       << "  \"eps\": " << eps << ",\n"
       << "  \"old\": \"ReferenceThresholdScheduler (sort per arrival)\",\n"

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_env.hpp"
 #include "models/model_factory.hpp"
 #include "models/speed_profile.hpp"
 #include "sched/engine.hpp"
@@ -141,6 +142,7 @@ void write_json(const std::vector<Row>& rows, std::size_t jobs) {
   std::ofstream out("BENCH_matrix.json");
   out << "{\n"
       << "  \"bench\": \"model_matrix\",\n"
+      << bench::BenchEnv::detect(1, /*pinned=*/false, "closed").json_fields()
       << "  \"jobs\": " << jobs << ",\n"
       << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {

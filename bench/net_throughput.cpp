@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_env.hpp"
 #include "core/threshold.hpp"
 #include "net/admission_client.hpp"
 #include "net/admission_server.hpp"
@@ -186,7 +187,7 @@ RunStats run_config(const Instance& instance, unsigned connections,
 }
 
 void write_json(const std::vector<RunStats>& runs, std::size_t jobs,
-                unsigned cores) {
+                const bench::BenchEnv& env) {
   std::ofstream out("BENCH_net.json");
   out << "{\n"
       << "  \"bench\": \"net_throughput\",\n"
@@ -195,7 +196,7 @@ void write_json(const std::vector<RunStats>& runs, std::size_t jobs,
       << ", m=" << kMachinesPerShard << " per shard)\",\n"
       << "  \"shards\": " << kShards << ",\n"
       << "  \"jobs\": " << jobs << ",\n"
-      << "  \"hardware_concurrency\": " << cores << ",\n"
+      << env.json_fields()
       << "  \"runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const RunStats& r = runs[i];
@@ -262,7 +263,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  write_json(runs, n, cores);
+  // Provenance: the sweep's peak ingest parallelism (4 client
+  // connections); clients pipeline within a bounded in-flight window and
+  // retry sheds, which is closed-loop load.
+  write_json(runs, n, bench::BenchEnv::detect(4, /*pinned=*/false, "closed"));
   std::printf("\n  wrote BENCH_net.json\n");
 
   if (!all_clean) {

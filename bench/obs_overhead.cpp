@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_env.hpp"
 #include "core/threshold.hpp"
 #include "service/gateway.hpp"
 #include "service/metrics_exporter.hpp"
@@ -287,8 +288,8 @@ int main(int argc, char** argv) {
         << "  \"bench\": \"obs_overhead\",\n"
         << "  \"jobs\": " << n << ",\n"
         << "  \"shards\": " << kShards << ",\n"
-        << "  \"producers\": " << producers << ",\n"
-        << "  \"hardware_concurrency\": " << cores << ",\n"
+        << bench::BenchEnv::detect(producers, /*pinned=*/false, "closed")
+               .json_fields()
         << "  \"reps\": " << kReps << ",\n"
         << "  \"tracing_overhead\": " << tracing_overhead << ",\n"
         << "  \"publisher_overhead\": " << publisher_overhead << ",\n"

@@ -8,7 +8,16 @@ Validates the five machine-readable bench artifacts:
       - the new hot path performed zero steady-state heap allocations
       - speedup at every m >= --large-m reaches --min-speedup
   BENCH_service.json    (bench/service_throughput [jobs])
-      - every shard configuration finished clean
+      - every shard configuration finished clean (both sweeps)
+      - shard scaling: when the recording machine had >= 4 hardware
+        threads, the best multi-shard closed-loop throughput must beat
+        the 1-shard configuration (speedup > 1.0). On smaller machines
+        the assertion is SKIPPED with a visible warning naming the core
+        count — a 1-core container cannot demonstrate scaling, and a
+        silent pass there would be indistinguishable from a real one.
+      - every open-loop row reports ordered, positive admit-latency
+        percentiles (p50 <= p99 <= p999) and one per-shard rate per shard
+
   BENCH_recovery.json   (bench/recovery_replay [records])
       - every replay pass was clean (all records recovered + re-validated)
       - the torn-tail log truncated on the first pass, replayed clean on
@@ -36,6 +45,11 @@ Validates the five machine-readable bench artifacts:
       - the published textfile reported exactly the final gateway
         counters, and the drained trace accounted for every decision and
         survived a CSV round trip
+
+Every artifact must carry the uniform provenance fields emitted by
+bench/bench_env.hpp — producers, hardware_concurrency, pinned, loop_mode
+— so the checks above (and future ones) can tell which numbers the
+recording machine was physically able to produce.
 
 Only the Python standard library is used. Exit status 0 iff every check
 passes; each failure is printed on its own line.
@@ -65,12 +79,31 @@ def fail(errors: list[str], message: str) -> None:
     print(f"FAIL: {message}")
 
 
+PROVENANCE_FIELDS = ("producers", "hardware_concurrency", "pinned",
+                     "loop_mode")
+
+
+def check_provenance(path: Path, data: dict, errors: list[str]) -> None:
+    """Every artifact records the environment that produced it."""
+    for key in PROVENANCE_FIELDS:
+        if key not in data:
+            fail(errors, f"{path}: missing provenance field {key!r} "
+                         "(emit it via bench/bench_env.hpp)")
+    producers = data.get("producers", 0)
+    if isinstance(producers, int) and producers < 1:
+        fail(errors, f"{path}: producers={producers} (must be >= 1)")
+    cores = data.get("hardware_concurrency", 0)
+    if isinstance(cores, int) and cores < 1:
+        fail(errors, f"{path}: hardware_concurrency={cores} (must be >= 1)")
+
+
 def check_threshold(path: Path, min_speedup: float, large_m: int,
                     errors: list[str]) -> None:
     data = json.loads(path.read_text())
     if data.get("bench") != "threshold_scaling":
         fail(errors, f"{path}: unexpected bench id {data.get('bench')!r}")
         return
+    check_provenance(path, data, errors)
     runs = data.get("runs", [])
     if not runs:
         fail(errors, f"{path}: no runs recorded")
@@ -113,6 +146,7 @@ def check_service(path: Path, errors: list[str]) -> None:
     if data.get("bench") != "service_throughput":
         fail(errors, f"{path}: unexpected bench id {data.get('bench')!r}")
         return
+    check_provenance(path, data, errors)
     runs = data.get("runs", [])
     if not runs:
         fail(errors, f"{path}: no runs recorded")
@@ -124,7 +158,65 @@ def check_service(path: Path, errors: list[str]) -> None:
         if run.get("jobs_per_sec", 0.0) <= 0.0:
             fail(errors, f"{path}: shards={shards} reports non-positive "
                          "throughput")
-    print(f"ok: {path}: {len(runs)} shard configurations, all clean")
+
+    # Shard-scaling gate. A multi-core recording machine that cannot beat
+    # the 1-shard configuration with any multi-shard one means the
+    # fan-out machinery costs more than it buys — a hard failure. A
+    # machine with fewer than 4 hardware threads physically cannot
+    # demonstrate scaling (the shard consumers share one core), so the
+    # assertion is skipped *loudly* rather than passed silently.
+    cores = data.get("hardware_concurrency", 0)
+    rate_by_shards = {run.get("shards"): run.get("jobs_per_sec", 0.0)
+                      for run in runs}
+    base = rate_by_shards.get(1, 0.0)
+    multi = {s: r for s, r in rate_by_shards.items()
+             if isinstance(s, int) and s > 1}
+    if base > 0.0 and multi:
+        best_shards, best_rate = max(multi.items(), key=lambda kv: kv[1])
+        speedup = best_rate / base
+        if isinstance(cores, int) and cores >= 4:
+            if speedup <= 1.0:
+                fail(errors, f"{path}: best multi-shard throughput "
+                             f"({best_shards} shards) is {speedup:.2f}x the "
+                             f"1-shard rate on {cores} hardware threads — "
+                             "sharding must not lose to a single shard on "
+                             "a multi-core host")
+        else:
+            print(f"WARN: {path}: shard-scaling assertion SKIPPED — "
+                  f"recorded on {cores} hardware thread(s), fewer than the "
+                  f"4 needed to demonstrate scaling across "
+                  f"{max(multi)} shards (best observed: {speedup:.2f}x at "
+                  f"{best_shards} shards)")
+
+    # Open-loop sweep: latency percentiles must be present, positive and
+    # ordered, with one per-shard rate per shard.
+    open_runs = data.get("open_loop", [])
+    if not open_runs:
+        fail(errors, f"{path}: no open-loop runs recorded")
+    for run in open_runs:
+        shards = run.get("shards")
+        prefix = f"{path}: open-loop shards={shards}"
+        if not run.get("clean", False):
+            fail(errors, f"{prefix} did not finish clean")
+        for key in ("admit_latency_p50", "admit_latency_p99",
+                    "admit_latency_p999"):
+            if key not in run:
+                fail(errors, f"{prefix}: missing field {key!r}")
+        p50 = run.get("admit_latency_p50", 0.0)
+        p99 = run.get("admit_latency_p99", 0.0)
+        p999 = run.get("admit_latency_p999", 0.0)
+        if not (0.0 < p50 <= p99 <= p999):
+            fail(errors, f"{prefix}: admit-latency percentiles not "
+                         f"positive and ordered (p50={p50} p99={p99} "
+                         f"p999={p999})")
+        per_shard = run.get("per_shard_decided_per_sec", [])
+        if not isinstance(shards, int) or len(per_shard) != shards:
+            fail(errors, f"{prefix}: expected {shards} per-shard rates, "
+                         f"got {len(per_shard)}")
+        if run.get("decided_per_sec", 0.0) <= 0.0:
+            fail(errors, f"{prefix}: non-positive decision throughput")
+    print(f"ok: {path}: {len(runs)} closed-loop + {len(open_runs)} "
+          "open-loop shard configurations, all clean")
 
 
 def check_recovery(path: Path, errors: list[str]) -> None:
@@ -132,6 +224,7 @@ def check_recovery(path: Path, errors: list[str]) -> None:
     if data.get("bench") != "recovery_replay":
         fail(errors, f"{path}: unexpected bench id {data.get('bench')!r}")
         return
+    check_provenance(path, data, errors)
     appends = data.get("append", [])
     replays = data.get("replay", [])
     if not appends or not replays:
@@ -180,6 +273,7 @@ def check_net(path: Path, errors: list[str]) -> None:
     if data.get("bench") != "net_throughput":
         fail(errors, f"{path}: unexpected bench id {data.get('bench')!r}")
         return
+    check_provenance(path, data, errors)
     runs = data.get("runs", [])
     if not runs:
         fail(errors, f"{path}: no runs recorded")
@@ -206,6 +300,7 @@ def check_matrix(path: Path, threshold_json: str, min_ratio: float,
     if data.get("bench") != "model_matrix":
         fail(errors, f"{path}: unexpected bench id {data.get('bench')!r}")
         return
+    check_provenance(path, data, errors)
     rows = data.get("rows", [])
     if not rows:
         fail(errors, f"{path}: no rows recorded")
@@ -280,6 +375,7 @@ def check_obs(path: Path, max_overhead: float, errors: list[str]) -> None:
     if data.get("bench") != "obs_overhead":
         fail(errors, f"{path}: unexpected bench id {data.get('bench')!r}")
         return
+    check_provenance(path, data, errors)
     runs = {run.get("mode"): run for run in data.get("runs", [])}
     for mode in ("off", "tracing", "tracing+publisher"):
         run = runs.get(mode)

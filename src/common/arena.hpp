@@ -1,0 +1,74 @@
+/// \file
+/// Monotonic bump arena for per-batch scratch storage on hot paths. One
+/// fixed block is allocated up front; allocate<T>(n) is a pointer bump and
+/// reset() reclaims everything at once — the shard consumer loop uses one
+/// arena per shard to stage each popped Task batch, so the steady state
+/// performs zero heap allocations (extending the PR 2 guarantee from the
+/// scheduler hot path through the service layer).
+///
+/// Lifetime rules (see docs/perf.md, "Shard scaling"):
+///   * Objects live until the next reset(); pointers must not escape the
+///     batch that allocated them.
+///   * Only trivially destructible types are accepted — reset() does not
+///     run destructors, it just rewinds the bump pointer.
+///   * The arena is single-threaded by design (one per shard consumer);
+///     it performs no synchronization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+/// Fixed-capacity bump allocator. Exhaustion is a loud precondition
+/// failure, not a fallback heap allocation: a hot path that outgrows its
+/// arena should be resized at construction, not silently slowed.
+class MonotonicArena {
+ public:
+  explicit MonotonicArena(std::size_t capacity_bytes)
+      : block_(new std::byte[capacity_bytes]),
+        capacity_(capacity_bytes) {
+    SLACKSCHED_EXPECTS(capacity_bytes >= 1);
+  }
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Allocates and value-initializes an array of `count` T. O(count) in
+  /// the constructed elements, zero heap traffic.
+  template <typename T>
+  [[nodiscard]] T* allocate(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "MonotonicArena::reset() does not run destructors");
+    const std::size_t align = alignof(T);
+    std::size_t offset = (used_ + align - 1) & ~(align - 1);
+    SLACKSCHED_EXPECTS(offset + count * sizeof(T) <= capacity_);
+    T* ptr = reinterpret_cast<T*>(block_.get() + offset);
+    used_ = offset + count * sizeof(T);
+    if (high_water_ < used_) high_water_ = used_;
+    for (std::size_t i = 0; i < count; ++i) new (ptr + i) T();
+    return ptr;
+  }
+
+  /// Rewinds the bump pointer; every outstanding allocation is reclaimed.
+  void reset() { used_ = 0; }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t used() const { return used_; }
+  /// Largest `used()` ever reached — lets a steady-state consumer assert
+  /// its scratch never outgrew the block it sized at construction.
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+
+ private:
+  std::unique_ptr<std::byte[]> block_;
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace slacksched

@@ -1,6 +1,7 @@
 #include "service/gateway.hpp"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "common/expects.hpp"
@@ -31,6 +32,10 @@ std::vector<std::string> GatewayConfig::validate() const {
   }
   if (queue_capacity < 1) {
     errors.push_back("queue_capacity must be >= 1 (got 0)");
+  } else if (!is_power_of_two(queue_capacity)) {
+    errors.push_back("queue_capacity must be a power of two (got " +
+                     std::to_string(queue_capacity) +
+                     "): the lock-free ring would silently round up");
   }
   if (batch_size < 1) {
     errors.push_back("batch_size must be >= 1 (got 0)");
@@ -109,6 +114,7 @@ AdmissionGateway::AdmissionGateway(const GatewayConfig& config,
   shard_config.pop_timeout = config.pop_timeout;
   shard_config.wal_fsync = config.wal_fsync;
   shard_config.faults = config.fault_injector;
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
   if (config.enable_tracing) {
     traces_.reserve(static_cast<std::size_t>(config.shards));
     for (int s = 0; s < config.shards; ++s) {
@@ -127,6 +133,9 @@ AdmissionGateway::AdmissionGateway(const GatewayConfig& config,
     shard_config.trace =
         config.enable_tracing ? traces_[static_cast<std::size_t>(s)].get()
                               : nullptr;
+    shard_config.pin_cpu =
+        config.pin_shards ? static_cast<int>(static_cast<unsigned>(s) % cores)
+                          : -1;
     if (config.on_decision) {
       shard_config.on_decision = [callback = config.on_decision, s](
                                      const Job& job,

@@ -69,11 +69,19 @@ using GatewayDecisionCallback =
 /// Gateway deployment shape.
 struct GatewayConfig {
   int shards = 1;
-  std::size_t queue_capacity = 4096;  ///< per-shard submission queue bound
+  /// Per-shard submission queue bound. Must be a power of two: the
+  /// lock-free ring indexes slots with a mask, and silently rounding a
+  /// bound the operator configured would skew shed-rate math.
+  std::size_t queue_capacity = 4096;
   std::size_t batch_size = 256;       ///< max jobs per consumer wake-up
   RoutingPolicy routing = RoutingPolicy::kRoundRobin;
   bool halt_shard_on_violation = true;
   bool record_decisions = true;
+  /// Pin shard s's consumer thread to CPU s mod hardware_concurrency for
+  /// cache locality (shared-nothing shard loops stay on their core). Only
+  /// honored on Linux; elsewhere it is a documented no-op — pinning is a
+  /// locality hint, never a correctness requirement.
+  bool pin_shards = false;
 
   // --- scheduler-model selector (see docs/models.md) ---
   /// Which point of the commitment-model matrix every shard runs. This is

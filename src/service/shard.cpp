@@ -1,6 +1,12 @@
 #include "service/shard.hpp"
 
+#include <type_traits>
 #include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "common/expects.hpp"
 #include "service/recovery.hpp"
@@ -16,6 +22,18 @@ RunOptions to_run_options(const ShardConfig& config) {
   return options;
 }
 
+/// Best-effort consumer-thread pinning; a failed affinity call is a lost
+/// locality hint, never an error (the shard runs fine unpinned).
+void pin_current_thread(int cpu) {
+  if (cpu < 0) return;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu) % CPU_SETSIZE, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#endif
+}
+
 }  // namespace
 
 Shard::Shard(int index, SchedulerFactory factory, const ShardConfig& config,
@@ -25,6 +43,7 @@ Shard::Shard(int index, SchedulerFactory factory, const ShardConfig& config,
       factory_(std::move(factory)),
       metrics_(metrics),
       queue_(config.queue_capacity),
+      batch_arena_(config.batch_size * sizeof(Task) + alignof(Task)),
       result_{Schedule(1), RunMetrics{}, {}, {}} {
   SLACKSCHED_EXPECTS(index >= 0);
   SLACKSCHED_EXPECTS(config.batch_size >= 1);
@@ -119,17 +138,16 @@ Outcome Shard::try_enqueue(const Job& job, Clock::time_point now, int home) {
 Shard::BatchEnqueueResult Shard::try_enqueue_batch(
     const Job* jobs, const std::uint32_t* indices, std::size_t count,
     Clock::time_point now, const std::int16_t* homes) {
-  std::vector<Task> tasks;
-  tasks.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    tasks.push_back(Task{jobs[indices[i]], now,
-                         homes != nullptr
-                             ? homes[i]
-                             : static_cast<std::int16_t>(index_)});
-  }
   BatchEnqueueResult result;
-  result.taken =
-      queue_.try_push_batch(tasks.data(), tasks.size(), &result.closed);
+  // Tasks are constructed directly in their claimed ring cells: the batch
+  // producer path performs no staging copy and no heap allocation.
+  result.taken = queue_.try_push_batch_with(
+      count, &result.closed, [&](std::size_t i, Task& slot) {
+        slot.job = jobs[indices[i]];
+        slot.enqueued_at = now;
+        slot.home =
+            homes != nullptr ? homes[i] : static_cast<std::int16_t>(index_);
+      });
   metrics_.on_enqueued(index_, result.taken);
   if (!result.closed) {
     metrics_.on_backpressure(index_, count - result.taken);
@@ -208,11 +226,15 @@ void Shard::worker_loop() {
   // error, scheduler bug — marks the shard failed; the supervisor decides
   // whether to restart it.
   try {
-    std::vector<Task> batch;
-    batch.reserve(config_.batch_size);
+    pin_current_thread(config_.pin_cpu);
+    // The popped batch is staged in the shard's monotonic arena: one
+    // allocation per worker lifetime, the block reused for every batch.
+    // Task pointers never outlive the iteration that popped them.
+    static_assert(std::is_trivially_destructible_v<Task>);
+    batch_arena_.reset();
+    Task* batch = batch_arena_.allocate<Task>(config_.batch_size);
     while (true) {
       heartbeat_.fetch_add(1, std::memory_order_relaxed);
-      batch.clear();
       const PopOutcome popped =
           queue_.pop_batch_for(batch, config_.batch_size, config_.pop_timeout);
       if (popped.count == 0) {
@@ -224,8 +246,8 @@ void Shard::worker_loop() {
       // undecided (never accepted, so nothing durable is owed for them).
       SLACKSCHED_FAULT_CRASH_POINT(config_.faults, FaultSite::kDequeue,
                                    index_);
-      for (const Task& task : batch) {
-        process(task);
+      for (std::size_t i = 0; i < popped.count; ++i) {
+        process(batch[i]);
         heartbeat_.fetch_add(1, std::memory_order_relaxed);
       }
       if (wal_) wal_->sync_batch();

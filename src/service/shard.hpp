@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "sched/engine.hpp"
 #include "sched/online.hpp"
 #include "service/bounded_queue.hpp"
@@ -61,6 +62,10 @@ struct ShardConfig {
   /// Longest the worker sleeps on an empty queue before waking to publish
   /// a heartbeat; must stay well below the supervisor's stall threshold.
   std::chrono::milliseconds pop_timeout{50};
+  /// CPU to pin the consumer thread to (-1: unpinned). Only honored on
+  /// Linux (pthread_setaffinity_np); elsewhere it is a documented no-op —
+  /// pinning is a locality hint, never a correctness requirement.
+  int pin_cpu = -1;
   /// Path of this shard's durable commit log; empty disables the WAL (and
   /// with it restartability — the original in-memory-only behavior).
   std::string wal_path;
@@ -197,6 +202,11 @@ class Shard {
   SchedulerFactory factory_;
   MetricsRegistry& metrics_;
   BoundedMpscQueue<Task> queue_;
+  /// Consumer-thread scratch: the popped Task batch is staged in this
+  /// per-shard arena, whose block is reused across batches — the steady
+  /// state of the consumer loop performs zero heap allocations. Pointers
+  /// into the arena never escape the batch that popped them.
+  MonotonicArena batch_arena_;
   std::unique_ptr<OnlineScheduler> scheduler_;
   std::unique_ptr<CommitLog> wal_;
   std::optional<StreamingRunner> runner_;

@@ -13,6 +13,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <bit>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -44,7 +45,9 @@ AdmissionServerConfig loopback_config(std::size_t queue_capacity) {
   AdmissionServerConfig config;
   config.gateway.shards = 1;
   config.gateway.routing = RoutingPolicy::kRoundRobin;
-  config.gateway.queue_capacity = queue_capacity;
+  // The lock-free ring requires a power-of-two bound; round instance
+  // sizes up rather than sprinkling bit_ceil over every call site.
+  config.gateway.queue_capacity = std::bit_ceil(queue_capacity);
   return config;
 }
 

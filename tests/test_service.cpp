@@ -1,17 +1,18 @@
-// Tests for the service subsystem: the bounded MPSC queue, the shard
-// router, the metrics registry, and the gateway's backpressure and
-// violation semantics.
+// Tests for the service subsystem: the shard router, the metrics
+// registry, and the gateway's backpressure and violation semantics. The
+// bounded MPSC queue has its own torture/differential suite in
+// tests/test_bounded_queue.cpp.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <thread>
 #include <vector>
 
 #include "baselines/greedy.hpp"
 #include "sched/validator.hpp"
-#include "service/bounded_queue.hpp"
 #include "service/gateway.hpp"
 #include "workload/generators.hpp"
 
@@ -25,70 +26,6 @@ Job make_job(JobId id, TimePoint r, Duration p, TimePoint d) {
   j.proc = p;
   j.deadline = d;
   return j;
-}
-
-// ---------- BoundedMpscQueue ----------
-
-TEST(BoundedQueue, RefusesWhenFull) {
-  BoundedMpscQueue<int> q(3);
-  EXPECT_TRUE(q.try_push(1));
-  EXPECT_TRUE(q.try_push(2));
-  EXPECT_TRUE(q.try_push(3));
-  EXPECT_FALSE(q.try_push(4));  // full: backpressure, not blocking
-  EXPECT_EQ(q.size(), 3u);
-}
-
-TEST(BoundedQueue, PopBatchIsFifo) {
-  BoundedMpscQueue<int> q(8);
-  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(i));
-  std::vector<int> out;
-  EXPECT_EQ(q.pop_batch(out, 3), 3u);
-  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
-  EXPECT_EQ(q.pop_batch(out, 10), 2u);
-  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
-}
-
-TEST(BoundedQueue, WrapsAroundTheRing) {
-  BoundedMpscQueue<int> q(4);
-  std::vector<int> out;
-  for (int round = 0; round < 10; ++round) {
-    EXPECT_TRUE(q.try_push(2 * round));
-    EXPECT_TRUE(q.try_push(2 * round + 1));
-    out.clear();
-    EXPECT_EQ(q.pop_batch(out, 4), 2u);
-    EXPECT_EQ(out, (std::vector<int>{2 * round, 2 * round + 1}));
-  }
-}
-
-TEST(BoundedQueue, CloseDrainsThenSignalsExit) {
-  BoundedMpscQueue<int> q(4);
-  EXPECT_TRUE(q.try_push(7));
-  q.close();
-  EXPECT_FALSE(q.try_push(8));  // closed refuses new work
-  std::vector<int> out;
-  EXPECT_EQ(q.pop_batch(out, 4), 1u);  // backlog still drains
-  EXPECT_EQ(q.pop_batch(out, 4), 0u);  // then the exit signal
-}
-
-TEST(BoundedQueue, TryPushBatchTakesWhatFits) {
-  BoundedMpscQueue<int> q(3);
-  std::vector<int> items{1, 2, 3, 4, 5};
-  EXPECT_EQ(q.try_push_batch(items.data(), items.size()), 3u);
-  std::vector<int> out;
-  EXPECT_EQ(q.pop_batch(out, 5), 3u);
-  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
-}
-
-TEST(BoundedQueue, PopBlocksUntilPush) {
-  BoundedMpscQueue<int> q(2);
-  std::vector<int> out;
-  std::thread producer([&q] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    ASSERT_TRUE(q.try_push(42));
-  });
-  EXPECT_EQ(q.pop_batch(out, 1), 1u);  // waits for the producer
-  EXPECT_EQ(out, (std::vector<int>{42}));
-  producer.join();
 }
 
 // ---------- ShardRouter ----------
@@ -307,7 +244,7 @@ TEST(Gateway, HashRoutedShardsProcessEverything) {
   GatewayConfig config;
   config.shards = 4;
   config.routing = RoutingPolicy::kHash;
-  config.queue_capacity = instance.size();  // no shedding in this test
+  config.queue_capacity = std::bit_ceil(instance.size());  // no shedding here
   AdmissionGateway gateway(
       config, [](int) { return std::make_unique<GreedyScheduler>(2); });
 
@@ -412,120 +349,6 @@ TEST(Gateway, HaltsPoisonedShardAndReportsViolation) {
   EXPECT_NE(result.first_violation().find("overlaps"), std::string::npos);
   // Halted at the violation, exactly like run_online: one commitment.
   EXPECT_EQ(result.shards[0].metrics.accepted, 1u);
-}
-
-// ---------- BoundedMpscQueue: timed pop, reopen, close/drain torture ----------
-
-TEST(BoundedQueue, PopBatchForTimesOutOnAnIdleQueue) {
-  BoundedMpscQueue<int> q(4);
-  std::vector<int> out;
-  const PopOutcome idle = q.pop_batch_for(out, 4, std::chrono::milliseconds(5));
-  EXPECT_EQ(idle.count, 0u);
-  EXPECT_FALSE(idle.closed);  // timed out, not shut down
-
-  ASSERT_TRUE(q.try_push(9));
-  const PopOutcome hit = q.pop_batch_for(out, 4, std::chrono::milliseconds(5));
-  EXPECT_EQ(hit.count, 1u);
-  EXPECT_FALSE(hit.closed);
-  EXPECT_EQ(out, (std::vector<int>{9}));
-
-  q.close();
-  const PopOutcome done = q.pop_batch_for(out, 4, std::chrono::milliseconds(5));
-  EXPECT_EQ(done.count, 0u);
-  EXPECT_TRUE(done.closed);  // closed-and-drained: the exit signal
-}
-
-TEST(BoundedQueue, PopBatchForWakesWhenAProducerArrives) {
-  BoundedMpscQueue<int> q(2);
-  std::thread producer([&q] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    ASSERT_TRUE(q.try_push(42));
-  });
-  std::vector<int> out;
-  // Generous timeout: the wait must end on the push, not the deadline.
-  const PopOutcome got = q.pop_batch_for(out, 1, std::chrono::seconds(10));
-  EXPECT_EQ(got.count, 1u);
-  EXPECT_EQ(out, (std::vector<int>{42}));
-  producer.join();
-}
-
-TEST(BoundedQueue, TryPushBatchReportsClosedDistinctFromFull) {
-  BoundedMpscQueue<int> q(2);
-  std::vector<int> items{1, 2, 3};
-  bool closed = true;
-  EXPECT_EQ(q.try_push_batch(items.data(), items.size(), &closed), 2u);
-  EXPECT_FALSE(closed);  // tail shed because full
-  q.close();
-  EXPECT_EQ(q.try_push_batch(items.data(), items.size(), &closed), 0u);
-  EXPECT_TRUE(closed);  // tail shed because closed
-}
-
-TEST(BoundedQueue, ReopenAcceptsNewWorkAndKeepsTheBacklog) {
-  BoundedMpscQueue<int> q(4);
-  ASSERT_TRUE(q.try_push(1));
-  q.close();
-  EXPECT_FALSE(q.try_push(2));
-  q.reopen();
-  EXPECT_FALSE(q.closed());
-  EXPECT_TRUE(q.try_push(2));  // accepted again
-  std::vector<int> out;
-  EXPECT_EQ(q.pop_batch(out, 4), 2u);
-  EXPECT_EQ(out, (std::vector<int>{1, 2}));  // backlog survived the cycle
-}
-
-TEST(BoundedQueue, CloseDrainTortureDeliversEveryAcceptedItemExactlyOnce) {
-  // Racing producers push unique values while the queue is closed midway;
-  // the consumer must deliver exactly the accepted set, each value once,
-  // and the exit signal must fire exactly when the backlog is drained.
-  constexpr int kProducers = 4;
-  constexpr int kPerProducer = 5000;
-  BoundedMpscQueue<int> q(64);
-
-  std::vector<std::vector<int>> accepted(kProducers);
-  std::atomic<int> running{kProducers};
-  std::vector<std::thread> producers;
-  producers.reserve(kProducers);
-  for (int p = 0; p < kProducers; ++p) {
-    producers.emplace_back([&, p] {
-      for (int i = 0; i < kPerProducer; ++i) {
-        const int value = p * kPerProducer + i;
-        if (q.try_push(value)) {
-          accepted[static_cast<std::size_t>(p)].push_back(value);
-        } else if (q.closed()) {
-          break;  // shard gone: a real producer stops submitting
-        }
-        // On a full queue: drop and continue (backpressure shed).
-      }
-      running.fetch_sub(1, std::memory_order_acq_rel);
-    });
-  }
-
-  std::vector<int> delivered;
-  std::vector<int> batch;
-  std::size_t wakeups = 0;
-  while (true) {
-    batch.clear();
-    const PopOutcome popped =
-        q.pop_batch_for(batch, 32, std::chrono::milliseconds(2));
-    ++wakeups;
-    delivered.insert(delivered.end(), batch.begin(), batch.end());
-    if (popped.closed) break;
-    // Close midway: some producers are still pushing when the shutter falls.
-    if (wakeups == 50) q.close();
-  }
-  for (auto& t : producers) t.join();
-  EXPECT_EQ(running.load(), 0);
-  EXPECT_TRUE(q.closed());
-
-  std::vector<int> pushed;
-  for (const auto& per_producer : accepted) {
-    pushed.insert(pushed.end(), per_producer.begin(), per_producer.end());
-  }
-  std::sort(pushed.begin(), pushed.end());
-  std::sort(delivered.begin(), delivered.end());
-  EXPECT_EQ(delivered, pushed);  // every accepted item, exactly once
-  EXPECT_TRUE(std::adjacent_find(delivered.begin(), delivered.end()) ==
-              delivered.end());
 }
 
 // ---------- Gateway: closed-tail vs backpressure accounting ----------

@@ -6,6 +6,7 @@
 // must never change what a shard decides.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <chrono>
 #include <filesystem>
 #include <memory>
@@ -40,7 +41,7 @@ GatewayResult run_single_shard(const ShardSchedulerFactory& factory,
   config.shards = 1;
   config.routing = RoutingPolicy::kRoundRobin;
   // Capacity >= n: this test is about decisions, not shedding.
-  config.queue_capacity = instance.size();
+  config.queue_capacity = std::bit_ceil(instance.size());
   AdmissionGateway gateway(config, factory);
   EXPECT_EQ(gateway.submit_batch(instance.jobs()).enqueued, instance.size());
   return gateway.finish();
@@ -129,7 +130,7 @@ TEST(ServiceEquivalence, ShardedRunIsReproducible) {
     GatewayConfig config;
     config.shards = 4;
     config.routing = RoutingPolicy::kHash;
-    config.queue_capacity = instance.size();
+    config.queue_capacity = std::bit_ceil(instance.size());
     AdmissionGateway gateway(
         config, [](int) { return std::make_unique<GreedyScheduler>(2); });
     EXPECT_EQ(gateway.submit_batch(instance.jobs()).enqueued,
@@ -160,7 +161,7 @@ TEST(ServiceEquivalence, RoundRobinPartitionCoversTheStream) {
   GatewayConfig config;
   config.shards = 3;
   config.routing = RoutingPolicy::kRoundRobin;
-  config.queue_capacity = instance.size();
+  config.queue_capacity = std::bit_ceil(instance.size());
   AdmissionGateway gateway(
       config, [](int) { return std::make_unique<GreedyScheduler>(2); });
   EXPECT_EQ(gateway.submit_batch(instance.jobs()).enqueued, instance.size());
@@ -190,7 +191,7 @@ TEST(ServiceEquivalence, WalBackedShardMatchesEngineByteForByte) {
   GatewayConfig config;
   config.shards = 1;
   config.routing = RoutingPolicy::kRoundRobin;
-  config.queue_capacity = instance.size();
+  config.queue_capacity = std::bit_ceil(instance.size());
   config.wal_dir = dir;
   config.wal_fsync = FsyncPolicy::kEveryCommit;
   AdmissionGateway gateway(config, [](int) {
@@ -241,7 +242,7 @@ TEST(ServiceEquivalence, RoutingSurvivesAFailoverAndRecoveryRoundTrip) {
     GatewayConfig config;
     config.shards = 2;
     config.routing = RoutingPolicy::kHash;
-    config.queue_capacity = instance.size();
+    config.queue_capacity = std::bit_ceil(instance.size());
     config.wal_dir = dir;
     config.supervisor.enabled = false;  // manual force_* only
     AdmissionGateway gateway(
