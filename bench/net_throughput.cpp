@@ -3,10 +3,11 @@
 // Starts an AdmissionServer on a loopback TCP port and replays a
 // multi-million-job synthetic stream through it over the wire protocol,
 // sweeping client connections x submit batch size. Each connection runs
-// on its own thread with its own AdmissionClient, pipelines SUBMIT_BATCH
-// frames up to a bounded in-flight window, and resubmits jobs the server
-// shed under backpressure (hash routing keeps a retried job on its shard,
-// so retrying cannot starve). Every run must finish clean: every job
+// on its own thread with its own AdmissionClient behind a
+// RetryingSubmitter, pipelines SUBMIT_BATCH frames up to a bounded
+// in-flight window, and lets the submitter resubmit jobs the server shed
+// under backpressure (hash routing keeps a retried job on its shard, so
+// retrying cannot starve). Every run must finish clean: every job
 // answered by exactly one rendered decision, zero commitment violations,
 // and the DRAINED counters equal to what the clients observed. Emits
 // BENCH_net.json so the perf trajectory is machine-readable.
@@ -19,7 +20,6 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <deque>
 #include <fstream>
 #include <memory>
 #include <span>
@@ -64,37 +64,31 @@ struct RunStats {
 };
 
 /// Replays jobs[0..count) through one connection. Keeps up to `window`
-/// submissions in flight, maps every reply back to its job through the
-/// contiguous request-id space, and requeues backpressure sheds until a
-/// scheduler renders a real decision for every job.
+/// submissions in flight through a RetryingSubmitter: backpressure sheds
+/// are resubmitted by the client library under its capped-backoff policy
+/// (unlimited attempts — every job must end in a rendered decision).
 ClientStats run_client(std::uint16_t port, const Job* jobs, std::size_t count,
-                       std::size_t batch) {
+                       std::size_t batch, unsigned client_index) {
   net::AdmissionClient client("127.0.0.1", port);
+  net::RetryPolicy policy;
+  policy.max_attempts = 0;  // unlimited: the contract is every-job-answered
+  policy.initial_delay = std::chrono::milliseconds(1);
+  policy.max_delay = std::chrono::milliseconds(8);
+  // Distinct seeds decorrelate concurrent clients' retry bursts.
+  policy.jitter_seed = 0x9e3779b97f4a7c15ULL * (client_index + 1);
+  net::RetryingSubmitter submitter(client, policy);
   ClientStats stats;
-  // req_index[request_id - 1] = index of the job that submission carried.
-  std::vector<std::uint32_t> req_index;
-  req_index.reserve(count + count / 8 + 16);
-  std::deque<std::uint32_t> todo;
-  for (std::size_t i = 0; i < count; ++i) {
-    todo.push_back(static_cast<std::uint32_t>(i));
-  }
-  std::vector<Job> frame;
-  frame.reserve(batch);
   const std::size_t window = std::max<std::size_t>(4 * batch, 64);
+  std::size_t next = 0;
   std::size_t remaining = count;
   while (remaining > 0) {
-    while (!todo.empty() && client.outstanding() < window) {
-      frame.clear();
-      while (!todo.empty() && frame.size() < batch) {
-        const std::uint32_t index = todo.front();
-        todo.pop_front();
-        req_index.push_back(index);
-        frame.push_back(jobs[index]);
-      }
-      client.submit_batch(std::span<const Job>(frame.data(), frame.size()));
+    while (next < count && submitter.in_flight() < window) {
+      const std::size_t take = std::min(batch, count - next);
+      submitter.enqueue_batch(std::span<const Job>(jobs + next, take));
+      next += take;
     }
-    const net::DecisionReply reply = client.wait_reply();
-    const std::uint32_t index = req_index[reply.request_id - 1];
+    net::DecisionReply reply;
+    if (!submitter.pump(reply)) break;  // nothing left in flight
     if (reply.outcome == Outcome::kAccepted) {
       ++stats.accepted;
       ++stats.answered;
@@ -103,14 +97,12 @@ ClientStats run_client(std::uint16_t port, const Job* jobs, std::size_t count,
       ++stats.rejected;
       ++stats.answered;
       --remaining;
-    } else if (reply.outcome == Outcome::kRejectedQueueFull) {
-      ++stats.backpressure_retries;
-      todo.push_back(index);
     } else {
-      ++stats.shed;  // closed / retry-after: should never happen here
+      ++stats.shed;  // only kRejectedClosed survives unlimited retries
       --remaining;
     }
   }
+  stats.backpressure_retries = submitter.retries();
   return stats;
 }
 
@@ -140,7 +132,8 @@ RunStats run_config(const Instance& instance, unsigned connections,
       const std::size_t end = std::min(begin + per_client, n);
       if (begin >= end) break;
       threads.emplace_back([&, c, begin, end] {
-        stats[c] = run_client(server.port(), jobs + begin, end - begin, batch);
+        stats[c] =
+            run_client(server.port(), jobs + begin, end - begin, batch, c);
       });
     }
     for (auto& t : threads) t.join();

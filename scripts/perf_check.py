@@ -37,6 +37,15 @@ Validates the five machine-readable bench artifacts:
       - the uniform commit-on-arrival Threshold rows stay within noise
         of the committed BENCH_threshold.json trajectory at matching m
         (ratio floor --matrix-min-ratio of the micro-bench rate)
+  BENCH_repl.json       (bench/repl_failover [jobs])
+      - all four replication modes present (baseline + async +
+        ack-on-batch + ack-on-commit) and clean: the drain validated and
+        the follower's logs held exactly the leader's accepted records
+      - durability ordering holds: ack-on-commit (one follower round trip
+        per accepted job) must not outrun async — a faster "synchronous"
+        mode means the ack path is not actually waiting
+      - the failover drill ran >= 5 iterations with positive, ordered
+        detect/serve percentiles (p50 <= p99, detect <= serve at p50)
   BENCH_obs.json        (bench/obs_overhead [jobs])
       - every mode finished clean
       - decision tracing costs at most --max-overhead of the baseline
@@ -58,6 +67,7 @@ Usage:
   scripts/perf_check.py [--threshold-json PATH] [--service-json PATH]
                         [--recovery-json PATH] [--obs-json PATH]
                         [--net-json PATH] [--matrix-json PATH]
+                        [--repl-json PATH]
                         [--min-speedup X] [--large-m M] [--max-overhead F]
                         [--matrix-min-ratio F]
 
@@ -370,6 +380,64 @@ def check_matrix(path: Path, threshold_json: str, min_ratio: float,
           "and valid")
 
 
+def check_repl(path: Path, errors: list[str]) -> None:
+    data = json.loads(path.read_text())
+    if data.get("bench") != "replication":
+        fail(errors, f"{path}: unexpected bench id {data.get('bench')!r}")
+        return
+    check_provenance(path, data, errors)
+    runs = {run.get("mode"): run for run in data.get("runs", [])}
+    for mode in ("baseline", "async", "ack-on-batch", "ack-on-commit"):
+        run = runs.get(mode)
+        if run is None:
+            fail(errors, f"{path}: missing mode {mode!r}")
+            continue
+        if not run.get("clean", False):
+            fail(errors, f"{path}: mode={mode} did not finish clean")
+        if run.get("jobs_per_sec", 0.0) <= 0.0:
+            fail(errors, f"{path}: mode={mode} reports non-positive "
+                         "throughput")
+        if mode != "baseline":
+            leader = run.get("leader_records", 0)
+            follower = run.get("follower_records", -1)
+            if leader != follower:
+                fail(errors, f"{path}: mode={mode} follower holds "
+                             f"{follower} of {leader} leader records — an "
+                             "orderly close must drain in every mode")
+
+    # Durability is never free: the per-commit round-trip mode being
+    # faster than fire-and-forget means the ack wait is inert. (1.5x
+    # headroom absorbs run-to-run noise.)
+    sync = runs.get("ack-on-commit", {}).get("jobs_per_sec", 0.0)
+    fire = runs.get("async", {}).get("jobs_per_sec", 0.0)
+    if sync > 0.0 and fire > 0.0 and sync > fire * 1.5:
+        fail(errors, f"{path}: ack-on-commit outran async "
+                     f"({sync:.0f} vs {fire:.0f} jobs/sec) — the "
+                     "per-commit ack path looks inert")
+
+    failover = data.get("failover", {})
+    iterations = failover.get("iterations", 0)
+    if iterations < 5:
+        fail(errors, f"{path}: failover drill ran {iterations} iterations, "
+                     "need >= 5 for stable percentiles")
+    d50 = failover.get("detect_ms_p50", 0.0)
+    d99 = failover.get("detect_ms_p99", 0.0)
+    s50 = failover.get("serve_ms_p50", 0.0)
+    s99 = failover.get("serve_ms_p99", 0.0)
+    if not (0.0 < d50 <= d99):
+        fail(errors, f"{path}: detect percentiles not positive and ordered "
+                     f"(p50={d50} p99={d99})")
+    if not (0.0 < s50 <= s99):
+        fail(errors, f"{path}: serve percentiles not positive and ordered "
+                     f"(p50={s50} p99={s99})")
+    if 0.0 < s50 < d50:
+        fail(errors, f"{path}: serve p50 ({s50}ms) beat detect p50 "
+                     f"({d50}ms) — serving cannot precede detection")
+    print(f"ok: {path}: 4 replication modes clean, failover over "
+          f"{iterations} drills detect p50={d50:.1f}ms serve "
+          f"p50={s50:.1f}ms")
+
+
 def check_obs(path: Path, max_overhead: float, errors: list[str]) -> None:
     data = json.loads(path.read_text())
     if data.get("bench") != "obs_overhead":
@@ -418,6 +486,7 @@ def main() -> int:
     parser.add_argument("--obs-json", default="BENCH_obs.json")
     parser.add_argument("--net-json", default="BENCH_net.json")
     parser.add_argument("--matrix-json", default="BENCH_matrix.json")
+    parser.add_argument("--repl-json", default="BENCH_repl.json")
     parser.add_argument("--matrix-min-ratio", type=float, default=0.15,
                         help="floor for uniform-Threshold matrix rate over "
                              "the committed micro-bench rate (default 0.15; "
@@ -443,6 +512,7 @@ def main() -> int:
         args.obs_json: "bench/obs_overhead",
         args.net_json: "bench/net_throughput",
         args.matrix_json: "bench/model_matrix",
+        args.repl_json: "bench/repl_failover",
     }
     for raw, checker in ((args.threshold_json,
                           lambda p: check_threshold(p, args.min_speedup,
@@ -459,7 +529,9 @@ def main() -> int:
                          (args.matrix_json,
                           lambda p: check_matrix(p, args.threshold_json,
                                                  args.matrix_min_ratio,
-                                                 errors))):
+                                                 errors)),
+                         (args.repl_json,
+                          lambda p: check_repl(p, errors))):
         if not raw:
             continue
         path = Path(raw)

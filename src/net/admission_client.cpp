@@ -1,20 +1,36 @@
 #include "net/admission_client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
+
+#include "common/rng.hpp"
 
 namespace slacksched::net {
 
 namespace {
 
-int connect_to(const std::string& host, std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+[[noreturn]] void fail_connect(int fd, const std::string& host,
+                               std::uint16_t port, const std::string& why) {
+  ::close(fd);
+  throw NetError("connect " + host + ":" + std::to_string(port) + ": " + why);
+}
+
+}  // namespace
+
+int connect_with_timeout(const std::string& host, std::uint16_t port,
+                         std::chrono::milliseconds timeout) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (fd < 0) {
     throw NetError(std::string("socket: ") + std::strerror(errno));
   }
@@ -25,22 +41,64 @@ int connect_to(const std::string& host, std::uint16_t port) {
     ::close(fd);
     throw NetError("bad host address: " + host);
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(fd);
-    throw NetError("connect " + host + ":" + std::to_string(port) + ": " +
-                   std::strerror(err));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (errno != EINPROGRESS) fail_connect(fd, host, port, std::strerror(errno));
+    // Connection in flight: wait for writability, bounded by the timeout.
+    pollfd pfd{fd, POLLOUT, 0};
+    while (true) {
+      const int ready =
+          ::poll(&pfd, 1, static_cast<int>(std::max<std::int64_t>(
+                              0, timeout.count())));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready < 0) fail_connect(fd, host, port, std::strerror(errno));
+      if (ready == 0) {
+        fail_connect(fd, host, port,
+                     "timed out after " + std::to_string(timeout.count()) +
+                         " ms");
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      fail_connect(fd, host, port, std::strerror(errno));
+    }
+    if (err != 0) fail_connect(fd, host, port, std::strerror(err));
+  }
+  // Back to blocking: the protocol clients read and write synchronously.
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    fail_connect(fd, host, port, std::strerror(errno));
   }
   int one = 1;
   (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
 }
 
-}  // namespace
+std::chrono::milliseconds RetryPolicy::delay(
+    int attempt, std::uint32_t server_hint_ms) const {
+  double ms = static_cast<double>(initial_delay.count());
+  for (int i = 1; i < attempt; ++i) {
+    ms = std::min(ms * factor, static_cast<double>(max_delay.count()));
+  }
+  // Deterministic per-attempt jitter into [0.5, 1.0] of the delay: equal
+  // seeds replay equal schedules, concurrent clients with distinct seeds
+  // decorrelate their retry bursts.
+  SplitMix64 mix(jitter_seed + static_cast<std::uint64_t>(attempt));
+  const double scale =
+      0.5 + 0.5 * static_cast<double>(mix.next() >> 11) * 0x1p-53;
+  ms *= scale;
+  const auto jittered = std::chrono::milliseconds(
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(ms)));
+  // Never undercut the server's own hint — it knows its recovery time.
+  return std::max(jittered,
+                  std::chrono::milliseconds(server_hint_ms));
+}
 
-AdmissionClient::AdmissionClient(const std::string& host, std::uint16_t port)
-    : fd_(connect_to(host, port)) {}
+AdmissionClient::AdmissionClient(const std::string& host, std::uint16_t port,
+                                 const ClientConfig& config)
+    : fd_(connect_with_timeout(host, port, config.connect_timeout)) {}
 
 AdmissionClient::~AdmissionClient() {
   if (fd_ >= 0) ::close(fd_);
@@ -190,8 +248,48 @@ DrainedMsg AdmissionClient::drain() {
   }
 }
 
+void RetryingSubmitter::enqueue(const Job& job) {
+  pending_.emplace(client_.submit(job), Pending{job, 1});
+}
+
+void RetryingSubmitter::enqueue_batch(std::span<const Job> jobs) {
+  const std::uint64_t base = client_.submit_batch(jobs);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pending_.emplace(base + i, Pending{jobs[i], 1});
+  }
+}
+
+bool RetryingSubmitter::pump(DecisionReply& out) {
+  while (!pending_.empty()) {
+    DecisionReply reply = client_.wait_reply();
+    const auto it = pending_.find(reply.request_id);
+    if (it == pending_.end()) {
+      // Not ours (the caller also submits directly); surface untouched.
+      out = reply;
+      return true;
+    }
+    const Pending pending = it->second;
+    pending_.erase(it);
+    const bool shed = reply.outcome == Outcome::kRejectedQueueFull ||
+                      reply.outcome == Outcome::kRejectedRetryAfter;
+    if (shed &&
+        (policy_.max_attempts <= 0 || pending.attempt < policy_.max_attempts)) {
+      std::this_thread::sleep_for(
+          policy_.delay(pending.attempt, reply.retry_after_ms));
+      ++retries_;
+      pending_.emplace(client_.submit(pending.job),
+                       Pending{pending.job, pending.attempt + 1});
+      continue;
+    }
+    out = reply;
+    return true;
+  }
+  return false;
+}
+
 std::string http_get_metrics(const std::string& host, std::uint16_t port) {
-  const int fd = connect_to(host, port);
+  const int fd =
+      connect_with_timeout(host, port, std::chrono::milliseconds(5000));
   const std::string request = "GET /metrics HTTP/1.0\r\nHost: " + host +
                               "\r\nConnection: close\r\n\r\n";
   std::size_t sent = 0;

@@ -15,15 +15,52 @@
 /// before DRAINED are buffered and stay retrievable via try_reply().
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <span>
 #include <string>
+#include <unordered_map>
 
 #include "job/job.hpp"
 #include "net/protocol.hpp"
 
 namespace slacksched::net {
+
+/// Opens a TCP connection to host:port, failing after `timeout` instead of
+/// blocking indefinitely on an unreachable peer (non-blocking connect +
+/// poll; the returned descriptor is blocking again, TCP_NODELAY set).
+/// Throws NetError on refusal, timeout, or a bad address. Shared by the
+/// admission client and the commit-log replicator (replication/).
+[[nodiscard]] int connect_with_timeout(const std::string& host,
+                                       std::uint16_t port,
+                                       std::chrono::milliseconds timeout);
+
+/// Client connection knobs.
+struct ClientConfig {
+  /// Longest a constructor blocks establishing the connection.
+  std::chrono::milliseconds connect_timeout{5000};
+};
+
+/// Client-side retry schedule for shed submissions (kRejectedQueueFull /
+/// kRejectedRetryAfter): capped exponential backoff with deterministic
+/// jitter, never sleeping less than the server's retry_after_ms hint.
+/// Opt-in — the plain AdmissionClient surfaces every shed outcome as-is.
+struct RetryPolicy {
+  /// Total tries per job, first submission included (<= 0: unlimited).
+  int max_attempts = 6;
+  std::chrono::milliseconds initial_delay{2};
+  double factor = 2.0;
+  std::chrono::milliseconds max_delay{250};
+  /// Seed of the jitter stream; equal seeds replay equal schedules.
+  std::uint64_t jitter_seed = 0x5eed5eed5eed5eedULL;
+
+  /// Backoff before retry number `attempt` (1-based): the capped
+  /// exponential delay jittered into [0.5, 1.0] of itself, raised to the
+  /// server's retry_after_ms hint when that is larger.
+  [[nodiscard]] std::chrono::milliseconds delay(
+      int attempt, std::uint32_t server_hint_ms) const;
+};
 
 /// One answer to one submission (DECISION or REJECT frame).
 struct DecisionReply {
@@ -45,8 +82,9 @@ struct DecisionReply {
 /// thread (open several clients for concurrent load).
 class AdmissionClient {
  public:
-  /// Connects (blocking) or throws NetError.
-  AdmissionClient(const std::string& host, std::uint16_t port);
+  /// Connects (bounded by config.connect_timeout) or throws NetError.
+  AdmissionClient(const std::string& host, std::uint16_t port,
+                  const ClientConfig& config = {});
   ~AdmissionClient();
 
   AdmissionClient(const AdmissionClient&) = delete;
@@ -94,6 +132,50 @@ class AdmissionClient {
   std::uint64_t next_request_id_ = 1;
   std::size_t outstanding_ = 0;
   std::deque<DecisionReply> ready_;
+};
+
+/// Pipelined submission with automatic retry of shed outcomes. Wraps an
+/// AdmissionClient (not owned): enqueue() pipelines jobs, pump() surfaces
+/// one *final* reply at a time — a job answered kRejectedQueueFull or
+/// kRejectedRetryAfter is resubmitted after the policy's backoff until it
+/// gets a real decision or exhausts max_attempts (the last shed outcome is
+/// then surfaced). Replies are matched by job id, not request id: a
+/// retried job is answered under a fresh request id each attempt.
+///
+/// Single-threaded like the client it wraps; the backoff sleep happens on
+/// the pumping thread, with all other pipelined submissions still parked
+/// server-side (retries delay only the retrying job's caller).
+class RetryingSubmitter {
+ public:
+  RetryingSubmitter(AdmissionClient& client, RetryPolicy policy)
+      : client_(client), policy_(policy) {}
+
+  /// Pipelines one job (attempt 1).
+  void enqueue(const Job& job);
+
+  /// Pipelines a batch in one SUBMIT_BATCH frame (each job at attempt 1);
+  /// retries are per-job, resubmitted individually.
+  void enqueue_batch(std::span<const Job> jobs);
+
+  /// Blocks for the next final reply; false when nothing is in flight.
+  [[nodiscard]] bool pump(DecisionReply& out);
+
+  /// Jobs whose final reply pump() has not surfaced yet.
+  [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
+
+  /// Total resubmissions performed (shed outcomes retried).
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+
+ private:
+  struct Pending {
+    Job job;
+    int attempt = 1;
+  };
+
+  AdmissionClient& client_;
+  RetryPolicy policy_;
+  std::unordered_map<std::uint64_t, Pending> pending_;  ///< by request id
+  std::uint64_t retries_ = 0;
 };
 
 /// One-shot plain HTTP scrape of the server's metrics page ("GET

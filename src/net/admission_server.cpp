@@ -49,6 +49,8 @@ AdmissionServer::AdmissionServer(const AdmissionServerConfig& config,
     throw PreconditionError(joined);
   }
   SLACKSCHED_EXPECTS(config_.backlog >= 1);
+  SLACKSCHED_EXPECTS(config_.idle_timeout.count() == 0 ||
+                     config_.reap_interval.count() >= 1);
 
   event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   if (event_fd_ < 0) throw_errno("eventfd");
@@ -170,11 +172,25 @@ void AdmissionServer::on_gateway_decision(const Job& job,
 void AdmissionServer::event_loop() {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
+  // With a reaper the wait becomes a tick (so idleness is noticed without
+  // any descriptor firing); without one it blocks indefinitely, the
+  // original zero-wakeup behavior.
+  const bool reaping = config_.idle_timeout.count() > 0;
+  const int wait_ms =
+      reaping ? static_cast<int>(config_.reap_interval.count()) : -1;
+  auto next_reap = std::chrono::steady_clock::now() + config_.reap_interval;
   while (!stop_.load(std::memory_order_acquire)) {
-    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, wait_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // epoll fd gone: shutdown is tearing the loop down
+    }
+    if (reaping) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= next_reap) {
+        reap_idle(now);
+        next_reap = now + config_.reap_interval;
+      }
     }
     for (int i = 0; i < n; ++i) {
       const std::uint64_t tag = events[i].data.u64;
@@ -218,6 +234,7 @@ void AdmissionServer::accept_ready() {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     conn->id = next_conn_id_++;
+    conn->last_activity = std::chrono::steady_clock::now();
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.u64 = conn->id;
@@ -233,6 +250,7 @@ void AdmissionServer::accept_ready() {
 void AdmissionServer::read_ready(Connection& conn) {
   char buf[65536];
   bool peer_closed = false;
+  conn.last_activity = std::chrono::steady_clock::now();
   while (true) {
     const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
     if (n > 0) {
@@ -509,6 +527,14 @@ void AdmissionServer::handle_http(Connection& conn) {
   if (request_line.compare(0, 13, "GET /metrics ") == 0 ||
       request_line.compare(0, 6, "GET / ") == 0) {
     body = render_prometheus(collect_exporter_input(*gateway_));
+    // The reaper's counter lives in the server, not the gateway, so it is
+    // appended after the gateway-derived exposition.
+    body +=
+        "# HELP slacksched_connections_reaped_total Connections closed by "
+        "the idle reaper.\n"
+        "# TYPE slacksched_connections_reaped_total counter\n"
+        "slacksched_connections_reaped_total " +
+        std::to_string(connections_reaped()) + "\n";
   } else {
     status = "404 Not Found";
     body = "only GET /metrics is served here\n";
@@ -534,6 +560,9 @@ void AdmissionServer::send_protocol_error(Connection& conn,
 void AdmissionServer::queue_bytes(Connection& conn, const char* data,
                                   std::size_t n) {
   if (conn.dead) return;
+  // Output owed to the peer is activity too: a client quietly waiting for
+  // a slow decision is not idle once the reply is on its way.
+  conn.last_activity = std::chrono::steady_clock::now();
   // Compact the flushed prefix when it dominates the buffer.
   if (conn.write_pos > 0 && (conn.write_pos == conn.write_buffer.size() ||
                              conn.write_pos >= 65536)) {
@@ -582,6 +611,19 @@ void AdmissionServer::close_connection(std::uint64_t conn_id) {
   connections_.erase(it);
   // Pending replies owed to this connection stay registered; their
   // decisions are dropped at outbox drain when the lookup fails.
+}
+
+void AdmissionServer::reap_idle(std::chrono::steady_clock::time_point now) {
+  std::vector<std::uint64_t> expired;
+  for (const auto& [id, conn] : connections_) {
+    if (now - conn->last_activity >= config_.idle_timeout) {
+      expired.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : expired) {
+    close_connection(id);
+    connections_reaped_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void AdmissionServer::drain_outbox() {

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -47,6 +48,17 @@ struct AdmissionServerConfig {
   int backlog = 128;
   /// Cap on a buffered HTTP request head; longer requests are closed.
   std::size_t max_http_request = 8192;
+  /// Close a connection once this long has passed without traffic in
+  /// either direction (reads, or bytes queued/flushed toward the peer).
+  /// Zero disables reaping — the pre-reaper behavior, where an abandoned
+  /// connection holds its fd until the peer resets or the server shuts
+  /// down. Reaped closes are counted in connections_reaped().
+  std::chrono::milliseconds idle_timeout{0};
+  /// How often the event loop wakes to scan for idle connections when
+  /// idle_timeout is enabled; bounds how far past its deadline a
+  /// connection can linger. Ignored (the loop blocks indefinitely) when
+  /// idle_timeout is zero.
+  std::chrono::milliseconds reap_interval{1000};
   /// The gateway behind the listener. Validated before anything binds:
   /// the constructor throws a PreconditionError naming every problem
   /// GatewayConfig::validate() reports, and the server never starts.
@@ -84,6 +96,12 @@ class AdmissionServer {
   /// processes; network clients use the protocol instead.
   [[nodiscard]] AdmissionGateway& gateway() { return *gateway_; }
 
+  /// Connections closed by the idle reaper since the server started
+  /// (exported as slacksched_connections_reaped_total on /metrics).
+  [[nodiscard]] std::uint64_t connections_reaped() const {
+    return connections_reaped_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Connection {
     int fd = -1;
@@ -99,6 +117,9 @@ class AdmissionServer {
     /// Set on a fatal socket error mid-handling; the loop closes the
     /// connection at the next safe point instead of mid-callback.
     bool dead = false;
+    /// Last observed traffic (accept, readable bytes, or queued output);
+    /// the reaper compares this against idle_timeout.
+    std::chrono::steady_clock::time_point last_activity{};
   };
 
   /// A job whose DECISION is owed to a connection. Keyed by job id in
@@ -134,6 +155,9 @@ class AdmissionServer {
   void flush(Connection& conn);
   void update_epoll(Connection& conn);
   void close_connection(std::uint64_t conn_id);
+  /// Closes every connection whose last_activity is older than
+  /// idle_timeout. Called from the event loop on the reap_interval tick.
+  void reap_idle(std::chrono::steady_clock::time_point now);
   /// Moves decision frames queued by shard threads into write buffers.
   void drain_outbox();
   /// Answers every still-pending submission with REJECT closed (used
@@ -154,6 +178,7 @@ class AdmissionServer {
   std::atomic<bool> stop_{false};
   std::atomic<bool> drained_{false};
   std::atomic<bool> shutdown_done_{false};
+  std::atomic<std::uint64_t> connections_reaped_{0};
 
   /// Connection ids double as epoll tags; 0 and 1 are reserved for the
   /// listener and the eventfd.

@@ -1,0 +1,184 @@
+/// \file
+/// The commit-log replication wire protocol: a versioned, length-prefixed,
+/// CRC-framed binary format spoken between a leader's per-shard
+/// ShardReplicator and a follower's ReplicaServer. It reuses the shared
+/// codec (common/wire.hpp: little-endian fixed-width fields, IEEE CRC-32
+/// over the payload) but is its own protocol on its own port — the frozen
+/// client admission protocol (net/protocol.hpp, docs/net.md) is untouched
+/// and versions independently.
+///
+/// Frame layout (header is kReplHeaderSize = 12 bytes):
+///
+///   u8  version      kReplProtocolVersion (1); mismatch rejects the frame
+///   u8  type         ReplFrameType; unknown values reject the frame
+///   u16 shard        shard index the frame belongs to
+///   u32 payload_len  <= kMaxReplPayload; bigger frames reject loudly
+///   u32 crc          CRC-32 (IEEE) of the payload bytes
+///   ... payload_len bytes of payload
+///
+/// Conversation shape (one TCP connection per shard, leader connects):
+///
+///   leader:   HELLO{machines, ack_mode, leader_records}
+///   follower: WELCOME{follower_records}        (or NACK{stale-leader})
+///   leader:   APPEND{base_seq, count, raw WAL records}*   (catch-up +
+///             live stream; base_seq = follower's expected record count)
+///   follower: ACK{watermark}                   (after each APPEND is
+///             persisted + fsynced; watermark = records now durable)
+///   leader:   HEARTBEAT{leader_records}        (idle liveness)
+///   follower: HEARTBEAT_ACK{follower_records}  (replication watermark)
+///   follower: NACK{reason, detail}             (fail-safe refusal: the
+///             session ends, nothing was persisted from the bad frame)
+///
+/// APPEND payloads carry raw commit-log records byte-for-byte (the 52-byte
+/// frame of service/commit_log.hpp, each independently CRC-framed), so a
+/// follower's log is verbatim-identical to the leader's and replays
+/// through the exact same recover_commit_log path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slacksched::repl {
+
+/// Replication protocol version this build speaks.
+inline constexpr std::uint8_t kReplProtocolVersion = 1;
+
+/// Size of the fixed frame header in bytes (frozen across versions).
+inline constexpr std::size_t kReplHeaderSize = 12;
+
+/// Largest accepted payload (caps APPEND to ~20k records per frame).
+inline constexpr std::uint32_t kMaxReplPayload = 1u << 20;
+
+/// Frame type tags. Values are frozen; new types append.
+enum class ReplFrameType : std::uint8_t {
+  kHello = 1,         ///< leader -> follower: session open
+  kWelcome = 2,       ///< follower -> leader: session accepted + watermark
+  kAppend = 3,        ///< leader -> follower: raw WAL records
+  kAck = 4,           ///< follower -> leader: records durable up to mark
+  kHeartbeat = 5,     ///< leader -> follower: liveness probe
+  kHeartbeatAck = 6,  ///< follower -> leader: probe echo + watermark
+  kNack = 7,          ///< follower -> leader: refusal, then close
+};
+
+/// True iff `value` is a defined ReplFrameType wire value.
+[[nodiscard]] constexpr bool repl_frame_type_valid(std::uint8_t value) {
+  return value >= 1 && value <= 7;
+}
+
+/// Why a follower refused (NACK payload `reason`). Values are frozen.
+enum class NackReason : std::uint8_t {
+  kStaleLeader = 1,    ///< follower holds more records than the leader
+  kSequenceGap = 2,    ///< APPEND base_seq != follower's record count
+  kCorruptRecord = 3,  ///< a shipped record failed its CRC frame check
+  kBadState = 4,       ///< follower-side log unusable (I/O, bad header)
+};
+
+[[nodiscard]] std::string to_string(NackReason reason);
+
+/// When the leader blocks on follower acknowledgement — the replication
+/// mirror of FsyncPolicy (async ~ kNever, ack-on-batch ~ kBatch,
+/// ack-on-commit ~ kEveryCommit). Wire values are frozen (HELLO payload).
+enum class ReplAckMode : std::uint8_t {
+  kAsync = 0,        ///< stream without waiting; acks drain opportunistically
+  kAckOnBatch = 1,   ///< block at each shard batch boundary
+  kAckOnCommit = 2,  ///< block on every record before it externalizes
+};
+
+[[nodiscard]] std::string to_string(ReplAckMode mode);
+
+/// Thrown by both sides on connection failures, protocol violations,
+/// follower NACKs and ack timeouts.
+class ReplError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// HELLO payload: u32 machines, u8 ack_mode, u64 leader_records. 13 bytes.
+struct HelloMsg {
+  std::uint32_t machines = 0;
+  ReplAckMode ack_mode = ReplAckMode::kAckOnBatch;
+  std::uint64_t leader_records = 0;
+};
+
+/// NACK payload: u8 reason, u64 detail, then a UTF-8 message.
+struct NackMsg {
+  NackReason reason = NackReason::kBadState;
+  std::uint64_t detail = 0;
+  std::string message;
+};
+
+/// One decoded frame: validated header + raw payload bytes.
+struct ReplFrame {
+  ReplFrameType type = ReplFrameType::kNack;
+  std::uint16_t shard = 0;
+  std::vector<char> payload;
+};
+
+// --- encoders: append one complete frame (header + payload) to `out` ---
+
+void encode_hello(std::vector<char>& out, std::uint16_t shard,
+                  const HelloMsg& msg);
+void encode_welcome(std::vector<char>& out, std::uint16_t shard,
+                    std::uint64_t follower_records);
+/// `records` must be count * kWalRecordBytes raw commit-log record bytes.
+void encode_append(std::vector<char>& out, std::uint16_t shard,
+                   std::uint64_t base_seq, std::uint32_t count,
+                   const char* records, std::size_t record_bytes);
+void encode_ack(std::vector<char>& out, std::uint16_t shard,
+                std::uint64_t watermark);
+void encode_heartbeat(std::vector<char>& out, std::uint16_t shard,
+                      std::uint64_t leader_records);
+void encode_heartbeat_ack(std::vector<char>& out, std::uint16_t shard,
+                          std::uint64_t follower_records);
+void encode_nack(std::vector<char>& out, std::uint16_t shard,
+                 NackReason reason, std::uint64_t detail,
+                 std::string_view message);
+
+// --- payload parsers: false (with *error set) on malformed payloads ---
+
+[[nodiscard]] bool parse_hello(const ReplFrame& frame, HelloMsg& out,
+                               std::string* error);
+/// WELCOME / ACK / HEARTBEAT / HEARTBEAT_ACK all carry one u64.
+[[nodiscard]] bool parse_watermark(const ReplFrame& frame,
+                                   std::uint64_t& out, std::string* error);
+/// On success `records` points into frame.payload (count * 52 bytes).
+[[nodiscard]] bool parse_append(const ReplFrame& frame,
+                                std::uint64_t& base_seq, std::uint32_t& count,
+                                const char** records, std::string* error);
+[[nodiscard]] bool parse_nack(const ReplFrame& frame, NackMsg& out,
+                              std::string* error);
+
+/// Incremental frame decoder: feed() raw bytes as they arrive, then pull
+/// complete frames with next(). A malformed stream (bad version, unknown
+/// type, oversized length, CRC mismatch) puts the decoder into a sticky
+/// error state — framing is lost for good on a byte stream, so the only
+/// safe reaction is to report and close the connection.
+class ReplFrameDecoder {
+ public:
+  enum class Status {
+    kFrame,     ///< `out` holds the next complete frame
+    kNeedMore,  ///< no complete frame buffered; feed() more bytes
+    kError,     ///< stream corrupt; see error()
+  };
+
+  void feed(const char* data, std::size_t n);
+
+  [[nodiscard]] Status next(ReplFrame& out);
+
+  /// Why the stream was rejected (empty unless next() returned kError).
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed by next().
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size() - pos_; }
+
+ private:
+  std::vector<char> buffer_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buffer_
+  std::string error_;
+};
+
+}  // namespace slacksched::repl

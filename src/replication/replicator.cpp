@@ -1,0 +1,439 @@
+#include "replication/replicator.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "net/admission_client.hpp"
+#include "net/protocol.hpp"
+
+namespace slacksched::repl {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int ceil_ms(Clock::duration d) {
+  const auto ms = std::chrono::ceil<std::chrono::milliseconds>(d).count();
+  return static_cast<int>(std::clamp<std::int64_t>(ms, 0, 1 << 30));
+}
+
+}  // namespace
+
+std::vector<std::string> ReplicationConfig::validate() const {
+  std::vector<std::string> problems;
+  if (port == 0) {
+    problems.emplace_back("replication.port must be set (0 is not a port)");
+  }
+  if (connect_timeout.count() <= 0) {
+    problems.emplace_back("replication.connect_timeout must be positive");
+  }
+  if (ack_timeout.count() <= 0) {
+    problems.emplace_back("replication.ack_timeout must be positive");
+  }
+  if (heartbeat_interval.count() < 0) {
+    problems.emplace_back(
+        "replication.heartbeat_interval must be >= 0 (0 disables)");
+  }
+  if (catch_up_batch == 0) {
+    problems.emplace_back("replication.catch_up_batch must be >= 1");
+  }
+  if (max_pending_bytes < kWalRecordBytes) {
+    problems.emplace_back(
+        "replication.max_pending_bytes must hold at least one record (" +
+        std::to_string(kWalRecordBytes) + " bytes)");
+  }
+  return problems;
+}
+
+ShardReplicator::ShardReplicator(int shard, const ReplicationConfig& config)
+    : shard_(shard), config_(config) {
+  if (config_.heartbeat_interval.count() > 0) {
+    heartbeat_ = std::thread([this] { heartbeat_loop(); });
+  }
+}
+
+ShardReplicator::~ShardReplicator() {
+  stop_.store(true, std::memory_order_release);
+  if (heartbeat_.joinable()) heartbeat_.join();
+  std::lock_guard lock(io_mutex_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ShardReplicator::on_open(const std::string& path, int machines,
+                              std::uint64_t base_records) {
+  std::lock_guard lock(io_mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_ = ReplFrameDecoder();
+  dead_ = false;
+  connected_.store(false, std::memory_order_release);
+  pending_.clear();
+  pending_count_ = 0;
+
+  try {
+    fd_ = net::connect_with_timeout(config_.host, config_.port,
+                                    config_.connect_timeout);
+  } catch (const net::NetError& e) {
+    if (config_.ack_mode == ReplAckMode::kAsync) {
+      // Best-effort mode: the leader serves without a follower; catch-up
+      // re-syncs when a later open reconnects.
+      dead_ = true;
+      return;
+    }
+    throw ReplError(std::string("replication connect failed: ") + e.what());
+  }
+
+  try {
+    HelloMsg hello;
+    hello.machines = static_cast<std::uint32_t>(machines);
+    hello.ack_mode = config_.ack_mode;
+    hello.leader_records = base_records;
+    std::vector<char> out;
+    encode_hello(out, static_cast<std::uint16_t>(shard_), hello);
+    send_all(out.data(), out.size(), /*crash_point=*/false);
+
+    ReplFrame frame;
+    read_frame(frame, config_.connect_timeout);
+    if (frame.type == ReplFrameType::kNack) {
+      NackMsg nack;
+      std::string error;
+      if (!parse_nack(frame, nack, &error)) throw ReplError(error);
+      // Fail safe in EVERY ack mode: a refused session (stale leader, bad
+      // follower state) must stop this log from serving.
+      throw ReplError("follower refused replication session (" +
+                      to_string(nack.reason) + "): " + nack.message);
+    }
+    if (frame.type != ReplFrameType::kWelcome) {
+      throw ReplError("expected WELCOME, got frame type " +
+                      std::to_string(static_cast<int>(frame.type)));
+    }
+    std::uint64_t follower = 0;
+    std::string error;
+    if (!parse_watermark(frame, follower, &error)) throw ReplError(error);
+    if (follower > base_records) {
+      throw ReplError("stale leader: follower holds " +
+                      std::to_string(follower) + " records, this log only " +
+                      std::to_string(base_records));
+    }
+    acked_.store(follower, std::memory_order_release);
+    if (follower < base_records) catch_up(path, follower, base_records);
+    next_seq_ = base_records;
+    connected_.store(true, std::memory_order_release);
+  } catch (...) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    throw;
+  }
+}
+
+void ShardReplicator::on_record(const char* frame, std::size_t size,
+                                std::uint64_t seq) {
+  std::lock_guard lock(io_mutex_);
+  if (dead_) return;
+  if (fd_ < 0) {
+    if (config_.ack_mode == ReplAckMode::kAsync) return;
+    throw ReplError("replication session lost before record " +
+                    std::to_string(seq));
+  }
+  if (pending_count_ == 0) pending_base_ = seq - 1;
+  pending_.insert(pending_.end(), frame, frame + size);
+  ++pending_count_;
+  try {
+    if (config_.ack_mode == ReplAckMode::kAckOnCommit) {
+      flush_pending();
+      wait_for_ack(seq);
+    } else if (pending_.size() >= config_.max_pending_bytes) {
+      flush_pending();
+      if (config_.ack_mode == ReplAckMode::kAsync) (void)drain_acks();
+    }
+  } catch (const ReplError&) {
+    fail_session("");  // closes fd; kAsync marks dead
+    if (config_.ack_mode != ReplAckMode::kAsync) throw;
+  }
+}
+
+void ShardReplicator::on_batch(std::uint64_t watermark) {
+  std::lock_guard lock(io_mutex_);
+  if (dead_) return;
+  if (fd_ < 0) {
+    if (config_.ack_mode == ReplAckMode::kAsync) return;
+    throw ReplError("replication session lost at batch watermark " +
+                    std::to_string(watermark));
+  }
+  try {
+    flush_pending();
+    if (config_.ack_mode == ReplAckMode::kAckOnBatch) {
+      wait_for_ack(watermark);
+    } else if (config_.ack_mode == ReplAckMode::kAsync) {
+      (void)drain_acks();
+    }
+  } catch (const ReplError&) {
+    fail_session("");
+    if (config_.ack_mode != ReplAckMode::kAsync) throw;
+  }
+}
+
+void ShardReplicator::on_close(std::uint64_t watermark) {
+  std::lock_guard lock(io_mutex_);
+  if (dead_ || fd_ < 0) return;
+  // A clean close drains in every mode — even kAsync promises nothing
+  // mid-run but leaves follower == leader on an orderly shutdown.
+  try {
+    flush_pending();
+    wait_for_ack(watermark);
+  } catch (const ReplError&) {
+    fail_session("");
+    if (config_.ack_mode != ReplAckMode::kAsync) throw;
+  }
+}
+
+void ShardReplicator::send_all(const char* data, std::size_t size,
+                               bool crash_point) {
+  const auto send_chunk = [this](const char* chunk, std::size_t n) {
+    std::size_t sent = 0;
+    while (sent < n) {
+      const ssize_t written =
+          ::send(fd_, chunk + sent, n - sent, MSG_NOSIGNAL);
+      if (written > 0) {
+        sent += static_cast<std::size_t>(written);
+        continue;
+      }
+      if (written < 0 && errno == EINTR) continue;
+      throw ReplError(std::string("replication send: ") +
+                      std::strerror(errno));
+    }
+  };
+#if defined(SLACKSCHED_FAULT_INJECTION) && SLACKSCHED_FAULT_INJECTION
+  if (crash_point && config_.faults != nullptr) {
+    // Torn-frame site: half the frame is on the wire when the fault fires
+    // — the follower must discard the partial frame, not persist it.
+    const std::size_t half = size / 2;
+    send_chunk(data, half);
+    SLACKSCHED_FAULT_CRASH_POINT(config_.faults,
+                                 FaultSite::kReplicationFrame, shard_);
+    send_chunk(data + half, size - half);
+    return;
+  }
+#else
+  (void)crash_point;
+#endif
+  send_chunk(data, size);
+}
+
+void ShardReplicator::flush_pending() {
+  if (pending_count_ == 0) return;
+  std::vector<char> out;
+  out.reserve(kReplHeaderSize + 12 + pending_.size());
+  encode_append(out, static_cast<std::uint16_t>(shard_), pending_base_,
+                static_cast<std::uint32_t>(pending_count_), pending_.data(),
+                pending_.size());
+  send_all(out.data(), out.size(), /*crash_point=*/true);
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  next_seq_ = pending_base_ + pending_count_;
+  pending_.clear();
+  pending_count_ = 0;
+}
+
+void ShardReplicator::wait_for_ack(std::uint64_t target) {
+  const auto deadline = Clock::now() + config_.ack_timeout;
+  while (acked_.load(std::memory_order_acquire) < target) {
+    const auto now = Clock::now();
+    if (now >= deadline) {
+      throw ReplError("follower ack timeout: waited " +
+                      std::to_string(config_.ack_timeout.count()) +
+                      " ms for record " + std::to_string(target) +
+                      " (acked " + std::to_string(acked_.load()) + ")");
+    }
+    ReplFrame frame;
+    read_frame(frame, std::chrono::milliseconds(ceil_ms(deadline - now)));
+    handle_frame(frame);
+  }
+}
+
+bool ShardReplicator::drain_acks() {
+  try {
+    while (true) {
+      ReplFrame frame;
+      const ReplFrameDecoder::Status status = decoder_.next(frame);
+      if (status == ReplFrameDecoder::Status::kFrame) {
+        handle_frame(frame);
+        continue;
+      }
+      if (status == ReplFrameDecoder::Status::kError) {
+        throw ReplError("replication ack stream corrupt: " +
+                        decoder_.error());
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 0);
+      if (ready <= 0) return true;  // nothing buffered right now
+      char buf[65536];
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n > 0) {
+        decoder_.feed(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) return true;
+      if (n == 0) throw ReplError("follower closed the connection");
+      throw ReplError(std::string("replication recv: ") +
+                      std::strerror(errno));
+    }
+  } catch (const ReplError&) {
+    if (config_.ack_mode != ReplAckMode::kAsync) throw;
+    fail_session("");
+    return false;
+  }
+}
+
+void ShardReplicator::read_frame(ReplFrame& out,
+                                 std::chrono::milliseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+  while (true) {
+    const ReplFrameDecoder::Status status = decoder_.next(out);
+    if (status == ReplFrameDecoder::Status::kFrame) return;
+    if (status == ReplFrameDecoder::Status::kError) {
+      throw ReplError("replication stream corrupt: " + decoder_.error());
+    }
+    const auto now = Clock::now();
+    if (now >= deadline) {
+      throw ReplError("timed out waiting for a follower frame");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, ceil_ms(deadline - now));
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready < 0) {
+      throw ReplError(std::string("replication poll: ") +
+                      std::strerror(errno));
+    }
+    if (ready == 0) continue;  // re-check the deadline
+    char buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) throw ReplError("follower closed the connection");
+    throw ReplError(std::string("replication recv: ") + std::strerror(errno));
+  }
+}
+
+void ShardReplicator::handle_frame(const ReplFrame& frame) {
+  std::string error;
+  switch (frame.type) {
+    case ReplFrameType::kAck:
+    case ReplFrameType::kHeartbeatAck: {
+      std::uint64_t watermark = 0;
+      if (!parse_watermark(frame, watermark, &error)) throw ReplError(error);
+      const std::uint64_t prev = acked_.load(std::memory_order_relaxed);
+      if (watermark > prev) {
+        acked_.store(watermark, std::memory_order_release);
+        if (config_.on_ack) config_.on_ack(shard_, watermark);
+      }
+      return;
+    }
+    case ReplFrameType::kNack: {
+      NackMsg nack;
+      if (!parse_nack(frame, nack, &error)) throw ReplError(error);
+      throw ReplError("follower refused (" + to_string(nack.reason) +
+                      "): " + nack.message);
+    }
+    default:
+      throw ReplError("unexpected replication frame type " +
+                      std::to_string(static_cast<int>(frame.type)));
+  }
+}
+
+void ShardReplicator::catch_up(const std::string& path, std::uint64_t from,
+                               std::uint64_t to) {
+  const int file = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (file < 0) {
+    throw ReplError("catch-up cannot read leader log " + path + ": " +
+                    std::strerror(errno));
+  }
+  try {
+    std::vector<char> buf;
+    std::uint64_t base = from;
+    while (base < to) {
+      const std::uint64_t count =
+          std::min<std::uint64_t>(config_.catch_up_batch, to - base);
+      const std::size_t bytes =
+          static_cast<std::size_t>(count) * kWalRecordBytes;
+      buf.resize(bytes);
+      const off_t offset = static_cast<off_t>(
+          kWalHeaderBytes + base * kWalRecordBytes);
+      std::size_t got = 0;
+      while (got < bytes) {
+        const ssize_t n = ::pread(file, buf.data() + got, bytes - got,
+                                  offset + static_cast<off_t>(got));
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+          throw ReplError("leader log " + path +
+                          " is shorter than its recovered record count "
+                          "during catch-up");
+        }
+        got += static_cast<std::size_t>(n);
+      }
+      std::vector<char> out;
+      encode_append(out, static_cast<std::uint16_t>(shard_), base,
+                    static_cast<std::uint32_t>(count), buf.data(), bytes);
+      send_all(out.data(), out.size(), /*crash_point=*/true);
+      frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      base += count;
+      wait_for_ack(base);
+    }
+  } catch (...) {
+    ::close(file);
+    throw;
+  }
+  ::close(file);
+}
+
+void ShardReplicator::fail_session(const std::string& why) {
+  (void)why;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  connected_.store(false, std::memory_order_release);
+  if (config_.ack_mode == ReplAckMode::kAsync) dead_ = true;
+}
+
+void ShardReplicator::heartbeat_loop() {
+  constexpr auto kSlice = std::chrono::milliseconds(10);
+  auto next_beat = Clock::now() + config_.heartbeat_interval;
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::min<Clock::duration>(kSlice, config_.heartbeat_interval));
+    if (Clock::now() < next_beat) continue;
+    next_beat = Clock::now() + config_.heartbeat_interval;
+    std::unique_lock lock(io_mutex_, std::try_to_lock);
+    // A busy worker holds the lock — and a busy worker is already making
+    // progress the follower can see; skip the beat.
+    if (!lock.owns_lock()) continue;
+    if (dead_ || fd_ < 0 || !connected_.load(std::memory_order_acquire)) {
+      continue;
+    }
+    try {
+      std::vector<char> out;
+      encode_heartbeat(out, static_cast<std::uint16_t>(shard_), next_seq_);
+      send_all(out.data(), out.size(), /*crash_point=*/false);
+      (void)drain_acks();
+    } catch (const ReplError&) {
+      // Cannot throw from a background thread: tear the session down and
+      // let the worker's next send (sync modes) report the loss.
+      fail_session("");
+    }
+  }
+}
+
+}  // namespace slacksched::repl

@@ -1,0 +1,163 @@
+/// \file
+/// Leader side of commit-log replication: a per-shard CommitLogObserver
+/// that streams every WAL record the shard logs to a follower's
+/// ReplicaServer over the repl_protocol wire, byte-for-byte. Attached via
+/// CommitLogConfig::observer (the gateway wires one per shard when
+/// GatewayConfig::replication is engaged), it sees exactly the write-side
+/// events of the log it mirrors:
+///
+///   on_open    connect + HELLO/WELCOME handshake; ship the catch-up delta
+///              (records the follower is missing, pread from the leader's
+///              own log) before any new append streams
+///   on_record  buffer the record; under ack-on-commit, flush and block
+///              until the follower's ACK covers it
+///   on_batch   flush; under ack-on-batch, block for the batch's ACK
+///   on_close   flush and drain the final ACK in every mode — a clean
+///              shutdown leaves follower == leader
+///
+/// Failure semantics mirror the ack contract. In the synchronous modes a
+/// replication failure (connect refusal, NACK, ack timeout, torn
+/// connection) throws ReplError out of the commit path: the shard worker
+/// dies, the supervisor restarts it, and the restart's on_open reconnects
+/// — replication self-heals through the existing restart machinery, and no
+/// commit externalizes beyond what the follower acknowledged. In kAsync
+/// the replicator degrades instead: it marks itself dead, stops streaming
+/// and lets the leader run on (the follower re-syncs via catch-up when the
+/// session re-opens).
+///
+/// A stale leader fails safe: if the follower already holds more records
+/// than the opening log, on_open throws and the open fails — a leader that
+/// lost the newest records must not serve, let alone overwrite them.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "replication/repl_protocol.hpp"
+#include "service/commit_log.hpp"
+#include "service/fault_injection.hpp"
+
+namespace slacksched::repl {
+
+/// Leader-side replication knobs (one set shared by every shard).
+struct ReplicationConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  ReplAckMode ack_mode = ReplAckMode::kAckOnBatch;
+  /// Longest on_open blocks establishing the session.
+  std::chrono::milliseconds connect_timeout{2000};
+  /// Longest a synchronous mode blocks on one follower ACK.
+  std::chrono::milliseconds ack_timeout{5000};
+  /// Idle liveness probe cadence (0 disables the heartbeat thread).
+  std::chrono::milliseconds heartbeat_interval{100};
+  /// Records per catch-up APPEND frame while re-syncing a behind follower.
+  std::size_t catch_up_batch = 256;
+  /// Flush threshold for buffered live records (bytes) between batch
+  /// boundaries; keeps APPEND frames well under kMaxReplPayload.
+  std::size_t max_pending_bytes = std::size_t{1} << 16;
+  /// Observer of follower acknowledgement progress, invoked (under the
+  /// replicator's I/O lock — keep it fast) whenever the acked watermark
+  /// advances. The chaos harness journals this to prove the ack contract.
+  std::function<void(int shard, std::uint64_t watermark)> on_ack;
+  /// Optional deterministic fault injector (kReplicationFrame site).
+  FaultInjector* faults = nullptr;
+
+  /// Human-readable problems, empty when valid.
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+/// One shard's replication stream. Thread-compatible with the commit log
+/// it observes: on_record/on_batch/on_close arrive on the shard's worker
+/// thread, on_open on whichever thread spawns the shard; an internal
+/// heartbeat thread shares the socket under a lock.
+class ShardReplicator : public CommitLogObserver {
+ public:
+  ShardReplicator(int shard, const ReplicationConfig& config);
+
+  /// Closes the socket and joins the heartbeat thread. Does NOT drain —
+  /// a clean drain happens in on_close (CommitLog::close); destruction
+  /// with unflushed records models the leader dying.
+  ~ShardReplicator() override;
+
+  ShardReplicator(const ShardReplicator&) = delete;
+  ShardReplicator& operator=(const ShardReplicator&) = delete;
+
+  // --- CommitLogObserver ---
+  void on_open(const std::string& path, int machines,
+               std::uint64_t base_records) override;
+  void on_record(const char* frame, std::size_t size,
+                 std::uint64_t seq) override;
+  void on_batch(std::uint64_t watermark) override;
+  void on_close(std::uint64_t watermark) override;
+
+  /// Highest record sequence the follower has acknowledged as durable.
+  [[nodiscard]] std::uint64_t acked_watermark() const {
+    return acked_.load(std::memory_order_acquire);
+  }
+
+  /// True while a session is established and not degraded.
+  [[nodiscard]] bool connected() const {
+    return connected_.load(std::memory_order_acquire);
+  }
+
+  /// APPEND frames sent over the session's lifetime (all sessions).
+  [[nodiscard]] std::uint64_t frames_sent() const {
+    return frames_sent_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] int shard() const { return shard_; }
+
+ private:
+  /// Sends raw bytes, with the kReplicationFrame crash point armed
+  /// mid-frame (half the bytes are on the wire when it fires). Caller
+  /// holds io_mutex_.
+  void send_all(const char* data, std::size_t size, bool crash_point);
+  /// Flushes buffered live records as one APPEND. Caller holds io_mutex_.
+  void flush_pending();
+  /// Blocks until acked_ >= target or ack_timeout. Caller holds io_mutex_.
+  void wait_for_ack(std::uint64_t target);
+  /// Non-blocking drain of whatever ACK/HEARTBEAT_ACK frames arrived.
+  /// Caller holds io_mutex_. Returns false when the connection died.
+  bool drain_acks();
+  /// Reads one frame with a poll deadline; processes watermarks in place.
+  /// Caller holds io_mutex_. Throws ReplError on NACK/corruption/timeout.
+  void read_frame(ReplFrame& out, std::chrono::milliseconds timeout);
+  /// Applies one follower frame (ACK/HEARTBEAT_ACK advance the watermark,
+  /// NACK throws). Caller holds io_mutex_.
+  void handle_frame(const ReplFrame& frame);
+  /// Ships records [from, to) of the leader's log file as catch-up
+  /// APPENDs, each acknowledged synchronously. Caller holds io_mutex_.
+  void catch_up(const std::string& path, std::uint64_t from,
+                std::uint64_t to);
+  /// Tears the session down. Sync modes then throw ReplError(why); kAsync
+  /// marks the replicator dead and returns. Caller holds io_mutex_.
+  void fail_session(const std::string& why);
+  void heartbeat_loop();
+
+  const int shard_;
+  const ReplicationConfig config_;
+
+  std::mutex io_mutex_;
+  int fd_ = -1;
+  bool dead_ = false;  ///< kAsync degraded: stop streaming until re-open
+  ReplFrameDecoder decoder_;
+  std::vector<char> pending_;          ///< buffered live records (raw WAL)
+  std::uint64_t pending_base_ = 0;     ///< seq of pending_'s first record
+  std::uint64_t pending_count_ = 0;
+  std::uint64_t next_seq_ = 0;  ///< follower's expected next base_seq
+
+  std::atomic<std::uint64_t> acked_{0};
+  std::atomic<bool> connected_{false};
+  std::atomic<std::uint64_t> frames_sent_{0};
+
+  std::atomic<bool> stop_{false};
+  std::thread heartbeat_;
+};
+
+}  // namespace slacksched::repl

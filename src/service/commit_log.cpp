@@ -115,8 +115,15 @@ std::unique_ptr<CommitLog> CommitLog::open(const std::string& path,
                            " machines, shard has " + std::to_string(machines));
     }
   }
-  return std::unique_ptr<CommitLog>(
+  auto log = std::unique_ptr<CommitLog>(
       new CommitLog(path, fd, config, faults, shard));
+  // The observer learns of the open last: it may throw (a stale leader
+  // must not append), in which case the fresh descriptor closes with the
+  // log and open() fails loudly.
+  if (config.observer != nullptr) {
+    config.observer->on_open(log->path(), machines, config.base_records);
+  }
+  return log;
 }
 
 CommitLog::CommitLog(std::string path, int fd, const CommitLogConfig& config,
@@ -137,21 +144,37 @@ CommitLog::~CommitLog() {
 
 void CommitLog::append(const Job& job, int machine, TimePoint start) {
   SLACKSCHED_EXPECTS(fd_ >= 0);
+  const std::size_t offset = buffer_.size();
   encode_wal_record(job, machine, start, buffer_);
   ++records_;
   bytes_ += kWalRecordBytes;
+  // Snapshot the encoded frame before any flush clears the buffer: the
+  // observer streams the exact bytes the file carries.
+  char frame[kWalRecordBytes];
+  if (config_.observer != nullptr) {
+    std::memcpy(frame, buffer_.data() + offset, kWalRecordBytes);
+  }
   if (config_.fsync == FsyncPolicy::kEveryCommit) {
     flush_buffer();
     fsync_now();
   } else if (buffer_.size() >= config_.buffer_bytes) {
     flush_buffer();
   }
+  // Local durability first, then replication: under an ack-on-commit
+  // contract this blocks until the follower holds the record too.
+  if (config_.observer != nullptr) {
+    config_.observer->on_record(frame, kWalRecordBytes, records_total());
+  }
 }
 
 void CommitLog::sync_batch() {
-  if (config_.fsync != FsyncPolicy::kBatch) return;
-  flush_buffer();
-  fsync_now();
+  if (config_.fsync == FsyncPolicy::kBatch) {
+    flush_buffer();
+    fsync_now();
+  }
+  if (config_.observer != nullptr) {
+    config_.observer->on_batch(records_total());
+  }
 }
 
 void CommitLog::sync() {
@@ -165,6 +188,9 @@ void CommitLog::close() {
   if (config_.fsync != FsyncPolicy::kNever) fsync_now();
   ::close(fd_);
   fd_ = -1;
+  if (config_.observer != nullptr) {
+    config_.observer->on_close(records_total());
+  }
 }
 
 void CommitLog::flush_buffer() {

@@ -61,11 +61,52 @@ class CommitLogError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Observes the write side of one shard's commit log — the hook the
+/// replication layer (replication/replicator.hpp) attaches to so every
+/// record the leader logs also streams to a follower. Record sequence
+/// numbers are global per shard log: record `seq` is the seq-th record in
+/// the file since its header, counting the `base_records` that recovery
+/// replayed before this writer opened. All calls arrive on the log's
+/// single writer thread; on_open may also run on the thread that spawns
+/// the shard (construction and supervised restart).
+class CommitLogObserver {
+ public:
+  virtual ~CommitLogObserver() = default;
+
+  /// The log opened for appending with `base_records` records already
+  /// durable in the file. May throw to refuse the open (e.g. the follower
+  /// holds more records than this log — a stale leader must not serve).
+  virtual void on_open(const std::string& path, int machines,
+                       std::uint64_t base_records) = 0;
+
+  /// One record was appended: `frame` spans the kWalRecordBytes encoded
+  /// bytes (length + CRC + payload), `seq` its global 1-based sequence
+  /// number. Under an ack-on-commit contract this call blocks until the
+  /// follower acknowledged the record.
+  virtual void on_record(const char* frame, std::size_t size,
+                         std::uint64_t seq) = 0;
+
+  /// Batch boundary (sync_batch), fired whatever the local FsyncPolicy:
+  /// replication batching is independent of local fsync batching.
+  /// `watermark` is the global record count at the boundary.
+  virtual void on_batch(std::uint64_t watermark) = 0;
+
+  /// Clean close (close()), after the local flush+fsync. An observer that
+  /// buffers must drain here — destruction without close models a crash
+  /// and notifies nothing.
+  virtual void on_close(std::uint64_t watermark) = 0;
+};
+
 struct CommitLogConfig {
   FsyncPolicy fsync = FsyncPolicy::kBatch;
   /// User-space buffer flush threshold (write() granularity under
   /// kNever/kBatch; kEveryCommit flushes per record regardless).
   std::size_t buffer_bytes = 1 << 16;
+  /// Records already in the file when this writer opens (what recovery
+  /// replayed); the base of the observer's global sequence numbers.
+  std::uint64_t base_records = 0;
+  /// Optional write-side observer (not owned; must outlive the log).
+  CommitLogObserver* observer = nullptr;
 };
 
 /// Append-only writer for one shard's commit log. Single-writer (the
@@ -93,7 +134,9 @@ class CommitLog {
   void append(const Job& job, int machine, TimePoint start);
 
   /// Batch boundary: under kBatch, flushes and fsyncs everything appended
-  /// since the last boundary. No-op under the other policies.
+  /// since the last boundary (a local no-op under the other policies).
+  /// Always notifies the observer's on_batch — replication batch
+  /// boundaries exist whatever the local fsync policy.
   void sync_batch();
 
   /// Unconditional flush + fsync.
@@ -104,6 +147,10 @@ class CommitLog {
   void close();
 
   [[nodiscard]] std::uint64_t records_appended() const { return records_; }
+  /// Global record count: recovery's base plus this writer's appends.
+  [[nodiscard]] std::uint64_t records_total() const {
+    return config_.base_records + records_;
+  }
   [[nodiscard]] std::uint64_t bytes_appended() const { return bytes_; }
   [[nodiscard]] std::uint64_t fsync_count() const { return fsyncs_; }
   [[nodiscard]] const std::string& path() const { return path_; }

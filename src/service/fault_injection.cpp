@@ -1,5 +1,8 @@
 #include "service/fault_injection.hpp"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <utility>
 
@@ -29,6 +32,10 @@ std::string to_string(FaultSite site) {
       return "fsync";
     case FaultSite::kWorkerPanic:
       return "worker-panic";
+    case FaultSite::kReplicationFrame:
+      return "replication-frame";
+    case FaultSite::kFailover:
+      return "failover";
   }
   return "unknown";
 }
@@ -52,6 +59,23 @@ FaultPlan FaultPlan::random_crash(std::uint64_t seed, int shards,
   trigger.site = kCrashSites[mix.next() % 4];
   trigger.shard = static_cast<int>(mix.next() % static_cast<std::uint64_t>(shards));
   trigger.hit = 1 + mix.next() % max_hit;
+  return FaultPlan().add(trigger);
+}
+
+FaultPlan FaultPlan::random_kill(std::uint64_t seed, int shards,
+                                 std::uint64_t max_hit) {
+  SLACKSCHED_EXPECTS(shards >= 1);
+  SLACKSCHED_EXPECTS(max_hit >= 1);
+  SplitMix64 mix(seed);
+  constexpr FaultSite kKillSites[] = {FaultSite::kCommit, FaultSite::kFsync,
+                                      FaultSite::kReplicationFrame,
+                                      FaultSite::kWorkerPanic};
+  FaultTrigger trigger;
+  trigger.site = kKillSites[mix.next() % 4];
+  trigger.shard =
+      static_cast<int>(mix.next() % static_cast<std::uint64_t>(shards));
+  trigger.hit = 1 + mix.next() % max_hit;
+  trigger.action = FaultAction::kKill;
   return FaultPlan().add(trigger);
 }
 
@@ -81,6 +105,12 @@ bool FaultInjector::fires(FaultSite site, int shard) {
     if (!armed.fired && armed.trigger.site == site &&
         armed.trigger.shard == shard && armed.trigger.hit == hit) {
       armed.fired = true;
+      if (armed.trigger.action == FaultAction::kKill) {
+        // Node failure, not thread failure: the process dies here, mutex
+        // held, buffers unflushed — the honest SIGKILL the replication
+        // property tests are built on.
+        (void)::kill(::getpid(), SIGKILL);
+      }
       return true;
     }
   }

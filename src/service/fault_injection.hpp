@@ -30,6 +30,20 @@ enum class FaultSite : std::uint8_t {
                  ///< in-memory commit (recovery must replay the record)
   kFsync,        ///< worker crashes at the fsync point of the commit log
   kWorkerPanic,  ///< worker crashes at a clean batch boundary
+  kReplicationFrame,  ///< leader crashes mid-way through sending one
+                      ///< replication APPEND frame (torn frame on the wire)
+  kFailover,  ///< follower crashes between per-shard replays during its
+              ///< own promotion (failover of the failover)
+};
+
+/// What a fired trigger does. kThrow is the in-process crash model (the
+/// worker thread dies, the supervisor restarts it); kKill escalates to the
+/// node-failure model: the *whole process* dies by SIGKILL at the site, no
+/// destructors, no flushes — exactly the crash the replicated commit log
+/// and the follower's failover path must survive.
+enum class FaultAction : std::uint8_t {
+  kThrow,  ///< throw InjectedFault out of the calling thread
+  kKill,   ///< SIGKILL the entire process at the site
 };
 
 [[nodiscard]] std::string to_string(FaultSite site);
@@ -54,6 +68,7 @@ struct FaultTrigger {
   FaultSite site = FaultSite::kWorkerPanic;
   int shard = 0;
   std::uint64_t hit = 1;
+  FaultAction action = FaultAction::kThrow;
 };
 
 /// An ordered set of triggers. Plans are plain data: build one explicitly
@@ -78,6 +93,13 @@ class FaultPlan {
   [[nodiscard]] static FaultPlan random_crash(std::uint64_t seed, int shards,
                                               std::uint64_t max_hit);
 
+  /// Like random_crash but the trigger SIGKILLs the whole process
+  /// (FaultAction::kKill) and the site pool covers the node-failure
+  /// surface: kCommit (mid-batch), kFsync (mid-fsync), kReplicationFrame
+  /// (mid-frame on the replication wire), kWorkerPanic (batch boundary).
+  [[nodiscard]] static FaultPlan random_kill(std::uint64_t seed, int shards,
+                                             std::uint64_t max_hit);
+
  private:
   std::vector<FaultTrigger> triggers_;
 };
@@ -90,7 +112,9 @@ class FaultInjector {
   explicit FaultInjector(FaultPlan plan);
 
   /// Counts one arrival at the site and reports whether an armed trigger
-  /// fires now (each trigger fires at most once).
+  /// fires now (each trigger fires at most once). A trigger armed with
+  /// FaultAction::kKill does not return: it raises SIGKILL right here, so
+  /// every crash-point macro doubles as a whole-process kill site.
   [[nodiscard]] bool fires(FaultSite site, int shard);
 
   /// Total arrivals observed at the site on the shard.

@@ -67,6 +67,17 @@ std::vector<std::string> GatewayConfig::validate() const {
       errors.push_back("model (" + model->label() + "): " + problem);
     }
   }
+  if (replication.has_value()) {
+    if (wal_dir.empty()) {
+      errors.push_back(
+          "replication requires wal_dir: the replication stream is the "
+          "commit log's write stream, and a gateway without a WAL has "
+          "nothing to replicate");
+    }
+    for (const std::string& problem : replication->validate()) {
+      errors.push_back("replication: " + problem);
+    }
+  }
   return errors;
 }
 
@@ -124,12 +135,24 @@ AdmissionGateway::AdmissionGateway(const GatewayConfig& config,
           std::make_unique<TraceRing>(config.trace_capacity, &trace_seq_));
     }
   }
+  if (config.replication.has_value()) {
+    // Replicators before shards: each shard's CommitLog attaches to its
+    // replicator as an observer at open, inside Shard::start below.
+    replicators_.reserve(static_cast<std::size_t>(config.shards));
+    for (int s = 0; s < config.shards; ++s) {
+      replicators_.push_back(
+          std::make_unique<repl::ShardReplicator>(s, *config.replication));
+    }
+  }
   shards_.reserve(static_cast<std::size_t>(config.shards));
   for (int s = 0; s < config.shards; ++s) {
     if (!config.wal_dir.empty()) {
       shard_config.wal_path =
           config.wal_dir + "/shard-" + std::to_string(s) + ".wal";
     }
+    shard_config.wal_observer =
+        replicators_.empty() ? nullptr
+                             : replicators_[static_cast<std::size_t>(s)].get();
     shard_config.trace =
         config.enable_tracing ? traces_[static_cast<std::size_t>(s)].get()
                               : nullptr;

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "models/model_factory.hpp"
+#include "replication/replicator.hpp"
 #include "sched/engine.hpp"
 #include "sched/online.hpp"
 #include "service/commit_log.hpp"
@@ -107,6 +108,11 @@ struct GatewayConfig {
   /// Worker idle wake-up period (heartbeat cadence when the queue is
   /// empty); must stay well below supervisor.stall_threshold.
   std::chrono::milliseconds pop_timeout{50};
+  /// Commit-log replication to a follower node (docs/replication.md):
+  /// when engaged, every shard streams its WAL records to the configured
+  /// ReplicaServer, blocking per the ack mode. Requires wal_dir — the
+  /// replication stream is the WAL's write stream.
+  std::optional<repl::ReplicationConfig> replication;
   /// Optional deterministic fault injector (tests/benches only).
   FaultInjector* fault_injector = nullptr;
 
@@ -240,6 +246,13 @@ class AdmissionGateway {
     return publisher_.get();
   }
 
+  /// Shard `shard`'s replication stream, or nullptr when replication is
+  /// not configured.
+  [[nodiscard]] repl::ShardReplicator* replicator(int shard) const {
+    if (replicators_.empty()) return nullptr;
+    return replicators_[static_cast<std::size_t>(shard)].get();
+  }
+
   /// Closes every shard queue, joins the consumers, and collects results.
   /// After finish() all submissions return kRejectedClosed.
   GatewayResult finish();
@@ -259,6 +272,11 @@ class AdmissionGateway {
   /// because each shard holds a raw pointer into this vector.
   std::atomic<std::uint64_t> trace_seq_{0};
   std::vector<std::unique_ptr<TraceRing>> traces_;
+  /// Per-shard replication streams (empty unless config.replication is
+  /// engaged). Declared before shards_: each shard's CommitLog holds a
+  /// raw observer pointer into this vector, so the replicators must be
+  /// destroyed after the shards.
+  std::vector<std::unique_ptr<repl::ShardReplicator>> replicators_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Declared after shards_ (destroyed first): the supervisor holds a
   /// reference to the shard vector and its monitor must die before them.

@@ -91,6 +91,11 @@ void Shard::spawn(bool is_restart) {
     }
     CommitLogConfig log_config;
     log_config.fsync = config_.wal_fsync;
+    // The observer's sequence numbers continue across restarts: what
+    // recovery just replayed is the base of the new writer's stream, so a
+    // follower sees one gapless per-shard sequence whatever crashed here.
+    log_config.base_records = recovered.records_replayed;
+    log_config.observer = config_.wal_observer;
     wal_ = CommitLog::open(config_.wal_path, scheduler_->machines(),
                            log_config, config_.faults, index_);
     RunResult state{std::move(recovered.schedule), recovered.metrics, {}, {}};

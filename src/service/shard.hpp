@@ -70,6 +70,11 @@ struct ShardConfig {
   /// with it restartability — the original in-memory-only behavior).
   std::string wal_path;
   FsyncPolicy wal_fsync = FsyncPolicy::kBatch;
+  /// Optional write-side observer of the shard's commit log — the
+  /// replication leader hook (replication/replicator.hpp). Not owned; must
+  /// outlive the shard. Wired into every CommitLog the shard opens,
+  /// including the ones restarts reopen.
+  CommitLogObserver* wal_observer = nullptr;
   /// Optional deterministic fault injector shared across the gateway.
   FaultInjector* faults = nullptr;
   /// Optional decision trace ring (owned by the gateway). When set, the

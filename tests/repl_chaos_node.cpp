@@ -1,0 +1,198 @@
+// One node of the replication chaos harness, run as its own process so a
+// SIGKILL fault takes the whole node down — no destructors, no flushes,
+// exactly the node-failure model the replicated commit log must survive.
+// The gtest driver (test_replication_chaos.cpp) forks this binary, waits
+// for the kill, and checks the durability properties against the files
+// the dead process left behind.
+//
+// Roles:
+//
+//   leader <port> <wal_dir> <ledger_dir> <ack_mode 0|1|2> <site> <hit>
+//          <seed> <jobs>
+//       Runs an AdmissionGateway replicating to 127.0.0.1:<port>, with a
+//       SIGKILL trigger armed at the named fault site (commit | fsync |
+//       frame | batch | none) on its <hit>-th arrival. Every follower-ack
+//       watermark is journaled durably (pwrite + fsync) to
+//       <ledger_dir>/ack-<shard>.bin BEFORE the next submission proceeds,
+//       so the driver knows a lower bound on what the dead leader had been
+//       promised was replicated. Prints "DONE <accepted>" on clean exit.
+//
+//   promote <wal_dir> <shards> <kill_shard>
+//       Promotes the replica logs with a SIGKILL armed at the kFailover
+//       site of shard <kill_shard> (-1: no kill) — the follower dying
+//       during its own promotion. Prints "PROMOTED <records>" on success.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/threshold.hpp"
+#include "replication/failover.hpp"
+#include "replication/replicator.hpp"
+#include "service/fault_injection.hpp"
+#include "service/gateway.hpp"
+
+namespace {
+
+using namespace slacksched;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s leader <port> <wal_dir> <ledger_dir> <ack_mode> "
+               "<site> <hit> <seed> <jobs>\n"
+               "       %s promote <wal_dir> <shards> <kill_shard>\n",
+               argv0, argv0);
+  return 2;
+}
+
+bool site_from_name(const std::string& name, FaultSite* site) {
+  if (name == "commit") *site = FaultSite::kCommit;
+  else if (name == "fsync") *site = FaultSite::kFsync;
+  else if (name == "frame") *site = FaultSite::kReplicationFrame;
+  else if (name == "batch") *site = FaultSite::kWorkerPanic;
+  else return false;
+  return true;
+}
+
+ShardSchedulerFactory factory() {
+  return [](int) { return std::make_unique<ThresholdScheduler>(0.1, 4); };
+}
+
+/// Durable journal of the highest follower-acked watermark per shard. A
+/// kill between the follower's ack and the journal write only
+/// under-reports — the driver's "replica >= ledger" property stays sound.
+class AckLedger {
+ public:
+  AckLedger(const std::string& dir, int shards) {
+    for (int s = 0; s < shards; ++s) {
+      const std::string path = dir + "/ack-" + std::to_string(s) + ".bin";
+      fds_.push_back(::open(path.c_str(), O_CREAT | O_WRONLY | O_CLOEXEC,
+                            0644));
+    }
+  }
+  ~AckLedger() {
+    for (const int fd : fds_) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+
+  void record(int shard, std::uint64_t watermark) {
+    const int fd = fds_[static_cast<std::size_t>(shard)];
+    if (fd < 0) return;
+    char bytes[8];
+    std::memcpy(bytes, &watermark, 8);  // LE on every supported target
+    if (::pwrite(fd, bytes, 8, 0) == 8) (void)::fsync(fd);
+  }
+
+ private:
+  std::vector<int> fds_;
+};
+
+int run_leader(int argc, char** argv) {
+  if (argc != 10) return usage(argv[0]);
+  const auto port = static_cast<std::uint16_t>(std::atoi(argv[2]));
+  const std::string wal_dir = argv[3];
+  const std::string ledger_dir = argv[4];
+  const int ack_mode = std::atoi(argv[5]);
+  const std::string site_name = argv[6];
+  const auto hit = static_cast<std::uint64_t>(std::atoll(argv[7]));
+  const auto seed = static_cast<std::uint64_t>(std::atoll(argv[8]));
+  const auto jobs = static_cast<std::size_t>(std::atoll(argv[9]));
+
+  FaultPlan plan;
+  if (site_name != "none") {
+    FaultSite site;
+    if (!site_from_name(site_name, &site)) return usage(argv[0]);
+    plan.add(FaultTrigger{site, 0, hit, FaultAction::kKill});
+  }
+  FaultInjector injector(std::move(plan));
+  AckLedger ledger(ledger_dir, 1);
+
+  GatewayConfig config;
+  config.shards = 1;
+  config.queue_capacity = 512;
+  config.batch_size = 32;
+  config.record_decisions = false;
+  config.wal_dir = wal_dir;
+  config.fault_injector = &injector;
+  config.replication.emplace();
+  config.replication->port = port;
+  config.replication->ack_mode = static_cast<repl::ReplAckMode>(ack_mode);
+  config.replication->faults = &injector;
+  config.replication->on_ack = [&ledger](int shard, std::uint64_t mark) {
+    ledger.record(shard, mark);
+  };
+
+  AdmissionGateway gateway(config, factory());
+  SplitMix64 mix(seed);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    Job job;
+    job.id = static_cast<JobId>(i + 1);
+    job.release = 0.0;
+    // Seed-varied sizes move the kill point around without risking a
+    // reject (the deadline keeps every job trivially feasible).
+    job.proc = 0.5 + static_cast<double>(mix.next() >> 11) * 0x1p-53;
+    job.deadline = 1e9;
+    if (gateway.submit(job) != Outcome::kEnqueued) {
+      std::fprintf(stderr, "submission %zu shed unexpectedly\n", i);
+      return 1;
+    }
+  }
+  const GatewayResult result = gateway.finish();
+  if (!result.clean()) {
+    std::fprintf(stderr, "unclean drain: %s\n",
+                 result.first_violation().c_str());
+    return 1;
+  }
+  std::printf("DONE %llu\n",
+              static_cast<unsigned long long>(result.merged.accepted));
+  return 0;
+}
+
+int run_promote(int argc, char** argv) {
+  if (argc != 5) return usage(argv[0]);
+  const std::string wal_dir = argv[2];
+  const int shards = std::atoi(argv[3]);
+  const int kill_shard = std::atoi(argv[4]);
+
+  FaultPlan plan;
+  if (kill_shard >= 0) {
+    plan.add(FaultTrigger{FaultSite::kFailover, kill_shard, 1,
+                          FaultAction::kKill});
+  }
+  FaultInjector injector(std::move(plan));
+
+  GatewayConfig config;
+  config.shards = shards;
+  config.queue_capacity = 512;
+  config.batch_size = 32;
+  config.record_decisions = false;
+  config.wal_dir = wal_dir;
+
+  repl::PromotionResult promoted =
+      repl::promote_replica(config, factory(), &injector);
+  if (!promoted.ok) {
+    std::fprintf(stderr, "promotion failed: %s\n", promoted.error.c_str());
+    return 1;
+  }
+  std::printf("PROMOTED %llu\n",
+              static_cast<unsigned long long>(promoted.records_recovered));
+  (void)promoted.gateway->finish();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string role = argv[1];
+  if (role == "leader") return run_leader(argc, argv);
+  if (role == "promote") return run_promote(argc, argv);
+  return usage(argv[0]);
+}

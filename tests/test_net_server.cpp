@@ -14,9 +14,11 @@
 #include <unistd.h>
 
 #include <bit>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -393,6 +395,127 @@ TEST(NetServer, HttpMetricsServesWhileTrafficFlows) {
   EXPECT_NE(page.find("# HELP slacksched_shards"), std::string::npos);
   EXPECT_NE(page.find("slacksched_outcomes_total"), std::string::npos);
   for (int i = 0; i < 100; ++i) (void)client.wait_reply();
+}
+
+// ---------- retry policy + retrying submitter ----------
+
+TEST(NetClient, RetryPolicyDelayIsDeterministicCappedAndFloored) {
+  RetryPolicy policy;
+  policy.initial_delay = std::chrono::milliseconds(2);
+  policy.factor = 2.0;
+  policy.max_delay = std::chrono::milliseconds(50);
+  policy.jitter_seed = 42;
+
+  RetryPolicy same = policy;
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    const auto d = policy.delay(attempt, 0);
+    // Equal seeds replay equal schedules.
+    EXPECT_EQ(d.count(), same.delay(attempt, 0).count()) << attempt;
+    // Jitter scales into [0.5, 1.0] of the capped exponential.
+    EXPECT_GE(d.count(), 1) << attempt;
+    EXPECT_LE(d.count(), policy.max_delay.count()) << attempt;
+  }
+  // A server hint larger than the local schedule becomes the floor.
+  EXPECT_GE(policy.delay(1, 200).count(), 200);
+
+  RetryPolicy other = policy;
+  other.jitter_seed = 43;
+  bool diverged = false;
+  for (int attempt = 2; attempt <= 12 && !diverged; ++attempt) {
+    diverged = other.delay(attempt, 0) != policy.delay(attempt, 0);
+  }
+  EXPECT_TRUE(diverged) << "different seeds never diverged";
+}
+
+TEST(NetClient, RetryingSubmitterAnswersEveryJobUnderBackpressure) {
+  // Same tiny-queue squeeze as EverySubmitIsAnsweredUnderBackpressure,
+  // but the library's RetryingSubmitter resubmits the queue-full sheds:
+  // the contract tightens to every job ending in a rendered decision.
+  AdmissionServerConfig config = loopback_config(8);
+  config.gateway.batch_size = 4;
+  AdmissionServer server(config, [](int) {
+    return std::make_unique<GreedyScheduler>(2);
+  });
+
+  AdmissionClient client("127.0.0.1", server.port());
+  RetryPolicy policy;
+  policy.max_attempts = 0;  // unlimited
+  policy.initial_delay = std::chrono::milliseconds(1);
+  policy.max_delay = std::chrono::milliseconds(4);
+  RetryingSubmitter submitter(client, policy);
+
+  constexpr std::size_t kJobs = 300;
+  std::vector<Job> jobs(kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    jobs[i].id = static_cast<JobId>(i);
+    jobs[i].release = 0.0;
+    jobs[i].proc = 1.0;
+    jobs[i].deadline = 1e9;
+  }
+  // Mix the two enqueue shapes: a pipelined batch frame + singles.
+  submitter.enqueue_batch(std::span<const Job>(jobs.data(), kJobs / 2));
+  for (std::size_t i = kJobs / 2; i < kJobs; ++i) {
+    submitter.enqueue(jobs[i]);
+  }
+
+  std::size_t decided = 0;
+  DecisionReply reply;
+  while (submitter.pump(reply)) {
+    EXPECT_TRUE(reply.is_decision())
+        << "job " << reply.job_id << " ended as "
+        << static_cast<int>(reply.outcome);
+    ++decided;
+  }
+  EXPECT_EQ(decided, kJobs);
+  EXPECT_EQ(submitter.in_flight(), 0u);
+  const GatewayResult result = server.shutdown();
+  EXPECT_EQ(result.merged.submitted, kJobs);
+}
+
+// ---------- idle-connection reaping ----------
+
+TEST(NetServer, IdleConnectionsAreReapedActiveOnesSurvive) {
+  AdmissionServerConfig config = loopback_config(64);
+  config.idle_timeout = std::chrono::milliseconds(100);
+  config.reap_interval = std::chrono::milliseconds(20);
+  AdmissionServer server(config, [](int) {
+    return std::make_unique<GreedyScheduler>(2);
+  });
+
+  RawConn idle(server.port());  // connects, then never sends a byte
+  AdmissionClient active("127.0.0.1", server.port());
+
+  // Keep the active connection busy well past the idle deadline.
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(400);
+  std::uint64_t token = 1;
+  while (std::chrono::steady_clock::now() < until) {
+    EXPECT_EQ(active.ping(token), token);
+    ++token;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // The reaper closed the idle peer: its read sees EOF without help.
+  EXPECT_EQ(idle.read_to_eof(), "");
+  EXPECT_GE(server.connections_reaped(), 1u);
+  const std::string page = http_get_metrics("127.0.0.1", server.port());
+  EXPECT_GE(metric_value(page, "slacksched_connections_reaped_total"), 1.0);
+
+  // The active connection outlived every deadline.
+  EXPECT_EQ(active.ping(token), token);
+}
+
+TEST(NetServer, ReapingDisabledKeepsIdleConnectionsOpen) {
+  AdmissionServerConfig config = loopback_config(64);  // idle_timeout 0
+  AdmissionServer server(config, [](int) {
+    return std::make_unique<GreedyScheduler>(2);
+  });
+  RawConn idle(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(server.connections_reaped(), 0u);
+  // Still serviceable: a PING on the long-idle connection round-trips.
+  AdmissionClient probe("127.0.0.1", server.port());
+  EXPECT_EQ(probe.ping(7), 7u);
 }
 
 }  // namespace
