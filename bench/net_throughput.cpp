@@ -2,9 +2,9 @@
 //
 // Starts an AdmissionServer on a loopback TCP port and replays a
 // multi-million-job synthetic stream through it over the wire protocol,
-// sweeping client connections x submit batch size. Each connection runs
-// on its own thread with its own AdmissionClient behind a
-// RetryingSubmitter, pipelines SUBMIT_BATCH frames up to a bounded
+// sweeping event loops x client connections x submit batch size. Each
+// connection runs on its own thread with its own AdmissionClient behind
+// a RetryingSubmitter, pipelines SUBMIT_BATCH frames up to a bounded
 // in-flight window, and lets the submitter resubmit jobs the server shed
 // under backpressure (hash routing keeps a retried job on its shard, so
 // retrying cannot starve). Every run must finish clean: every job
@@ -13,8 +13,11 @@
 // BENCH_net.json so the perf trajectory is machine-readable.
 //
 // Expectation on a multi-core host: batching amortizes the framing + CRC
-// cost, so jobs/sec rises steeply from batch=1 to batch=512, and extra
-// connections add concurrency until the single server loop saturates.
+// cost, so jobs/sec rises steeply from batch=1 to batch=512, and with
+// enough connections the multi-loop rows pull ahead of loops=1 — each
+// shared-nothing loop owns its connections' epoll set, pending replies
+// and outbox, so the wire-side work parallelizes (scripts/perf_check.py
+// gates this on >= 4-core recorders).
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -50,6 +53,8 @@ struct ClientStats {
 };
 
 struct RunStats {
+  int loops = 1;
+  bool reuseport = false;
   unsigned connections = 0;
   std::size_t batch = 0;
   std::size_t jobs = 0;
@@ -106,9 +111,10 @@ ClientStats run_client(std::uint16_t port, const Job* jobs, std::size_t count,
   return stats;
 }
 
-RunStats run_config(const Instance& instance, unsigned connections,
-                    std::size_t batch) {
+RunStats run_config(const Instance& instance, int loops,
+                    unsigned connections, std::size_t batch) {
   net::AdmissionServerConfig config;
+  config.loops = loops;
   config.gateway.shards = kShards;
   config.gateway.queue_capacity = 8192;
   config.gateway.batch_size = 512;
@@ -144,6 +150,8 @@ RunStats run_config(const Instance& instance, unsigned connections,
   const GatewayResult result = server.shutdown();
 
   RunStats run;
+  run.loops = loops;
+  run.reuseport = server.using_reuseport();
   run.connections = connections;
   run.batch = batch;
   run.jobs = n;
@@ -193,7 +201,9 @@ void write_json(const std::vector<RunStats>& runs, std::size_t jobs,
       << "  \"runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const RunStats& r = runs[i];
-    out << "    {\"connections\": " << r.connections
+    out << "    {\"loops\": " << r.loops
+        << ", \"reuseport\": " << (r.reuseport ? "true" : "false")
+        << ", \"connections\": " << r.connections
         << ", \"batch\": " << r.batch
         << ", \"jobs\": " << r.jobs
         << ", \"seconds\": " << r.seconds
@@ -238,21 +248,24 @@ int main(int argc, char** argv) {
   wconfig.seed = 7;
   const Instance instance = generate_workload(wconfig);
 
-  std::printf("  %5s  %6s  %10s  %14s  %10s  %12s  %s\n", "conns", "batch",
-              "seconds", "jobs/sec", "accepted", "bp-retries", "status");
+  std::printf("  %5s  %5s  %6s  %10s  %14s  %10s  %12s  %s\n", "loops",
+              "conns", "batch", "seconds", "jobs/sec", "accepted",
+              "bp-retries", "status");
   std::vector<RunStats> runs;
   bool all_clean = true;
-  for (const unsigned connections : {1u, 2u, 4u}) {
-    for (const std::size_t batch : {std::size_t{1}, std::size_t{64},
-                                    std::size_t{512}}) {
-      const RunStats run = run_config(instance, connections, batch);
-      std::printf("  %5u  %6zu  %10.3f  %14.0f  %10zu  %12llu  %s\n",
-                  run.connections, run.batch, run.seconds, run.jobs_per_sec,
-                  run.accepted,
-                  static_cast<unsigned long long>(run.backpressure_retries),
-                  run.clean ? "clean" : run.problem.c_str());
-      all_clean = all_clean && run.clean;
-      runs.push_back(run);
+  for (const int loops : {1, 2, 4}) {
+    for (const unsigned connections : {1u, 4u}) {
+      for (const std::size_t batch : {std::size_t{1}, std::size_t{64},
+                                      std::size_t{512}}) {
+        const RunStats run = run_config(instance, loops, connections, batch);
+        std::printf("  %5d  %5u  %6zu  %10.3f  %14.0f  %10zu  %12llu  %s\n",
+                    run.loops, run.connections, run.batch, run.seconds,
+                    run.jobs_per_sec, run.accepted,
+                    static_cast<unsigned long long>(run.backpressure_retries),
+                    run.clean ? "clean" : run.problem.c_str());
+        all_clean = all_clean && run.clean;
+        runs.push_back(run);
+      }
     }
   }
 

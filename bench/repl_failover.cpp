@@ -192,7 +192,8 @@ FailoverSample run_failover_once(const Instance& instance, int iteration) {
   promoted_config.batch_size = 256;
   promoted_config.record_decisions = false;
   promoted_config.wal_dir = replica_config.dir;
-  promoted_config.on_decision = [&](int, const Job&, const Decision&) {
+  promoted_config.on_decision = [&](int, const Job&, const Decision&,
+                                    std::uint64_t) {
     std::lock_guard lock(mutex);
     if (!served) {
       served = true;

@@ -24,10 +24,15 @@ Validates the five machine-readable bench artifacts:
         the second
       - fsync ordering holds: never >= batch >= every-commit append rate
   BENCH_net.json        (bench/net_throughput [jobs])
-      - every connections x batch configuration finished clean: every
-        submitted job answered by exactly one rendered decision (no
+      - every loops x connections x batch configuration finished clean:
+        every submitted job answered by exactly one rendered decision (no
         silent drops) and the DRAINED counters matched the replies the
         clients observed on the wire
+      - loop scaling: when the recording machine had >= 4 hardware
+        threads, the best multi-loop throughput must beat the 1-loop
+        configuration (speedup > 1.0) — same warn-skip rule on smaller
+        machines as the shard-scaling gate (a 1-core container cannot
+        demonstrate scaling)
   BENCH_matrix.json     (bench/model_matrix [jobs-per-row])
       - every (commit model x eps x m x speed profile x workload) row
         finished clean (every decision legal under that model's
@@ -289,7 +294,8 @@ def check_net(path: Path, errors: list[str]) -> None:
         fail(errors, f"{path}: no runs recorded")
         return
     for run in runs:
-        config = (f"connections={run.get('connections')} "
+        config = (f"loops={run.get('loops', 1)} "
+                  f"connections={run.get('connections')} "
                   f"batch={run.get('batch')}")
         if not run.get("clean", False):
             fail(errors, f"{path}: {config} did not finish clean")
@@ -300,7 +306,41 @@ def check_net(path: Path, errors: list[str]) -> None:
         if run.get("jobs_per_sec", 0.0) <= 0.0:
             fail(errors, f"{path}: {config} reports non-positive "
                          "throughput")
-    print(f"ok: {path}: {len(runs)} connection/batch configurations, "
+
+    # Loop-scaling gate, mirroring the shard-scaling one: a multi-core
+    # recording machine where no multi-loop configuration beats the
+    # 1-loop server means the shared-nothing loop fan-out costs more than
+    # it buys — a hard failure. Under 4 hardware threads the loops (and
+    # the shard consumers behind them) share one core, so the assertion
+    # is skipped *loudly* rather than passed silently. Artifacts from
+    # before the multi-loop front end have no "loops" field; those rows
+    # are the single-loop server.
+    cores = data.get("hardware_concurrency", 0)
+    rate_by_loops: dict[int, float] = {}
+    for run in runs:
+        loops = run.get("loops", 1)
+        if isinstance(loops, int):
+            rate_by_loops[loops] = max(rate_by_loops.get(loops, 0.0),
+                                       run.get("jobs_per_sec", 0.0))
+    base = rate_by_loops.get(1, 0.0)
+    multi = {n: r for n, r in rate_by_loops.items() if n > 1}
+    if base > 0.0 and multi:
+        best_loops, best_rate = max(multi.items(), key=lambda kv: kv[1])
+        speedup = best_rate / base
+        if isinstance(cores, int) and cores >= 4:
+            if speedup <= 1.0:
+                fail(errors, f"{path}: best multi-loop throughput "
+                             f"({best_loops} loops) is {speedup:.2f}x the "
+                             f"1-loop rate on {cores} hardware threads — "
+                             "the multi-loop front end must not lose to a "
+                             "single loop on a multi-core host")
+        else:
+            print(f"WARN: {path}: loop-scaling assertion SKIPPED — "
+                  f"recorded on {cores} hardware thread(s), fewer than the "
+                  f"4 needed to demonstrate scaling across "
+                  f"{max(multi)} loops (best observed: {speedup:.2f}x at "
+                  f"{best_loops} loops)")
+    print(f"ok: {path}: {len(runs)} loop/connection/batch configurations, "
           "all clean, every submission answered")
 
 

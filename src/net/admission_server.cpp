@@ -6,10 +6,13 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <utility>
 
 #include "common/expects.hpp"
@@ -19,7 +22,9 @@ namespace slacksched::net {
 
 namespace {
 
-/// epoll user-data ids for the two non-connection descriptors.
+/// Per-loop epoll user-data ids for the two non-connection descriptors.
+/// Connection ids start at kFirstConnId and stride by the loop count, so
+/// every id is globally unique and owned by exactly one loop.
 constexpr std::uint64_t kListenerTag = 0;
 constexpr std::uint64_t kEventFdTag = 1;
 constexpr std::uint64_t kFirstConnId = 2;
@@ -32,6 +37,52 @@ void set_nodelay(int fd) {
   int one = 1;
   // Pipelined request/response traffic; Nagle only adds latency here.
   (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Opens a bound, listening, non-blocking IPv4 socket. When `reuseport`
+/// is requested and the kernel refuses the option, `reuseport_ok` (when
+/// non-null) is cleared and the listener proceeds without it — the caller
+/// falls back to single-acceptor handoff; with a null `reuseport_ok` the
+/// refusal throws (the fallback decision was already made).
+int open_listener(const std::string& address, std::uint16_t port,
+                  int backlog, bool reuseport, bool* reuseport_ok) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport) {
+    if (setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      if (reuseport_ok == nullptr) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("setsockopt(SO_REUSEPORT)");
+      }
+      *reuseport_ok = false;
+    }
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw NetError("bad bind address: " + address);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("bind " + address + ":" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("listen");
+  }
+  return fd;
 }
 
 }  // namespace
@@ -49,64 +100,107 @@ AdmissionServer::AdmissionServer(const AdmissionServerConfig& config,
     throw PreconditionError(joined);
   }
   SLACKSCHED_EXPECTS(config_.backlog >= 1);
+  SLACKSCHED_EXPECTS(config_.loops >= 1);
   SLACKSCHED_EXPECTS(config_.idle_timeout.count() == 0 ||
                      config_.reap_interval.count() >= 1);
+  SLACKSCHED_EXPECTS(config_.accept_backoff.count() >= 1);
 
-  event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (event_fd_ < 0) throw_errno("eventfd");
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  if (epoll_fd_ < 0) throw_errno("epoll_create1");
-  listen_fd_ =
-      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) throw_errno("socket");
-  int one = 1;
-  (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    throw NetError("bad bind address: " + config_.bind_address);
+  const auto n_loops = static_cast<std::size_t>(config_.loops);
+  loops_.reserve(n_loops);
+  for (std::size_t i = 0; i < n_loops; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>());
+    EventLoop& loop = *loops_.back();
+    loop.index = static_cast<int>(i);
+    // Stride the id space by the loop count: ids stay globally unique, a
+    // connection's owning loop is id mod loops, and every id clears the
+    // reserved listener/eventfd tags.
+    loop.next_conn_id = kFirstConnId * n_loops + i;
   }
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    throw_errno("bind " + config_.bind_address + ":" +
-                std::to_string(config_.port));
-  }
-  if (::listen(listen_fd_, config_.backlog) != 0) throw_errno("listen");
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) != 0) {
-    throw_errno("getsockname");
-  }
-  port_ = ntohs(bound.sin_port);
 
-  // The gateway comes up after the response plumbing (eventfd, outbox)
-  // exists: its shard threads may invoke the decision hook as soon as the
-  // first job is enqueued. A user-supplied hook is chained, not replaced.
-  GatewayConfig gateway_config = config_.gateway;
-  GatewayDecisionCallback user_hook = gateway_config.on_decision;
-  gateway_config.on_decision =
-      [this, user_hook = std::move(user_hook)](
-          int shard, const Job& job, const Decision& decision) {
-        if (user_hook) user_hook(shard, job, decision);
-        on_gateway_decision(job, decision);
-      };
-  gateway_ = std::make_unique<AdmissionGateway>(gateway_config, factory);
+  try {
+    // Accept distribution. Preferred: one SO_REUSEPORT listener per loop,
+    // the kernel spreading connections across them. Fallback (option
+    // refused, or configured off): loop 0 owns the only listener and
+    // hands accepted fds round-robin to the other loops.
+    const bool want_reuseport = config_.so_reuseport && config_.loops > 1;
+    bool option_ok = want_reuseport;
+    loops_[0]->listen_fd =
+        open_listener(config_.bind_address, config_.port, config_.backlog,
+                      want_reuseport, &option_ok);
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(loops_[0]->listen_fd,
+                      reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+      throw_errno("getsockname");
+    }
+    port_ = ntohs(bound.sin_port);
+    reuseport_ = want_reuseport && option_ok;
+    if (reuseport_) {
+      for (std::size_t i = 1; i < n_loops; ++i) {
+        loops_[i]->listen_fd =
+            open_listener(config_.bind_address, port_, config_.backlog,
+                          /*reuseport=*/true, /*reuseport_ok=*/nullptr);
+      }
+    }
 
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = kListenerTag;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
-    throw_errno("epoll_ctl(listener)");
+    for (auto& loop_ptr : loops_) {
+      EventLoop& loop = *loop_ptr;
+      loop.epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+      if (loop.epoll_fd < 0) throw_errno("epoll_create1");
+      loop.event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+      if (loop.event_fd < 0) throw_errno("eventfd");
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = kEventFdTag;
+      if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, loop.event_fd, &ev) !=
+          0) {
+        throw_errno("epoll_ctl(eventfd)");
+      }
+      if (loop.listen_fd >= 0) {
+        ev.events = EPOLLIN;
+        ev.data.u64 = kListenerTag;
+        if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, loop.listen_fd, &ev) !=
+            0) {
+          throw_errno("epoll_ctl(listener)");
+        }
+      }
+    }
+
+    // The gateway comes up after the response plumbing (eventfds, per-loop
+    // outboxes) exists: its shard threads may invoke the decision hook as
+    // soon as the first job is enqueued. A user-supplied hook is chained,
+    // not replaced. route_ctx carries the owning loop's index from
+    // submit to decision.
+    GatewayConfig gateway_config = config_.gateway;
+    GatewayDecisionCallback user_hook = gateway_config.on_decision;
+    gateway_config.on_decision =
+        [this, user_hook = std::move(user_hook)](
+            int shard, const Job& job, const Decision& decision,
+            std::uint64_t route_ctx) {
+          if (user_hook) user_hook(shard, job, decision, route_ctx);
+          on_gateway_decision(job, decision, route_ctx);
+        };
+    gateway_ = std::make_unique<AdmissionGateway>(gateway_config, factory);
+
+    for (auto& loop_ptr : loops_) {
+      EventLoop& loop = *loop_ptr;
+      loop.thread = std::thread([this, &loop] { event_loop(loop); });
+    }
+  } catch (...) {
+    // Unwind half-built plumbing: join any loops already running, then
+    // close every descriptor created so far.
+    stop_.store(true, std::memory_order_release);
+    for (auto& loop_ptr : loops_) {
+      if (loop_ptr->event_fd >= 0) wake_loop(*loop_ptr);
+    }
+    for (auto& loop_ptr : loops_) {
+      if (loop_ptr->thread.joinable()) loop_ptr->thread.join();
+      if (loop_ptr->listen_fd >= 0) ::close(loop_ptr->listen_fd);
+      if (loop_ptr->epoll_fd >= 0) ::close(loop_ptr->epoll_fd);
+      if (loop_ptr->event_fd >= 0) ::close(loop_ptr->event_fd);
+    }
+    throw;
   }
-  ev.events = EPOLLIN;
-  ev.data.u64 = kEventFdTag;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev) != 0) {
-    throw_errno("epoll_ctl(eventfd)");
-  }
-  loop_ = std::thread([this] { event_loop(); });
 }
 
 AdmissionServer::~AdmissionServer() {
@@ -120,20 +214,27 @@ AdmissionServer::~AdmissionServer() {
 GatewayResult AdmissionServer::shutdown() {
   if (!shutdown_done_.exchange(true, std::memory_order_acq_rel)) {
     stop_.store(true, std::memory_order_release);
-    std::uint64_t wake = 1;
-    (void)::write(event_fd_, &wake, sizeof(wake));
-    if (loop_.joinable()) loop_.join();
+    for (auto& loop_ptr : loops_) wake_loop(*loop_ptr);
+    for (auto& loop_ptr : loops_) {
+      if (loop_ptr->thread.joinable()) loop_ptr->thread.join();
+    }
     if (!drained_.load(std::memory_order_acquire)) finish_gateway();
-    if (listen_fd_ >= 0) ::close(listen_fd_);
-    if (epoll_fd_ >= 0) ::close(epoll_fd_);
-    if (event_fd_ >= 0) ::close(event_fd_);
-    listen_fd_ = epoll_fd_ = event_fd_ = -1;
+    for (auto& loop_ptr : loops_) {
+      if (loop_ptr->listen_fd >= 0) ::close(loop_ptr->listen_fd);
+      if (loop_ptr->epoll_fd >= 0) ::close(loop_ptr->epoll_fd);
+      if (loop_ptr->event_fd >= 0) ::close(loop_ptr->event_fd);
+      loop_ptr->listen_fd = loop_ptr->epoll_fd = loop_ptr->event_fd = -1;
+    }
   }
   std::lock_guard lock(result_mutex_);
   return result_;
 }
 
 void AdmissionServer::finish_gateway() {
+  // Loop threads can race a DRAIN each; exactly one runs finish(), the
+  // others wait here and reuse the cached result.
+  std::lock_guard finish_lock(finish_mutex_);
+  if (drained_.load(std::memory_order_acquire)) return;
   GatewayResult result = gateway_->finish();
   {
     std::lock_guard lock(result_mutex_);
@@ -142,16 +243,33 @@ void AdmissionServer::finish_gateway() {
   drained_.store(true, std::memory_order_release);
 }
 
+void AdmissionServer::wake_loop(EventLoop& loop) {
+  std::uint64_t wake = 1;
+  (void)::write(loop.event_fd, &wake, sizeof(wake));
+}
+
 void AdmissionServer::on_gateway_decision(const Job& job,
-                                          const Decision& decision) {
+                                          const Decision& decision,
+                                          std::uint64_t route_ctx) {
+  // route_ctx is the submitting loop's index; anything else (embedding
+  // processes calling gateway().submit() directly pass 0) resolves to
+  // loop 0, whose pending map simply has no slot for it.
+  EventLoop& loop =
+      *loops_[route_ctx < loops_.size() ? static_cast<std::size_t>(route_ctx)
+                                        : 0];
   PendingReply reply;
   {
-    std::lock_guard lock(pending_mutex_);
-    auto it = pending_.find(job.id);
-    if (it == pending_.end() || it->second.empty()) return;
+    std::lock_guard lock(loop.pending_mutex);
+    auto it = loop.pending.find(job.id);
+    if (it == loop.pending.end() || it->second.empty()) return;
     reply = it->second.front();
     it->second.pop_front();
-    if (it->second.empty()) pending_.erase(it);
+    if (it->second.empty()) loop.pending.erase(it);
+    // Deliberately NOT the place the owed count drops: this runs on a
+    // shard thread, and a reap tick on the loop thread could land between
+    // this decrement and the outbox drain that actually writes the
+    // DECISION — closing the connection with the reply still staged. The
+    // count drops in drain_outbox, on the loop thread, after delivery.
   }
   DecisionMsg msg;
   msg.request_id = reply.request_id;
@@ -159,28 +277,51 @@ void AdmissionServer::on_gateway_decision(const Job& job,
   msg.outcome = decision.accepted ? Outcome::kAccepted : Outcome::kRejected;
   msg.machine = decision.accepted ? decision.machine : -1;
   msg.start = decision.accepted ? decision.start : 0.0;
-  std::vector<char> bytes;
-  encode_decision(bytes, msg);
+  bool wake = false;
   {
-    std::lock_guard lock(outbox_mutex_);
-    outbox_.emplace_back(reply.conn_id, std::move(bytes));
+    // Encode straight into the owning loop's outbox arena: no
+    // per-decision allocation, and the eventfd is written only by the
+    // append that found the outbox empty — consecutive decisions coalesce
+    // into one wake-up and one writev per connection.
+    std::lock_guard lock(loop.outbox_mutex);
+    wake = loop.outbox.empty();
+    const auto offset = static_cast<std::uint32_t>(loop.outbox.bytes.size());
+    encode_decision(loop.outbox.bytes, msg);
+    loop.outbox.entries.push_back(Outbox::Entry{
+        reply.conn_id, offset,
+        static_cast<std::uint32_t>(loop.outbox.bytes.size() - offset)});
   }
-  std::uint64_t wake = 1;
-  (void)::write(event_fd_, &wake, sizeof(wake));
+  if (wake) wake_loop(loop);
 }
 
-void AdmissionServer::event_loop() {
+void AdmissionServer::event_loop(EventLoop& loop) {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   // With a reaper the wait becomes a tick (so idleness is noticed without
   // any descriptor firing); without one it blocks indefinitely, the
-  // original zero-wakeup behavior.
+  // original zero-wakeup behavior. A disarmed listener shortens the wait
+  // to its rearm deadline.
   const bool reaping = config_.idle_timeout.count() > 0;
-  const int wait_ms =
-      reaping ? static_cast<int>(config_.reap_interval.count()) : -1;
   auto next_reap = std::chrono::steady_clock::now() + config_.reap_interval;
   while (!stop_.load(std::memory_order_acquire)) {
-    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, wait_ms);
+    int wait_ms =
+        reaping ? static_cast<int>(config_.reap_interval.count()) : -1;
+    if (!loop.listener_armed) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= loop.rearm_at) {
+        rearm_listener(loop);
+      } else {
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                loop.rearm_at - now)
+                .count() +
+            1;
+        const int rearm_ms = static_cast<int>(
+            std::min<long long>(remaining, std::numeric_limits<int>::max()));
+        wait_ms = wait_ms < 0 ? rearm_ms : std::min(wait_ms, rearm_ms);
+      }
+    }
+    const int n = ::epoll_wait(loop.epoll_fd, events, kMaxEvents, wait_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // epoll fd gone: shutdown is tearing the loop down
@@ -188,66 +329,140 @@ void AdmissionServer::event_loop() {
     if (reaping) {
       const auto now = std::chrono::steady_clock::now();
       if (now >= next_reap) {
-        reap_idle(now);
+        reap_idle(loop, now);
         next_reap = now + config_.reap_interval;
       }
     }
     for (int i = 0; i < n; ++i) {
       const std::uint64_t tag = events[i].data.u64;
       if (tag == kListenerTag) {
-        accept_ready();
+        accept_ready(loop);
         continue;
       }
       if (tag == kEventFdTag) {
-        std::uint64_t drained_count = 0;
-        (void)::read(event_fd_, &drained_count, sizeof(drained_count));
-        drain_outbox();
+        std::uint64_t signal = 0;
+        (void)::read(loop.event_fd, &signal, sizeof(signal));
+        std::vector<int> adopted;
+        {
+          std::lock_guard lock(loop.handoff_mutex);
+          adopted.swap(loop.handoff);
+        }
+        for (const int fd : adopted) adopt_connection(loop, fd);
+        drain_outbox(loop);
+        // Another loop's DRAIN quiesced the gateway: no decision can
+        // arrive for this loop's leftovers either, so answer them now.
+        if (drained_.load(std::memory_order_acquire)) {
+          reject_loop_pending(loop);
+        }
         continue;
       }
-      auto it = connections_.find(tag);
-      if (it == connections_.end()) continue;  // closed earlier this wake
+      auto it = loop.connections.find(tag);
+      if (it == loop.connections.end()) continue;  // closed this wake
       Connection& conn = *it->second;
       if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
-        close_connection(tag);
+        close_connection(loop, tag);
         continue;
       }
-      if ((events[i].events & EPOLLIN) != 0) read_ready(conn);
+      if ((events[i].events & EPOLLIN) != 0) read_ready(loop, conn);
       // read_ready may have closed the connection; re-find before writing.
-      auto again = connections_.find(tag);
-      if (again == connections_.end()) continue;
-      if ((events[i].events & EPOLLOUT) != 0) write_ready(*again->second);
+      auto again = loop.connections.find(tag);
+      if (again == loop.connections.end()) continue;
+      if ((events[i].events & EPOLLOUT) != 0) {
+        write_ready(loop, *again->second);
+      }
     }
   }
-  // Loop exit: close every connection; the sockets answer RST from here.
+  // Loop exit: close every owned connection (the sockets answer RST from
+  // here) and any handed-off fds never adopted.
   std::vector<std::uint64_t> ids;
-  ids.reserve(connections_.size());
-  for (const auto& [id, conn] : connections_) ids.push_back(id);
-  for (const std::uint64_t id : ids) close_connection(id);
+  ids.reserve(loop.connections.size());
+  for (const auto& [id, conn] : loop.connections) ids.push_back(id);
+  for (const std::uint64_t id : ids) close_connection(loop, id);
+  {
+    std::lock_guard lock(loop.handoff_mutex);
+    for (const int fd : loop.handoff) ::close(fd);
+    loop.handoff.clear();
+  }
 }
 
-void AdmissionServer::accept_ready() {
-  while (true) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+void AdmissionServer::accept_ready(EventLoop& loop) {
+  while (loop.listener_armed) {
+    const int fd = ::accept4(loop.listen_fd, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN or transient error: nothing to accept
-    set_nodelay(fd);
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    conn->id = next_conn_id_++;
-    conn->last_activity = std::chrono::steady_clock::now();
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.u64 = conn->id;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
-      ::close(fd);
+    if (fd < 0) {
+      if (errno == EINTR) continue;  // interrupted, not empty: retry
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Out of fds or kernel memory. The backlog keeps the
+        // level-triggered listener readable, so without a pause this loop
+        // would spin accept4/EMFILE at 100% CPU. Disarm the listener and
+        // retry after accept_backoff.
+        accept_errors_.fetch_add(1, std::memory_order_relaxed);
+        disarm_listener(loop);
+        return;
+      }
+      // Per-connection failure (ECONNABORTED and friends): that one
+      // connection is gone, the listener is fine.
+      accept_errors_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    fd_to_conn_[fd] = conn->id;
-    connections_[conn->id] = std::move(conn);
+    if (!reuseport_ && loops_.size() > 1) {
+      // Single-acceptor fallback: round-robin the new connection across
+      // loops; remote loops adopt it on their next eventfd wake.
+      EventLoop& target = *loops_[handoff_cursor_++ % loops_.size()];
+      if (&target != &loop) {
+        {
+          std::lock_guard lock(target.handoff_mutex);
+          target.handoff.push_back(fd);
+        }
+        wake_loop(target);
+        continue;
+      }
+    }
+    adopt_connection(loop, fd);
   }
 }
 
-void AdmissionServer::read_ready(Connection& conn) {
+void AdmissionServer::adopt_connection(EventLoop& loop, int fd) {
+  set_nodelay(fd);
+  auto conn = std::make_unique<Connection>();
+  conn->fd = fd;
+  conn->id = loop.next_conn_id;
+  loop.next_conn_id += loops_.size();
+  conn->last_activity = std::chrono::steady_clock::now();
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = conn->id;
+  if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    return;
+  }
+  loop.connections[conn->id] = std::move(conn);
+}
+
+void AdmissionServer::disarm_listener(EventLoop& loop) {
+  if (!loop.listener_armed || loop.listen_fd < 0) return;
+  epoll_event ev{};
+  ev.events = 0;  // stay registered, report nothing
+  ev.data.u64 = kListenerTag;
+  (void)::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, loop.listen_fd, &ev);
+  loop.listener_armed = false;
+  loop.rearm_at = std::chrono::steady_clock::now() + config_.accept_backoff;
+}
+
+void AdmissionServer::rearm_listener(EventLoop& loop) {
+  if (loop.listener_armed || loop.listen_fd < 0) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerTag;
+  (void)::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, loop.listen_fd, &ev);
+  // Level-triggered: connections still parked in the backlog re-fire
+  // EPOLLIN on the next wait immediately.
+  loop.listener_armed = true;
+}
+
+void AdmissionServer::read_ready(EventLoop& loop, Connection& conn) {
   char buf[65536];
   bool peer_closed = false;
   conn.last_activity = std::chrono::steady_clock::now();
@@ -257,16 +472,21 @@ void AdmissionServer::read_ready(Connection& conn) {
       const auto len = static_cast<std::size_t>(n);
       if (conn.is_http == -1) {
         conn.http_request.append(buf, len);
-        if (conn.http_request.size() < 4) continue;
-        if (conn.http_request.compare(0, 4, "GET ") == 0) {
-          conn.is_http = 1;
-        } else {
+        // Classify on the first byte that rules "GET " out: a binary
+        // client that writes fewer than 4 bytes and then waits (say, a
+        // partial frame header) must still reach the FrameDecoder.
+        const std::size_t have =
+            std::min<std::size_t>(conn.http_request.size(), 4);
+        if (conn.http_request.compare(0, have, "GET ", have) != 0) {
           conn.is_http = 0;
           conn.decoder.feed(conn.http_request.data(),
                             conn.http_request.size());
           conn.http_request.clear();
           conn.http_request.shrink_to_fit();
+        } else if (conn.http_request.size() >= 4) {
+          conn.is_http = 1;
         }
+        // else: still an exact proper prefix of "GET "; keep sniffing.
       } else if (conn.is_http == 1) {
         conn.http_request.append(buf, len);
       } else {
@@ -288,7 +508,7 @@ void AdmissionServer::read_ready(Connection& conn) {
     if (conn.http_request.size() > config_.max_http_request) {
       conn.dead = true;
     } else if (conn.http_request.find("\r\n\r\n") != std::string::npos) {
-      handle_http(conn);
+      handle_http(loop, conn);
     }
   } else if (conn.is_http == 0) {
     Frame frame;
@@ -296,10 +516,10 @@ void AdmissionServer::read_ready(Connection& conn) {
       const FrameDecoder::Status status = conn.decoder.next(frame);
       if (status == FrameDecoder::Status::kNeedMore) break;
       if (status == FrameDecoder::Status::kError) {
-        send_protocol_error(conn, conn.decoder.error());
+        send_protocol_error(loop, conn, conn.decoder.error());
         break;
       }
-      handle_frame(conn, frame);
+      handle_frame(loop, conn, frame);
     }
   }
 
@@ -308,55 +528,60 @@ void AdmissionServer::read_ready(Connection& conn) {
     // A half-closed peer that still owes us a flush keeps the connection
     // until the buffer empties only if it asked for a response; with the
     // read side gone we cannot tell, so close outright.
-    close_connection(conn.id);
+    close_connection(loop, conn.id);
   }
 }
 
-void AdmissionServer::write_ready(Connection& conn) {
+void AdmissionServer::write_ready(EventLoop& loop, Connection& conn) {
   flush(conn);
   if (conn.dead ||
       (conn.close_after_flush && conn.write_pos == conn.write_buffer.size())) {
-    close_connection(conn.id);
+    close_connection(loop, conn.id);
     return;
   }
-  update_epoll(conn);
+  update_epoll(loop, conn);
 }
 
-void AdmissionServer::handle_frame(Connection& conn, const Frame& frame) {
+void AdmissionServer::handle_frame(EventLoop& loop, Connection& conn,
+                                   const Frame& frame) {
   std::string error;
   switch (frame.type) {
     case FrameType::kSubmit: {
       SubmitMsg msg;
       if (!parse_submit(frame, msg, &error)) {
-        send_protocol_error(conn, error);
+        send_protocol_error(loop, conn, error);
         return;
       }
-      handle_submit_one(conn, msg.request_id, msg.job);
+      handle_submit_one(loop, conn, msg.request_id, msg.job);
       return;
     }
     case FrameType::kSubmitBatch: {
       std::uint64_t base = 0;
-      std::vector<Job> jobs;
-      if (!parse_submit_batch(frame, base, jobs, &error)) {
-        send_protocol_error(conn, error);
+      // Decoded into the loop's reusable scratch (one memcpy on matching
+      // layouts) and handed to the gateway as a span: no per-frame job
+      // vector, no intermediate copy.
+      if (!parse_submit_batch_into(frame, base, loop.batch_scratch,
+                                   &error)) {
+        send_protocol_error(loop, conn, error);
         return;
       }
-      handle_submit_batch(conn, base, jobs);
+      handle_submit_batch(loop, conn, base,
+                          std::span<const Job>(loop.batch_scratch));
       return;
     }
     case FrameType::kPing: {
       std::uint64_t token = 0;
       if (!parse_token(frame, token, &error)) {
-        send_protocol_error(conn, error);
+        send_protocol_error(loop, conn, error);
         return;
       }
       std::vector<char> bytes;
       encode_pong(bytes, token);
-      queue_frame(conn, bytes);
+      queue_frame(loop, conn, bytes);
       return;
     }
     case FrameType::kDrain:
-      handle_drain(conn);
+      handle_drain(loop, conn);
       return;
     case FrameType::kError:
       // The peer reported a violation on our stream; nothing to answer.
@@ -366,11 +591,12 @@ void AdmissionServer::handle_frame(Connection& conn, const Frame& frame) {
     case FrameType::kReject:
     case FrameType::kDrained:
     case FrameType::kPong:
-      send_protocol_error(conn, "server-bound stream carried a "
-                                "server-to-client frame");
+      send_protocol_error(loop, conn,
+                          "server-bound stream carried a "
+                          "server-to-client frame");
       return;
   }
-  send_protocol_error(conn, "unhandled frame type");
+  send_protocol_error(loop, conn, "unhandled frame type");
 }
 
 RejectMsg AdmissionServer::make_reject(std::uint64_t request_id,
@@ -386,81 +612,102 @@ RejectMsg AdmissionServer::make_reject(std::uint64_t request_id,
   return msg;
 }
 
-void AdmissionServer::handle_submit_one(Connection& conn,
+void AdmissionServer::handle_submit_one(EventLoop& loop, Connection& conn,
                                         std::uint64_t request_id,
                                         const Job& job) {
-  std::vector<char> bytes;
+  loop.reply_scratch.clear();
+  std::vector<char>& bytes = loop.reply_scratch;
   if (drained_.load(std::memory_order_acquire)) {
     encode_reject(bytes,
                   make_reject(request_id, job.id, Outcome::kRejectedClosed));
-    queue_frame(conn, bytes);
+    queue_frame(loop, conn, bytes);
     return;
   }
   // Register the reply slot BEFORE the submit: the shard may render the
-  // decision (and run the hook) before submit() even returns.
+  // decision (and run the hook) before submit() even returns. The owed
+  // count makes the connection reaper-exempt for as long as any decision
+  // is outstanding.
   {
-    std::lock_guard lock(pending_mutex_);
-    pending_[job.id].push_back(PendingReply{conn.id, request_id});
+    std::lock_guard lock(loop.pending_mutex);
+    loop.pending[job.id].push_back(PendingReply{conn.id, request_id});
+    ++loop.owed[conn.id];
   }
-  const Outcome status = gateway_->submit(job);
+  const Outcome status =
+      gateway_->submit(job, static_cast<std::uint64_t>(loop.index));
   if (status == Outcome::kEnqueued) return;  // DECISION will follow
   // Shed synchronously: no decision is owed, so take the slot back. The
   // newest matching entry is ours (a racing decision consumes the oldest).
   {
-    std::lock_guard lock(pending_mutex_);
-    auto it = pending_.find(job.id);
-    if (it != pending_.end()) {
+    std::lock_guard lock(loop.pending_mutex);
+    auto it = loop.pending.find(job.id);
+    if (it != loop.pending.end()) {
       auto& queue = it->second;
       for (auto rit = queue.rbegin(); rit != queue.rend(); ++rit) {
         if (rit->conn_id == conn.id && rit->request_id == request_id) {
           queue.erase(std::next(rit).base());
+          auto owed_it = loop.owed.find(conn.id);
+          if (owed_it != loop.owed.end() && --owed_it->second == 0) {
+            loop.owed.erase(owed_it);
+          }
           break;
         }
       }
-      if (queue.empty()) pending_.erase(it);
+      if (queue.empty()) loop.pending.erase(it);
     }
   }
   encode_reject(bytes, make_reject(request_id, job.id, status));
-  queue_frame(conn, bytes);
+  queue_frame(loop, conn, bytes);
 }
 
-void AdmissionServer::handle_submit_batch(Connection& conn,
+void AdmissionServer::handle_submit_batch(EventLoop& loop, Connection& conn,
                                           std::uint64_t base_request_id,
-                                          const std::vector<Job>& jobs) {
-  std::vector<char> bytes;
+                                          std::span<const Job> jobs) {
+  loop.reply_scratch.clear();
+  std::vector<char>& bytes = loop.reply_scratch;
   if (drained_.load(std::memory_order_acquire)) {
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       encode_reject(bytes, make_reject(base_request_id + i, jobs[i].id,
                                        Outcome::kRejectedClosed));
     }
-    queue_bytes(conn, bytes.data(), bytes.size());
+    queue_bytes(loop, conn, bytes.data(), bytes.size());
     return;
   }
   {
-    std::lock_guard lock(pending_mutex_);
+    std::lock_guard lock(loop.pending_mutex);
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      pending_[jobs[i].id].push_back(
+      loop.pending[jobs[i].id].push_back(
           PendingReply{conn.id, base_request_id + i});
     }
+    loop.owed[conn.id] += static_cast<std::uint32_t>(jobs.size());
   }
-  std::vector<Outcome> statuses;
-  (void)gateway_->submit_batch(std::span<const Job>(jobs), &statuses);
+  (void)gateway_->submit_batch(jobs, &loop.status_scratch,
+                               static_cast<std::uint64_t>(loop.index));
+  const std::vector<Outcome>& statuses = loop.status_scratch;
   // Reclaim the slots of synchronously shed jobs and answer them now.
   {
-    std::lock_guard lock(pending_mutex_);
+    std::lock_guard lock(loop.pending_mutex);
+    std::uint32_t reclaimed = 0;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       if (statuses[i] == Outcome::kEnqueued) continue;
-      auto it = pending_.find(jobs[i].id);
-      if (it == pending_.end()) continue;
+      auto it = loop.pending.find(jobs[i].id);
+      if (it == loop.pending.end()) continue;
       auto& queue = it->second;
       for (auto rit = queue.rbegin(); rit != queue.rend(); ++rit) {
         if (rit->conn_id == conn.id &&
             rit->request_id == base_request_id + i) {
           queue.erase(std::next(rit).base());
+          ++reclaimed;
           break;
         }
       }
-      if (queue.empty()) pending_.erase(it);
+      if (queue.empty()) loop.pending.erase(it);
+    }
+    if (reclaimed > 0) {
+      auto owed_it = loop.owed.find(conn.id);
+      if (owed_it != loop.owed.end()) {
+        owed_it->second -= std::min(owed_it->second, reclaimed);
+        if (owed_it->second == 0) loop.owed.erase(owed_it);
+      }
     }
   }
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -468,19 +715,24 @@ void AdmissionServer::handle_submit_batch(Connection& conn,
     encode_reject(bytes, make_reject(base_request_id + i, jobs[i].id,
                                      statuses[i]));
   }
-  if (!bytes.empty()) queue_bytes(conn, bytes.data(), bytes.size());
+  if (!bytes.empty()) queue_bytes(loop, conn, bytes.data(), bytes.size());
 }
 
-void AdmissionServer::handle_drain(Connection& conn) {
+void AdmissionServer::handle_drain(EventLoop& loop, Connection& conn) {
   if (!drained_.load(std::memory_order_acquire)) {
-    // finish() blocks this (the loop) thread while the shards drain their
+    // finish() blocks this loop thread while the shards drain their
     // queues. Decision hooks keep firing meanwhile, but they only append
-    // to the outbox and signal the eventfd — no deadlock — and the drain
-    // below moves every answer into the write buffers before DRAINED.
+    // to per-loop outboxes and signal eventfds — no deadlock — and by the
+    // time finish() returns every decision has been rendered and staged.
     finish_gateway();
   }
-  drain_outbox();
-  reject_all_pending();
+  // Wake the other loops: with drained_ set they drain their outboxes and
+  // reject their own leftovers on the next eventfd wake.
+  for (auto& other : loops_) {
+    if (other.get() != &loop) wake_loop(*other);
+  }
+  drain_outbox(loop);
+  reject_loop_pending(loop);
   DrainedMsg msg;
   {
     std::lock_guard lock(result_mutex_);
@@ -494,14 +746,19 @@ void AdmissionServer::handle_drain(Connection& conn) {
   }
   std::vector<char> bytes;
   encode_drained(bytes, msg);
-  queue_frame(conn, bytes);
+  queue_frame(loop, conn, bytes);
 }
 
-void AdmissionServer::reject_all_pending() {
+void AdmissionServer::reject_loop_pending(EventLoop& loop) {
   std::unordered_map<JobId, std::deque<PendingReply>> leftovers;
   {
-    std::lock_guard lock(pending_mutex_);
-    leftovers.swap(pending_);
+    std::lock_guard lock(loop.pending_mutex);
+    if (loop.pending.empty()) {
+      loop.owed.clear();
+      return;
+    }
+    leftovers.swap(loop.pending);
+    loop.owed.clear();
   }
   // A leftover means the job was enqueued but its shard never rendered a
   // decision (poisoned by a violation with halt_on_violation, or the
@@ -509,17 +766,17 @@ void AdmissionServer::reject_all_pending() {
   // one answer: closed, no decision.
   for (const auto& [job_id, queue] : leftovers) {
     for (const PendingReply& reply : queue) {
-      auto it = connections_.find(reply.conn_id);
-      if (it == connections_.end()) continue;
+      auto it = loop.connections.find(reply.conn_id);
+      if (it == loop.connections.end()) continue;
       std::vector<char> bytes;
       encode_reject(bytes, make_reject(reply.request_id, job_id,
                                        Outcome::kRejectedClosed));
-      queue_frame(*it->second, bytes);
+      queue_frame(loop, *it->second, bytes);
     }
   }
 }
 
-void AdmissionServer::handle_http(Connection& conn) {
+void AdmissionServer::handle_http(EventLoop& loop, Connection& conn) {
   const std::size_t line_end = conn.http_request.find("\r\n");
   const std::string request_line = conn.http_request.substr(0, line_end);
   std::string body;
@@ -527,14 +784,20 @@ void AdmissionServer::handle_http(Connection& conn) {
   if (request_line.compare(0, 13, "GET /metrics ") == 0 ||
       request_line.compare(0, 6, "GET / ") == 0) {
     body = render_prometheus(collect_exporter_input(*gateway_));
-    // The reaper's counter lives in the server, not the gateway, so it is
-    // appended after the gateway-derived exposition.
+    // The reaper and accept counters live in the server, not the gateway,
+    // so they are appended after the gateway-derived exposition.
     body +=
         "# HELP slacksched_connections_reaped_total Connections closed by "
         "the idle reaper.\n"
         "# TYPE slacksched_connections_reaped_total counter\n"
         "slacksched_connections_reaped_total " +
-        std::to_string(connections_reaped()) + "\n";
+        std::to_string(connections_reaped()) +
+        "\n"
+        "# HELP slacksched_accept_errors_total accept4 failures (resource "
+        "exhaustion triggers listener backoff).\n"
+        "# TYPE slacksched_accept_errors_total counter\n"
+        "slacksched_accept_errors_total " +
+        std::to_string(accept_errors()) + "\n";
   } else {
     status = "404 Not Found";
     body = "only GET /metrics is served here\n";
@@ -546,19 +809,19 @@ void AdmissionServer::handle_http(Connection& conn) {
                          "\r\nConnection: close\r\n\r\n" +
                          body;
   conn.close_after_flush = true;
-  queue_bytes(conn, response.data(), response.size());
+  queue_bytes(loop, conn, response.data(), response.size());
 }
 
-void AdmissionServer::send_protocol_error(Connection& conn,
+void AdmissionServer::send_protocol_error(EventLoop& loop, Connection& conn,
                                           const std::string& message) {
   std::vector<char> bytes;
   encode_error(bytes, message);
   conn.close_after_flush = true;
-  queue_frame(conn, bytes);
+  queue_frame(loop, conn, bytes);
 }
 
-void AdmissionServer::queue_bytes(Connection& conn, const char* data,
-                                  std::size_t n) {
+void AdmissionServer::queue_bytes(EventLoop& loop, Connection& conn,
+                                  const char* data, std::size_t n) {
   if (conn.dead) return;
   // Output owed to the peer is activity too: a client quietly waiting for
   // a slow decision is not idle once the reply is on its way.
@@ -574,7 +837,7 @@ void AdmissionServer::queue_bytes(Connection& conn, const char* data,
   }
   conn.write_buffer.insert(conn.write_buffer.end(), data, data + n);
   flush(conn);
-  if (!conn.dead) update_epoll(conn);
+  if (!conn.dead) update_epoll(loop, conn);
 }
 
 void AdmissionServer::flush(Connection& conn) {
@@ -593,51 +856,165 @@ void AdmissionServer::flush(Connection& conn) {
   }
 }
 
-void AdmissionServer::update_epoll(Connection& conn) {
+void AdmissionServer::update_epoll(EventLoop& loop, Connection& conn) {
   epoll_event ev{};
   ev.events = EPOLLIN;
   if (conn.write_pos < conn.write_buffer.size()) ev.events |= EPOLLOUT;
   ev.data.u64 = conn.id;
-  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  (void)::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
 }
 
-void AdmissionServer::close_connection(std::uint64_t conn_id) {
-  auto it = connections_.find(conn_id);
-  if (it == connections_.end()) return;
+void AdmissionServer::close_connection(EventLoop& loop,
+                                       std::uint64_t conn_id) {
+  auto it = loop.connections.find(conn_id);
+  if (it == loop.connections.end()) return;
   const int fd = it->second->fd;
-  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  (void)::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
-  fd_to_conn_.erase(fd);
-  connections_.erase(it);
+  loop.connections.erase(it);
+  {
+    std::lock_guard lock(loop.pending_mutex);
+    loop.owed.erase(conn_id);
+  }
   // Pending replies owed to this connection stay registered; their
   // decisions are dropped at outbox drain when the lookup fails.
 }
 
-void AdmissionServer::reap_idle(std::chrono::steady_clock::time_point now) {
+void AdmissionServer::reap_idle(EventLoop& loop,
+                                std::chrono::steady_clock::time_point now) {
   std::vector<std::uint64_t> expired;
-  for (const auto& [id, conn] : connections_) {
-    if (now - conn->last_activity >= config_.idle_timeout) {
+  {
+    // The owed map decides exemption: a connection awaiting a DECISION
+    // (slow shard, δ-deferred resolution) is never reaped, however long
+    // the wire stays silent — one-answer-per-SUBMIT outranks idleness.
+    // Every owed transition happens on this (the loop) thread: increments
+    // in handle_submit, decrements at outbox drain / sync-shed reclaim /
+    // close. A connection judged reapable here can therefore neither
+    // become owed before the close below, nor look un-owed while a shard
+    // callback's DECISION is still staged in the outbox.
+    std::lock_guard lock(loop.pending_mutex);
+    for (const auto& [id, conn] : loop.connections) {
+      if (now - conn->last_activity < config_.idle_timeout) continue;
+      auto owed_it = loop.owed.find(id);
+      if (owed_it != loop.owed.end() && owed_it->second > 0) continue;
       expired.push_back(id);
     }
   }
   for (const std::uint64_t id : expired) {
-    close_connection(id);
+    close_connection(loop, id);
     connections_reaped_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void AdmissionServer::drain_outbox() {
-  std::vector<std::pair<std::uint64_t, std::vector<char>>> batch;
+void AdmissionServer::drain_outbox(EventLoop& loop) {
+  loop.staged.clear();
   {
-    std::lock_guard lock(outbox_mutex_);
-    batch.swap(outbox_);
+    // Swap, don't copy: the arena and entry list ping-pong between the
+    // producer side and this drain, keeping their high-water capacity.
+    std::lock_guard lock(loop.outbox_mutex);
+    loop.staged.bytes.swap(loop.outbox.bytes);
+    loop.staged.entries.swap(loop.outbox.entries);
   }
-  for (auto& [conn_id, bytes] : batch) {
-    auto it = connections_.find(conn_id);
-    if (it == connections_.end()) continue;  // client left; answer dropped
-    Connection& conn = *it->second;
-    queue_bytes(conn, bytes.data(), bytes.size());
-    if (conn.dead) close_connection(conn_id);
+  const std::vector<Outbox::Entry>& entries = loop.staged.entries;
+  std::size_t i = 0;
+  while (i < entries.size()) {
+    // Each connection's consecutive run of decisions flushes as one
+    // vectored write.
+    const std::uint64_t conn_id = entries[i].conn_id;
+    std::size_t j = i + 1;
+    while (j < entries.size() && entries[j].conn_id == conn_id) ++j;
+    auto it = loop.connections.find(conn_id);
+    if (it != loop.connections.end()) {
+      Connection& conn = *it->second;
+      deliver_staged(loop, conn, i, j);
+      if (conn.dead) close_connection(loop, conn_id);
+    }
+    // else: client left; answers dropped
+    {
+      // The owed count drops only here, on the loop thread, once the run
+      // is handed to the socket (or dropped with its connection). The
+      // shard callback that staged these entries left the count intact,
+      // so a reap tick between the callback and this drain still sees
+      // the connection as owed and spares it. close_connection erased
+      // the entry for a departed client, so the find is a no-op there.
+      std::lock_guard lock(loop.pending_mutex);
+      auto owed_it = loop.owed.find(conn_id);
+      if (owed_it != loop.owed.end()) {
+        owed_it->second -= std::min<std::uint32_t>(
+            owed_it->second, static_cast<std::uint32_t>(j - i));
+        if (owed_it->second == 0) loop.owed.erase(owed_it);
+      }
+    }
+    i = j;
+  }
+}
+
+void AdmissionServer::deliver_staged(EventLoop& loop, Connection& conn,
+                                     std::size_t first, std::size_t last) {
+  if (conn.dead) return;
+  conn.last_activity = std::chrono::steady_clock::now();
+  const Outbox& staged = loop.staged;
+  if (conn.write_pos < conn.write_buffer.size()) {
+    // Output already queued: append behind it (EPOLLOUT is armed; order
+    // must hold) and try one flush.
+    for (std::size_t k = first; k < last; ++k) {
+      const char* src = staged.bytes.data() + staged.entries[k].offset;
+      conn.write_buffer.insert(conn.write_buffer.end(), src,
+                               src + staged.entries[k].length);
+    }
+    flush(conn);
+    if (!conn.dead) update_epoll(loop, conn);
+    return;
+  }
+  conn.write_buffer.clear();
+  conn.write_pos = 0;
+  // Fast path: vectored write straight from the staging arena — no copy
+  // into the connection buffer unless the socket pushes back. sendmsg is
+  // writev with MSG_NOSIGNAL (a reset peer must not SIGPIPE the server).
+  constexpr std::size_t kIovBatch = 64;
+  iovec iov[kIovBatch];
+  std::size_t k = first;
+  while (k < last) {
+    std::size_t cnt = 0;
+    std::size_t chunk_end = k;
+    while (chunk_end < last && cnt < kIovBatch) {
+      iov[cnt].iov_base = const_cast<char*>(staged.bytes.data() +
+                                            staged.entries[chunk_end].offset);
+      iov[cnt].iov_len = staged.entries[chunk_end].length;
+      ++cnt;
+      ++chunk_end;
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = cnt;
+    const ssize_t n = ::sendmsg(conn.fd, &mh, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        conn.dead = true;  // peer reset; caller closes at a safe point
+        return;
+      }
+    }
+    // Walk the sent bytes off the chunk; any remainder (short write or
+    // EAGAIN) spills into the connection buffer and waits for EPOLLOUT.
+    auto sent = static_cast<std::size_t>(n < 0 ? 0 : n);
+    while (k < chunk_end && sent >= staged.entries[k].length) {
+      sent -= staged.entries[k].length;
+      ++k;
+    }
+    if (k == last) return;  // everything written, nothing buffered
+    if (k == chunk_end && sent == 0) continue;  // full chunk; next chunk
+    for (std::size_t r = k; r < last; ++r) {
+      const char* src = staged.bytes.data() + staged.entries[r].offset;
+      std::size_t len = staged.entries[r].length;
+      if (r == k) {
+        src += sent;
+        len -= sent;
+      }
+      conn.write_buffer.insert(conn.write_buffer.end(), src, src + len);
+    }
+    update_epoll(loop, conn);
+    return;
   }
 }
 

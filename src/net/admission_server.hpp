@@ -1,10 +1,16 @@
 /// \file
 /// The networked admission front end: an epoll-based, non-blocking TCP
 /// server that speaks the admission wire protocol (net/protocol.hpp) in
-/// front of an AdmissionGateway. One server thread owns the listener and
-/// every connection; gateway shard threads hand rendered decisions back
-/// through a lock-protected outbox plus an eventfd wake-up, so the
-/// decision hot path never blocks on a socket.
+/// front of an AdmissionGateway. The server runs N shared-nothing event
+/// loops (AdmissionServerConfig::loops); each loop owns its own epoll set,
+/// eventfd, connections, pending-reply map and outbox, so loops never
+/// contend on shared state. Connections are partitioned across loops at
+/// accept time — by per-loop SO_REUSEPORT listeners when the kernel
+/// supports them, else by round-robin handoff from a single acceptor —
+/// and every gateway decision is routed straight to the owning loop via
+/// the submission's route_ctx (the loop index), where DECISION frames are
+/// coalesced per wake-up and flushed with writev. The decision hot path
+/// never blocks on a socket.
 ///
 /// Contract: every SUBMIT is answered by exactly one DECISION (the shard's
 /// scheduler rendered accept/reject — with the committed machine and start
@@ -46,19 +52,36 @@ struct AdmissionServerConfig {
   /// TCP port; 0 binds an ephemeral port (read it back with port()).
   std::uint16_t port = 0;
   int backlog = 128;
+  /// Number of shared-nothing event loops. Each loop owns its own epoll
+  /// set, connections, pending replies and outbox; a connection lives on
+  /// one loop for its whole life. 1 reproduces the original single-loop
+  /// server exactly.
+  int loops = 1;
+  /// Distribute accepts via per-loop SO_REUSEPORT listeners (the kernel
+  /// balances new connections across loops). When false — or when the
+  /// platform refuses the option — a single acceptor on loop 0 hands
+  /// accepted fds to the other loops round-robin through their eventfds.
+  bool so_reuseport = true;
   /// Cap on a buffered HTTP request head; longer requests are closed.
   std::size_t max_http_request = 8192;
   /// Close a connection once this long has passed without traffic in
   /// either direction (reads, or bytes queued/flushed toward the peer).
   /// Zero disables reaping — the pre-reaper behavior, where an abandoned
   /// connection holds its fd until the peer resets or the server shuts
-  /// down. Reaped closes are counted in connections_reaped().
+  /// down. Reaped closes are counted in connections_reaped(). Connections
+  /// owed a DECISION are exempt: one-answer-per-SUBMIT outlives any idle
+  /// deadline (δ-commitment decisions legitimately defer past τ_j).
   std::chrono::milliseconds idle_timeout{0};
-  /// How often the event loop wakes to scan for idle connections when
+  /// How often each event loop wakes to scan for idle connections when
   /// idle_timeout is enabled; bounds how far past its deadline a
   /// connection can linger. Ignored (the loop blocks indefinitely) when
   /// idle_timeout is zero.
   std::chrono::milliseconds reap_interval{1000};
+  /// How long a loop keeps its listener disarmed after accept4 failed for
+  /// lack of resources (EMFILE/ENFILE/ENOBUFS/ENOMEM). Without the pause
+  /// a level-triggered listener would hot-spin: the backlog keeps the fd
+  /// readable while every accept keeps failing.
+  std::chrono::milliseconds accept_backoff{100};
   /// The gateway behind the listener. Validated before anything binds:
   /// the constructor throws a PreconditionError naming every problem
   /// GatewayConfig::validate() reports, and the server never starts.
@@ -67,13 +90,13 @@ struct AdmissionServerConfig {
 
 /// The server. Construction binds, listens, builds the gateway (wiring
 /// its on_decision hook to the response path) and spawns the event-loop
-/// thread; the listener is accepting before the constructor returns.
+/// threads; the listeners are accepting before the constructor returns.
 class AdmissionServer {
  public:
   AdmissionServer(const AdmissionServerConfig& config,
                   const ShardSchedulerFactory& factory);
 
-  /// Stops the loop and finishes the gateway if no DRAIN ever did.
+  /// Stops the loops and finishes the gateway if no DRAIN ever did.
   ~AdmissionServer();
 
   AdmissionServer(const AdmissionServer&) = delete;
@@ -87,7 +110,7 @@ class AdmissionServer {
     return drained_.load(std::memory_order_acquire);
   }
 
-  /// Stops accepting, closes every connection, joins the event loop, and
+  /// Stops accepting, closes every connection, joins the event loops, and
   /// returns the gateway's final result (draining it first if no client
   /// ever sent DRAIN). Idempotent; the destructor calls it.
   GatewayResult shutdown();
@@ -101,6 +124,23 @@ class AdmissionServer {
   [[nodiscard]] std::uint64_t connections_reaped() const {
     return connections_reaped_.load(std::memory_order_relaxed);
   }
+
+  /// accept4 failures since the server started (exported as
+  /// slacksched_accept_errors_total on /metrics). Resource exhaustion
+  /// (EMFILE/ENFILE/ENOBUFS/ENOMEM) additionally disarms the failing
+  /// loop's listener for accept_backoff.
+  [[nodiscard]] std::uint64_t accept_errors() const {
+    return accept_errors_.load(std::memory_order_relaxed);
+  }
+
+  /// The configured loop count.
+  [[nodiscard]] int loops() const { return config_.loops; }
+
+  /// True when accepts are balanced by per-loop SO_REUSEPORT listeners;
+  /// false when the single-acceptor round-robin handoff is in use
+  /// (config.so_reuseport false, loops == 1, or the kernel refused the
+  /// socket option).
+  [[nodiscard]] bool using_reuseport() const { return reuseport_; }
 
  private:
   struct Connection {
@@ -122,47 +162,132 @@ class AdmissionServer {
     std::chrono::steady_clock::time_point last_activity{};
   };
 
-  /// A job whose DECISION is owed to a connection. Keyed by job id in
-  /// pending_; submission order per id is preserved (deque).
+  /// A job whose DECISION is owed to a connection. Keyed by job id in the
+  /// owning loop's pending map; submission order per id is preserved
+  /// (deque).
   struct PendingReply {
     std::uint64_t conn_id = 0;
     std::uint64_t request_id = 0;
   };
 
-  /// The gateway's on_decision hook target: resolves the pending reply
-  /// slot and hands the encoded DECISION frame to the outbox. Runs on
-  /// shard consumer threads.
-  void on_gateway_decision(const Job& job, const Decision& decision);
+  /// Encoded server->client frames staged for one drain: one contiguous
+  /// byte arena plus (connection, offset, length) entries into it. Shard
+  /// threads encode DECISIONs directly into the arena under the outbox
+  /// lock — no per-decision allocation — and the loop flushes each
+  /// connection's run of entries with a single writev.
+  struct Outbox {
+    struct Entry {
+      std::uint64_t conn_id = 0;
+      std::uint32_t offset = 0;
+      std::uint32_t length = 0;
+    };
+    std::vector<char> bytes;
+    std::vector<Entry> entries;
 
-  void event_loop();
-  void accept_ready();
-  void read_ready(Connection& conn);
-  void write_ready(Connection& conn);
-  void handle_frame(Connection& conn, const Frame& frame);
-  void handle_submit_one(Connection& conn, std::uint64_t request_id,
-                         const Job& job);
-  void handle_submit_batch(Connection& conn, std::uint64_t base_request_id,
-                           const std::vector<Job>& jobs);
-  void handle_drain(Connection& conn);
-  void handle_http(Connection& conn);
+    [[nodiscard]] bool empty() const { return entries.empty(); }
+    void clear() {
+      bytes.clear();
+      entries.clear();
+    }
+  };
+
+  /// One shared-nothing event loop: epoll set, wake eventfd, optional
+  /// SO_REUSEPORT listener, the connections it owns, and the reply-path
+  /// state shard threads hand decisions to. Everything without a mutex is
+  /// loop-thread-only.
+  struct EventLoop {
+    int index = 0;
+    int epoll_fd = -1;
+    int event_fd = -1;  ///< wakes the loop: outbox, handoff, shutdown
+    /// This loop's SO_REUSEPORT listener, or (handoff mode) the shared
+    /// listener on loop 0 and -1 elsewhere.
+    int listen_fd = -1;
+    std::thread thread;
+
+    // --- loop-thread-only state ---
+    std::uint64_t next_conn_id = 0;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Connection>>
+        connections;
+    /// Listener backoff after resource-exhausted accepts: disarmed in
+    /// epoll until rearm_at.
+    bool listener_armed = true;
+    std::chrono::steady_clock::time_point rearm_at{};
+    /// SUBMIT_BATCH decode target, reused across frames (the decoded span
+    /// is handed straight to AdmissionGateway::submit_batch).
+    std::vector<Job> batch_scratch;
+    std::vector<Outcome> status_scratch;
+    /// Double buffer the drain swaps the outbox into, and the iovec list
+    /// built over it; both reused across drains.
+    Outbox staged;
+    std::vector<char> reply_scratch;
+
+    // --- shared with shard consumer threads ---
+    /// Guards `pending` and `owed`. Only this loop's connections appear
+    /// here, so only decisions for this loop contend on it.
+    std::mutex pending_mutex;
+    std::unordered_map<JobId, std::deque<PendingReply>> pending;
+    /// Per-connection count of owed DECISIONs; the reaper exempts any
+    /// connection with a nonzero count.
+    std::unordered_map<std::uint64_t, std::uint32_t> owed;
+    std::mutex outbox_mutex;
+    Outbox outbox;
+
+    // --- shared with the acceptor loop (handoff mode only) ---
+    std::mutex handoff_mutex;
+    std::vector<int> handoff;
+  };
+
+  /// The gateway's on_decision hook target: resolves the pending reply
+  /// slot on the owning loop (route_ctx = loop index) and encodes the
+  /// DECISION straight into that loop's outbox. Runs on shard consumer
+  /// threads.
+  void on_gateway_decision(const Job& job, const Decision& decision,
+                           std::uint64_t route_ctx);
+
+  void event_loop(EventLoop& loop);
+  void accept_ready(EventLoop& loop);
+  /// Registers a freshly accepted socket with `loop`'s epoll set.
+  void adopt_connection(EventLoop& loop, int fd);
+  void disarm_listener(EventLoop& loop);
+  void rearm_listener(EventLoop& loop);
+  void wake_loop(EventLoop& loop);
+  void read_ready(EventLoop& loop, Connection& conn);
+  void write_ready(EventLoop& loop, Connection& conn);
+  void handle_frame(EventLoop& loop, Connection& conn, const Frame& frame);
+  void handle_submit_one(EventLoop& loop, Connection& conn,
+                         std::uint64_t request_id, const Job& job);
+  void handle_submit_batch(EventLoop& loop, Connection& conn,
+                           std::uint64_t base_request_id,
+                           std::span<const Job> jobs);
+  void handle_drain(EventLoop& loop, Connection& conn);
+  void handle_http(EventLoop& loop, Connection& conn);
   /// Appends bytes to the connection's write buffer and flushes what the
   /// socket will take now; arms EPOLLOUT for the rest.
-  void queue_bytes(Connection& conn, const char* data, std::size_t n);
-  void queue_frame(Connection& conn, const std::vector<char>& bytes) {
-    queue_bytes(conn, bytes.data(), bytes.size());
+  void queue_bytes(EventLoop& loop, Connection& conn, const char* data,
+                   std::size_t n);
+  void queue_frame(EventLoop& loop, Connection& conn,
+                   const std::vector<char>& bytes) {
+    queue_bytes(loop, conn, bytes.data(), bytes.size());
   }
-  void send_protocol_error(Connection& conn, const std::string& message);
+  void send_protocol_error(EventLoop& loop, Connection& conn,
+                           const std::string& message);
   void flush(Connection& conn);
-  void update_epoll(Connection& conn);
-  void close_connection(std::uint64_t conn_id);
-  /// Closes every connection whose last_activity is older than
-  /// idle_timeout. Called from the event loop on the reap_interval tick.
-  void reap_idle(std::chrono::steady_clock::time_point now);
-  /// Moves decision frames queued by shard threads into write buffers.
-  void drain_outbox();
-  /// Answers every still-pending submission with REJECT closed (used
-  /// when the gateway drains before their decisions were rendered).
-  void reject_all_pending();
+  void update_epoll(EventLoop& loop, Connection& conn);
+  void close_connection(EventLoop& loop, std::uint64_t conn_id);
+  /// Closes every connection on `loop` whose last_activity is older than
+  /// idle_timeout and which is owed no DECISION. Called from the loop on
+  /// its reap_interval tick.
+  void reap_idle(EventLoop& loop, std::chrono::steady_clock::time_point now);
+  /// Moves decision frames queued by shard threads into write buffers,
+  /// coalescing each connection's run into one writev.
+  void drain_outbox(EventLoop& loop);
+  /// Hands `loop.staged` entries [first, last) — all for `conn` — to the
+  /// connection, by direct writev when its buffer is empty.
+  void deliver_staged(EventLoop& loop, Connection& conn, std::size_t first,
+                      std::size_t last);
+  /// Answers every still-pending submission on `loop` with REJECT closed
+  /// (used when the gateway drains before their decisions were rendered).
+  void reject_loop_pending(EventLoop& loop);
   /// Runs gateway finish() once and caches the result.
   void finish_gateway();
   RejectMsg make_reject(std::uint64_t request_id, JobId job_id,
@@ -170,32 +295,19 @@ class AdmissionServer {
 
   AdmissionServerConfig config_;
   std::unique_ptr<AdmissionGateway> gateway_;
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int event_fd_ = -1;  ///< wakes the loop for outbox drains and shutdown
   std::uint16_t port_ = 0;
-  std::thread loop_;
+  bool reuseport_ = false;
+  /// Handoff mode: loop 0's round-robin cursor over the loops.
+  std::uint64_t handoff_cursor_ = 0;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> drained_{false};
   std::atomic<bool> shutdown_done_{false};
   std::atomic<std::uint64_t> connections_reaped_{0};
+  std::atomic<std::uint64_t> accept_errors_{0};
 
-  /// Connection ids double as epoll tags; 0 and 1 are reserved for the
-  /// listener and the eventfd.
-  std::uint64_t next_conn_id_ = 2;
-  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>>
-      connections_;                                 ///< loop thread only
-  std::unordered_map<int, std::uint64_t> fd_to_conn_;  ///< loop thread only
-
-  /// Shard threads push encoded DECISION frames here; the loop drains.
-  std::mutex outbox_mutex_;
-  std::vector<std::pair<std::uint64_t, std::vector<char>>> outbox_;
-
-  /// Registered before gateway submit so a racing decision always finds
-  /// its reply slot. Shared between the loop and shard threads.
-  std::mutex pending_mutex_;
-  std::unordered_map<JobId, std::deque<PendingReply>> pending_;
-
+  /// Serializes gateway finish() across loop threads racing a DRAIN.
+  std::mutex finish_mutex_;
   std::mutex result_mutex_;
   GatewayResult result_;  ///< valid once drained_
 };

@@ -161,9 +161,9 @@ AdmissionGateway::AdmissionGateway(const GatewayConfig& config,
                           : -1;
     if (config.on_decision) {
       shard_config.on_decision = [callback = config.on_decision, s](
-                                     const Job& job,
-                                     const Decision& decision) {
-        callback(s, job, decision);
+                                     const Job& job, const Decision& decision,
+                                     std::uint64_t route_ctx) {
+        callback(s, job, decision, route_ctx);
       };
     }
     shards_.push_back(std::make_unique<Shard>(
@@ -197,7 +197,7 @@ int AdmissionGateway::resolve_target(int home) {
       home, [this](int s) { return supervisor_->available(s); });
 }
 
-Outcome AdmissionGateway::submit(const Job& job) {
+Outcome AdmissionGateway::submit(const Job& job, std::uint64_t route_ctx) {
   if (finished_.load(std::memory_order_acquire)) {
     return Outcome::kRejectedClosed;
   }
@@ -221,11 +221,12 @@ Outcome AdmissionGateway::submit(const Job& job) {
   // try_enqueue already speaks the unified vocabulary: kEnqueued,
   // kRejectedQueueFull or kRejectedClosed.
   return shards_[static_cast<std::size_t>(target)]->try_enqueue(
-      job, Shard::Clock::now(), home);
+      job, Shard::Clock::now(), home, route_ctx);
 }
 
 BatchSubmitResult AdmissionGateway::submit_batch(
-    std::span<const Job> jobs, std::vector<Outcome>* statuses) {
+    std::span<const Job> jobs, std::vector<Outcome>* statuses,
+    std::uint64_t route_ctx) {
   BatchSubmitResult result;
   if (statuses != nullptr) {
     statuses->assign(jobs.size(), Outcome::kRejectedClosed);
@@ -281,7 +282,7 @@ BatchSubmitResult AdmissionGateway::submit_batch(
     const Shard::BatchEnqueueResult pushed =
         shards_[static_cast<std::size_t>(s)]->try_enqueue_batch(
             jobs.data(), group.data(), group.size(), now,
-            homes[static_cast<std::size_t>(s)].data());
+            homes[static_cast<std::size_t>(s)].data(), route_ctx);
     result.enqueued += pushed.taken;
     // A shed tail on a closed queue is not backpressure: the shard shut
     // down mid-batch, and the caller must treat the tail as unserviceable

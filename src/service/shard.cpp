@@ -119,19 +119,23 @@ void Shard::spawn(bool is_restart) {
         on_resolution(job, decision);
       });
 
+  // Parked contexts belong to the previous worker's deferred jobs; a
+  // restart re-feeds nothing, so they can never resolve.
+  deferred_ctx_.clear();
   worker_failed_.store(false, std::memory_order_release);
   worker_exited_.store(false, std::memory_order_release);
   worker_ = std::thread([this] { worker_loop(); });
 }
 
-Outcome Shard::try_enqueue(const Job& job, Clock::time_point now, int home) {
+Outcome Shard::try_enqueue(const Job& job, Clock::time_point now, int home,
+                           std::uint64_t route_ctx) {
   if (SLACKSCHED_FAULT_FIRES(config_.faults, FaultSite::kEnqueue, index_)) {
     metrics_.on_backpressure(index_);
     return Outcome::kRejectedQueueFull;  // simulated ingest drop
   }
   if (queue_.try_push(
-          Task{job, now,
-               static_cast<std::int16_t>(home < 0 ? index_ : home)})) {
+          Task{job, now, static_cast<std::int16_t>(home < 0 ? index_ : home),
+               route_ctx})) {
     metrics_.on_enqueued(index_);
     return Outcome::kEnqueued;
   }
@@ -142,7 +146,8 @@ Outcome Shard::try_enqueue(const Job& job, Clock::time_point now, int home) {
 
 Shard::BatchEnqueueResult Shard::try_enqueue_batch(
     const Job* jobs, const std::uint32_t* indices, std::size_t count,
-    Clock::time_point now, const std::int16_t* homes) {
+    Clock::time_point now, const std::int16_t* homes,
+    std::uint64_t route_ctx) {
   BatchEnqueueResult result;
   // Tasks are constructed directly in their claimed ring cells: the batch
   // producer path performs no staging copy and no heap allocation.
@@ -152,6 +157,7 @@ Shard::BatchEnqueueResult Shard::try_enqueue_batch(
         slot.enqueued_at = now;
         slot.home =
             homes != nullptr ? homes[i] : static_cast<std::int16_t>(index_);
+        slot.route_ctx = route_ctx;
       });
   metrics_.on_enqueued(index_, result.taken);
   if (!result.closed) {
@@ -269,6 +275,16 @@ void Shard::worker_loop() {
 }
 
 void Shard::on_resolution(const Job& job, const Decision& decision) {
+  // Reclaim the routing context parked when this job's decision deferred.
+  // Submission order per id is preserved (deque), mirroring the front
+  // end's pending-reply bookkeeping.
+  std::uint64_t route_ctx = 0;
+  auto parked = deferred_ctx_.find(job.id);
+  if (parked != deferred_ctx_.end()) {
+    route_ctx = parked->second.front();
+    parked->second.pop_front();
+    if (parked->second.empty()) deferred_ctx_.erase(parked);
+  }
   const std::size_t latency_bin =
       metrics_.on_decision(index_, job.proc, decision.accepted, 0.0);
   if (config_.trace != nullptr) {
@@ -283,16 +299,23 @@ void Shard::on_resolution(const Job& job, const Decision& decision) {
                             : kTraceNoWal;
     config_.trace->record(event);
   }
-  if (config_.on_decision) config_.on_decision(job, decision);
+  if (config_.on_decision) config_.on_decision(job, decision, route_ctx);
 }
 
 void Shard::process(const Task& task) {
   const FeedOutcome outcome = runner_->feed(task.job);
   // Poisoned shard (drained without deciding) or an illegal commitment:
-  // neither counts as a served decision in the live metrics. A deferred
-  // decision is not a decision yet — its bookkeeping happens in
-  // on_resolution when the binding answer lands.
-  if (!outcome.decided || !outcome.legal || outcome.decision.deferred) return;
+  // neither counts as a served decision in the live metrics.
+  if (!outcome.decided || !outcome.legal) return;
+  // A deferred decision is not a decision yet — its bookkeeping happens in
+  // on_resolution when the binding answer lands. Park the routing context
+  // so the eventual resolution can still find its way home.
+  if (outcome.decision.deferred) {
+    if (config_.on_decision) {
+      deferred_ctx_[task.job.id].push_back(task.route_ctx);
+    }
+    return;
+  }
   const double latency =
       std::chrono::duration<double>(Clock::now() - task.enqueued_at).count();
   const std::size_t latency_bin = metrics_.on_decision(
@@ -312,7 +335,9 @@ void Shard::process(const Task& task) {
   }
   // Notify last: the decision is validated, counted and traced before any
   // downstream consumer (e.g. the network front end) can observe it.
-  if (config_.on_decision) config_.on_decision(task.job, outcome.decision);
+  if (config_.on_decision) {
+    config_.on_decision(task.job, outcome.decision, task.route_ctx);
+  }
 }
 
 }  // namespace slacksched

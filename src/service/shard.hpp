@@ -21,12 +21,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/arena.hpp"
@@ -45,8 +47,12 @@ namespace slacksched {
 using SchedulerFactory = std::function<std::unique_ptr<OnlineScheduler>()>;
 
 /// Per-decision notification hook (see ShardConfig::on_decision).
-using ShardDecisionCallback =
-    std::function<void(const Job& job, const Decision& decision)>;
+/// `route_ctx` is the opaque routing context the producer passed to
+/// try_enqueue / try_enqueue_batch (0 when none): the network front end
+/// stores the owning event-loop index there so a decision can be handed
+/// straight back to the loop that owns the submitting connection.
+using ShardDecisionCallback = std::function<void(
+    const Job& job, const Decision& decision, std::uint64_t route_ctx)>;
 
 /// Per-shard knobs (the gateway fills these from its own config).
 struct ShardConfig {
@@ -124,17 +130,21 @@ class Shard {
   /// backpressure; a kRejectedClosed refusal is not backpressure (the
   /// shard is gone, not busy). `home` is the shard the router originally
   /// chose (recorded in trace events; -1 means "this shard").
+  /// `route_ctx` travels with the job and is echoed to on_decision.
   [[nodiscard]] Outcome try_enqueue(const Job& job, Clock::time_point now,
-                                    int home = -1);
+                                    int home = -1,
+                                    std::uint64_t route_ctx = 0);
 
   /// Enqueues jobs[indices[0..count)] in order under one queue lock. The
   /// accepted prefix is counted as enqueued; a shed tail is counted as
   /// backpressure only when the queue was full, not when it was closed.
   /// `homes`, when non-null, carries the router's home shard for each
-  /// offered job (parallel to `indices`).
+  /// offered job (parallel to `indices`). One `route_ctx` covers the whole
+  /// batch: a batch comes from one producer.
   [[nodiscard]] BatchEnqueueResult try_enqueue_batch(
       const Job* jobs, const std::uint32_t* indices, std::size_t count,
-      Clock::time_point now, const std::int16_t* homes = nullptr);
+      Clock::time_point now, const std::int16_t* homes = nullptr,
+      std::uint64_t route_ctx = 0);
 
   /// Closes the queue: producers start failing, the consumer drains the
   /// backlog and exits.
@@ -190,6 +200,7 @@ class Shard {
     Job job;
     Clock::time_point enqueued_at;
     std::int16_t home = -1;  ///< router's home shard (trace provenance)
+    std::uint64_t route_ctx = 0;  ///< producer's context, echoed on decide
   };
 
   /// Builds scheduler + runner (+ WAL recovery when configured) and spawns
@@ -201,6 +212,14 @@ class Shard {
   /// notification) — the resolution-hook twin of process()'s tail.
   void on_resolution(const Job& job, const Decision& decision);
   void set_error(std::string message);
+
+  /// δ-commitment schedulers defer a job's binding decision past its
+  /// feed() call, but the Task (and its route_ctx) dies with the batch
+  /// iteration. Parked contexts bridge the gap: process() records the
+  /// ctx when a hooked job defers, on_resolution() pops it. Touched only
+  /// by the consumer thread, so no lock; cleared on (re)spawn — a crashed
+  /// worker's parked contexts die with it, like its undecided queue tail.
+  std::unordered_map<JobId, std::deque<std::uint64_t>> deferred_ctx_;
 
   int index_;
   ShardConfig config_;

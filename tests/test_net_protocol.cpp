@@ -115,6 +115,49 @@ TEST(FrameCodec, SubmitBatchRoundTrip) {
   EXPECT_EQ(back, jobs);
 }
 
+TEST(FrameCodec, SubmitBatchIntoReusesStorageAndMatchesParse) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 64; ++i) {
+    jobs.push_back(make_job(i, 0.25 * i, 1.0 + i, 50.0 + i));
+  }
+  std::vector<char> bytes;
+  encode_submit_batch(bytes, 7, jobs);
+  std::uint64_t base = 0;
+  std::vector<Job> scratch;
+  std::string error;
+  ASSERT_TRUE(parse_submit_batch_into(decode_one(bytes), base, scratch,
+                                      &error))
+      << error;
+  EXPECT_EQ(base, 7u);
+  EXPECT_EQ(scratch, jobs);
+
+  // A second decode into the same vector drops the stale tail and reuses
+  // the allocation — the point of the _into variant.
+  const std::vector<Job> small = {make_job(999, 0.0, 2.0, 9.0)};
+  bytes.clear();
+  encode_submit_batch(bytes, 8, small);
+  const std::size_t capacity = scratch.capacity();
+  ASSERT_TRUE(parse_submit_batch_into(decode_one(bytes), base, scratch,
+                                      &error))
+      << error;
+  EXPECT_EQ(base, 8u);
+  EXPECT_EQ(scratch, small);
+  EXPECT_EQ(scratch.capacity(), capacity);
+}
+
+TEST(FrameCodec, SubmitBatchIntoHandlesEmptyBatch) {
+  std::vector<char> bytes;
+  encode_submit_batch(bytes, 3, std::vector<Job>{});
+  std::uint64_t base = 0;
+  std::vector<Job> scratch = {make_job(1, 0.0, 1.0, 2.0)};  // stale content
+  std::string error;
+  ASSERT_TRUE(parse_submit_batch_into(decode_one(bytes), base, scratch,
+                                      &error))
+      << error;
+  EXPECT_EQ(base, 3u);
+  EXPECT_TRUE(scratch.empty());
+}
+
 TEST(FrameCodec, DecisionRoundTrip) {
   DecisionMsg in;
   in.request_id = 9;
@@ -336,6 +379,14 @@ TEST(FrameParsers, BatchCountBeyondPayloadIsRejected) {
   std::string error;
   EXPECT_FALSE(parse_submit_batch(decode_one(bytes), base, back, &error));
   EXPECT_NE(error.find("exceeds payload"), std::string::npos);
+  // The _into variant applies the same validation and leaves the target
+  // untouched on failure.
+  std::vector<Job> scratch = {make_job(2, 0.0, 1.0, 2.0)};
+  const std::vector<Job> before = scratch;
+  EXPECT_FALSE(
+      parse_submit_batch_into(decode_one(bytes), base, scratch, &error));
+  EXPECT_NE(error.find("exceeds payload"), std::string::npos);
+  EXPECT_EQ(scratch, before);
 }
 
 TEST(FrameParsers, DecisionRejectsNonDecisionOutcomes) {

@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -29,6 +31,7 @@
 #include "net/admission_client.hpp"
 #include "net/admission_server.hpp"
 #include "sched/engine.hpp"
+#include "sched/online.hpp"
 #include "workload/generators.hpp"
 
 namespace slacksched::net {
@@ -319,8 +322,23 @@ class RawConn {
     return out;
   }
 
+  /// Blocks until the next well-formed protocol frame arrives.
+  Frame read_frame() {
+    Frame frame;
+    while (true) {
+      const FrameDecoder::Status status = decoder_.next(frame);
+      SLACKSCHED_EXPECTS(status != FrameDecoder::Status::kError);
+      if (status == FrameDecoder::Status::kFrame) return frame;
+      char buf[4096];
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      SLACKSCHED_EXPECTS(n > 0);
+      decoder_.feed(buf, static_cast<std::size_t>(n));
+    }
+  }
+
  private:
   int fd_ = -1;
+  FrameDecoder decoder_;
 };
 
 TEST(NetServer, MalformedStreamGetsErrorFrameAndClose) {
@@ -516,6 +534,309 @@ TEST(NetServer, ReapingDisabledKeepsIdleConnectionsOpen) {
   // Still serviceable: a PING on the long-idle connection round-trips.
   AdmissionClient probe("127.0.0.1", server.port());
   EXPECT_EQ(probe.ping(7), 7u);
+}
+
+// ---------- owed DECISIONs outrank the idle reaper ----------
+
+/// Delegates to an inner scheduler after a wall-clock stall, stretching
+/// the submit->DECISION window far past any idle deadline.
+class SlowScheduler final : public OnlineScheduler {
+ public:
+  SlowScheduler(std::unique_ptr<OnlineScheduler> inner,
+                std::chrono::milliseconds stall)
+      : inner_(std::move(inner)), stall_(stall) {}
+
+  Decision on_arrival(const Job& job) override {
+    std::this_thread::sleep_for(stall_);
+    return inner_->on_arrival(job);
+  }
+  [[nodiscard]] int machines() const override { return inner_->machines(); }
+  void reset() override { inner_->reset(); }
+  [[nodiscard]] std::string name() const override {
+    return "slow(" + inner_->name() + ")";
+  }
+
+ private:
+  std::unique_ptr<OnlineScheduler> inner_;
+  std::chrono::milliseconds stall_;
+};
+
+TEST(NetServer, ReaperNeverDropsAnOwedDecision) {
+  // The decision takes ~8 reap ticks to render while the connection's
+  // wire stays silent. The pre-fix reaper closed it mid-wait and dropped
+  // the owed DECISION; the owed-count exemption must keep it alive until
+  // both replies land — every SUBMIT answered exactly once, every seed.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    AdmissionServerConfig config = loopback_config(64);
+    config.idle_timeout = std::chrono::milliseconds(30);
+    config.reap_interval = std::chrono::milliseconds(10);
+    AdmissionServer server(config, [](int) {
+      return std::make_unique<SlowScheduler>(
+          std::make_unique<GreedyScheduler>(2),
+          std::chrono::milliseconds(80));
+    });
+    AdmissionClient client("127.0.0.1", server.port());
+    RawConn idle(server.port());  // control: truly idle, still reapable
+
+    std::vector<std::uint64_t> request_ids;
+    for (int i = 0; i < 2; ++i) {
+      Job job;
+      job.id = static_cast<JobId>(2 * seed + static_cast<std::uint64_t>(i));
+      job.proc = 1.0 + static_cast<double>(seed % 5);
+      job.deadline = 1e9;
+      request_ids.push_back(client.submit(job));
+    }
+    for (int i = 0; i < 2; ++i) {
+      const DecisionReply reply = client.wait_reply();
+      EXPECT_EQ(reply.request_id, request_ids[static_cast<std::size_t>(i)]);
+      EXPECT_TRUE(reply.is_decision());
+    }
+    EXPECT_EQ(client.outstanding(), 0u);
+    // The exemption is per-owed-connection, not a reaper kill switch: the
+    // idle control connection was closed during the same window.
+    EXPECT_EQ(idle.read_to_eof(), "");
+    EXPECT_GE(server.connections_reaped(), 1u);
+  }
+}
+
+// ---------- first-write classification ----------
+
+TEST(NetServer, TrickledBinaryFirstByteReachesDecoder) {
+  // One byte, then silence: the old sniffer buffered anything under 4
+  // bytes without feeding the FrameDecoder, so a client that paused after
+  // a short first write hung forever. The first byte of every protocol
+  // frame (version = 1) already rules out "GET ".
+  AdmissionServerConfig config = loopback_config(16);
+  AdmissionServer server(config, [](int) {
+    return std::make_unique<GreedyScheduler>(1);
+  });
+  RawConn raw(server.port());
+  std::vector<char> bytes;
+  encode_ping(bytes, 0x2a);
+  raw.send_bytes(bytes.data(), 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  for (std::size_t i = 1; i < bytes.size(); ++i) {
+    raw.send_bytes(bytes.data() + i, 1);  // keep trickling, byte at a time
+  }
+  const Frame frame = raw.read_frame();
+  ASSERT_EQ(frame.type, FrameType::kPong);
+  std::uint64_t token = 0;
+  std::string error;
+  ASSERT_TRUE(parse_token(frame, token, &error)) << error;
+  EXPECT_EQ(token, 0x2au);
+}
+
+TEST(NetServer, HttpClassificationSurvivesSplitPrefixWrite) {
+  // "G" alone is still a proper prefix of "GET ", so classification must
+  // stay open until the request line resolves it.
+  AdmissionServerConfig config = loopback_config(16);
+  AdmissionServer server(config, [](int) {
+    return std::make_unique<GreedyScheduler>(1);
+  });
+  RawConn raw(server.port());
+  raw.send_bytes("G", 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const std::string rest = "ET /metrics HTTP/1.0\r\n\r\n";
+  raw.send_bytes(rest.data(), rest.size());
+  const std::string response = raw.read_to_eof();
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("slacksched_submitted_total"), std::string::npos);
+}
+
+// ---------- accept failure handling ----------
+
+std::size_t count_open_fds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  SLACKSCHED_EXPECTS(dir != nullptr);
+  std::size_t n = 0;
+  while (::readdir(dir) != nullptr) ++n;
+  ::closedir(dir);
+  return n - 3;  // ".", "..", and the directory's own fd
+}
+
+TEST(NetServer, FdExhaustionBacksOffCountsAndRecovers) {
+  AdmissionServerConfig config = loopback_config(16);
+  config.accept_backoff = std::chrono::milliseconds(50);
+  AdmissionServer server(config, [](int) {
+    return std::make_unique<GreedyScheduler>(1);
+  });
+
+  // The client socket exists before the clamp; its connect() completes in
+  // the kernel regardless. Only the server-side accept4 needs a new fd.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  timeval rcv_timeout{5, 0};  // a broken rearm must fail, not hang
+  (void)setsockopt(probe, SOL_SOCKET, SO_RCVTIMEO, &rcv_timeout,
+                   sizeof(rcv_timeout));
+
+  rlimit original{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &original), 0);
+  rlimit clamped = original;
+  clamped.rlim_cur = count_open_fds();  // zero headroom: next fd fails
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &clamped), 0);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  // accept4 hits EMFILE: the error is counted and the listener disarmed
+  // (no hot spin — pre-fix this silently burned a core).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.accept_errors() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server.accept_errors(), 1u);
+
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &original), 0);
+
+  // The connection stayed in the backlog; after accept_backoff the
+  // listener rearms and adopts it — the same socket now round-trips.
+  std::vector<char> ping;
+  encode_ping(ping, 17);
+  ASSERT_EQ(::send(probe, ping.data(), ping.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(ping.size()));
+  FrameDecoder decoder;
+  Frame frame;
+  char buf[4096];
+  while (decoder.next(frame) != FrameDecoder::Status::kFrame) {
+    const ssize_t n = ::recv(probe, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "no PONG after listener rearm";
+    decoder.feed(buf, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(frame.type, FrameType::kPong);
+  ::close(probe);
+
+  const std::string page = http_get_metrics("127.0.0.1", server.port());
+  EXPECT_GE(metric_value(page, "slacksched_accept_errors_total"), 1.0);
+}
+
+// ---------- multi-loop front end ----------
+
+TEST(NetServer, MultiLoopDecisionStreamEqualsRunOnline) {
+  // One client lands on one loop; with a single shard behind the gateway
+  // the ordered bit-identical pin must hold regardless of loop count.
+  const Instance instance = test_instance(300, 4242);
+  ThresholdScheduler reference(0.1, 4);
+  const RunResult engine = run_online(reference, instance, RunOptions{});
+
+  AdmissionServerConfig config = loopback_config(instance.size());
+  config.loops = 2;
+  AdmissionServer server(config, [](int) {
+    return std::make_unique<ThresholdScheduler>(0.1, 4);
+  });
+  EXPECT_EQ(server.loops(), 2);
+  AdmissionClient client("127.0.0.1", server.port());
+
+  std::vector<std::uint64_t> request_ids;
+  for (const Job& job : instance.jobs()) {
+    request_ids.push_back(client.submit(job));
+  }
+  ASSERT_EQ(engine.decisions.size(), instance.size());
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const DecisionRecord& expected = engine.decisions[i];
+    const DecisionReply got = client.wait_reply();
+    EXPECT_EQ(got.request_id, request_ids[i]);
+    EXPECT_EQ(got.job_id, expected.job.id);
+    ASSERT_TRUE(got.is_decision());
+    EXPECT_EQ(got.outcome == Outcome::kAccepted, expected.decision.accepted);
+    if (expected.decision.accepted) {
+      EXPECT_EQ(got.machine, expected.decision.machine);
+      EXPECT_EQ(got.start, expected.decision.start);  // bit-exact doubles
+    }
+  }
+  const DrainedMsg drained = client.drain();
+  EXPECT_EQ(drained.submitted, engine.metrics.submitted);
+  EXPECT_EQ(drained.accepted, engine.metrics.accepted);
+  EXPECT_EQ(drained.makespan, engine.metrics.makespan);
+}
+
+void multi_loop_every_submit_answered(bool so_reuseport) {
+  AdmissionServerConfig config = loopback_config(8);
+  config.gateway.batch_size = 4;
+  config.loops = 4;
+  config.so_reuseport = so_reuseport;
+  AdmissionServer server(config, [](int) {
+    return std::make_unique<GreedyScheduler>(2);
+  });
+  EXPECT_EQ(server.using_reuseport(), so_reuseport);
+
+  constexpr int kClients = 8;
+  constexpr int kJobsPerClient = 200;
+  std::vector<std::size_t> answered(kClients, 0);
+  std::vector<std::size_t> decided(kClients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      AdmissionClient client("127.0.0.1", server.port());
+      for (int i = 0; i < kJobsPerClient; ++i) {
+        const JobId id = c * kJobsPerClient + i;
+        Job job;
+        job.id = id;
+        job.proc = 1.0;
+        job.deadline = 1e9;
+        (void)client.submit(job);
+        const DecisionReply reply = client.wait_reply();
+        EXPECT_EQ(reply.job_id, id);
+        ++answered[static_cast<std::size_t>(c)];
+        if (reply.is_decision()) ++decided[static_cast<std::size_t>(c)];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::size_t total_decided = 0;
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(answered[static_cast<std::size_t>(c)],
+              static_cast<std::size_t>(kJobsPerClient));
+    total_decided += decided[static_cast<std::size_t>(c)];
+  }
+  const GatewayResult result = server.shutdown();
+  EXPECT_EQ(result.merged.submitted, total_decided);
+}
+
+TEST(NetServer, MultiLoopAnswersEverySubmitReuseport) {
+  multi_loop_every_submit_answered(true);
+}
+
+TEST(NetServer, MultiLoopAnswersEverySubmitHandoff) {
+  multi_loop_every_submit_answered(false);
+}
+
+TEST(NetServer, DrainPropagatesAcrossLoops) {
+  // Handoff mode hands connections out round-robin, so three sequential
+  // connects land on three different loops. A DRAIN on one loop must
+  // close the gateway for all of them.
+  AdmissionServerConfig config = loopback_config(64);
+  config.loops = 3;
+  config.so_reuseport = false;
+  AdmissionServer server(config, [](int) {
+    return std::make_unique<GreedyScheduler>(2);
+  });
+  EXPECT_FALSE(server.using_reuseport());
+
+  AdmissionClient a("127.0.0.1", server.port());
+  Job job;
+  job.id = 1;
+  job.proc = 1.0;
+  job.deadline = 100.0;
+  EXPECT_TRUE(a.submit_wait(job).is_decision());
+
+  AdmissionClient b("127.0.0.1", server.port());
+  const DrainedMsg drained = b.drain();
+  EXPECT_EQ(drained.submitted, 1u);
+  EXPECT_TRUE(server.drained());
+
+  job.id = 2;
+  EXPECT_EQ(a.submit_wait(job).outcome, Outcome::kRejectedClosed);
+  AdmissionClient c("127.0.0.1", server.port());
+  EXPECT_EQ(c.ping(11), 11u);
 }
 
 }  // namespace
