@@ -32,7 +32,7 @@ double adversary_ratio(double eps, int m, std::optional<int> k_override) {
 }
 
 double workload_volume(double eps, int m, std::optional<int> k_override) {
-  WorkloadConfig config = overload_scenario(eps, 4242);
+  WorkloadConfig config = scenario("overload", eps, 4242);
   config.n = 800;
   const Instance inst = generate_workload(config);
   ThresholdConfig tc;

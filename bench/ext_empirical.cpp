@@ -72,21 +72,14 @@ int main(int argc, char** argv) {
   Table table({"scenario", "m", "eps", "Thr", "G-BF", "G-LL", "Queue",
                "P-EDF", "Mig", "Coin"});
 
-  struct Scenario {
-    std::string name;
-    WorkloadConfig (*make)(double, std::uint64_t);
-  };
-  const Scenario scenarios[] = {
-      {"cloud-burst", cloud_burst_scenario},
-      {"overload", overload_scenario},
-  };
+  const std::string scenarios[] = {"cloud-burst", "overload"};
 
-  for (const Scenario& scenario : scenarios) {
+  for (const std::string& scenario_name : scenarios) {
     for (int m : {2, 4}) {
       for (double eps : {0.05, 0.25, 1.0}) {
         const auto cells = parallel_map<CellResult>(
             pool, seeds, [&](std::size_t s) {
-              WorkloadConfig config = scenario.make(eps, 7000 + s);
+              WorkloadConfig config = scenario(scenario_name, eps, 7000 + s);
               return run_cell(config, m);
             });
         OnlineStats thr, gbf, gll, queue, pedf, mig, coin;
@@ -100,7 +93,7 @@ int main(int argc, char** argv) {
           mig.add(cell.migration / cell.ub);
           coin.add(cell.random / cell.ub);
         }
-        table.add_row({scenario.name, std::to_string(m),
+        table.add_row({scenario_name, std::to_string(m),
                        Table::format(eps, 2), Table::format(thr.mean(), 3),
                        Table::format(gbf.mean(), 3),
                        Table::format(gll.mean(), 3),

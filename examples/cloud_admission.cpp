@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
                "P-EDF", "frac UB", "Thr guarantee"});
 
   for (double eps : {0.02, 0.1, 0.5, 1.0}) {
-    WorkloadConfig config = cloud_burst_scenario(eps, seed);
+    WorkloadConfig config = scenario("cloud-burst", eps, seed);
     config.n = jobs;
     const Instance instance = generate_workload(config);
 

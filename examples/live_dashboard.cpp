@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   const std::size_t jobs = static_cast<std::size_t>(args.get_int("jobs", 1500));
   const double window = args.get_double("window", 25.0);
 
-  WorkloadConfig config = cloud_burst_scenario(eps, 11);
+  WorkloadConfig config = scenario("cloud-burst", eps, 11);
   config.n = jobs;
   const Instance instance = generate_workload(config);
 

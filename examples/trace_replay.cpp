@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
     instance = read_trace_file(args.get_string("trace", ""));
   } else {
     std::cout << "(no --trace given: replaying a generated demo trace)\n\n";
-    WorkloadConfig config = cloud_burst_scenario(0.1, 7);
+    WorkloadConfig config = scenario("cloud-burst", 0.1, 7);
     config.n = 1000;
     instance = generate_workload(config);
   }

@@ -54,6 +54,56 @@ bool GreedyScheduler::restore_commitment(const Job& job, int machine,
   return true;
 }
 
+bool GreedyScheduler::supports_elastic() const {
+  return frontier_.uniform_speeds();
+}
+
+int GreedyScheduler::active_machines() const {
+  return frontier_.active_machines();
+}
+
+int GreedyScheduler::add_machine() {
+  if (!supports_elastic()) return -1;
+  const int machine = frontier_.add_machine();
+  machines_ = frontier_.size();
+  return machine;
+}
+
+bool GreedyScheduler::begin_retire(int machine) {
+  if (!supports_elastic()) return false;
+  if (machine < 0 || machine >= machines_) return false;
+  if (!frontier_.is_active(machine)) return false;
+  if (frontier_.active_machines() <= 1) return false;
+  frontier_.begin_retire(machine);
+  return true;
+}
+
+bool GreedyScheduler::retire_drained(int machine, TimePoint now) const {
+  if (machine < 0 || machine >= machines_) return false;
+  return frontier_.retire_drained(machine, now);
+}
+
+bool GreedyScheduler::finish_retire(int machine) {
+  if (machine < 0 || machine >= machines_) return false;
+  if (!frontier_.is_retiring(machine)) return false;
+  frontier_.finish_retire(machine);
+  return true;
+}
+
+bool GreedyScheduler::is_retiring(int machine) const {
+  if (machine < 0 || machine >= machines_) return false;
+  return frontier_.is_retiring(machine);
+}
+
+int GreedyScheduler::retire_candidate() const {
+  if (!supports_elastic()) return -1;
+  return frontier_.retire_candidate();
+}
+
+int GreedyScheduler::busy_machines(TimePoint now) const {
+  return frontier_.first_position_not_above(now);
+}
+
 Decision GreedyScheduler::on_arrival(const Job& job) {
   SLACKSCHED_EXPECTS(job.structurally_valid());
   const TimePoint t = job.release;
@@ -70,6 +120,7 @@ Decision GreedyScheduler::on_arrival(const Job& job) {
       // First fit is inherently an index-order question; the early-exit
       // scan stops at the first feasible machine (usually machine 0).
       for (int i = 0; i < machines_; ++i) {
+        if (!frontier_.is_active(i)) continue;
         const Duration load = frontier_.load(i, t);
         if (approx_le(t + load + frontier_.exec_time(i, job.proc),
                       job.deadline)) {

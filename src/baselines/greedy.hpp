@@ -53,6 +53,19 @@ class GreedyScheduler final : public OnlineScheduler {
   bool restore_commitment(const Job& job, int machine,
                           TimePoint start) override;
 
+  /// Elastic capacity: supported on identical machines. Greedy has no
+  /// solved parameters to refresh, so a resize is purely a FrontierSet
+  /// mutation.
+  [[nodiscard]] bool supports_elastic() const override;
+  [[nodiscard]] int active_machines() const override;
+  int add_machine() override;
+  bool begin_retire(int machine) override;
+  [[nodiscard]] bool retire_drained(int machine, TimePoint now) const override;
+  bool finish_retire(int machine) override;
+  [[nodiscard]] bool is_retiring(int machine) const override;
+  [[nodiscard]] int retire_candidate() const override;
+  [[nodiscard]] int busy_machines(TimePoint now) const override;
+
  private:
   int machines_;
   GreedyPolicy policy_;

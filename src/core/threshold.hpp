@@ -72,6 +72,21 @@ class ThresholdScheduler final : public OnlineScheduler {
   bool restore_commitment(const Job& job, int machine,
                           TimePoint start) override;
 
+  /// Elastic capacity: supported on identical machines without a k
+  /// override. Every resize re-solves the ratio recursion for the new
+  /// active machine count, so the admission threshold (and Theorem 2's
+  /// guarantee) always matches the pool actually accepting work; retiring
+  /// machines drain outside the threshold scan.
+  [[nodiscard]] bool supports_elastic() const override;
+  [[nodiscard]] int active_machines() const override;
+  int add_machine() override;
+  bool begin_retire(int machine) override;
+  [[nodiscard]] bool retire_drained(int machine, TimePoint now) const override;
+  bool finish_retire(int machine) override;
+  [[nodiscard]] bool is_retiring(int machine) const override;
+  [[nodiscard]] int retire_candidate() const override;
+  [[nodiscard]] int busy_machines(TimePoint now) const override;
+
   /// The admission threshold d_lim the algorithm would apply at time `now`
   /// in its current state (exposed for tests and the adversary analysis).
   [[nodiscard]] TimePoint deadline_threshold(TimePoint now) const;

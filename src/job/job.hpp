@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/time.hpp"
+#include "policy/criticality.hpp"
 
 namespace slacksched {
 
@@ -19,6 +20,12 @@ struct Job {
   TimePoint release = 0.0;   ///< r_j: submission time
   Duration proc = 0.0;       ///< p_j: processing time, > 0
   TimePoint deadline = 0.0;  ///< d_j: absolute deadline
+  /// Admission criticality class (policy/criticality.hpp). Defaults to the
+  /// lowest class, so instances that predate the class dimension — and the
+  /// WAL / wire codecs, which do not carry it — behave exactly as before.
+  /// The class steers gateway load shedding only; the scheduling algorithms
+  /// and the commitment guarantee are class-blind.
+  Criticality criticality = Criticality::kBackground;
 
   /// The window length d_j - r_j available to the job.
   [[nodiscard]] Duration window() const { return deadline - release; }

@@ -87,23 +87,58 @@ int open_listener(const std::string& address, std::uint16_t port,
 
 }  // namespace
 
+std::vector<std::string> AdmissionServerConfig::validate() const {
+  std::vector<std::string> errors;
+  if (bind_address.empty()) {
+    errors.push_back("bind_address must not be empty");
+  }
+  if (backlog < 1) {
+    errors.push_back("backlog must be >= 1 (got " + std::to_string(backlog) +
+                     ")");
+  }
+  if (loops < 1) {
+    errors.push_back("loops must be >= 1 (got " + std::to_string(loops) +
+                     ")");
+  }
+  if (max_http_request < 64) {
+    errors.push_back("max_http_request must be >= 64 bytes (got " +
+                     std::to_string(max_http_request) +
+                     "): no request line and headers fit below that");
+  }
+  if (idle_timeout.count() < 0) {
+    errors.push_back("idle_timeout must be >= 0ms (got " +
+                     std::to_string(idle_timeout.count()) +
+                     "ms); 0 disables reaping");
+  }
+  if (idle_timeout.count() != 0 && reap_interval.count() < 1) {
+    errors.push_back(
+        "reap_interval must be >= 1ms when idle_timeout is enabled (got " +
+        std::to_string(reap_interval.count()) +
+        "ms): the reap scan would busy-loop");
+  }
+  if (accept_backoff.count() < 1) {
+    errors.push_back("accept_backoff must be >= 1ms (got " +
+                     std::to_string(accept_backoff.count()) +
+                     "ms): a starved listener would hot-spin");
+  }
+  for (const std::string& problem : gateway.validate()) {
+    errors.push_back("gateway: " + problem);
+  }
+  return errors;
+}
+
 AdmissionServer::AdmissionServer(const AdmissionServerConfig& config,
                                  const ShardSchedulerFactory& factory)
     : config_(config) {
-  // Refuse to start on an invalid gateway shape: report every problem in
-  // one exception, before any socket exists.
-  const std::vector<std::string> errors = config_.gateway.validate();
+  // Refuse to start on an invalid shape: report every problem in one
+  // exception, before any socket exists.
+  const std::vector<std::string> errors = config_.validate();
   if (!errors.empty()) {
     std::string joined =
-        "AdmissionServer refused to start: invalid GatewayConfig:";
+        "AdmissionServer refused to start: invalid AdmissionServerConfig:";
     for (const std::string& e : errors) joined += "\n  - " + e;
     throw PreconditionError(joined);
   }
-  SLACKSCHED_EXPECTS(config_.backlog >= 1);
-  SLACKSCHED_EXPECTS(config_.loops >= 1);
-  SLACKSCHED_EXPECTS(config_.idle_timeout.count() == 0 ||
-                     config_.reap_interval.count() >= 1);
-  SLACKSCHED_EXPECTS(config_.accept_backoff.count() >= 1);
 
   const auto n_loops = static_cast<std::size_t>(config_.loops);
   loops_.reserve(n_loops);

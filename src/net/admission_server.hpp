@@ -86,6 +86,12 @@ struct AdmissionServerConfig {
   /// the constructor throws a PreconditionError naming every problem
   /// GatewayConfig::validate() reports, and the server never starts.
   GatewayConfig gateway;
+
+  /// Checks every server knob (and the nested gateway config, whose
+  /// problems are prefixed "gateway: "). Returns one human-readable
+  /// message per problem; empty means valid. The constructor throws a
+  /// PreconditionError listing every message before any socket exists.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 /// The server. Construction binds, listens, builds the gateway (wiring

@@ -1,0 +1,110 @@
+#include "policy/capacity_controller.hpp"
+
+#include "common/expects.hpp"
+
+namespace slacksched {
+
+std::string to_string(CapacityAction action) {
+  switch (action) {
+    case CapacityAction::kNone: return "none";
+    case CapacityAction::kGrow: return "grow";
+    case CapacityAction::kShrink: return "shrink";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> CapacityControllerConfig::validate() const {
+  std::vector<std::string> errors;
+  if (min_machines < 1) {
+    errors.push_back("min_machines must be >= 1 (got " +
+                     std::to_string(min_machines) +
+                     "): a shard cannot run with zero machines");
+  }
+  if (max_machines < min_machines) {
+    errors.push_back("max_machines (" + std::to_string(max_machines) +
+                     ") must be >= min_machines (" +
+                     std::to_string(min_machines) + ")");
+  }
+  if (window < 1) {
+    errors.push_back("window must be >= 1 (got 0): the controller would "
+                     "never accumulate a decision window");
+  }
+  if (!(grow_utilization > 0.0 && grow_utilization <= 1.0)) {
+    errors.push_back("grow_utilization must be in (0, 1] (got " +
+                     std::to_string(grow_utilization) + ")");
+  }
+  if (shrink_utilization < 0.0) {
+    errors.push_back("shrink_utilization must be >= 0 (got " +
+                     std::to_string(shrink_utilization) + ")");
+  }
+  if (hysteresis_gap < 0.0) {
+    errors.push_back("hysteresis_gap must be >= 0 (got " +
+                     std::to_string(hysteresis_gap) + ")");
+  }
+  if (grow_utilization - shrink_utilization < hysteresis_gap) {
+    errors.push_back(
+        "grow_utilization (" + std::to_string(grow_utilization) +
+        ") must exceed shrink_utilization (" +
+        std::to_string(shrink_utilization) + ") by at least hysteresis_gap (" +
+        std::to_string(hysteresis_gap) +
+        "): a narrower band oscillates between grow and shrink");
+  }
+  if (!(grow_shed_rate > 0.0)) {
+    errors.push_back("grow_shed_rate must be > 0 (got " +
+                     std::to_string(grow_shed_rate) +
+                     "): a zero rate grows the pool on the first shed of "
+                     "any window");
+  }
+  return errors;
+}
+
+CapacityController::CapacityController(const CapacityControllerConfig& config)
+    : config_(config) {
+  SLACKSCHED_EXPECTS(config.validate().empty());
+}
+
+void CapacityController::reset_window() {
+  observations_ = 0;
+  busy_sum_ = 0.0;
+  active_sum_ = 0.0;
+  shed_sum_ = 0;
+  offered_sum_ = 0;
+}
+
+void CapacityController::observe(int busy, int active, std::size_t shed,
+                                 std::size_t offered) {
+  ++observations_;
+  busy_sum_ += static_cast<double>(busy);
+  active_sum_ += static_cast<double>(active);
+  shed_sum_ += shed;
+  offered_sum_ += offered;
+}
+
+CapacityAction CapacityController::decide(int active) {
+  if (observations_ < config_.window) return CapacityAction::kNone;
+  const double utilization =
+      active_sum_ > 0.0 ? busy_sum_ / active_sum_ : 0.0;
+  const double shed_rate =
+      offered_sum_ > 0 ? static_cast<double>(shed_sum_) /
+                             static_cast<double>(offered_sum_)
+                       : 0.0;
+  reset_window();
+  if (cooldown_ > 0) {
+    --cooldown_;
+    return CapacityAction::kNone;
+  }
+  if ((utilization >= config_.grow_utilization ||
+       shed_rate >= config_.grow_shed_rate) &&
+      active < config_.max_machines) {
+    return CapacityAction::kGrow;
+  }
+  if (utilization <= config_.shrink_utilization && shed_rate == 0.0 &&
+      active > config_.min_machines) {
+    return CapacityAction::kShrink;
+  }
+  return CapacityAction::kNone;
+}
+
+void CapacityController::on_resized() { cooldown_ = config_.cooldown_windows; }
+
+}  // namespace slacksched

@@ -1,0 +1,27 @@
+#include "policy/criticality.hpp"
+
+namespace slacksched {
+
+std::string_view criticality_label(Criticality criticality) {
+  switch (criticality) {
+    case Criticality::kBackground: return "background";
+    case Criticality::kStandard: return "standard";
+    case Criticality::kElevated: return "elevated";
+    case Criticality::kCritical: return "critical";
+  }
+  return "unknown";
+}
+
+std::optional<Criticality> criticality_from_label(std::string_view label) {
+  for (std::uint8_t v = 0; v < kCriticalityCount; ++v) {
+    const auto criticality = static_cast<Criticality>(v);
+    if (label == criticality_label(criticality)) return criticality;
+  }
+  return std::nullopt;
+}
+
+std::string to_string(Criticality criticality) {
+  return std::string(criticality_label(criticality));
+}
+
+}  // namespace slacksched

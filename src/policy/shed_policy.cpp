@@ -1,0 +1,31 @@
+#include "policy/shed_policy.hpp"
+
+namespace slacksched {
+
+std::vector<std::string> ShedPolicyConfig::validate() const {
+  std::vector<std::string> errors;
+  for (std::size_t c = 0; c < kCriticalityCount; ++c) {
+    if (!(occupancy_limit[c] > 0.0)) {
+      errors.push_back(
+          "occupancy_limit[" +
+          std::string(criticality_label(static_cast<Criticality>(c))) +
+          "] must be > 0 (got " + std::to_string(occupancy_limit[c]) +
+          "): a zero or negative limit sheds the class even on an empty "
+          "queue");
+    }
+  }
+  for (std::size_t c = 1; c < kCriticalityCount; ++c) {
+    if (occupancy_limit[c] < occupancy_limit[c - 1]) {
+      errors.push_back(
+          "occupancy_limit must be non-decreasing in the class: " +
+          std::string(criticality_label(static_cast<Criticality>(c))) +
+          " (" + std::to_string(occupancy_limit[c]) + ") is below " +
+          std::string(criticality_label(static_cast<Criticality>(c - 1))) +
+          " (" + std::to_string(occupancy_limit[c - 1]) +
+          "), which would shed high-criticality work before low");
+    }
+  }
+  return errors;
+}
+
+}  // namespace slacksched

@@ -1,0 +1,54 @@
+/// \file
+/// Class-aware load shedding for the admission gateway: under queue
+/// pressure, reject low-criticality jobs first.
+///
+/// The rule is a per-class queue-occupancy threshold. A job of class c
+/// offered to a shard whose queue occupancy (size / capacity) has reached
+/// `occupancy_limit[c]` is shed with Outcome::kRejectedCriticality before
+/// it ever touches the queue. Limits are required to be non-decreasing in
+/// the class, which makes the shed order a structural invariant rather
+/// than a tuning accident: whenever a higher class is shed at some
+/// occupancy, every lower class offered at that occupancy (or deeper) is
+/// shed too — low criticality always sheds first.
+///
+/// The policy is stateless and reads one atomic (the queue size) per
+/// check, so the producer-side submit paths stay lock-free and
+/// allocation-free.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "policy/criticality.hpp"
+
+namespace slacksched {
+
+/// Per-class occupancy thresholds for the gateway's shed policy.
+struct ShedPolicyConfig {
+  /// Queue occupancy (0..1, fraction of queue_capacity) at or above which
+  /// a job of that class is shed. Must be non-decreasing in the class
+  /// index; a value > 1.0 means the class is never policy-shed (it can
+  /// still see kRejectedQueueFull at a truly full ring). The defaults
+  /// protect the top class absolutely and start shedding background work
+  /// at half-full.
+  std::array<double, kCriticalityCount> occupancy_limit{0.5, 0.75, 0.9, 1.1};
+
+  /// One human-readable message per problem; empty means valid (the
+  /// GatewayConfig::validate contract).
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// True iff a job of class `criticality` offered to a queue holding
+  /// `queue_size` of `queue_capacity` slots must be shed.
+  [[nodiscard]] bool should_shed(Criticality criticality,
+                                 std::size_t queue_size,
+                                 std::size_t queue_capacity) const {
+    const double occupancy = static_cast<double>(queue_size) /
+                             static_cast<double>(queue_capacity);
+    return occupancy >=
+           occupancy_limit[static_cast<std::size_t>(criticality)];
+  }
+};
+
+}  // namespace slacksched

@@ -157,6 +157,9 @@ class StreamingRunner {
   void drain_resolutions(TimePoint now);
   void apply_resolution(const DeferredResolution& resolution);
 
+  /// Grows the committed schedule to match an elastically grown scheduler.
+  void sync_machines();
+
   OnlineScheduler* scheduler_;
   RunOptions options_;
   RunResult result_;

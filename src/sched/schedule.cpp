@@ -56,6 +56,14 @@ void Schedule::commit(const Job& job, int machine, TimePoint start) {
   }
 }
 
+void Schedule::ensure_machines(int machines) {
+  if (machines <= this->machines()) return;
+  SLACKSCHED_EXPECTS(speed_.empty());
+  per_machine_.resize(static_cast<std::size_t>(machines));
+  frontier_.resize(static_cast<std::size_t>(machines), 0.0);
+  ids_ascending_.resize(static_cast<std::size_t>(machines), true);
+}
+
 bool Schedule::interval_free(int machine, TimePoint start,
                              Duration proc) const {
   SLACKSCHED_EXPECTS(machine >= 0 && machine < machines());

@@ -65,6 +65,11 @@ class Schedule {
   /// machine (checked; throws PreconditionError otherwise).
   void commit(const Job& job, int machine, TimePoint start);
 
+  /// Grows the machine dimension to at least `machines` empty machines
+  /// (elastic capacity; no-op when already large enough). Identical
+  /// machines only — a grown machine has no defined speed otherwise.
+  void ensure_machines(int machines);
+
   /// Whether [start, start + exec_time(machine, proc)) is free on the
   /// machine; `proc` is the processing requirement, not the wall time.
   [[nodiscard]] bool interval_free(int machine, TimePoint start,

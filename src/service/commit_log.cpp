@@ -10,6 +10,7 @@
 
 #include "common/expects.hpp"
 #include "common/wire.hpp"
+#include "policy/criticality.hpp"
 
 namespace slacksched {
 
@@ -49,6 +50,7 @@ void encode_wal_record(const Job& job, int machine, TimePoint start,
   put(payload, job.proc);
   put(payload, job.deadline);
   put(payload, static_cast<std::int32_t>(machine));
+  put(payload, static_cast<std::uint32_t>(criticality_index(job.criticality)));
   put(payload, start);
   SLACKSCHED_ENSURES(payload.size() == kWalPayloadBytes);
 
@@ -165,6 +167,13 @@ void CommitLog::append(const Job& job, int machine, TimePoint start) {
   if (config_.observer != nullptr) {
     config_.observer->on_record(frame, kWalRecordBytes, records_total());
   }
+}
+
+void CommitLog::append_control(JobId control, int machine) {
+  SLACKSCHED_EXPECTS(wal_is_control_id(control));
+  Job job;
+  job.id = control;
+  append(job, machine, 0.0);
 }
 
 void CommitLog::sync_batch() {

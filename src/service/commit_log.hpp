@@ -8,10 +8,10 @@
 //
 // On-disk format (little-endian, fixed-width):
 //
-//   header   : magic "SLKWAL01" (8) | u32 version | u32 machines     = 16 B
-//   record   : u32 payload_len (=44) | u32 crc32(payload) | payload  = 52 B
+//   header   : magic "SLKWAL02" (8) | u32 version | u32 machines     = 16 B
+//   record   : u32 payload_len (=48) | u32 crc32(payload) | payload  = 56 B
 //   payload  : i64 job_id | f64 release | f64 proc | f64 deadline
-//              | i32 machine | f64 start                             = 44 B
+//              | i32 machine | u32 criticality | f64 start           = 48 B
 //
 // The CRC frames each record independently: a record whose frame or
 // payload is short, whose length field is implausible, or whose CRC does
@@ -47,13 +47,26 @@ enum class FsyncPolicy : std::uint8_t {
 /// framing checksum. Exposed so tests can forge/verify frames.
 [[nodiscard]] std::uint32_t wal_crc32(const void* data, std::size_t n);
 
-inline constexpr char kWalMagic[8] = {'S', 'L', 'K', 'W', 'A', 'L', '0', '1'};
-inline constexpr std::uint32_t kWalVersion = 1;
+inline constexpr char kWalMagic[8] = {'S', 'L', 'K', 'W', 'A', 'L', '0', '2'};
+inline constexpr std::uint32_t kWalVersion = 2;
 inline constexpr std::size_t kWalHeaderBytes = 16;
-inline constexpr std::size_t kWalPayloadBytes = 44;
+inline constexpr std::size_t kWalPayloadBytes = 48;
 inline constexpr std::size_t kWalFrameBytes = 8;
 inline constexpr std::size_t kWalRecordBytes =
     kWalFrameBytes + kWalPayloadBytes;
+
+// Control records: elastic capacity changes (policy/capacity_controller.hpp)
+// interleave with commit records in the same fixed-width framing, so the
+// replication layer ships them verbatim and replay reproduces the exact
+// machine count at every point of the log. A control record carries a
+// negative sentinel job id (real job ids are non-negative by construction),
+// the target machine in the `machine` field and zeros elsewhere. The header
+// keeps the *initial* machine count; the control stream derives the rest.
+inline constexpr JobId kWalControlGrow = -1;         ///< machine activated
+inline constexpr JobId kWalControlRetireBegin = -2;  ///< machine draining
+inline constexpr JobId kWalControlRetireDone = -3;   ///< machine retired
+/// True iff a decoded record is a control record, not a commitment.
+[[nodiscard]] constexpr bool wal_is_control_id(JobId id) { return id < 0; }
 
 /// Thrown on I/O failure or header mismatch.
 class CommitLogError : public std::runtime_error {
@@ -132,6 +145,11 @@ class CommitLog {
   /// stable storage when this returns. Throws CommitLogError on I/O
   /// failure and InjectedFault at the fsync crash site.
   void append(const Job& job, int machine, TimePoint start);
+
+  /// Appends one capacity control record (kWalControlGrow / RetireBegin /
+  /// RetireDone) targeting `machine`. Same durability and observer
+  /// semantics as append().
+  void append_control(JobId control, int machine);
 
   /// Batch boundary: under kBatch, flushes and fsyncs everything appended
   /// since the last boundary (a local no-op under the other policies).

@@ -67,6 +67,16 @@ std::vector<std::string> GatewayConfig::validate() const {
       errors.push_back("model (" + model->label() + "): " + problem);
     }
   }
+  if (shed_policy.has_value()) {
+    for (const std::string& problem : shed_policy->validate()) {
+      errors.push_back("shed_policy: " + problem);
+    }
+  }
+  if (elastic.has_value()) {
+    for (const std::string& problem : elastic->validate()) {
+      errors.push_back("elastic: " + problem);
+    }
+  }
   if (replication.has_value()) {
     if (wal_dir.empty()) {
       errors.push_back(
@@ -125,6 +135,7 @@ AdmissionGateway::AdmissionGateway(const GatewayConfig& config,
   shard_config.pop_timeout = config.pop_timeout;
   shard_config.wal_fsync = config.wal_fsync;
   shard_config.faults = config.fault_injector;
+  shard_config.elastic = config.elastic;
   const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
   if (config.enable_tracing) {
     traces_.reserve(static_cast<std::size_t>(config.shards));
@@ -218,6 +229,22 @@ Outcome AdmissionGateway::submit(const Job& job, std::uint64_t route_ctx) {
           routing_event(job.id, home, target, Outcome::kFailover));
     }
   }
+  // Class-aware shed gate: a job whose class's occupancy threshold is
+  // reached never touches the queue. Checked after failover resolution so
+  // the occupancy read matches the queue the job would actually join.
+  if (config_.shed_policy.has_value() &&
+      config_.shed_policy->should_shed(
+          job.criticality,
+          shards_[static_cast<std::size_t>(target)]->queue_size(),
+          config_.queue_capacity)) {
+    metrics_.on_class_shed(target, job.criticality);
+    shards_[static_cast<std::size_t>(target)]->note_policy_shed();
+    if (!traces_.empty()) {
+      traces_[static_cast<std::size_t>(target)]->record(
+          routing_event(job.id, home, target, Outcome::kRejectedCriticality));
+    }
+    return Outcome::kRejectedCriticality;
+  }
   // try_enqueue already speaks the unified vocabulary: kEnqueued,
   // kRejectedQueueFull or kRejectedClosed.
   return shards_[static_cast<std::size_t>(target)]->try_enqueue(
@@ -269,6 +296,28 @@ BatchSubmitResult AdmissionGateway::submit_batch(
         traces_[static_cast<std::size_t>(target)]->record(routing_event(
             jobs[i].id, static_cast<int>(home), target, Outcome::kFailover));
       }
+    }
+    // Class-aware shed gate, against the occupancy the job would actually
+    // see: the live queue size plus what this batch already grouped for
+    // the target (a single huge batch must not bypass the thresholds).
+    if (config_.shed_policy.has_value() &&
+        config_.shed_policy->should_shed(
+            jobs[i].criticality,
+            shards_[static_cast<std::size_t>(target)]->queue_size() +
+                groups[static_cast<std::size_t>(target)].size(),
+            config_.queue_capacity)) {
+      ++result.rejected_criticality;
+      metrics_.on_class_shed(target, jobs[i].criticality);
+      shards_[static_cast<std::size_t>(target)]->note_policy_shed();
+      if (!traces_.empty()) {
+        traces_[static_cast<std::size_t>(target)]->record(
+            routing_event(jobs[i].id, static_cast<int>(home), target,
+                          Outcome::kRejectedCriticality));
+      }
+      if (statuses != nullptr) {
+        (*statuses)[i] = Outcome::kRejectedCriticality;
+      }
+      continue;
     }
     groups[static_cast<std::size_t>(target)].push_back(
         static_cast<std::uint32_t>(i));

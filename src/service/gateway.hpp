@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "models/model_factory.hpp"
+#include "policy/capacity_controller.hpp"
+#include "policy/shed_policy.hpp"
 #include "replication/replicator.hpp"
 #include "sched/engine.hpp"
 #include "sched/online.hpp"
@@ -48,12 +50,6 @@
 #include "service/trace_ring.hpp"
 
 namespace slacksched {
-
-/// Deprecated pre-unification name for the gateway-level submission
-/// outcome; removed one release after the Outcome consolidation. submit()
-/// returns kEnqueued, kRejectedQueueFull, kRejectedClosed or
-/// kRejectedRetryAfter.
-using SubmitStatus [[deprecated("use slacksched::Outcome")]] = Outcome;
 
 /// Builds the scheduler owning shard `shard`'s machine group. Called once
 /// per shard at gateway construction, and again on every supervised
@@ -121,6 +117,20 @@ struct GatewayConfig {
   /// Optional deterministic fault injector (tests/benches only).
   FaultInjector* fault_injector = nullptr;
 
+  // --- criticality & elasticity (see docs/service.md) ---
+  /// Class-aware load shedding (policy/shed_policy.hpp): under queue
+  /// pressure, low-criticality jobs are shed with kRejectedCriticality
+  /// before they touch the queue, per-class occupancy thresholds, lowest
+  /// class first. Disengaged = the original class-blind behavior (only a
+  /// truly full ring sheds, with kRejectedQueueFull).
+  std::optional<ShedPolicyConfig> shed_policy;
+  /// Elastic per-shard machine pools (policy/capacity_controller.hpp):
+  /// each shard grows its pool under sustained load/shedding and drains
+  /// machines for retirement when idle, write-ahead-logging every resize.
+  /// Requires a scheduler with elastic support (identical machines);
+  /// silently ignored otherwise. Disengaged = fixed pools.
+  std::optional<CapacityControllerConfig> elastic;
+
   // --- observability (see docs/observability.md) ---
   /// Record one TraceEvent per rendered decision, failover, and shed into
   /// per-shard lock-free rings (service/trace_ring.hpp). Drop-on-full:
@@ -159,6 +169,9 @@ struct BatchSubmitResult {
   std::size_t rejected_queue_full = 0;
   std::size_t rejected_closed = 0;
   std::size_t rejected_retry_after = 0;
+  /// Shed by the class-aware policy (kRejectedCriticality); always 0
+  /// without GatewayConfig::shed_policy.
+  std::size_t rejected_criticality = 0;
 };
 
 /// Everything a finished gateway run produced: one RunResult per shard

@@ -77,6 +77,20 @@ void MetricsRegistry::on_backpressure(int shard, std::size_t count) {
       count, std::memory_order_relaxed);
 }
 
+void MetricsRegistry::on_class_enqueued(int shard, Criticality criticality,
+                                        std::size_t count) {
+  if (count == 0) return;
+  slots_[static_cast<std::size_t>(shard)]
+      .class_enqueued[criticality_index(criticality)]
+      .fetch_add(count, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::on_class_shed(int shard, Criticality criticality) {
+  slots_[static_cast<std::size_t>(shard)]
+      .class_shed[criticality_index(criticality)]
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
 void MetricsRegistry::on_batch(int shard, std::size_t popped) {
   Slot& slot = slots_[static_cast<std::size_t>(shard)];
   slot.batches.fetch_add(1, std::memory_order_relaxed);
@@ -86,19 +100,25 @@ void MetricsRegistry::on_batch(int shard, std::size_t popped) {
 
 std::size_t MetricsRegistry::on_decision(int shard, double job_volume,
                                          bool accepted,
-                                         double latency_seconds) {
+                                         double latency_seconds,
+                                         Criticality criticality) {
   Slot& slot = slots_[static_cast<std::size_t>(shard)];
+  const std::size_t cls = criticality_index(criticality);
   slot.submitted.fetch_add(1, std::memory_order_relaxed);
   if (accepted) {
     slot.accepted.fetch_add(1, std::memory_order_relaxed);
+    slot.class_accepted[cls].fetch_add(1, std::memory_order_relaxed);
     accumulate(slot.accepted_volume, job_volume);
   } else {
     slot.rejected.fetch_add(1, std::memory_order_relaxed);
+    slot.class_rejected[cls].fetch_add(1, std::memory_order_relaxed);
     accumulate(slot.rejected_volume, job_volume);
   }
   accumulate(slot.latency_sum, latency_seconds);
+  accumulate(slot.class_latency_sum[cls], latency_seconds);
   const std::size_t bin = latency_bin(latency_seconds);
   slot.latency[bin].fetch_add(1, std::memory_order_relaxed);
+  slot.class_latency[cls][bin].fetch_add(1, std::memory_order_relaxed);
   return bin;
 }
 
@@ -161,6 +181,17 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     row.failovers = slot.failovers.load(std::memory_order_relaxed);
     row.degraded_rejected =
         slot.degraded_rejected.load(std::memory_order_relaxed);
+    for (std::size_t cls = 0; cls < kCriticalityCount; ++cls) {
+      row.class_enqueued[cls] =
+          slot.class_enqueued[cls].load(std::memory_order_relaxed);
+      row.class_accepted[cls] =
+          slot.class_accepted[cls].load(std::memory_order_relaxed);
+      row.class_rejected[cls] =
+          slot.class_rejected[cls].load(std::memory_order_relaxed);
+      row.class_shed[cls] =
+          slot.class_shed[cls].load(std::memory_order_relaxed);
+      row.criticality_shed += row.class_shed[cls];
+    }
 
     snap.total.enqueued += row.enqueued;
     snap.total.submitted += row.submitted;
@@ -181,6 +212,19 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     snap.total.wal_truncations += row.wal_truncations;
     snap.total.failovers += row.failovers;
     snap.total.degraded_rejected += row.degraded_rejected;
+    snap.total.criticality_shed += row.criticality_shed;
+    for (std::size_t cls = 0; cls < kCriticalityCount; ++cls) {
+      snap.total.class_enqueued[cls] += row.class_enqueued[cls];
+      snap.total.class_accepted[cls] += row.class_accepted[cls];
+      snap.total.class_rejected[cls] += row.class_rejected[cls];
+      snap.total.class_shed[cls] += row.class_shed[cls];
+      snap.class_latency_sum[cls] +=
+          slot.class_latency_sum[cls].load(std::memory_order_relaxed);
+      for (std::size_t bin = 0; bin < kAdmitLatencyBins; ++bin) {
+        snap.class_latency_bins[cls][bin] +=
+            slot.class_latency[cls][bin].load(std::memory_order_relaxed);
+      }
+    }
 
     for (std::size_t bin = 0; bin < kAdmitLatencyBins; ++bin) {
       bins[bin] += slot.latency[bin].load(std::memory_order_relaxed);

@@ -20,6 +20,7 @@
 
 #include "common/histogram.hpp"
 #include "common/time.hpp"
+#include "policy/criticality.hpp"
 
 namespace slacksched {
 
@@ -54,6 +55,16 @@ struct ShardMetricsSnapshot {
   std::size_t failovers = 0;         ///< jobs rerouted away from this shard
   std::size_t degraded_rejected = 0; ///< rejected: no healthy shard available
 
+  // --- criticality classes (policy/criticality.hpp) ---
+  /// Jobs shed with kRejectedCriticality: the class-aware policy refused
+  /// them under queue pressure. Sum of class_shed.
+  std::size_t criticality_shed = 0;
+  /// Per-class counters, indexed by the Criticality wire value.
+  std::array<std::size_t, kCriticalityCount> class_enqueued{};
+  std::array<std::size_t, kCriticalityCount> class_accepted{};
+  std::array<std::size_t, kCriticalityCount> class_rejected{};
+  std::array<std::size_t, kCriticalityCount> class_shed{};
+
   [[nodiscard]] double acceptance_rate() const {
     return submitted == 0
                ? 0.0
@@ -73,6 +84,12 @@ struct MetricsSnapshot {
   ShardMetricsSnapshot total;
   Histogram admit_latency = Histogram::logarithmic(
       kAdmitLatencyLo, kAdmitLatencyHi, kAdmitLatencyBins);
+  /// Per-class admit-latency bins and sums, merged across shards (same
+  /// log-spaced edges as admit_latency). Plain counts: the exporter
+  /// renders cumulative `le` buckets from them directly.
+  std::array<std::array<std::uint64_t, kAdmitLatencyBins>, kCriticalityCount>
+      class_latency_bins{};
+  std::array<double, kCriticalityCount> class_latency_sum{};
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -85,14 +102,21 @@ class MetricsRegistry {
   // --- writer side (producers) ---
   void on_enqueued(int shard, std::size_t count = 1);
   void on_backpressure(int shard, std::size_t count = 1);
+  /// Per-class twin of on_enqueued, fed by the same producer call sites.
+  void on_class_enqueued(int shard, Criticality criticality,
+                         std::size_t count = 1);
+  /// Records one job shed by the class-aware policy (kRejectedCriticality).
+  void on_class_shed(int shard, Criticality criticality);
 
   // --- writer side (the shard's single consumer thread) ---
   void on_batch(int shard, std::size_t popped);
   /// Records one rendered decision. `latency_seconds` is queue-entry to
-  /// decision-rendered wall time. Returns the latency bin the decision
-  /// landed in so decision tracing can reuse it without a second search.
+  /// decision-rendered wall time; `criticality` attributes the decision to
+  /// its class family. Returns the latency bin the decision landed in so
+  /// decision tracing can reuse it without a second search.
   std::size_t on_decision(int shard, double job_volume, bool accepted,
-                          double latency_seconds);
+                          double latency_seconds,
+                          Criticality criticality = Criticality::kBackground);
 
   // --- writer side (recovery / supervisor / failover router) ---
   /// Records one completed WAL replay for the shard.
@@ -136,6 +160,15 @@ class MetricsRegistry {
     std::atomic<double> rejected_volume{0.0};
     std::atomic<double> latency_sum{0.0};
     std::array<std::atomic<std::uint64_t>, kAdmitLatencyBins> latency{};
+    // Per-criticality-class counters (policy/criticality.hpp).
+    std::array<std::atomic<std::uint64_t>, kCriticalityCount> class_enqueued{};
+    std::array<std::atomic<std::uint64_t>, kCriticalityCount> class_accepted{};
+    std::array<std::atomic<std::uint64_t>, kCriticalityCount> class_rejected{};
+    std::array<std::atomic<std::uint64_t>, kCriticalityCount> class_shed{};
+    std::array<std::atomic<double>, kCriticalityCount> class_latency_sum{};
+    std::array<std::array<std::atomic<std::uint64_t>, kAdmitLatencyBins>,
+               kCriticalityCount>
+        class_latency{};
   };
 
   std::vector<double> latency_edges_;  ///< kAdmitLatencyBins + 1 edges

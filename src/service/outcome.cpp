@@ -11,6 +11,7 @@ std::string_view outcome_label(Outcome outcome) {
     case Outcome::kRejectedClosed: return "closed";
     case Outcome::kRejectedRetryAfter: return "retry_after";
     case Outcome::kFailover: return "failover";
+    case Outcome::kRejectedCriticality: return "criticality";
   }
   return "unknown";
 }
@@ -46,6 +47,9 @@ std::string describe(Outcome outcome) {
       return "rejected: no shard available (retry later)";
     case Outcome::kFailover:
       return "re-routed away from an unavailable home shard";
+    case Outcome::kRejectedCriticality:
+      return "shed under queue pressure: criticality class below the "
+             "occupancy cut";
   }
   return "unknown";
 }

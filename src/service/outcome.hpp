@@ -8,9 +8,9 @@
 ///
 /// History: the gateway grew three overlapping enums — `SubmitStatus`
 /// (gateway-level submit result), `EnqueueStatus` (shard-queue result)
-/// and `TraceKind` (trace-event kind). They are collapsed here; the old
-/// names remain one release as deprecated aliases of `Outcome` in their
-/// original headers.
+/// and `TraceKind` (trace-event kind). They were collapsed here; the
+/// deprecated aliases lived one release in their original headers and are
+/// now gone.
 ///
 /// Wire stability contract: the numeric values below are frozen. New
 /// outcomes append after the last value; existing values are NEVER
@@ -35,10 +35,15 @@ enum class Outcome : std::uint8_t {
   kRejectedClosed = 4,      ///< the gateway/shard has been shut down
   kRejectedRetryAfter = 5,  ///< every shard unavailable; retry after backoff
   kFailover = 6,  ///< routing event: re-homed away from an unavailable shard
+  /// Shed by the class-aware policy: the routed shard is under queue
+  /// pressure and the job's criticality class (policy/criticality.hpp) is
+  /// below the occupancy cut. The queue was NOT full — higher classes were
+  /// still admitted.
+  kRejectedCriticality = 7,
 };
 
 /// Number of defined outcomes (wire values 0..kOutcomeCount-1).
-inline constexpr std::uint8_t kOutcomeCount = 7;
+inline constexpr std::uint8_t kOutcomeCount = 8;
 
 /// True iff `value` is a defined wire value.
 [[nodiscard]] constexpr bool outcome_valid(std::uint8_t value) {
@@ -56,11 +61,13 @@ inline constexpr std::uint8_t kOutcomeCount = 7;
 [[nodiscard]] constexpr bool outcome_is_shed(Outcome outcome) {
   return outcome == Outcome::kRejectedQueueFull ||
          outcome == Outcome::kRejectedClosed ||
-         outcome == Outcome::kRejectedRetryAfter;
+         outcome == Outcome::kRejectedRetryAfter ||
+         outcome == Outcome::kRejectedCriticality;
 }
 
 /// The canonical registry label: "enqueued", "accepted", "rejected",
-/// "queue_full", "closed", "retry_after", "failover". These exact strings
+/// "queue_full", "closed", "retry_after", "failover", "criticality".
+/// These exact strings
 /// appear as the trace CSV `kind` cells and the exporter's `outcome="…"`
 /// label values; they are as frozen as the numeric wire values.
 [[nodiscard]] std::string_view outcome_label(Outcome outcome);

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <vector>
 
+#include "policy/criticality.hpp"
 #include "sched/decision.hpp"
 #include "sched/validator.hpp"
 #include "service/commit_log.hpp"
@@ -142,7 +143,77 @@ RecoveryResult recover_commit_log(const std::string& path, int machines,
     job.proc = get_raw<double>(payload + 16);
     job.deadline = get_raw<double>(payload + 24);
     const int machine = static_cast<int>(get_raw<std::int32_t>(payload + 32));
-    const TimePoint start = get_raw<double>(payload + 36);
+    const auto criticality = get_raw<std::uint32_t>(payload + 36);
+    const TimePoint start = get_raw<double>(payload + 40);
+    if (criticality >= kCriticalityCount) {
+      // A class outside the enum passed the CRC: the record is corrupt in
+      // a way framing cannot see, like an illegal commitment.
+      ::close(fd);
+      return fail(std::move(result),
+                  path + ": record " +
+                      std::to_string(result.records_replayed + 1) +
+                      " carries criticality " + std::to_string(criticality) +
+                      ", outside the frozen class range");
+    }
+    job.criticality = static_cast<Criticality>(criticality);
+
+    if (wal_is_control_id(job.id)) {
+      // Capacity control record: replay the resize at exactly this point
+      // of the log, so every subsequent commitment sees the machine pool
+      // the original run committed against. Control records count toward
+      // records_replayed (the replication sequence space) but are not
+      // jobs, so the run metrics ignore them.
+      if (job.id == kWalControlGrow) {
+        if (!result.schedule.uniform_speeds()) {
+          ::close(fd);
+          return fail(std::move(result),
+                      path + ": grow control record under a machine-speed "
+                             "profile; elastic capacity requires identical "
+                             "machines");
+        }
+        if (scheduler != nullptr) {
+          const int grown = scheduler->add_machine();
+          if (grown != machine) {
+            ::close(fd);
+            return fail(std::move(result),
+                        path + ": grow control record names machine " +
+                            std::to_string(machine) +
+                            " but the scheduler grew machine " +
+                            std::to_string(grown) +
+                            "; the replayed resize sequence diverged");
+          }
+        }
+        result.schedule.ensure_machines(machine + 1);
+      } else if (job.id == kWalControlRetireBegin) {
+        if (scheduler != nullptr && !scheduler->begin_retire(machine)) {
+          ::close(fd);
+          return fail(std::move(result),
+                      path + ": retire-begin control record for machine " +
+                          std::to_string(machine) +
+                          " is not applicable to scheduler '" +
+                          scheduler->name() + "'");
+        }
+      } else if (job.id == kWalControlRetireDone) {
+        // The original run observed the drain before logging this, so the
+        // retirement finishes unconditionally on replay.
+        if (scheduler != nullptr && !scheduler->finish_retire(machine)) {
+          ::close(fd);
+          return fail(std::move(result),
+                      path + ": retire-done control record for machine " +
+                          std::to_string(machine) +
+                          " but that machine is not retiring");
+        }
+      } else {
+        ::close(fd);
+        return fail(std::move(result),
+                    path + ": unknown control record id " +
+                        std::to_string(job.id));
+      }
+      ++result.records_replayed;
+      offset += kWalFrameBytes + payload_len;
+      good_offset = offset;
+      continue;
+    }
 
     const Decision decision = Decision::accept(machine, start);
     const std::string violation =

@@ -59,6 +59,14 @@ struct RecoveryResult {
 ///    for a scheduler-less replay — so replayed occupancies use the same
 ///    execution times p_j / s_i the original run committed with. Passing
 ///    neither replays under the identical-machine model.
+///  - Elastic capacity: control records (commit_log.hpp sentinel ids)
+///    replay the original run's grow / retire-begin / retire-done sequence
+///    in log order against the scheduler's elastic surface, so the machine
+///    pool at every replayed commitment — and the final post-crash machine
+///    count — exactly matches the pre-crash run. `machines` stays the
+///    *initial* count the log header was written with. A grow that lands
+///    on a different machine index than the logged one is a hard error
+///    (the deterministic resize sequence diverged).
 ///
 /// The caller resets the scheduler before invoking recovery.
 [[nodiscard]] RecoveryResult recover_commit_log(

@@ -1,5 +1,7 @@
 #include "service/shard.hpp"
 
+#include <algorithm>
+#include <array>
 #include <type_traits>
 #include <utility>
 
@@ -73,13 +75,17 @@ void Shard::spawn(bool is_restart) {
   scheduler_ = factory_();
   SLACKSCHED_EXPECTS(scheduler_ != nullptr);
   const RunOptions options = to_run_options(config_);
+  // The WAL header stores the machine count the pool *starts* with;
+  // elastic replay grows the live scheduler past it, so capture the
+  // initial count before recovery touches anything.
+  wal_initial_machines_ = scheduler_->machines();
 
   if (config_.wal_path.empty()) {
     runner_.emplace(*scheduler_, options);
   } else {
     scheduler_->reset();
     RecoveryResult recovered = recover_commit_log(
-        config_.wal_path, scheduler_->machines(), scheduler_.get());
+        config_.wal_path, wal_initial_machines_, scheduler_.get());
     if (!recovered.ok) {
       throw CommitLogError("shard " + std::to_string(index_) +
                            " recovery failed: " + recovered.error);
@@ -96,7 +102,7 @@ void Shard::spawn(bool is_restart) {
     // follower sees one gapless per-shard sequence whatever crashed here.
     log_config.base_records = recovered.records_replayed;
     log_config.observer = config_.wal_observer;
-    wal_ = CommitLog::open(config_.wal_path, scheduler_->machines(),
+    wal_ = CommitLog::open(config_.wal_path, wal_initial_machines_,
                            log_config, config_.faults, index_);
     RunResult state{std::move(recovered.schedule), recovered.metrics, {}, {}};
     runner_.emplace(
@@ -122,6 +128,27 @@ void Shard::spawn(bool is_restart) {
   // Parked contexts belong to the previous worker's deferred jobs; a
   // restart re-feeds nothing, so they can never resolve.
   deferred_ctx_.clear();
+
+  // Elastic control loop: a fresh controller every spawn (its window is
+  // transient load state — the durable truth, the machine counts, was just
+  // replayed from the WAL). An in-flight drain survives the crash as a
+  // RetireBegin record without its RetireDone: rediscover it from the
+  // replayed scheduler so the new worker finishes the drain.
+  controller_.reset();
+  retiring_machine_ = -1;
+  sim_now_ = 0.0;
+  offered_.store(0, std::memory_order_relaxed);
+  shed_.store(0, std::memory_order_relaxed);
+  if (config_.elastic.has_value() && scheduler_->supports_elastic()) {
+    controller_.emplace(*config_.elastic);
+    for (int m = 0; m < scheduler_->machines(); ++m) {
+      if (scheduler_->is_retiring(m)) {
+        retiring_machine_ = m;
+        break;
+      }
+    }
+  }
+
   worker_failed_.store(false, std::memory_order_release);
   worker_exited_.store(false, std::memory_order_release);
   worker_ = std::thread([this] { worker_loop(); });
@@ -129,6 +156,9 @@ void Shard::spawn(bool is_restart) {
 
 Outcome Shard::try_enqueue(const Job& job, Clock::time_point now, int home,
                            std::uint64_t route_ctx) {
+  if (config_.elastic.has_value()) {
+    offered_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (SLACKSCHED_FAULT_FIRES(config_.faults, FaultSite::kEnqueue, index_)) {
     metrics_.on_backpressure(index_);
     return Outcome::kRejectedQueueFull;  // simulated ingest drop
@@ -137,10 +167,14 @@ Outcome Shard::try_enqueue(const Job& job, Clock::time_point now, int home,
           Task{job, now, static_cast<std::int16_t>(home < 0 ? index_ : home),
                route_ctx})) {
     metrics_.on_enqueued(index_);
+    metrics_.on_class_enqueued(index_, job.criticality);
     return Outcome::kEnqueued;
   }
   if (queue_.closed()) return Outcome::kRejectedClosed;
   metrics_.on_backpressure(index_);
+  if (config_.elastic.has_value()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+  }
   return Outcome::kRejectedQueueFull;
 }
 
@@ -151,6 +185,7 @@ Shard::BatchEnqueueResult Shard::try_enqueue_batch(
   BatchEnqueueResult result;
   // Tasks are constructed directly in their claimed ring cells: the batch
   // producer path performs no staging copy and no heap allocation.
+  std::array<std::size_t, kCriticalityCount> per_class{};
   result.taken = queue_.try_push_batch_with(
       count, &result.closed, [&](std::size_t i, Task& slot) {
         slot.job = jobs[indices[i]];
@@ -158,10 +193,21 @@ Shard::BatchEnqueueResult Shard::try_enqueue_batch(
         slot.home =
             homes != nullptr ? homes[i] : static_cast<std::int16_t>(index_);
         slot.route_ctx = route_ctx;
+        ++per_class[criticality_index(slot.job.criticality)];
       });
   metrics_.on_enqueued(index_, result.taken);
+  for (std::size_t cls = 0; cls < kCriticalityCount; ++cls) {
+    metrics_.on_class_enqueued(index_, static_cast<Criticality>(cls),
+                               per_class[cls]);
+  }
   if (!result.closed) {
     metrics_.on_backpressure(index_, count - result.taken);
+  }
+  if (config_.elastic.has_value()) {
+    offered_.fetch_add(count, std::memory_order_relaxed);
+    if (!result.closed) {
+      shed_.fetch_add(count - result.taken, std::memory_order_relaxed);
+    }
   }
   return result;
 }
@@ -210,7 +256,7 @@ RunResult Shard::take_result() {
     // durable truth. Read-only replay: finish() may still be mid-shutdown
     // elsewhere, and the next restart will truncate the tail itself.
     RecoveryResult recovered =
-        recover_commit_log(config_.wal_path, scheduler_->machines(),
+        recover_commit_log(config_.wal_path, wal_initial_machines_,
                            /*scheduler=*/nullptr, /*truncate_file=*/false,
                            scheduler_->speed_profile());
     RunResult from_log{std::move(recovered.schedule), recovered.metrics,
@@ -264,6 +310,9 @@ void Shard::worker_loop() {
       if (wal_) wal_->sync_batch();
       SLACKSCHED_FAULT_CRASH_POINT(config_.faults, FaultSite::kWorkerPanic,
                                    index_);
+      // Elastic control: one observation + at most one applied resize per
+      // consumed batch, at a clean batch boundary (nothing mid-decision).
+      run_capacity_control();
     }
     result_ = runner_->finish();
     if (wal_) wal_->close();
@@ -272,6 +321,66 @@ void Shard::worker_loop() {
     worker_failed_.store(true, std::memory_order_release);
   }
   worker_exited_.store(true, std::memory_order_release);
+}
+
+void Shard::run_capacity_control() {
+  if (!controller_.has_value()) return;
+
+  // Resize bookkeeping is apply-then-log, uniformly: this thread is the
+  // only mutator, so file order equals operation order, and a crash between
+  // the two wipes the in-memory half — replay then reproduces the exact
+  // pre-resize pool, on which no commitment can depend yet (a retiring
+  // machine accepts nothing; a grown machine's commitments are themselves
+  // logged after the grow record).
+
+  // 1. Finish an in-flight retirement once its machine has drained. The
+  // commitment guarantee holds by construction: every allocation on the
+  // machine completed at or before sim_now_.
+  if (retiring_machine_ >= 0 &&
+      scheduler_->retire_drained(retiring_machine_, sim_now_)) {
+    const bool finished = scheduler_->finish_retire(retiring_machine_);
+    SLACKSCHED_EXPECTS(finished);
+    if (wal_) wal_->append_control(kWalControlRetireDone, retiring_machine_);
+    retiring_machine_ = -1;
+    SLACKSCHED_FAULT_CRASH_POINT(config_.faults, FaultSite::kResizeShrink,
+                                 index_);
+  }
+
+  // 2. One observation per consumed batch.
+  const std::uint64_t offered =
+      offered_.exchange(0, std::memory_order_relaxed);
+  const std::uint64_t shed = shed_.exchange(0, std::memory_order_relaxed);
+  controller_->observe(scheduler_->busy_machines(sim_now_),
+                       scheduler_->active_machines(),
+                       static_cast<std::size_t>(shed),
+                       static_cast<std::size_t>(offered));
+
+  // 3. Apply at most one decision.
+  switch (controller_->decide(scheduler_->active_machines())) {
+    case CapacityAction::kGrow: {
+      const int machine = scheduler_->add_machine();
+      if (machine >= 0) {
+        if (wal_) wal_->append_control(kWalControlGrow, machine);
+        controller_->on_resized();
+        SLACKSCHED_FAULT_CRASH_POINT(config_.faults, FaultSite::kResizeGrow,
+                                     index_);
+      }
+      break;
+    }
+    case CapacityAction::kShrink: {
+      if (retiring_machine_ >= 0) break;  // one drain at a time
+      const int candidate = scheduler_->retire_candidate();
+      if (candidate < 0 || !scheduler_->begin_retire(candidate)) break;
+      if (wal_) wal_->append_control(kWalControlRetireBegin, candidate);
+      retiring_machine_ = candidate;
+      controller_->on_resized();
+      SLACKSCHED_FAULT_CRASH_POINT(config_.faults, FaultSite::kResizeShrink,
+                                   index_);
+      break;
+    }
+    case CapacityAction::kNone:
+      break;
+  }
 }
 
 void Shard::on_resolution(const Job& job, const Decision& decision) {
@@ -285,8 +394,8 @@ void Shard::on_resolution(const Job& job, const Decision& decision) {
     parked->second.pop_front();
     if (parked->second.empty()) deferred_ctx_.erase(parked);
   }
-  const std::size_t latency_bin =
-      metrics_.on_decision(index_, job.proc, decision.accepted, 0.0);
+  const std::size_t latency_bin = metrics_.on_decision(
+      index_, job.proc, decision.accepted, 0.0, job.criticality);
   if (config_.trace != nullptr) {
     TraceEvent event;
     event.job_id = job.id;
@@ -303,6 +412,10 @@ void Shard::on_resolution(const Job& job, const Decision& decision) {
 }
 
 void Shard::process(const Task& task) {
+  // The simulated clock the elastic control loop reads: releases arrive in
+  // FIFO order per producer but can interleave across producers, so track
+  // the max rather than the last.
+  sim_now_ = std::max(sim_now_, task.job.release);
   const FeedOutcome outcome = runner_->feed(task.job);
   // Poisoned shard (drained without deciding) or an illegal commitment:
   // neither counts as a served decision in the live metrics.
@@ -318,8 +431,9 @@ void Shard::process(const Task& task) {
   }
   const double latency =
       std::chrono::duration<double>(Clock::now() - task.enqueued_at).count();
-  const std::size_t latency_bin = metrics_.on_decision(
-      index_, task.job.proc, outcome.decision.accepted, latency);
+  const std::size_t latency_bin =
+      metrics_.on_decision(index_, task.job.proc, outcome.decision.accepted,
+                           latency, task.job.criticality);
   if (config_.trace != nullptr) {
     TraceEvent event;
     event.job_id = task.job.id;

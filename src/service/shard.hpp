@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/arena.hpp"
+#include "policy/capacity_controller.hpp"
 #include "sched/engine.hpp"
 #include "sched/online.hpp"
 #include "service/bounded_queue.hpp"
@@ -92,13 +93,16 @@ struct ShardConfig {
   /// traced — in decision (FIFO) order. Runs on the decision hot path:
   /// must be fast and must not throw.
   ShardDecisionCallback on_decision;
+  /// Optional elastic machine pool (policy/capacity_controller.hpp). When
+  /// set and the shard's scheduler supports elastic capacity, the consumer
+  /// thread runs the capacity control loop between batches: grows the pool
+  /// under sustained high utilization or shedding, drains a machine for
+  /// retirement under sustained low utilization. Every applied resize is
+  /// write-ahead-logged as a control record, so WAL replay reproduces the
+  /// exact machine count at every point of the log. Ignored (with the
+  /// original fixed-pool behavior) when the scheduler is not elastic.
+  std::optional<CapacityControllerConfig> elastic;
 };
-
-/// Deprecated pre-unification name for the shard-queue enqueue outcome;
-/// removed one release after the Outcome consolidation. try_enqueue
-/// returns kEnqueued, kRejectedQueueFull (was kFull) or kRejectedClosed
-/// (was kClosed).
-using EnqueueStatus [[deprecated("use slacksched::Outcome")]] = Outcome;
 
 /// An independent scheduler + queue + consumer thread.
 class Shard {
@@ -175,6 +179,19 @@ class Shard {
     return *scheduler_;
   }
 
+  /// Counts one job the gateway's class-aware policy shed before it ever
+  /// reached this shard's queue — the shed feeds the capacity controller's
+  /// shed-rate signal (a class shed is a capacity signal exactly like
+  /// backpressure). Callable from any producer thread.
+  void note_policy_shed() {
+    offered_.fetch_add(1, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// The machine currently draining for retirement (-1 when none).
+  /// Consumer-thread state exposed for tests; racy reads are benign.
+  [[nodiscard]] int retiring_machine() const { return retiring_machine_; }
+
   // --- supervision surface (service/supervisor.hpp) ---
   /// Monotone progress counter the worker bumps on every wake-up and every
   /// processed job; a supervisor that sees it unchanged past the stall
@@ -207,6 +224,10 @@ class Shard {
   /// the worker thread. Throws when recovery fails.
   void spawn(bool is_restart);
   void worker_loop();
+  /// One turn of the elastic control loop (consumer thread, between
+  /// batches): finish a drained retirement, feed the controller one
+  /// observation, apply its grow/shrink decision, WAL the resize.
+  void run_capacity_control();
   void process(const Task& task);
   /// Bookkeeping for a deferred job's binding decision (metrics, trace,
   /// notification) — the resolution-hook twin of process()'s tail.
@@ -234,6 +255,20 @@ class Shard {
   std::unique_ptr<OnlineScheduler> scheduler_;
   std::unique_ptr<CommitLog> wal_;
   std::optional<StreamingRunner> runner_;
+  /// Machine count the factory's scheduler starts with — the count in the
+  /// WAL header. Elastic resizes grow scheduler_->machines() past it, so
+  /// every header check after recovery must use this, not the live count.
+  int wal_initial_machines_ = 0;
+  /// Elastic control loop state; touched only by the consumer thread.
+  std::optional<CapacityController> controller_;
+  int retiring_machine_ = -1;  ///< machine mid-drain, -1 when none
+  /// Latest release time fed to the engine — the simulated "now" frontier
+  /// utilization and drain checks are evaluated at.
+  TimePoint sim_now_ = 0.0;
+  /// Producer-side window counters the controller consumes (offered
+  /// submissions / shed submissions since the last observation).
+  std::atomic<std::uint64_t> offered_{0};
+  std::atomic<std::uint64_t> shed_{0};
   RunResult result_;  ///< taken from runner_ when the consumer exits
   bool started_ = false;
   bool joined_ = false;

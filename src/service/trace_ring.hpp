@@ -40,11 +40,6 @@
 
 namespace slacksched {
 
-/// Deprecated pre-unification name for the trace-event kind; removed one
-/// release after the Outcome consolidation. Trace events record
-/// kAccepted, kRejected, kFailover or kRejectedRetryAfter (was kShed).
-using TraceKind [[deprecated("use slacksched::Outcome")]] = Outcome;
-
 /// Sentinel for TraceEvent::latency_bin on events that carry no latency
 /// (failover/shed happen before any decision is rendered).
 inline constexpr std::uint8_t kTraceNoLatencyBin = 0xff;
@@ -207,10 +202,12 @@ inline void write_trace_csv(std::ostream& out,
       e.home_shard = static_cast<std::int16_t>(std::stoi(cells[2]));
       e.shard = static_cast<std::int16_t>(std::stoi(cells[3]));
       const std::optional<Outcome> kind = outcome_from_label(cells[4]);
-      // Only decision and routing outcomes are recordable trace kinds.
+      // Only decision, routing and policy-shed outcomes are recordable
+      // trace kinds.
       if (!kind.has_value() ||
           (!outcome_is_decision(*kind) && *kind != Outcome::kFailover &&
-           *kind != Outcome::kRejectedRetryAfter)) {
+           *kind != Outcome::kRejectedRetryAfter &&
+           *kind != Outcome::kRejectedCriticality)) {
         throw PreconditionError("bad kind");
       }
       e.kind = *kind;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 #include "common/expects.hpp"
 
@@ -55,6 +56,93 @@ std::string WorkloadConfig::to_string() const {
          ", size=" + slacksched::to_string(size) +
          ", slack=" + slacksched::to_string(slack) +
          ", seed=" + std::to_string(seed) + ")";
+}
+
+std::vector<std::string> WorkloadConfig::validate() const {
+  std::vector<std::string> errors;
+  if (n == 0) {
+    errors.push_back("n must be >= 1 (got 0): an empty instance is not a "
+                     "workload");
+  }
+  if (!(eps > 0.0)) {
+    // eps > 1 is allowed: the paper's algorithms need eps <= 1 but the
+    // wide-slack regime (footnote 2) is served by core/adaptive.hpp.
+    errors.push_back("eps must be > 0 (got " + std::to_string(eps) +
+                     "): every deadline is d = r + (1 + eps) p");
+  }
+  if (arrival == ArrivalModel::kPoisson || arrival == ArrivalModel::kBursty ||
+      arrival == ArrivalModel::kDiurnal) {
+    if (!(arrival_rate > 0.0)) {
+      errors.push_back("arrival_rate must be > 0 for the " +
+                       slacksched::to_string(arrival) +
+                       " arrival model (got " + std::to_string(arrival_rate) +
+                       ")");
+    }
+  }
+  if (arrival == ArrivalModel::kUniform && !(horizon > 0.0)) {
+    errors.push_back("horizon must be > 0 for the uniform arrival model "
+                     "(got " + std::to_string(horizon) + ")");
+  }
+  if (arrival == ArrivalModel::kBursty) {
+    if (!(burst_every > 0.0)) {
+      errors.push_back("burst_every must be > 0 for the bursty arrival "
+                       "model (got " + std::to_string(burst_every) + ")");
+    }
+    if (burst_size == 0) {
+      errors.push_back("burst_size must be >= 1 for the bursty arrival "
+                       "model (got 0)");
+    }
+  }
+  if (arrival == ArrivalModel::kDiurnal) {
+    if (!(diurnal_period > 0.0)) {
+      errors.push_back("diurnal_period must be > 0 (got " +
+                       std::to_string(diurnal_period) + ")");
+    }
+    if (diurnal_amplitude < 0.0 || diurnal_amplitude >= 1.0) {
+      errors.push_back("diurnal_amplitude must be in [0, 1) (got " +
+                       std::to_string(diurnal_amplitude) +
+                       "): the thinning rate would go negative");
+    }
+  }
+  if (!(size_min > 0.0)) {
+    errors.push_back("size_min must be > 0 (got " + std::to_string(size_min) +
+                     ")");
+  }
+  if (size_min > size_max) {
+    errors.push_back("size_min (" + std::to_string(size_min) +
+                     ") must not exceed size_max (" +
+                     std::to_string(size_max) + ")");
+  }
+  if (size == SizeModel::kBoundedPareto && !(pareto_alpha > 0.0)) {
+    errors.push_back("pareto_alpha must be > 0 for the bounded-pareto size "
+                     "model (got " + std::to_string(pareto_alpha) + ")");
+  }
+  if (size == SizeModel::kBimodal &&
+      (bimodal_long_fraction < 0.0 || bimodal_long_fraction > 1.0)) {
+    errors.push_back("bimodal_long_fraction must be in [0, 1] (got " +
+                     std::to_string(bimodal_long_fraction) + ")");
+  }
+  if ((slack == SlackModel::kUniformFactor || slack == SlackModel::kMixed) &&
+      slack_hi < eps) {
+    errors.push_back("slack_hi (" + std::to_string(slack_hi) +
+                     ") must be >= eps (" + std::to_string(eps) +
+                     "): the slack factor is drawn from [eps, slack_hi]");
+  }
+  double mix_total = 0.0;
+  for (std::size_t cls = 0; cls < kCriticalityCount; ++cls) {
+    if (class_mix[cls] < 0.0) {
+      errors.push_back(
+          "class_mix[" + std::to_string(cls) + "] (" +
+          std::string(criticality_label(static_cast<Criticality>(cls))) +
+          ") must be >= 0 (got " + std::to_string(class_mix[cls]) + ")");
+    }
+    mix_total += class_mix[cls];
+  }
+  if (!(mix_total > 0.0)) {
+    errors.push_back("class_mix must have positive total weight: every job "
+                     "needs a criticality class");
+  }
+  return errors;
 }
 
 namespace {
@@ -145,6 +233,19 @@ Duration draw_size(const WorkloadConfig& config, Rng& rng) {
   return config.size_min;
 }
 
+/// Draws one class from the (unnormalized) mix by cumulative weight.
+/// Callers skip the draw entirely for a degenerate mix, so legacy streams
+/// stay bit-identical.
+Criticality draw_criticality(const WorkloadConfig& config, Rng& rng,
+                             double mix_total) {
+  double u = rng.uniform01() * mix_total;
+  for (std::size_t cls = 0; cls + 1 < kCriticalityCount; ++cls) {
+    if (u < config.class_mix[cls]) return static_cast<Criticality>(cls);
+    u -= config.class_mix[cls];
+  }
+  return static_cast<Criticality>(kCriticalityCount - 1);
+}
+
 double draw_slack_factor(const WorkloadConfig& config, Rng& rng) {
   switch (config.slack) {
     case SlackModel::kTight:
@@ -165,15 +266,23 @@ double draw_slack_factor(const WorkloadConfig& config, Rng& rng) {
 }  // namespace
 
 Instance generate_workload(const WorkloadConfig& config) {
-  SLACKSCHED_EXPECTS(config.n > 0);
-  // eps > 1 is allowed: the paper's algorithms need eps <= 1 but the wide-
-  // slack regime (footnote 2) is served by core/adaptive.hpp.
-  SLACKSCHED_EXPECTS(config.eps > 0.0);
-  SLACKSCHED_EXPECTS(config.size_min > 0.0);
-  SLACKSCHED_EXPECTS(config.size_min <= config.size_max);
+  const std::vector<std::string> errors = config.validate();
+  if (!errors.empty()) {
+    std::string joined = "invalid WorkloadConfig:";
+    for (const std::string& e : errors) joined += "\n  - " + e;
+    throw PreconditionError(joined);
+  }
 
   Rng rng(config.seed);
   const std::vector<TimePoint> releases = draw_releases(config, rng);
+
+  // A degenerate mix (all weight on the default lowest class) skips the
+  // class draw so the random stream — and therefore the whole instance —
+  // is bit-identical to what pre-criticality builds generated.
+  double mix_total = 0.0;
+  for (const double weight : config.class_mix) mix_total += weight;
+  const bool draw_classes =
+      mix_total != config.class_mix[0];
 
   std::vector<Job> jobs;
   jobs.reserve(config.n);
@@ -184,6 +293,9 @@ Instance generate_workload(const WorkloadConfig& config) {
     job.proc = draw_size(config, rng);
     const double factor = draw_slack_factor(config, rng);
     job.deadline = job.release + (1.0 + factor) * job.proc;
+    if (draw_classes) {
+      job.criticality = draw_criticality(config, rng, mix_total);
+    }
     jobs.push_back(job);
   }
   Instance instance(std::move(jobs));
@@ -191,7 +303,9 @@ Instance generate_workload(const WorkloadConfig& config) {
   return instance;
 }
 
-WorkloadConfig cloud_burst_scenario(double eps, std::uint64_t seed) {
+namespace {
+
+WorkloadConfig cloud_burst_base(double eps, std::uint64_t seed) {
   WorkloadConfig config;
   config.n = 2000;
   config.eps = eps;
@@ -209,7 +323,7 @@ WorkloadConfig cloud_burst_scenario(double eps, std::uint64_t seed) {
   return config;
 }
 
-WorkloadConfig overload_scenario(double eps, std::uint64_t seed) {
+WorkloadConfig overload_base(double eps, std::uint64_t seed) {
   WorkloadConfig config;
   config.n = 1500;
   config.eps = eps;
@@ -223,7 +337,7 @@ WorkloadConfig overload_scenario(double eps, std::uint64_t seed) {
   return config;
 }
 
-WorkloadConfig diurnal_scenario(double eps, std::uint64_t seed) {
+WorkloadConfig diurnal_base(double eps, std::uint64_t seed) {
   WorkloadConfig config;
   config.n = 2000;
   config.eps = eps;
@@ -239,6 +353,54 @@ WorkloadConfig diurnal_scenario(double eps, std::uint64_t seed) {
   config.slack_hi = 1.0;
   config.seed = seed;
   return config;
+}
+
+WorkloadConfig mixed_criticality_base(double eps, std::uint64_t seed) {
+  // The overload regime with every criticality class present: enough
+  // pressure that the gateway's class-aware shed policy must choose, with
+  // most of the weight on sheddable classes so the chosen order is
+  // observable. The mix is bottom-heavy like real fleets: background batch
+  // work dominates, must-admit traffic is the thin top slice.
+  WorkloadConfig config = overload_base(eps, seed);
+  config.class_mix = {0.4, 0.3, 0.2, 0.1};
+  return config;
+}
+
+struct ScenarioEntry {
+  const char* name;
+  WorkloadConfig (*build)(double eps, std::uint64_t seed);
+};
+
+constexpr ScenarioEntry kScenarios[] = {
+    {"cloud-burst", &cloud_burst_base},
+    {"overload", &overload_base},
+    {"diurnal", &diurnal_base},
+    {"mixed-criticality", &mixed_criticality_base},
+};
+
+}  // namespace
+
+WorkloadConfig scenario(std::string_view name, double eps,
+                        std::uint64_t seed) {
+  for (const ScenarioEntry& entry : kScenarios) {
+    if (name == entry.name) return entry.build(eps, seed);
+  }
+  std::string known;
+  for (const ScenarioEntry& entry : kScenarios) {
+    if (!known.empty()) known += ", ";
+    known += entry.name;
+  }
+  throw PreconditionError("unknown workload scenario \"" +
+                          std::string(name) + "\" (known: " + known + ")");
+}
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kScenarios));
+  for (const ScenarioEntry& entry : kScenarios) {
+    names.emplace_back(entry.name);
+  }
+  return names;
 }
 
 }  // namespace slacksched

@@ -6,11 +6,15 @@
 // condition (3) for the configured eps by construction.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "job/instance.hpp"
+#include "policy/criticality.hpp"
 
 namespace slacksched {
 
@@ -64,26 +68,44 @@ struct WorkloadConfig {
   SlackModel slack = SlackModel::kUniformFactor;
   double slack_hi = 1.0;  ///< upper slack factor for kUniformFactor/kMixed
 
+  /// Criticality class mix: relative weight of each class in the stream
+  /// (normalized internally; absolute scale is irrelevant). The default
+  /// puts every job in the lowest class AND — deliberately — skips the
+  /// class draw entirely, so legacy configs consume the exact same random
+  /// stream as before the field existed: bit-identical instances.
+  std::array<double, kCriticalityCount> class_mix{1.0, 0.0, 0.0, 0.0};
+
   std::uint64_t seed = 1;
+
+  /// Checks every knob against the model it parameterizes. Returns one
+  /// human-readable message per problem; empty means valid.
+  /// generate_workload throws a PreconditionError listing every message.
+  [[nodiscard]] std::vector<std::string> validate() const;
 
   [[nodiscard]] std::string to_string() const;
 };
 
-/// Generates the instance described by `config`. Deterministic in the seed.
+/// Generates the instance described by `config`. Deterministic in the
+/// seed. Throws PreconditionError listing every validate() problem.
 [[nodiscard]] Instance generate_workload(const WorkloadConfig& config);
 
-/// Named scenario: cloud admission with a heavy-tailed batch mix and
-/// periodic interactive bursts (the paper's IaaS motivation).
-[[nodiscard]] WorkloadConfig cloud_burst_scenario(double eps,
-                                                  std::uint64_t seed);
+/// Named-scenario registry. Looks up a base configuration by name and
+/// parameterizes it with the slack guarantee and seed; throws
+/// PreconditionError (naming the known scenarios) for an unknown name.
+///
+///   "cloud-burst"        heavy-tailed batch mix + periodic interactive
+///                        bursts (the paper's IaaS motivation)
+///   "overload"           near-overload tight-slack stream, the regime
+///                        where admission control decides everything
+///   "diurnal"            day/night sinusoidal rate with a bimodal
+///                        (interactive vs. batch) size mix
+///   "mixed-criticality"  the overload regime with all four criticality
+///                        classes present — the class-aware shed and
+///                        elastic-capacity evaluation stream
+[[nodiscard]] WorkloadConfig scenario(std::string_view name, double eps,
+                                      std::uint64_t seed);
 
-/// Named scenario: near-overload stream of uniform jobs with tight slack,
-/// the regime where admission control decides everything.
-[[nodiscard]] WorkloadConfig overload_scenario(double eps, std::uint64_t seed);
-
-/// Named scenario: day/night traffic — a non-homogeneous Poisson stream
-/// whose rate swings sinusoidally, with a bimodal (interactive vs. batch)
-/// size mix. Models the diurnal pattern of a public cloud region.
-[[nodiscard]] WorkloadConfig diurnal_scenario(double eps, std::uint64_t seed);
+/// Every name scenario() accepts, in registry order.
+[[nodiscard]] std::vector<std::string> scenario_names();
 
 }  // namespace slacksched

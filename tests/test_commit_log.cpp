@@ -83,18 +83,21 @@ TEST(WalRecord, EncodesTheDocumentedFixedWidthLayout) {
   std::int64_t id = 0;
   double release = 0.0, proc = 0.0, deadline = 0.0, start = 0.0;
   std::int32_t machine = -1;
+  std::uint32_t criticality = 99;
   const char* p = out.data() + kWalFrameBytes;
   std::memcpy(&id, p + 0, 8);
   std::memcpy(&release, p + 8, 8);
   std::memcpy(&proc, p + 16, 8);
   std::memcpy(&deadline, p + 24, 8);
   std::memcpy(&machine, p + 32, 4);
-  std::memcpy(&start, p + 36, 8);
+  std::memcpy(&criticality, p + 36, 4);
+  std::memcpy(&start, p + 40, 8);
   EXPECT_EQ(id, 42);
   EXPECT_DOUBLE_EQ(release, 1.0);
   EXPECT_DOUBLE_EQ(proc, 2.0);
   EXPECT_DOUBLE_EQ(deadline, 8.0);
   EXPECT_EQ(machine, 3);
+  EXPECT_EQ(criticality, 0u);  // make_job defaults to kBackground
   EXPECT_DOUBLE_EQ(start, 1.5);
 }
 
@@ -218,7 +221,7 @@ TEST(Recovery, TornPartialRecordIsTruncated) {
     log->append(make_job(2, 1.0, 1.0, 5.0), 0, 1.0);
     log->close();
   }
-  // A record torn mid-payload: only the first 20 of 52 bytes made it.
+  // A record torn mid-payload: only the first 20 of 56 bytes made it.
   std::vector<char> torn;
   encode_wal_record(make_job(3, 2.0, 1.0, 6.0), 0, 2.0, torn);
   torn.resize(20);

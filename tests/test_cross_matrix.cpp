@@ -103,12 +103,12 @@ std::string to_string(ScenarioKind kind) {
 Instance make_instance(ScenarioKind kind, double eps) {
   switch (kind) {
     case ScenarioKind::kCloudBurst: {
-      WorkloadConfig config = cloud_burst_scenario(eps, 1234);
+      WorkloadConfig config = scenario("cloud-burst", eps, 1234);
       config.n = 400;
       return generate_workload(config);
     }
     case ScenarioKind::kOverload: {
-      WorkloadConfig config = overload_scenario(eps, 1234);
+      WorkloadConfig config = scenario("overload", eps, 1234);
       config.n = 400;
       return generate_workload(config);
     }

@@ -177,7 +177,7 @@ TEST(AdversaryM1, PhaseTwoSubmitsTwoJobsAndCertificatePacksBoth) {
 
 TEST(Scenarios, DiurnalScenarioValidates) {
   for (double eps : {0.05, 0.8}) {
-    const WorkloadConfig config = diurnal_scenario(eps, 3);
+    const WorkloadConfig config = scenario("diurnal", eps, 3);
     const Instance inst = generate_workload(config);
     EXPECT_TRUE(inst.validate(eps).ok);
     EXPECT_EQ(inst.size(), config.n);
@@ -185,7 +185,7 @@ TEST(Scenarios, DiurnalScenarioValidates) {
 }
 
 TEST(Scenarios, DiurnalScenarioRunsThroughEveryPolicy) {
-  const Instance inst = generate_workload(diurnal_scenario(0.1, 8));
+  const Instance inst = generate_workload(scenario("diurnal", 0.1, 8));
   ThresholdScheduler threshold(0.1, 4);
   GreedyScheduler greedy(4);
   const RunResult rt = run_online(threshold, inst);

@@ -102,7 +102,7 @@ TEST(Integration, PreemptionDominatesOnTightWorkloads) {
   // The DasGupta-Palis machine model (preemption, no migration) should
   // accept at least as much volume as non-preemptive greedy on workloads
   // where commitment hurts.
-  WorkloadConfig config = overload_scenario(0.05, 404);
+  WorkloadConfig config = scenario("overload", 0.05, 404);
   config.n = 600;
   const Instance inst = generate_workload(config);
 

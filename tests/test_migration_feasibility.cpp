@@ -126,7 +126,7 @@ TEST(MigrationAdmission, AccountsEveryJob) {
 }
 
 TEST(MigrationAdmission, StaysBelowFractionalUpperBound) {
-  WorkloadConfig config = overload_scenario(0.1, 9);
+  WorkloadConfig config = scenario("overload", 0.1, 9);
   config.n = 300;
   const Instance inst = generate_workload(config);
   const MigrationResult result = run_migration_admission(inst, 2);
@@ -141,7 +141,7 @@ TEST(MigrationAdmission, DominatesNoMigrationOnAverage) {
   double migration_total = 0.0;
   double edf_total = 0.0;
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-    WorkloadConfig config = overload_scenario(0.05, seed);
+    WorkloadConfig config = scenario("overload", 0.05, seed);
     config.n = 150;
     const Instance inst = generate_workload(config);
     migration_total += run_migration_admission(inst, 2).metrics.accepted_volume;
@@ -180,7 +180,7 @@ TEST(RandomAdmission, ReplaysIdenticallyAfterReset) {
 }
 
 TEST(RandomAdmission, CommitmentsAreLegal) {
-  WorkloadConfig config = overload_scenario(0.1, 21);
+  WorkloadConfig config = scenario("overload", 0.1, 21);
   config.n = 400;
   const Instance inst = generate_workload(config);
   RandomAdmissionScheduler alg(3, 0.7, 5);

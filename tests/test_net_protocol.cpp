@@ -50,7 +50,8 @@ TEST(OutcomeWire, ValuesArePinned) {
   EXPECT_EQ(static_cast<std::uint8_t>(Outcome::kRejectedClosed), 4);
   EXPECT_EQ(static_cast<std::uint8_t>(Outcome::kRejectedRetryAfter), 5);
   EXPECT_EQ(static_cast<std::uint8_t>(Outcome::kFailover), 6);
-  EXPECT_EQ(kOutcomeCount, 7);
+  EXPECT_EQ(static_cast<std::uint8_t>(Outcome::kRejectedCriticality), 7);
+  EXPECT_EQ(kOutcomeCount, 8);
 }
 
 TEST(OutcomeWire, LabelsArePinned) {
@@ -61,6 +62,7 @@ TEST(OutcomeWire, LabelsArePinned) {
   EXPECT_EQ(outcome_label(Outcome::kRejectedClosed), "closed");
   EXPECT_EQ(outcome_label(Outcome::kRejectedRetryAfter), "retry_after");
   EXPECT_EQ(outcome_label(Outcome::kFailover), "failover");
+  EXPECT_EQ(outcome_label(Outcome::kRejectedCriticality), "criticality");
   // Legacy trace spelling maps onto the unified vocabulary.
   EXPECT_EQ(outcome_from_label("shed"), Outcome::kRejectedRetryAfter);
   EXPECT_FALSE(outcome_from_label("bogus").has_value());

@@ -32,7 +32,7 @@ Instance tiny_instance() {
 }
 
 TEST(Simulator, MatchesEngineDecisionsAndMetrics) {
-  WorkloadConfig config = overload_scenario(0.1, 17);
+  WorkloadConfig config = scenario("overload", 0.1, 17);
   config.n = 400;
   const Instance inst = generate_workload(config);
 
@@ -194,7 +194,7 @@ TEST(BacklogObserver, PeakTracksAcceptedWork) {
 }
 
 TEST(AcceptanceRateObserver, WindowsCoverTheRun) {
-  WorkloadConfig config = overload_scenario(0.05, 3);
+  WorkloadConfig config = scenario("overload", 0.05, 3);
   config.n = 500;
   const Instance inst = generate_workload(config);
   ThresholdScheduler alg(0.05, 2);

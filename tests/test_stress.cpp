@@ -181,7 +181,7 @@ TEST(Stress, RepeatedResetsAreIdempotent) {
 TEST(Stress, GreedyVsThresholdVolumeOrderBothValid) {
   // No ordering is asserted (it flips by workload); both must be legal on
   // a nasty bursty trace.
-  WorkloadConfig config = cloud_burst_scenario(0.02, 99);
+  WorkloadConfig config = scenario("cloud-burst", 0.02, 99);
   config.n = 5000;
   const Instance inst = generate_workload(config);
   ThresholdScheduler threshold(0.02, 8);

@@ -255,7 +255,7 @@ INSTANTIATE_TEST_SUITE_P(
 class ThresholdSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ThresholdSeedSweep, TightSlackStressStaysLegal) {
-  WorkloadConfig config = overload_scenario(0.02, GetParam());
+  WorkloadConfig config = scenario("overload", 0.02, GetParam());
   config.n = 600;
   const Instance inst = generate_workload(config);
   ThresholdScheduler alg(0.02, 2);

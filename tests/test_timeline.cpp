@@ -148,7 +148,7 @@ TEST(CoveredIntervals, ThresholdRatioBoundsStayNearTheGuarantee) {
   // On a saturated workload, per-interval ratio bounds for Algorithm 1
   // should stay in the vicinity of the proven guarantee (they are crude
   // upper bounds, so allow generous headroom, but they must not explode).
-  WorkloadConfig config = overload_scenario(0.2, 5);
+  WorkloadConfig config = scenario("overload", 0.2, 5);
   config.n = 500;
   const Instance inst = generate_workload(config);
   ThresholdScheduler alg(0.2, 2);

@@ -185,9 +185,9 @@ TEST(Workload, RejectsInvalidConfig) {
 
 TEST(Workload, NamedScenariosValidate) {
   for (double eps : {0.05, 0.5}) {
-    const Instance cloud = generate_workload(cloud_burst_scenario(eps, 1));
+    const Instance cloud = generate_workload(scenario("cloud-burst", eps, 1));
     EXPECT_TRUE(cloud.validate(eps).ok);
-    const Instance overload = generate_workload(overload_scenario(eps, 1));
+    const Instance overload = generate_workload(scenario("overload", eps, 1));
     EXPECT_TRUE(overload.validate(eps).ok);
   }
 }
